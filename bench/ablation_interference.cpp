@@ -1,0 +1,80 @@
+// Ablation A: inter-task interference bound — the paper's ceil-based
+// restatement of [14] versus the refined carry-in bound of Melani et al.
+//
+// DESIGN.md notes that the DAC'19 paper prints the simpler ceil bound; this
+// ablation quantifies how much schedulability the refinement buys under
+// both the baseline and the limited-concurrency test, over the Figure 2(e)
+// configuration (m = 8, n sweep).
+#include <cmath>
+#include <cstdio>
+
+#include "analysis/global_rta.h"
+#include "gen/taskset_generator.h"
+#include "util/args.h"
+#include "util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace rtpool;
+  const util::Args args(argc, argv, {"m", "n", "u", "trials", "seed", "csv"});
+  const auto m = static_cast<std::size_t>(args.get_int("m", 8));
+  const auto ns = args.get_int_list("n", {2, 4, 6, 8, 10, 12, 14, 16});
+  const double u = args.get_double("u", 0.4 * static_cast<double>(m));
+  const int trials = static_cast<int>(args.get_int("trials", 300));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::printf("Ablation A: paper ceil bound vs Melani carry-in bound "
+              "[m=%zu U=%.2f trials=%d]\n",
+              m, u, trials);
+  std::printf("%-4s | %-12s %-12s | %-12s %-12s | %-12s\n", "n", "ceil-base",
+              "carry-base", "ceil-lim", "carry-lim", "R carry/ceil");
+
+  util::CsvWriter csv(args.get_string("csv", "ablation_interference.csv"),
+                      {"n", "ceil_baseline", "carryin_baseline", "ceil_limited",
+                       "carryin_limited", "mean_r_ratio"});
+
+  for (std::int64_t n : ns) {
+    gen::TaskSetParams params;
+    params.cores = m;
+    params.task_count = static_cast<std::size_t>(n);
+    params.total_utilization = u;
+    util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(n));
+
+    int counts[4] = {0, 0, 0, 0};
+    double ratio_sum = 0.0;
+    std::size_t ratio_count = 0;
+    for (int t = 0; t < trials; ++t) {
+      const model::TaskSet ts = gen::generate_task_set(params, rng);
+      int k = 0;
+      analysis::GlobalRtaResult results[4];
+      for (bool limited : {false, true}) {
+        for (auto bound : {analysis::InterferenceBound::kPaperCeil,
+                           analysis::InterferenceBound::kMelaniCarryIn}) {
+          analysis::GlobalRtaOptions opts;
+          opts.limited_concurrency = limited;
+          opts.bound = bound;
+          results[k] = analysis::analyze_global(ts, opts);
+          if (results[k].schedulable) ++counts[k];
+          ++k;
+        }
+      }
+      // Mean per-task response-time improvement of the refined bound
+      // (baseline test, finite responses only).
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        const double r_ceil = results[0].per_task[i].response_time;
+        const double r_carry = results[1].per_task[i].response_time;
+        if (std::isfinite(r_ceil) && std::isfinite(r_carry) && r_ceil > 0.0) {
+          ratio_sum += r_carry / r_ceil;
+          ++ratio_count;
+        }
+      }
+    }
+    const double d = trials;
+    const double mean_ratio = ratio_count == 0 ? 1.0 : ratio_sum / ratio_count;
+    std::printf("%-4lld | %-12.3f %-12.3f | %-12.3f %-12.3f | %-12.4f\n",
+                static_cast<long long>(n), counts[0] / d, counts[1] / d,
+                counts[2] / d, counts[3] / d, mean_ratio);
+    csv.row_values(n, counts[0] / d, counts[1] / d, counts[2] / d,
+                   counts[3] / d, mean_ratio);
+  }
+  return 0;
+}

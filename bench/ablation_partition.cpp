@@ -1,0 +1,92 @@
+// Ablation B: design choices inside the partitioned arm —
+//  (1) Algorithm 1 tie-break: worst-fit (the paper's choice) vs first-fit;
+//  (2) Algorithm-1 failure rate vs RTA rejections (where schedulability is
+//      actually lost as the blocking window widens);
+//  (3) randomized restarts of Algorithm 1 (the paper's "improved
+//      partitioning algorithms" future work) on top of the worst-fit run.
+//
+// Sweeps b̄ (number of dangerous concurrent BF nodes) at m = 8, mirroring
+// the Figure 2(b) configuration without the baseline filter.
+#include <cstdio>
+
+#include "analysis/partition.h"
+#include "analysis/partitioned_rta.h"
+#include "gen/taskset_generator.h"
+#include "util/args.h"
+#include "util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace rtpool;
+  const util::Args args(argc, argv, {"m", "n", "u", "trials", "seed", "csv"});
+  const auto m = static_cast<std::size_t>(args.get_int("m", 8));
+  const auto n = static_cast<std::size_t>(args.get_int("n", 6));
+  const double u = args.get_double("u", 0.15 * static_cast<double>(m));
+  const int trials = static_cast<int>(args.get_int("trials", 300));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::printf("Ablation B: Algorithm 1 tie-break & failure modes "
+              "[m=%zu n=%zu U=%.2f trials=%d]\n",
+              m, n, u, trials);
+  std::printf("%-6s | %-10s %-10s %-10s | %-12s %-12s\n", "bbar", "wf-sched",
+              "ff-sched", "rand-sched", "alg1-fail", "rta-reject");
+
+  util::CsvWriter csv(args.get_string("csv", "ablation_partition.csv"),
+                      {"bbar", "worstfit_sched", "firstfit_sched",
+                       "randomized_sched", "alg1_fail", "rta_reject"});
+
+  for (std::size_t bbar = 0; bbar < m; ++bbar) {
+    gen::TaskSetParams params;
+    params.cores = m;
+    params.task_count = n;
+    params.total_utilization = u;
+    params.nfj.min_branches = 3;
+    params.nfj.max_branches = 5;
+    params.blocking_window = gen::BlockingWindow{bbar, bbar};
+    util::Rng rng(seed * 1000003 + bbar);
+
+    int wf_sched = 0;
+    int ff_sched = 0;
+    int rand_sched = 0;
+    int alg1_fail = 0;
+    int rta_reject = 0;
+    int done = 0;
+    int attempts = 0;
+    while (done < trials && attempts < trials * 200) {
+      ++attempts;
+      model::TaskSet ts(m);
+      try {
+        ts = gen::generate_task_set(params, rng);
+      } catch (const gen::GenerationError&) {
+        continue;
+      }
+      ++done;
+      const auto wf = analysis::partition_algorithm1(ts, analysis::TieBreak::kWorstFit);
+      const auto ff = analysis::partition_algorithm1(ts, analysis::TieBreak::kFirstFit);
+      if (!wf.success()) {
+        ++alg1_fail;
+      } else {
+        if (analysis::analyze_partitioned(ts, *wf.partition).schedulable) {
+          ++wf_sched;
+        } else {
+          ++rta_reject;
+        }
+      }
+      if (ff.success() &&
+          analysis::analyze_partitioned(ts, *ff.partition).schedulable)
+        ++ff_sched;
+      util::Rng restart_rng = rng.fork();
+      const auto rnd =
+          analysis::partition_algorithm1_randomized(ts, restart_rng, 16);
+      if (rnd.success() &&
+          analysis::analyze_partitioned(ts, *rnd.partition).schedulable)
+        ++rand_sched;
+    }
+    const double d = std::max(done, 1);
+    std::printf("%-6zu | %-10.3f %-10.3f %-10.3f | %-12.3f %-12.3f%s\n", bbar,
+                wf_sched / d, ff_sched / d, rand_sched / d, alg1_fail / d,
+                rta_reject / d, done < trials ? "  [incomplete]" : "");
+    csv.row_values(bbar, wf_sched / d, ff_sched / d, rand_sched / d,
+                   alg1_fail / d, rta_reject / d);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 2 (c)/(d): schedulability ratio as the number of processors m
+// varies (free node typing, nothing discarded).
+//
+// Both tests are shown per scheduler: the reduced-concurrency gap is wide
+// for small m — where a few suspended threads exhaust the pool — and nearly
+// closes for m >= 8, as the paper reports.
+#include <cstdio>
+
+#include "exp/report.h"
+#include "exp/schedulability.h"
+#include "util/args.h"
+
+int main(int argc, char** argv) {
+  using namespace rtpool;
+  const util::Args args(argc, argv,
+                        {"m", "n", "u-frac-global", "u-frac-part", "trials",
+                         "seed", "csv"});
+  const auto ms = args.get_int_list("m", {2, 4, 6, 8, 12, 16});
+  const auto n = static_cast<std::size_t>(args.get_int("n", 6));
+  // Target utilization scales with the platform: U = u_frac * m; each arm
+  // runs in its own sensitive region (see EXPERIMENTS.md).
+  const double u_frac_global = args.get_double("u-frac-global", 0.3);
+  const double u_frac_part = args.get_double("u-frac-part", 0.175);
+  const int trials = static_cast<int>(args.get_int("trials", 500));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::printf("Figure 2 (c)/(d): schedulability vs m  [n=%zu U_glob=%.2f*m "
+              "U_part=%.2f*m trials=%d seed=%llu]\n",
+              n, u_frac_global, u_frac_part, trials,
+              static_cast<unsigned long long>(seed));
+
+  std::vector<exp::SweepRow> rows;
+  for (std::int64_t m : ms) {
+    exp::PointConfig config;
+    config.gen.cores = static_cast<std::size_t>(m);
+    config.gen.task_count = n;
+    // Richer graphs (3-5 branches) give the blocking-fork count enough
+    // variance for the reduced-concurrency effects the figure shows.
+    config.gen.nfj.min_branches = 3;
+    config.gen.nfj.max_branches = 5;
+    config.filter_baseline = false;
+    config.trials = trials;
+    config.max_attempts = trials * 100;
+
+    exp::SweepRow row;
+    row.x = static_cast<double>(m);
+    {
+      config.gen.total_utilization = u_frac_global * static_cast<double>(m);
+      util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(m));
+      row.global = exp::evaluate_point(exp::Scheduler::kGlobal, config, rng);
+    }
+    {
+      config.gen.total_utilization = u_frac_part * static_cast<double>(m);
+      util::Rng rng(seed * 2000003 + static_cast<std::uint64_t>(m));
+      row.partitioned =
+          exp::evaluate_point(exp::Scheduler::kPartitioned, config, rng);
+    }
+    rows.push_back(row);
+    std::printf("  m=%-3lld global %.3f/%.3f  partitioned %.3f/%.3f\n",
+                static_cast<long long>(m), row.global.baseline_ratio(),
+                row.global.proposed_ratio(), row.partitioned.baseline_ratio(),
+                row.partitioned.proposed_ratio());
+  }
+
+  exp::print_sweep("Figure 2(c)/(d): schedulability ratio vs m", "m", rows);
+  exp::write_sweep_csv(args.get_string("csv", "fig2_m.csv"), "m", rows);
+  return 0;
+}

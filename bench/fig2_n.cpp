@@ -1,0 +1,68 @@
+// Figure 2 (e)/(f): schedulability ratio as the number of tasks n varies
+// (m = 8, free node typing, nothing discarded).
+//
+// More tasks make it likelier that at least one of them has a severely
+// reduced available concurrency, so the proposed tests fall further below
+// the baselines as n grows — the trend reported in the paper.
+#include <cstdio>
+
+#include "exp/report.h"
+#include "exp/schedulability.h"
+#include "util/args.h"
+
+int main(int argc, char** argv) {
+  using namespace rtpool;
+  const util::Args args(argc, argv,
+                        {"m", "n", "u-global", "u-part", "trials", "seed", "csv",
+                         "branches-min", "branches-max"});
+  const auto m = static_cast<std::size_t>(args.get_int("m", 8));
+  const auto ns = args.get_int_list("n", {2, 4, 6, 8, 10, 12, 14, 16});
+  const double u_global = args.get_double("u-global", 0.3 * static_cast<double>(m));
+  const double u_part = args.get_double("u-part", 0.15 * static_cast<double>(m));
+  const int trials = static_cast<int>(args.get_int("trials", 500));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::printf("Figure 2 (e)/(f): schedulability vs n  [m=%zu U_glob=%.2f "
+              "U_part=%.2f trials=%d seed=%llu]\n",
+              m, u_global, u_part, trials,
+              static_cast<unsigned long long>(seed));
+
+  std::vector<exp::SweepRow> rows;
+  for (std::int64_t n : ns) {
+    exp::PointConfig config;
+    config.gen.cores = m;
+    config.gen.task_count = static_cast<std::size_t>(n);
+    // Richer graphs (3-5 branches) give the blocking-fork count enough
+    // variance for the reduced-concurrency effects the figure shows.
+    config.gen.nfj.min_branches =
+        static_cast<int>(args.get_int("branches-min", 5));
+    config.gen.nfj.max_branches =
+        static_cast<int>(args.get_int("branches-max", 7));
+    config.filter_baseline = false;
+    config.trials = trials;
+    config.max_attempts = trials * 100;
+
+    exp::SweepRow row;
+    row.x = static_cast<double>(n);
+    {
+      config.gen.total_utilization = u_global;
+      util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(n));
+      row.global = exp::evaluate_point(exp::Scheduler::kGlobal, config, rng);
+    }
+    {
+      config.gen.total_utilization = u_part;
+      util::Rng rng(seed * 2000003 + static_cast<std::uint64_t>(n));
+      row.partitioned =
+          exp::evaluate_point(exp::Scheduler::kPartitioned, config, rng);
+    }
+    rows.push_back(row);
+    std::printf("  n=%-3lld global %.3f/%.3f  partitioned %.3f/%.3f\n",
+                static_cast<long long>(n), row.global.baseline_ratio(),
+                row.global.proposed_ratio(), row.partitioned.baseline_ratio(),
+                row.partitioned.proposed_ratio());
+  }
+
+  exp::print_sweep("Figure 2(e)/(f): schedulability ratio vs n (m=8)", "n", rows);
+  exp::write_sweep_csv(args.get_string("csv", "fig2_n.csv"), "n", rows);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Pessimism-gap study: sufficient analysis vs simulation-based necessary
+// condition.
+//
+// For every generated task set three verdicts are compared per scheduler:
+//   accept(analysis)  <=  accept(simulation)  <=  feasible (unknown)
+// The spread between the analysis-acceptance ratio and the simulation-
+// survival ratio brackets how much schedulability the sufficient tests of
+// Section 4 leave on the table (an upper bound on their pessimism, since
+// the simulated synchronous scenario is necessary but not exact).
+#include <cstdio>
+
+#include "analysis/global_rta.h"
+#include "analysis/partition.h"
+#include "analysis/partitioned_rta.h"
+#include "exp/necessity.h"
+#include "gen/taskset_generator.h"
+#include "util/args.h"
+#include "util/csv.h"
+
+int main(int argc, char** argv) {
+  using namespace rtpool;
+  const util::Args args(argc, argv,
+                        {"m", "n", "u-list", "trials", "seed", "csv"});
+  const auto m = static_cast<std::size_t>(args.get_int("m", 8));
+  const auto n = static_cast<std::size_t>(args.get_int("n", 4));
+  const auto u_percent = args.get_int_list("u-list", {10, 20, 30, 40, 50, 60});
+  const int trials = static_cast<int>(args.get_int("trials", 200));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::printf("Pessimism gap: analysis (sufficient) vs simulation (necessary) "
+              "[m=%zu n=%zu trials=%d]\n",
+              m, n, trials);
+  std::printf("%-6s | %-12s %-12s | %-12s %-12s\n", "U/m", "glob-analysis",
+              "glob-sim", "part-analysis", "part-sim");
+
+  util::CsvWriter csv(args.get_string("csv", "gap_analysis.csv"),
+                      {"u_frac", "global_analysis", "global_sim",
+                       "partitioned_analysis", "partitioned_sim"});
+
+  for (std::int64_t u_pct : u_percent) {
+    gen::TaskSetParams params;
+    params.cores = m;
+    params.task_count = n;
+    params.total_utilization =
+        static_cast<double>(u_pct) / 100.0 * static_cast<double>(m);
+    util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(u_pct));
+
+    int glob_analysis = 0;
+    int glob_sim = 0;
+    int part_analysis = 0;
+    int part_sim = 0;
+    for (int t = 0; t < trials; ++t) {
+      const model::TaskSet ts = gen::generate_task_set(params, rng);
+
+      analysis::GlobalRtaOptions limited;
+      limited.limited_concurrency = true;
+      if (analysis::analyze_global(ts, limited).schedulable) ++glob_analysis;
+      if (exp::passes_simulation(ts, exp::SimPolicy::kGlobal, std::nullopt))
+        ++glob_sim;
+
+      const auto alg1 = analysis::partition_algorithm1(ts);
+      if (alg1.success()) {
+        if (analysis::analyze_partitioned(ts, *alg1.partition).schedulable)
+          ++part_analysis;
+        if (exp::passes_simulation(ts, exp::SimPolicy::kPartitioned,
+                                   *alg1.partition))
+          ++part_sim;
+      }
+    }
+    const double d = trials;
+    std::printf("%-6.2f | %-12.3f %-12.3f | %-12.3f %-12.3f\n",
+                static_cast<double>(u_pct) / 100.0, glob_analysis / d,
+                glob_sim / d, part_analysis / d, part_sim / d);
+    csv.row_values(static_cast<double>(u_pct) / 100.0, glob_analysis / d,
+                   glob_sim / d, part_analysis / d, part_sim / d);
+  }
+  return 0;
+}

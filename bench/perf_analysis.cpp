@@ -1,0 +1,131 @@
+// Google-benchmark microbenchmarks of the analysis algorithms: the paper
+// quotes O(|V|^3) for computing l̄(τ) and O(|V|^4) for Algorithm 1 — these
+// benches measure the real scaling of this implementation (which uses
+// bitset closures and is far below those worst cases in practice).
+#include <benchmark/benchmark.h>
+
+#include "analysis/concurrency.h"
+#include "analysis/global_rta.h"
+#include "analysis/partition.h"
+#include "analysis/partitioned_rta.h"
+#include "gen/taskset_generator.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace rtpool;
+
+/// Generator tuned to produce graphs of roughly `target_nodes` nodes.
+model::DagTask make_task(std::size_t target_nodes, std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::TaskSetParams params;
+  params.cores = 8;
+  params.nfj.max_depth = 3;
+  params.nfj.max_series = 3;
+  params.nfj.min_branches = 3;
+  params.nfj.max_branches = 5;
+  // Resample until the node count is in the right ballpark.
+  for (int attempt = 0; attempt < 10000; ++attempt) {
+    model::DagTask t = gen::generate_task(params, 0, 0.5, rng);
+    if (t.node_count() >= target_nodes / 2 && t.node_count() <= target_nodes * 2)
+      return t;
+  }
+  throw std::runtime_error("make_task: target size not reachable");
+}
+
+model::TaskSet make_set(std::size_t cores, std::size_t tasks, std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::TaskSetParams params;
+  params.cores = cores;
+  params.task_count = tasks;
+  params.total_utilization = 0.4 * static_cast<double>(cores);
+  return gen::generate_task_set(params, rng);
+}
+
+void BM_ReachabilityClosure(benchmark::State& state) {
+  const auto task = make_task(static_cast<std::size_t>(state.range(0)), 42);
+  for (auto _ : state) {
+    graph::Reachability reach(task.dag());
+    benchmark::DoNotOptimize(reach.size());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(task.node_count()));
+}
+BENCHMARK(BM_ReachabilityClosure)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_MaxAffectingForks(benchmark::State& state) {
+  const auto task = make_task(static_cast<std::size_t>(state.range(0)), 43);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::max_affecting_forks(task));
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(task.node_count()));
+}
+BENCHMARK(BM_MaxAffectingForks)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_GlobalRtaBaseline(benchmark::State& state) {
+  const auto ts = make_set(8, static_cast<std::size_t>(state.range(0)), 44);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::analyze_global(ts).schedulable);
+}
+BENCHMARK(BM_GlobalRtaBaseline)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_GlobalRtaLimited(benchmark::State& state) {
+  const auto ts = make_set(8, static_cast<std::size_t>(state.range(0)), 44);
+  analysis::GlobalRtaOptions opts;
+  opts.limited_concurrency = true;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::analyze_global(ts, opts).schedulable);
+}
+BENCHMARK(BM_GlobalRtaLimited)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_Algorithm1(benchmark::State& state) {
+  const auto ts = make_set(8, static_cast<std::size_t>(state.range(0)), 45);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::partition_algorithm1(ts).success());
+}
+BENCHMARK(BM_Algorithm1)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_WorstFit(benchmark::State& state) {
+  const auto ts = make_set(8, static_cast<std::size_t>(state.range(0)), 45);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::partition_worst_fit(ts).success());
+}
+BENCHMARK(BM_WorstFit)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_PartitionedRta(benchmark::State& state) {
+  const auto ts = make_set(8, static_cast<std::size_t>(state.range(0)), 46);
+  const auto part = analysis::partition_worst_fit(ts);
+  if (!part.success()) {
+    state.SkipWithError("worst-fit failed");
+    return;
+  }
+  analysis::PartitionedRtaOptions opts;
+  opts.require_deadlock_free = false;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        analysis::analyze_partitioned(ts, *part.partition, opts).schedulable);
+}
+BENCHMARK(BM_PartitionedRta)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_SimulateGlobal(benchmark::State& state) {
+  const auto ts = make_set(4, 3, 47);
+  sim::SimConfig cfg;
+  cfg.policy = sim::SchedulingPolicy::kGlobal;
+  double max_period = 0.0;
+  for (const auto& t : ts.tasks()) max_period = std::max(max_period, t.period());
+  cfg.horizon = static_cast<double>(state.range(0)) * max_period;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::simulate(ts, cfg).jobs.size());
+}
+BENCHMARK(BM_SimulateGlobal)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_TaskSetGeneration(benchmark::State& state) {
+  gen::TaskSetParams params;
+  params.cores = 8;
+  params.task_count = 6;
+  params.total_utilization = 3.2;
+  util::Rng rng(48);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gen::generate_task_set(params, rng).size());
+}
+BENCHMARK(BM_TaskSetGeneration);
+
+}  // namespace

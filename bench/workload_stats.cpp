@@ -1,0 +1,74 @@
+// Workload characterization: what the Section-5 generator actually
+// produces, for the record (the paper does not report these statistics).
+//
+// For each (branches, depth) configuration the table shows, over randomly
+// generated tasks: graph size, blocking-region counts, the paper's b̄, the
+// antichain refinement, and the probability that a pool of m = 8 threads
+// loses its deadlock-freedom guarantee (l̄ <= 0) — the structural driver
+// behind every Figure-2 trend.
+#include <cstdio>
+
+#include "analysis/antichain.h"
+#include "analysis/concurrency.h"
+#include "gen/taskset_generator.h"
+#include "util/args.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+int main(int argc, char** argv) {
+  using namespace rtpool;
+  const util::Args args(argc, argv, {"m", "trials", "seed", "csv"});
+  const auto m = static_cast<std::size_t>(args.get_int("m", 8));
+  const int trials = static_cast<int>(args.get_int("trials", 2000));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::printf("Generator characterization  [m=%zu, %d tasks per row]\n", m, trials);
+  std::printf("%-14s | %-14s %-8s %-10s %-10s %-10s %-10s\n", "branches/depth",
+              "nodes(avg/max)", "regions", "bbar-avg", "anti-avg", "P(lb<=0)",
+              "P(anti<=0)");
+
+  util::CsvWriter csv(args.get_string("csv", "workload_stats.csv"),
+                      {"branches_min", "branches_max", "depth", "nodes_avg",
+                       "nodes_max", "regions_avg", "bbar_avg", "antichain_avg",
+                       "p_lbar_zero", "p_antichain_zero"});
+
+  struct Config {
+    int bmin, bmax, depth;
+  };
+  for (const Config& c : {Config{2, 4, 2}, Config{3, 5, 2}, Config{5, 7, 2},
+                          Config{3, 5, 3}, Config{2, 4, 3}}) {
+    gen::TaskSetParams params;
+    params.cores = m;
+    params.nfj.min_branches = c.bmin;
+    params.nfj.max_branches = c.bmax;
+    params.nfj.max_depth = c.depth;
+    util::Rng rng(seed);
+
+    util::RunningStats nodes;
+    util::RunningStats regions;
+    util::RunningStats bbar;
+    util::RunningStats antichain;
+    util::RatioCounter lbar_zero;
+    util::RatioCounter anti_zero;
+    for (int t = 0; t < trials; ++t) {
+      const model::DagTask task = gen::generate_task(params, 0, 0.5, rng);
+      nodes.add(static_cast<double>(task.node_count()));
+      regions.add(static_cast<double>(task.blocking_fork_count()));
+      const std::size_t b = analysis::max_affecting_forks(task);
+      const std::size_t a = analysis::max_simultaneous_suspensions(task);
+      bbar.add(static_cast<double>(b));
+      antichain.add(static_cast<double>(a));
+      lbar_zero.add(b >= m);
+      anti_zero.add(a >= m);
+    }
+    std::printf("%d-%d / %-6d | %6.1f/%-7.0f %-8.2f %-10.2f %-10.2f %-10.3f "
+                "%-10.3f\n",
+                c.bmin, c.bmax, c.depth, nodes.mean(), nodes.max(),
+                regions.mean(), bbar.mean(), antichain.mean(),
+                lbar_zero.ratio(), anti_zero.ratio());
+    csv.row_values(c.bmin, c.bmax, c.depth, nodes.mean(), nodes.max(),
+                   regions.mean(), bbar.mean(), antichain.mean(),
+                   lbar_zero.ratio(), anti_zero.ratio());
+  }
+  return 0;
+}

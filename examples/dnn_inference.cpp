@@ -1,0 +1,90 @@
+// DNN-inference workload (the paper's motivating TensorFlow/Eigen case):
+// a layered neural-network DAG whose per-layer parallel operators are
+// implemented as Eigen-style *blocking* parallel-for regions — many small
+// nodes, a few blocking forks per layer.
+//
+// The example builds the task synthetically (see DESIGN.md substitutions:
+// InceptionV3's real 34k-node graph is proprietary-scale, the structure is
+// not), sizes the thread pool, and answers the questions a deployment
+// engineer would ask: how many threads keep the model deadlock-free, what
+// response-time bound holds, and how does it compare to simulation.
+#include <cstdio>
+
+#include "analysis/concurrency.h"
+#include "analysis/deadlock.h"
+#include "analysis/global_rta.h"
+#include "gen/topologies.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rtpool;
+
+/// Builds the synthetic InceptionV3-style task via the topology library
+/// (gen/topologies.h): layered graph, blocking Eigen-style parallel-for
+/// per operator, many small tile kernels.
+model::DagTask build_dnn(int layers, int ops_per_layer, int tiles,
+                         double period, util::Rng& rng) {
+  gen::TopologyOptions options;
+  options.blocking = true;
+  options.period = period;
+  options.wcet_min = 0.3;
+  options.wcet_max = 2.0;
+  return gen::make_dnn_task("inception_like", layers, ops_per_layer, tiles,
+                            options, rng);
+}
+
+}  // namespace
+
+int main() {
+  util::Rng rng(2019);
+  const int layers = 6;
+  const int ops_per_layer = 3;
+  const int tiles = 8;
+  const double period = 400.0;  // inference deadline (time units)
+
+  const model::DagTask dnn = build_dnn(layers, ops_per_layer, tiles, period, rng);
+  std::printf("DNN task: %zu nodes, %zu blocking regions, vol=%.1f, "
+              "len=%.1f, U=%.3f\n",
+              dnn.node_count(), dnn.blocking_fork_count(), dnn.volume(),
+              dnn.critical_path_length(), dnn.utilization());
+
+  // How many threads does the pool need to be provably deadlock-free, and
+  // when does the analysis accept the deadline?
+  std::printf("\n%-8s %-8s %-14s %-12s %-12s\n", "threads", "l̄(tau)",
+              "deadlock-free", "R (Eq. 4)", "verdict");
+  for (std::size_t m = 2; m <= 12; m += 2) {
+    model::TaskSet ts(m);
+    ts.add(dnn);
+    const auto deadlock = analysis::check_deadlock_free_global(dnn, m);
+    analysis::GlobalRtaOptions limited;
+    limited.limited_concurrency = true;
+    const auto rta = analysis::analyze_global(ts, limited);
+    std::printf("%-8zu %-8ld %-14s %-12.1f %-12s\n", m,
+                deadlock.concurrency_bound,
+                deadlock.deadlock_free ? "yes" : "NO",
+                rta.per_task[0].response_time,
+                rta.schedulable ? "schedulable" : "rejected");
+  }
+
+  // Cross-check the smallest accepted pool against the simulator.
+  for (std::size_t m = 2; m <= 12; ++m) {
+    model::TaskSet ts(m);
+    ts.add(dnn);
+    analysis::GlobalRtaOptions limited;
+    limited.limited_concurrency = true;
+    const auto rta = analysis::analyze_global(ts, limited);
+    if (!rta.schedulable) continue;
+    sim::SimConfig cfg;
+    cfg.policy = sim::SchedulingPolicy::kGlobal;
+    cfg.horizon = period;
+    const auto result = sim::simulate(ts, cfg);
+    std::printf("\nsmallest analyzable pool: m=%zu  bound R=%.1f  "
+                "simulated R=%.1f  min l(t)=%ld\n",
+                m, rta.per_task[0].response_time, result.max_response(0),
+                result.per_task[0].min_available_concurrency);
+    break;
+  }
+  return 0;
+}

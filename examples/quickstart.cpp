@@ -1,0 +1,74 @@
+// Quickstart: build the Figure 1(a) task, check deadlock freedom, run the
+// schedulability analyses, and cross-check with the discrete-event
+// simulator — the whole public API in ~80 lines.
+#include <cstdio>
+
+#include "analysis/concurrency.h"
+#include "analysis/deadlock.h"
+#include "analysis/global_rta.h"
+#include "graph/dot.h"
+#include "model/builder.h"
+#include "sim/engine.h"
+#include "sim/gantt.h"
+
+int main() {
+  using namespace rtpool;
+
+  // --- 1. Describe the parallel task of Figure 1(a) -----------------------
+  // v1 (blocking fork) spawns v2..v4 and waits on a condition variable;
+  // v5 (blocking join) runs after the barrier, on the same thread.
+  model::DagTaskBuilder builder("fig1a");
+  const auto region = builder.add_blocking_fork_join(
+      /*fork_wcet=*/2.0, /*join_wcet=*/3.0, /*child_wcets=*/{4.0, 5.0, 6.0});
+  builder.period(60.0);
+  const model::DagTask task = builder.build();
+
+  std::printf("task %s: %zu nodes, vol=%.0f, len(lambda*)=%.0f, U=%.3f\n",
+              task.name().c_str(), task.node_count(), task.volume(),
+              task.critical_path_length(), task.utilization());
+
+  // --- 2. Deadlock analysis (Section 3) -----------------------------------
+  const std::size_t m = 2;  // pool of two threads on two cores
+  const auto check = analysis::check_deadlock_free_global(task, m);
+  std::printf("b̄(tau)=%zu, l̄(tau)=%ld -> %s\n", check.max_forks,
+              check.concurrency_bound,
+              check.deadlock_free ? "deadlock-free" : "may deadlock");
+
+  // --- 3. Schedulability (Section 4.1) -------------------------------------
+  model::TaskSet ts(m);
+  ts.add(task);
+
+  analysis::GlobalRtaOptions baseline;        // Melani et al. [14]
+  analysis::GlobalRtaOptions limited;         // this paper, Eq. (4)
+  limited.limited_concurrency = true;
+  const auto base = analysis::analyze_global(ts, baseline);
+  const auto lim = analysis::analyze_global(ts, limited);
+  std::printf("baseline [14] bound:            R = %.2f (%s)\n",
+              base.per_task[0].response_time,
+              base.schedulable ? "schedulable" : "NOT schedulable");
+  std::printf("limited-concurrency bound:      R = %.2f (%s)\n",
+              lim.per_task[0].response_time,
+              lim.schedulable ? "schedulable" : "NOT schedulable");
+
+  // --- 4. Simulate the thread pool (Figure 1(b)) ---------------------------
+  sim::SimConfig cfg;
+  cfg.policy = sim::SchedulingPolicy::kGlobal;
+  cfg.horizon = 60.0;
+  cfg.collect_trace = true;
+  const auto result = sim::simulate(ts, cfg);
+  std::printf("simulated response:             R = %.2f, min l(t)=%ld\n",
+              result.max_response(0),
+              result.per_task[0].min_available_concurrency);
+  for (const auto& iv : result.trace)
+    std::printf("  core %zu: node v%u  [%5.1f, %5.1f)\n", iv.core, iv.node,
+                iv.start, iv.end);
+  std::printf("%s", sim::render_ascii_gantt(ts, result.trace).c_str());
+
+  // --- 5. Export the DAG for documentation ---------------------------------
+  std::vector<std::string> labels;
+  for (model::NodeId v = 0; v < task.node_count(); ++v)
+    labels.push_back("v" + std::to_string(v + 1) + ":" +
+                     model::to_string(task.type(v)));
+  std::printf("%s", graph::to_dot(task.dag(), labels, "fig1a").c_str());
+  return 0;
+}

@@ -1,0 +1,187 @@
+// rtpool_cli: analyze a .taskset file from the command line.
+//
+//   rtpool_cli --file data/fig1.taskset [--scheduler global|partitioned]
+//              [--simulate] [--dot] [--generate N] [--seed S] ...
+//
+// Without --file, a random task set is generated (handy for exploration)
+// and can be saved with --save.
+#include <cstdio>
+#include <string>
+
+#include "analysis/antichain.h"
+#include "analysis/concurrency.h"
+#include "analysis/deadlock.h"
+#include "analysis/global_rta.h"
+#include "analysis/partition.h"
+#include "analysis/partitioned_rta.h"
+#include "analysis/sensitivity.h"
+#include "gen/taskset_generator.h"
+#include "graph/dot.h"
+#include "exp/report_json.h"
+#include "model/io.h"
+#include "sim/engine.h"
+#include "sim/trace_json.h"
+#include "util/args.h"
+
+namespace {
+
+using namespace rtpool;
+
+void analyze_global_cli(const model::TaskSet& ts) {
+  analysis::GlobalRtaOptions baseline;
+  analysis::GlobalRtaOptions limited;
+  limited.limited_concurrency = true;
+  const auto base = analysis::analyze_global(ts, baseline);
+  const auto lim = analysis::analyze_global(ts, limited);
+
+  std::printf("\nGLOBAL scheduling  (baseline [14] vs limited-concurrency Sec. 4.1)\n");
+  std::printf("%-10s %6s %6s %10s %10s %8s\n", "task", "b̄", "l̄", "R[14]",
+              "R(Eq.4)", "verdict");
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const auto& t = ts.task(i);
+    std::printf("%-10s %6zu %6ld %10.1f %10.1f %8s\n", t.name().c_str(),
+                analysis::max_affecting_forks(t),
+                lim.per_task[i].concurrency_bound,
+                base.per_task[i].response_time, lim.per_task[i].response_time,
+                lim.per_task[i].schedulable ? "ok" : "reject");
+  }
+  std::printf("set verdict: baseline=%s  limited=%s\n",
+              base.schedulable ? "schedulable" : "unschedulable",
+              lim.schedulable ? "schedulable" : "unschedulable");
+}
+
+void analyze_partitioned_cli(const model::TaskSet& ts) {
+  std::printf("\nPARTITIONED scheduling\n");
+  const auto wf = analysis::partition_worst_fit(ts);
+  const auto a1 = analysis::partition_algorithm1(ts);
+  std::printf("worst-fit: %s   Algorithm 1: %s\n",
+              wf.success() ? "ok" : wf.failure.c_str(),
+              a1.success() ? "ok" : a1.failure.c_str());
+  if (a1.success()) {
+    const auto rta = analysis::analyze_partitioned(ts, *a1.partition);
+    std::printf("%-10s %10s %10s %10s\n", "task", "R", "D", "verdict");
+    for (std::size_t i = 0; i < ts.size(); ++i)
+      std::printf("%-10s %10.1f %10.1f %10s\n", ts.task(i).name().c_str(),
+                  rta.per_task[i].response_time, ts.task(i).deadline(),
+                  rta.per_task[i].schedulable ? "ok" : "reject");
+    std::printf("set verdict (Alg.1 + RTA + Lemma 3): %s\n",
+                rta.schedulable ? "schedulable" : "unschedulable");
+  }
+}
+
+void simulate_cli(const model::TaskSet& ts) {
+  sim::SimConfig cfg;
+  cfg.policy = sim::SchedulingPolicy::kGlobal;
+  double max_period = 0.0;
+  for (const auto& t : ts.tasks()) max_period = std::max(max_period, t.period());
+  cfg.horizon = 10.0 * max_period;
+  const auto r = sim::simulate(ts, cfg);
+  std::printf("\nSIMULATION (global, horizon=%.0f)\n", cfg.horizon);
+  if (r.deadlock.has_value())
+    std::printf("DEADLOCK: %s\n", r.deadlock->description.c_str());
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    std::printf("%-10s jobs=%zu misses=%zu maxR=%.1f min_l=%ld\n",
+                ts.task(i).name().c_str(), r.per_task[i].jobs_completed,
+                r.per_task[i].deadline_misses, r.per_task[i].max_response,
+                r.per_task[i].min_available_concurrency);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv,
+                          {"file", "save", "simulate", "dot", "generate", "seed",
+                           "m", "u", "scheduler", "json", "trace",
+                           "sensitivity"});
+    model::TaskSet ts(1);
+    const std::string file = args.get_string("file", "");
+    if (!file.empty()) {
+      ts = model::load_task_set(file);
+      std::printf("loaded %zu tasks (m=%zu) from %s\n", ts.size(),
+                  ts.core_count(), file.c_str());
+    } else {
+      gen::TaskSetParams params;
+      params.cores = static_cast<std::size_t>(args.get_int("m", 8));
+      params.task_count = static_cast<std::size_t>(args.get_int("generate", 4));
+      params.total_utilization =
+          args.get_double("u", 0.4 * static_cast<double>(params.cores));
+      util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+      ts = gen::generate_task_set(params, rng);
+      std::printf("generated %zu tasks (m=%zu, U=%.2f)\n", ts.size(),
+                  ts.core_count(), ts.total_utilization());
+    }
+
+    for (const auto& t : ts.tasks())
+      std::printf("  %-10s |V|=%3zu vol=%8.1f len=%8.1f T=%10.1f prio=%d BF=%zu\n",
+                  t.name().c_str(), t.node_count(), t.volume(),
+                  t.critical_path_length(), t.period(), t.priority(),
+                  t.blocking_fork_count());
+
+    const std::string scheduler = args.get_string("scheduler", "both");
+    if (scheduler == "global" || scheduler == "both") analyze_global_cli(ts);
+    if (scheduler == "partitioned" || scheduler == "both")
+      analyze_partitioned_cli(ts);
+
+    if (args.get_bool("simulate", false)) simulate_cli(ts);
+
+    if (args.get_bool("sensitivity", false)) {
+      // Critical WCET scaling per analysis: how much execution-time margin
+      // (or overload) the set has under each test.
+      const auto run = [&](const char* label, bool limited, bool antichain) {
+        const double s = analysis::critical_scaling_factor(
+            ts, [&](const model::TaskSet& set) {
+              analysis::GlobalRtaOptions opts;
+              opts.limited_concurrency = limited;
+              if (antichain)
+                opts.concurrency = analysis::ConcurrencyBound::kMaxAntichain;
+              return analysis::analyze_global(set, opts).schedulable;
+            });
+        std::printf("  %-28s s* = %.3f\n", label, s);
+      };
+      std::printf("\nSENSITIVITY (critical WCET scaling, global tests)\n");
+      run("baseline [14]", false, false);
+      run("limited (b̄, Sec. 4.1)", true, false);
+      run("limited (antichain)", true, true);
+    }
+
+    if (args.get_bool("dot", false)) {
+      for (const auto& t : ts.tasks()) {
+        std::vector<std::string> labels;
+        for (model::NodeId v = 0; v < t.node_count(); ++v)
+          labels.push_back(std::to_string(v) + ":" + model::to_string(t.type(v)));
+        std::printf("%s", graph::to_dot(t.dag(), labels, t.name()).c_str());
+      }
+    }
+
+    const std::string json = args.get_string("json", "");
+    if (!json.empty()) {
+      exp::save_analysis_report(json, ts);
+      std::printf("analysis report written to %s\n", json.c_str());
+    }
+
+    const std::string trace = args.get_string("trace", "");
+    if (!trace.empty()) {
+      sim::SimConfig cfg;
+      cfg.policy = sim::SchedulingPolicy::kGlobal;
+      cfg.collect_trace = true;
+      double max_period = 0.0;
+      for (const auto& t : ts.tasks())
+        max_period = std::max(max_period, t.period());
+      cfg.horizon = 4.0 * max_period;
+      sim::save_chrome_trace(trace, ts, sim::simulate(ts, cfg));
+      std::printf("chrome trace written to %s (open in about://tracing)\n",
+                  trace.c_str());
+    }
+
+    const std::string save = args.get_string("save", "");
+    if (!save.empty()) {
+      model::save_task_set(save, ts);
+      std::printf("saved to %s\n", save.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rtpool_cli: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

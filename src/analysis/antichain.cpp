@@ -1,0 +1,75 @@
+#include "analysis/antichain.h"
+
+#include <vector>
+
+namespace rtpool::analysis {
+
+namespace {
+
+/// Hopcroft-Karp is overkill at these sizes; simple Kuhn augmenting paths
+/// give O(V·E) on the comparability graph of the BF nodes.
+class BipartiteMatcher {
+ public:
+  explicit BipartiteMatcher(std::size_t left_size, std::size_t right_size)
+      : adj_(left_size), match_right_(right_size, kFree) {}
+
+  void add_edge(std::size_t left, std::size_t right) { adj_[left].push_back(right); }
+
+  std::size_t max_matching() {
+    std::size_t matched = 0;
+    for (std::size_t u = 0; u < adj_.size(); ++u) {
+      visited_.assign(match_right_.size(), false);
+      if (augment(u)) ++matched;
+    }
+    return matched;
+  }
+
+ private:
+  static constexpr std::size_t kFree = static_cast<std::size_t>(-1);
+
+  bool augment(std::size_t u) {
+    for (std::size_t v : adj_[u]) {
+      if (visited_[v]) continue;
+      visited_[v] = true;
+      if (match_right_[v] == kFree || augment(match_right_[v])) {
+        match_right_[v] = u;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::size_t> match_right_;
+  std::vector<bool> visited_;
+};
+
+}  // namespace
+
+std::size_t max_simultaneous_suspensions(const model::DagTask& task) {
+  std::vector<model::NodeId> forks;
+  for (const model::BlockingRegion& r : task.blocking_regions())
+    forks.push_back(r.fork);
+  const std::size_t k = forks.size();
+  if (k <= 1) return k;
+
+  // Dilworth via Fulkerson: min chain cover of the BF poset = k − maximum
+  // matching in the bipartite graph with an edge (i -> j) per comparable
+  // ordered pair fork_i ≺ fork_j; max antichain = min chain cover.
+  const graph::Reachability& reach = task.reachability();
+  BipartiteMatcher matcher(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i != j && reach.reaches(forks[i], forks[j])) matcher.add_edge(i, j);
+    }
+  }
+  return k - matcher.max_matching();
+}
+
+long available_concurrency_lower_bound_antichain(const model::DagTask& task,
+                                                 std::size_t pool_size) {
+  return static_cast<long>(pool_size) -
+         static_cast<long>(max_simultaneous_suspensions(task));
+}
+
+}  // namespace rtpool::analysis

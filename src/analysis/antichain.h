@@ -1,0 +1,46 @@
+// Refined lower bound on the available concurrency (the paper's future
+// work: "explicitly considering the variability of the available
+// concurrency during task execution").
+//
+// Key observation: two BF nodes can be *simultaneously suspended* only if
+// they are precedence-unordered. A BF inside another's blocking region is
+// forbidden by the model, and a BF that transitively precedes another has
+// completed its whole region (barrier included) before the second one
+// starts. Hence the set of simultaneously suspended forks at any instant
+// forms an antichain of the precedence partial order restricted to BF
+// nodes, and
+//
+//     l(t, τ)  >=  m − maxAntichain(BF(τ))      for all t.
+//
+// By Dilworth's theorem the maximum antichain equals the minimum chain
+// cover, computed here as |BF| minus a maximum bipartite matching on the
+// transitive comparability relation (Fulkerson's reduction).
+//
+// Since every member of X(v) (Section 3.1) is a BF concurrent with v but
+// members of X(v) need not be mutually concurrent, the paper's bound
+// b̄(τ) = max_v |X(v)| can strictly exceed the antichain size; the refined
+// bound l̄'(τ) = m − maxAntichain is therefore never worse and sometimes
+// strictly better (see tests/test_antichain.cpp for such a graph).
+//
+// The refinement is sound both for the deadlock conditions of Section 3
+// (Lemma 1 needs l(t) > 0) and as the interference divisor of Lemma 4
+// (whose proof only uses a time-independent lower bound on l(t)).
+#pragma once
+
+#include <cstddef>
+
+#include "model/dag_task.h"
+
+namespace rtpool::analysis {
+
+/// Size of the largest set of BF nodes that can be suspended at once
+/// (maximum antichain of the precedence order restricted to BF nodes).
+/// 0 for tasks without blocking forks.
+std::size_t max_simultaneous_suspensions(const model::DagTask& task);
+
+/// Refined lower bound l̄'(τ) = m − maxAntichain(BF(τ)); always >= the
+/// Section 3.1 bound available_concurrency_lower_bound().
+long available_concurrency_lower_bound_antichain(const model::DagTask& task,
+                                                 std::size_t pool_size);
+
+}  // namespace rtpool::analysis

@@ -1,0 +1,61 @@
+#include "analysis/concurrency.h"
+
+#include <algorithm>
+
+namespace rtpool::analysis {
+
+namespace {
+
+/// Bitset of all BF nodes of the task.
+util::DynamicBitset blocking_fork_mask(const DagTask& task) {
+  util::DynamicBitset mask(task.node_count());
+  for (const model::BlockingRegion& r : task.blocking_regions()) mask.set(r.fork);
+  return mask;
+}
+
+}  // namespace
+
+util::DynamicBitset concurrent_blocking_forks(const DagTask& task, NodeId v) {
+  // C(v) = BF \ (pred(v) ∪ succ(v) ∪ {v}), with pred/succ transitive.
+  util::DynamicBitset c = blocking_fork_mask(task);
+  const graph::Reachability& reach = task.reachability();
+  c.and_not_assign(reach.ancestors(v));
+  c.and_not_assign(reach.descendants(v));
+  if (c.test(v)) c.reset(v);
+  return c;
+}
+
+util::DynamicBitset affecting_blocking_forks(const DagTask& task, NodeId v) {
+  util::DynamicBitset x = concurrent_blocking_forks(task, v);
+  if (task.type(v) == model::NodeType::BC) x.set(task.blocking_fork_of(v));
+  return x;
+}
+
+std::size_t max_affecting_forks(const DagTask& task) {
+  std::size_t best = 0;
+  for (NodeId v = 0; v < task.node_count(); ++v)
+    best = std::max(best, affecting_blocking_forks(task, v).count());
+  return best;
+}
+
+long available_concurrency_lower_bound(const DagTask& task, std::size_t pool_size) {
+  return static_cast<long>(pool_size) - static_cast<long>(max_affecting_forks(task));
+}
+
+std::vector<util::DynamicBitset> all_affecting_forks(const DagTask& task) {
+  std::vector<util::DynamicBitset> out;
+  out.reserve(task.node_count());
+  const util::DynamicBitset bf_mask = blocking_fork_mask(task);
+  const graph::Reachability& reach = task.reachability();
+  for (NodeId v = 0; v < task.node_count(); ++v) {
+    util::DynamicBitset x = bf_mask;
+    x.and_not_assign(reach.ancestors(v));
+    x.and_not_assign(reach.descendants(v));
+    if (x.test(v)) x.reset(v);
+    if (task.type(v) == model::NodeType::BC) x.set(task.blocking_fork_of(v));
+    out.push_back(std::move(x));
+  }
+  return out;
+}
+
+}  // namespace rtpool::analysis

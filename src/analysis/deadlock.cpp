@@ -1,0 +1,77 @@
+#include "analysis/deadlock.h"
+
+#include "analysis/concurrency.h"
+
+namespace rtpool::analysis {
+
+DeadlockCheck check_deadlock_free_global(const model::DagTask& task,
+                                         std::size_t pool_size) {
+  DeadlockCheck check;
+  check.max_forks = max_affecting_forks(task);
+  check.concurrency_bound =
+      static_cast<long>(pool_size) - static_cast<long>(check.max_forks);
+  check.deadlock_free = check.concurrency_bound > 0;
+  if (!check.deadlock_free) {
+    check.witness = task.name() + ": up to " + std::to_string(check.max_forks) +
+                    " concurrently suspended BF nodes can exhaust a pool of " +
+                    std::to_string(pool_size) + " threads";
+  }
+  return check;
+}
+
+std::optional<Eq3Violation> find_eq3_violation(const model::DagTask& task,
+                                               const NodeAssignment& assignment) {
+  if (assignment.thread_of.size() != task.node_count())
+    throw std::invalid_argument("find_eq3_violation: assignment size mismatch");
+
+  for (model::NodeId v = 0; v < task.node_count(); ++v) {
+    if (task.type(v) != model::NodeType::BC) continue;
+    const ThreadId own = assignment.thread_of[v];
+    // P(v): threads hosting a node of C(v) ∪ {F(v)}.
+    const util::DynamicBitset dangerous = affecting_blocking_forks(task, v);
+    std::optional<Eq3Violation> hit;
+    dangerous.for_each([&](std::size_t f) {
+      if (!hit.has_value() && assignment.thread_of[f] == own)
+        hit = Eq3Violation{v, static_cast<model::NodeId>(f), own};
+    });
+    if (hit.has_value()) return hit;
+  }
+  return std::nullopt;
+}
+
+DeadlockCheck check_deadlock_free_partitioned(const model::DagTask& task,
+                                              std::size_t pool_size,
+                                              const NodeAssignment& assignment) {
+  DeadlockCheck check = check_deadlock_free_global(task, pool_size);
+  if (!check.deadlock_free) return check;
+
+  if (const auto violation = find_eq3_violation(task, assignment)) {
+    check.deadlock_free = false;
+    check.witness = task.name() + ": BC node " + std::to_string(violation->bc_node) +
+                    " shares thread " + std::to_string(violation->thread) +
+                    " with dangerous BF " + std::to_string(violation->fork) +
+                    " (Eq. (3) violated)";
+  }
+  return check;
+}
+
+bool task_set_deadlock_free_global(const model::TaskSet& ts) {
+  for (const model::DagTask& task : ts.tasks())
+    if (!check_deadlock_free_global(task, ts.core_count()).deadlock_free) return false;
+  return true;
+}
+
+bool task_set_deadlock_free_partitioned(const model::TaskSet& ts,
+                                        const TaskSetPartition& partition) {
+  if (partition.per_task.size() != ts.size())
+    throw std::invalid_argument("task_set_deadlock_free_partitioned: size mismatch");
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (!check_deadlock_free_partitioned(ts.task(i), ts.core_count(),
+                                         partition.per_task[i])
+             .deadlock_free)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace rtpool::analysis

@@ -1,0 +1,62 @@
+// Deadlock-freedom conditions of Section 3.
+//
+// Lemma 1: if the available concurrency l(t, τ) ever reaches 0, τ deadlocks.
+// Lemma 2: under global work-conserving intra-pool scheduling the condition
+//          is also necessary, so l(t, τ) > 0 for all t is exact.
+// Lemma 3: under partitioned intra-pool scheduling, a node may additionally
+//          starve behind a suspended thread; Eq. (3) — no BC node shares a
+//          thread with a BF in C(v) ∪ {F(v)} — together with l(t, τ) > 0
+//          rules deadlocks out.
+//
+// The universally quantified l(t, τ) > 0 is checked through the
+// time-independent lower bound l̄(τ) of Section 3.1 (see concurrency.h),
+// which makes all checks sufficient-only (conservative), exactly as the
+// paper applies them.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/partition.h"
+#include "model/dag_task.h"
+
+namespace rtpool::analysis {
+
+/// Verdict of a deadlock-freedom check.
+struct DeadlockCheck {
+  bool deadlock_free;        ///< True if the sufficient condition holds.
+  long concurrency_bound;    ///< l̄(τ) = m − b̄(τ).
+  std::size_t max_forks;     ///< b̄(τ).
+  std::string witness;       ///< Human-readable reason when not guaranteed.
+};
+
+/// Global scheduling: deadlock-free iff l̄(τ) > 0 (Lemmas 1+2 through the
+/// Section 3.1 lower bound).
+DeadlockCheck check_deadlock_free_global(const model::DagTask& task,
+                                         std::size_t pool_size);
+
+/// Violation of Eq. (3), if any: a BC node co-located with a dangerous BF.
+struct Eq3Violation {
+  model::NodeId bc_node;
+  model::NodeId fork;
+  ThreadId thread;
+};
+
+/// Check Eq. (3) of Lemma 3 for one task under a node-to-thread assignment.
+/// Returns the first violation found, or nullopt if Eq. (3) holds.
+std::optional<Eq3Violation> find_eq3_violation(const model::DagTask& task,
+                                               const NodeAssignment& assignment);
+
+/// Partitioned scheduling: Lemma 3 = (l̄(τ) > 0) ∧ Eq. (3).
+DeadlockCheck check_deadlock_free_partitioned(const model::DagTask& task,
+                                              std::size_t pool_size,
+                                              const NodeAssignment& assignment);
+
+/// Whole task set, global scheduling: the per-task checks applied ∀τ ∈ Γ.
+bool task_set_deadlock_free_global(const model::TaskSet& ts);
+
+/// Whole task set, partitioned scheduling.
+bool task_set_deadlock_free_partitioned(const model::TaskSet& ts,
+                                        const TaskSetPartition& partition);
+
+}  // namespace rtpool::analysis

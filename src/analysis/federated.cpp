@@ -1,0 +1,131 @@
+#include "analysis/federated.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "analysis/concurrency.h"
+#include "util/time.h"
+
+namespace rtpool::analysis {
+
+namespace {
+
+using util::Time;
+
+/// Dedicated-core demand of a DAG task so that len + (vol−len)/n <= D.
+/// Returns 0 if impossible (len > D... the caller rejects), 1 if the task
+/// fits sequentially.
+std::size_t dedicated_core_demand(const model::DagTask& task) {
+  const Time len = task.critical_path_length();
+  const Time vol = task.volume();
+  const Time d = task.deadline();
+  if (!(d > len)) return 0;  // critical path alone misses the deadline
+  return static_cast<std::size_t>(std::max(1.0, util::ceil_div(vol - len, d - len)));
+}
+
+/// Uniprocessor fixed-priority RTA for serialized light tasks on one core.
+/// `tasks` are (C, T, D) triples sorted by priority (DM order).
+bool uniprocessor_schedulable(const std::vector<std::array<Time, 3>>& tasks) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Time c = tasks[i][0];
+    const Time d = tasks[i][2];
+    Time r = c;
+    for (int iter = 0; iter < 100000; ++iter) {
+      Time demand = c;
+      for (std::size_t j = 0; j < i; ++j)
+        demand += util::ceil_div(r, tasks[j][1]) * tasks[j][0];
+      if (util::time_le(demand, r)) break;
+      r = demand;
+      if (util::time_lt(d, r)) return false;
+    }
+    if (util::time_lt(d, r)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FederatedResult analyze_federated(const model::TaskSet& ts,
+                                  const FederatedOptions& options) {
+  FederatedResult result;
+  result.per_task.resize(ts.size());
+  result.schedulable = true;
+
+  const std::size_t m = ts.core_count();
+  std::size_t cores_left = m;
+  std::vector<std::size_t> shared;  // indices of serialized light tasks
+
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const model::DagTask& task = ts.task(i);
+    FederatedTaskResult& tr = result.per_task[i];
+
+    const std::size_t bbar =
+        options.limited_concurrency ? max_affecting_forks(task) : 0;
+    const bool heavy = task.utilization() > 1.0;
+    const bool promoted = options.limited_concurrency && bbar > 0;
+
+    if (heavy || promoted) {
+      const std::size_t base = dedicated_core_demand(task);
+      if (base == 0) {
+        tr.dedicated = true;
+        tr.schedulable = false;
+        result.schedulable = false;
+        continue;
+      }
+      tr.dedicated = true;
+      tr.cores = base + bbar;  // b̄ extra threads absorb the suspensions
+      if (tr.cores > cores_left) {
+        tr.schedulable = false;
+        result.schedulable = false;
+        continue;
+      }
+      cores_left -= tr.cores;
+      result.dedicated_cores += tr.cores;
+      tr.schedulable = true;
+    } else {
+      shared.push_back(i);
+    }
+  }
+
+  // Serialize the light tasks and worst-fit them onto the leftover cores,
+  // deadline-monotonic per core.
+  std::stable_sort(shared.begin(), shared.end(), [&](std::size_t a, std::size_t b) {
+    return ts.task(a).utilization() > ts.task(b).utilization();
+  });
+  std::vector<std::vector<std::size_t>> per_core(cores_left);
+  std::vector<double> load(cores_left, 0.0);
+  for (std::size_t i : shared) {
+    FederatedTaskResult& tr = result.per_task[i];
+    if (cores_left == 0) {
+      tr.schedulable = false;
+      result.schedulable = false;
+      continue;
+    }
+    const auto core = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    per_core[core].push_back(i);
+    load[core] += ts.task(i).utilization();
+    tr.schedulable = true;  // provisional; the per-core RTA below decides
+  }
+
+  for (std::size_t core = 0; core < per_core.size(); ++core) {
+    auto& tasks = per_core[core];
+    std::stable_sort(tasks.begin(), tasks.end(), [&](std::size_t a, std::size_t b) {
+      return ts.task(a).deadline() < ts.task(b).deadline();
+    });
+    std::vector<std::array<Time, 3>> triples;
+    triples.reserve(tasks.size());
+    for (std::size_t i : tasks)
+      triples.push_back({ts.task(i).volume(), ts.task(i).period(),
+                         ts.task(i).deadline()});
+    if (!uniprocessor_schedulable(triples)) {
+      for (std::size_t i : tasks) result.per_task[i].schedulable = false;
+      result.schedulable = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace rtpool::analysis

@@ -1,0 +1,55 @@
+// Federated scheduling (Li et al. [13]) adapted to the thread-pool model —
+// the third scheduling family the paper cites, provided as an additional
+// baseline and as an extension of the paper's analysis style.
+//
+// Classic federated scheduling:
+//  * heavy tasks (U_i > 1) get n_i dedicated cores with
+//        n_i = ceil( (vol_i − len_i) / (D_i − len_i) ),
+//    which guarantees R_i <= len_i + (vol_i − len_i)/n_i <= D_i;
+//  * light tasks (U_i <= 1) are serialized (WCET = vol_i) and partitioned
+//    on the remaining cores (worst-fit decreasing), each core checked with
+//    uniprocessor fixed-priority RTA.
+//
+// Limited-concurrency adaptation (this library's extension, following
+// Section 4.1's reasoning): a heavy task's pool of n_i threads loses up to
+// b̄_i of them to suspended forks, so the dedicated allocation becomes
+//
+//        n_i' = ceil( (vol_i − len_i) / (D_i − len_i) ) + b̄(τ_i).
+//
+// Moreover a *light* task with blocking regions cannot be serialized at
+// all: on a single thread its first BF suspends the only thread and the
+// job deadlocks (Lemma 1 with l = 0). Such tasks are promoted to dedicated
+// allocations of max(1, ceil(...)) + b̄ cores.
+#pragma once
+
+#include <vector>
+
+#include "model/task_set.h"
+
+namespace rtpool::analysis {
+
+struct FederatedOptions {
+  /// false = classic federated scheduling (blocking ignored, may deadlock);
+  /// true = the limited-concurrency adaptation described above.
+  bool limited_concurrency = false;
+};
+
+struct FederatedTaskResult {
+  bool dedicated = false;          ///< Got its own cores (heavy / promoted).
+  std::size_t cores = 0;           ///< Dedicated cores (0 for shared tasks).
+  bool schedulable = false;
+};
+
+struct FederatedResult {
+  bool schedulable = false;
+  std::size_t dedicated_cores = 0;  ///< Total cores consumed by dedicated tasks.
+  std::vector<FederatedTaskResult> per_task;
+};
+
+/// Run the federated test. Light shared tasks are prioritized
+/// deadline-monotonically on their cores regardless of the task-set
+/// priorities (federated scheduling assigns its own).
+FederatedResult analyze_federated(const model::TaskSet& ts,
+                                  const FederatedOptions& options = {});
+
+}  // namespace rtpool::analysis

@@ -1,0 +1,276 @@
+#include "analysis/partition.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "analysis/concurrency.h"
+#include "analysis/partitioned_rta.h"
+
+namespace rtpool::analysis {
+
+namespace {
+
+constexpr double kCapacityEps = 1e-9;
+
+/// Shared per-core utilization ledger used by the tie-break heuristics.
+class CoreLoad {
+ public:
+  explicit CoreLoad(std::size_t cores) : util_(cores, 0.0) {}
+
+  double load(ThreadId core) const { return util_.at(core); }
+  void add(ThreadId core, double u) { util_.at(core) += u; }
+  std::size_t cores() const { return util_.size(); }
+
+  /// Pick from `eligible` (non-empty) according to the tie-break rule;
+  /// respects the capacity limit when `capacity_check` is set. With a
+  /// non-null `rng`, picks uniformly among the allowed cores instead
+  /// (randomized Algorithm 1 restarts).
+  std::optional<ThreadId> pick(const std::vector<ThreadId>& eligible,
+                               TieBreak tie_break, double extra_util,
+                               bool capacity_check, util::Rng* rng = nullptr) const {
+    if (rng != nullptr) {
+      std::vector<ThreadId> allowed;
+      for (ThreadId c : eligible) {
+        if (capacity_check && util_[c] + extra_util > 1.0 + kCapacityEps) continue;
+        allowed.push_back(c);
+      }
+      if (allowed.empty()) return std::nullopt;
+      return allowed[rng->index(allowed.size())];
+    }
+    std::optional<ThreadId> best;
+    for (ThreadId c : eligible) {
+      if (capacity_check && util_[c] + extra_util > 1.0 + kCapacityEps) continue;
+      if (!best.has_value()) {
+        best = c;
+        continue;
+      }
+      if (tie_break == TieBreak::kWorstFit && util_[c] < util_[*best]) best = c;
+      // kFirstFit keeps the first (lowest-index) eligible core.
+    }
+    return best;
+  }
+
+ private:
+  std::vector<double> util_;
+};
+
+constexpr ThreadId kUnassigned = std::numeric_limits<ThreadId>::max();
+
+}  // namespace
+
+std::vector<double> TaskSetPartition::core_utilization(const TaskSet& ts) const {
+  std::vector<double> util(ts.core_count(), 0.0);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const model::DagTask& task = ts.task(i);
+    const NodeAssignment& asg = per_task.at(i);
+    for (model::NodeId v = 0; v < task.node_count(); ++v)
+      util.at(asg.thread_of.at(v)) += task.wcet(v) / task.period();
+  }
+  return util;
+}
+
+namespace {
+
+PartitionResult partition_algorithm1_impl(const TaskSet& ts, TieBreak tie_break,
+                                          bool capacity_check, util::Rng* rng) {
+  const std::size_t m = ts.core_count();
+  CoreLoad load(m);
+  TaskSetPartition partition;
+  partition.per_task.resize(ts.size());
+
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const model::DagTask& task = ts.task(i);
+    std::vector<ThreadId>& T = partition.per_task[i].thread_of;
+    T.assign(task.node_count(), kUnassigned);
+
+    // X(v) = C(v) ∪ F'(v) for every node, as used at line 5 of Algorithm 1.
+    const std::vector<util::DynamicBitset> X = all_affecting_forks(task);
+
+    auto node_util = [&](model::NodeId v) { return task.wcet(v) / task.period(); };
+
+    auto assign = [&](model::NodeId v, ThreadId core) {
+      T[v] = core;
+      load.add(core, node_util(v));
+    };
+
+    // Threads hosting at least one *already allocated* node of `forks`.
+    auto hosting_threads = [&](const util::DynamicBitset& forks) {
+      std::vector<bool> used(m, false);
+      forks.for_each([&](std::size_t x) {
+        const ThreadId t = T[x];
+        if (t != kUnassigned) used[t] = true;
+      });
+      return used;
+    };
+
+    auto eligible_from = [&](const std::vector<bool>& banned) {
+      std::vector<ThreadId> out;
+      for (ThreadId c = 0; c < m; ++c)
+        if (!banned[c]) out.push_back(c);
+      return out;
+    };
+
+    for (model::NodeId v = 0; v < task.node_count(); ++v) {
+      if (task.type(v) == model::NodeType::BJ) continue;  // forced with its BF
+
+      const std::vector<bool> phi_bf = hosting_threads(X[v]);
+      const std::size_t phi_bf_count =
+          static_cast<std::size_t>(std::count(phi_bf.begin(), phi_bf.end(), true));
+
+      if (T[v] != kUnassigned && phi_bf[T[v]]) {
+        return {std::nullopt,
+                task.name() + ": node " + std::to_string(v) +
+                    " already shares a thread with a dangerous BF (line 7)"};
+      }
+      if (T[v] == kUnassigned && phi_bf_count >= m) {
+        return {std::nullopt,
+                task.name() + ": dangerous BFs of node " + std::to_string(v) +
+                    " cover all threads (line 9)"};
+      }
+      if (T[v] == kUnassigned) {
+        const auto choice = load.pick(eligible_from(phi_bf), tie_break,
+                                      node_util(v), capacity_check, rng);
+        if (!choice.has_value()) {
+          return {std::nullopt,
+                  task.name() + ": no core has capacity for node " + std::to_string(v)};
+        }
+        assign(v, *choice);
+      }
+      if (task.type(v) == model::NodeType::BF) {
+        const model::NodeId join = task.join_of(v);
+        if (T[join] == kUnassigned) assign(join, T[v]);  // line 13
+      }
+
+      // Lines 14-18: pre-place the still-unallocated dangerous BFs so they
+      // cannot later land on v's thread.
+      std::vector<std::size_t> pending;
+      X[v].for_each([&](std::size_t f) {
+        if (T[f] == kUnassigned) pending.push_back(f);
+      });
+      for (std::size_t fi : pending) {
+        const auto f = static_cast<model::NodeId>(fi);
+        std::vector<bool> banned =
+            hosting_threads(concurrent_blocking_forks(task, f));  // Φ'_BF, line 15
+        banned[T[v]] = true;
+        const auto eligible = eligible_from(banned);
+        if (eligible.empty()) {
+          return {std::nullopt,
+                  task.name() + ": cannot segregate BF " + std::to_string(fi) +
+                      " required by node " + std::to_string(v) + " (line 17)"};
+        }
+        const auto choice =
+            load.pick(eligible, tie_break, node_util(f), capacity_check, rng);
+        if (!choice.has_value()) {
+          return {std::nullopt,
+                  task.name() + ": no core has capacity for BF " + std::to_string(fi)};
+        }
+        assign(f, *choice);
+      }
+    }
+  }
+  return {std::move(partition), ""};
+}
+
+}  // namespace
+
+PartitionResult partition_algorithm1(const TaskSet& ts, TieBreak tie_break,
+                                     bool capacity_check) {
+  return partition_algorithm1_impl(ts, tie_break, capacity_check, nullptr);
+}
+
+PartitionResult partition_algorithm1_randomized(const TaskSet& ts, util::Rng& rng,
+                                                int restarts,
+                                                RandomizedObjective objective) {
+  // Score a candidate: (schedulable?, max_i R_i/D_i). Lower is better.
+  const auto score = [&](const TaskSetPartition& partition)
+      -> std::pair<bool, double> {
+    const PartitionedRtaResult rta = analyze_partitioned(ts, partition);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const double r = rta.per_task[i].response_time / ts.task(i).deadline();
+      worst = std::max(worst, r);
+    }
+    return {rta.schedulable, worst};
+  };
+
+  PartitionResult best = partition_algorithm1(ts);
+  std::optional<std::pair<bool, double>> best_score;
+  if (best.success()) {
+    best_score = score(*best.partition);
+    if (objective == RandomizedObjective::kSchedulable && best_score->first)
+      return best;
+  }
+
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    PartitionResult candidate =
+        partition_algorithm1_impl(ts, TieBreak::kWorstFit, false, &rng);
+    if (!candidate.success()) continue;
+    const auto candidate_score = score(*candidate.partition);
+    const bool better =
+        !best_score.has_value() ||
+        (candidate_score.first && !best_score->first) ||
+        (candidate_score.first == best_score->first &&
+         candidate_score.second < best_score->second);
+    if (better) {
+      best = std::move(candidate);
+      best_score = candidate_score;
+      if (objective == RandomizedObjective::kSchedulable && best_score->first)
+        return best;
+    }
+  }
+  if (!best.success() && best.failure.empty())
+    best.failure = "algorithm 1 failed in every restart";
+  return best;
+}
+
+PartitionResult partition_worst_fit(const TaskSet& ts) {
+  const std::size_t m = ts.core_count();
+  CoreLoad load(m);
+  TaskSetPartition partition;
+  partition.per_task.resize(ts.size());
+
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const model::DagTask& task = ts.task(i);
+    std::vector<ThreadId>& T = partition.per_task[i].thread_of;
+    T.assign(task.node_count(), kUnassigned);
+
+    // Fuse every BF with its BJ (two halves of one function, one thread);
+    // represent each unit by its lowest node id.
+    std::vector<model::NodeId> unit_of(task.node_count());
+    std::iota(unit_of.begin(), unit_of.end(), model::NodeId{0});
+    for (const model::BlockingRegion& r : task.blocking_regions())
+      unit_of[r.join] = r.fork;
+
+    std::vector<double> unit_util(task.node_count(), 0.0);
+    for (model::NodeId v = 0; v < task.node_count(); ++v)
+      unit_util[unit_of[v]] += task.wcet(v) / task.period();
+
+    std::vector<model::NodeId> units;
+    for (model::NodeId v = 0; v < task.node_count(); ++v)
+      if (unit_of[v] == v) units.push_back(v);
+    std::stable_sort(units.begin(), units.end(), [&](model::NodeId a, model::NodeId b) {
+      return unit_util[a] > unit_util[b];  // worst-fit decreasing
+    });
+
+    std::vector<ThreadId> all_cores(m);
+    std::iota(all_cores.begin(), all_cores.end(), ThreadId{0});
+
+    for (model::NodeId u : units) {
+      const auto choice =
+          load.pick(all_cores, TieBreak::kWorstFit, unit_util[u], /*capacity_check=*/true);
+      if (!choice.has_value()) {
+        return {std::nullopt, task.name() + ": worst-fit cannot place node " +
+                                  std::to_string(u) + " within unit capacity"};
+      }
+      T[u] = *choice;
+      load.add(*choice, unit_util[u]);
+    }
+    // Propagate the unit choice to fused BJs.
+    for (model::NodeId v = 0; v < task.node_count(); ++v)
+      if (T[v] == kUnassigned) T[v] = T[unit_of[v]];
+  }
+  return {std::move(partition), ""};
+}
+
+}  // namespace rtpool::analysis

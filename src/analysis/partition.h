@@ -1,0 +1,94 @@
+// Node-to-thread partitioning (Section 4.2).
+//
+// Under partitioned scheduling, thread φ_{i,j} of every pool Φ_i is pinned
+// to core j, so assigning a node to a thread also assigns it to a core.
+// Two partitioners are provided:
+//
+//  * `partition_algorithm1` — Algorithm 1 of the paper: segregates every BF
+//    node away from the threads that serve nodes it could delay, so that no
+//    node can ever wait in the work-queue of a suspended thread
+//    (reduced-concurrency delay) — and, with Lemma 3, no deadlock can occur.
+//    The algorithm may FAIL; failure is a normal result.
+//
+//  * `partition_worst_fit` — the baseline of Section 5: plain worst-fit on
+//    per-core utilization, oblivious to blocking. May produce partitions
+//    with reduced-concurrency delays or even deadlocks.
+//
+// Both force each BJ onto its BF's thread: the pair models two halves of
+// the same function (Listing 1) and necessarily runs on one thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/task_set.h"
+#include "util/rng.h"
+
+namespace rtpool::analysis {
+
+using model::TaskSet;
+
+/// Thread index inside a pool; equals the core index the thread is pinned to.
+using ThreadId = std::uint32_t;
+
+/// Node-to-thread map for one task: `thread_of[v]` is T(v).
+struct NodeAssignment {
+  std::vector<ThreadId> thread_of;
+};
+
+/// Partitioning of a whole task set.
+struct TaskSetPartition {
+  std::vector<NodeAssignment> per_task;  ///< Indexed like TaskSet::tasks().
+
+  /// Core utilization induced by this partition (length = core count).
+  std::vector<double> core_utilization(const TaskSet& ts) const;
+};
+
+/// Outcome of a partitioner. `failure` explains an unsuccessful run.
+struct PartitionResult {
+  std::optional<TaskSetPartition> partition;
+  std::string failure;
+
+  bool success() const { return partition.has_value(); }
+};
+
+/// Tie-break rule used when Algorithm 1 allows several threads.
+enum class TieBreak {
+  kWorstFit,  ///< Least-utilized eligible core (the paper's choice).
+  kFirstFit,  ///< Lowest-index eligible core (ablation).
+};
+
+/// Algorithm 1 of the paper. Fails (line 7/9/17) when reduced-concurrency
+/// delay cannot be avoided. `capacity_check` additionally fails when a
+/// chosen core would exceed utilization 1 (off by default: the paper's
+/// algorithm has no capacity test; the subsequent RTA rejects overloads).
+PartitionResult partition_algorithm1(const TaskSet& ts,
+                                     TieBreak tie_break = TieBreak::kWorstFit,
+                                     bool capacity_check = false);
+
+/// Baseline: worst-fit decreasing on node utilization, BF+BJ fused.
+/// Fails when every core would exceed utilization 1 for some node.
+PartitionResult partition_worst_fit(const TaskSet& ts);
+
+/// Tie-break rule used when Algorithm 1 allows several threads (extended
+/// set including the randomized variant below).
+enum class RandomizedObjective {
+  kSchedulable,   ///< Stop at the first partition the RTA accepts.
+  kMinResponse,   ///< Keep the partition minimizing the max normalized
+                  ///< response time R_i/D_i across tasks.
+};
+
+/// The paper's future-work direction "designing improved partitioning
+/// algorithms", in its simplest effective form: run Algorithm 1 up to
+/// `restarts` times with a *randomized* choice among the eligible threads,
+/// evaluate each outcome with the partitioned RTA, and keep the best. Falls
+/// back to the deterministic worst-fit result when no restart beats it.
+/// Never returns a partition violating Eq. (3) (all candidates come from
+/// Algorithm 1).
+PartitionResult partition_algorithm1_randomized(
+    const TaskSet& ts, util::Rng& rng, int restarts = 16,
+    RandomizedObjective objective = RandomizedObjective::kSchedulable);
+
+}  // namespace rtpool::analysis

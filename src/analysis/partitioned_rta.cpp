@@ -1,0 +1,179 @@
+#include "analysis/partitioned_rta.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/deadlock.h"
+#include "graph/algorithms.h"
+
+namespace rtpool::analysis {
+
+namespace {
+
+using util::Time;
+
+/// Per-core WCET footprint W_{j,p} of one task under a partition.
+std::vector<Time> per_core_workload(const model::DagTask& task,
+                                    const NodeAssignment& assignment,
+                                    std::size_t cores) {
+  std::vector<Time> w(cores, 0.0);
+  for (model::NodeId v = 0; v < task.node_count(); ++v)
+    w.at(assignment.thread_of.at(v)) += task.wcet(v);
+  return w;
+}
+
+}  // namespace
+
+PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
+                                         const TaskSetPartition& partition,
+                                         const PartitionedRtaOptions& options) {
+  if (!ts.priorities_distinct())
+    throw model::ModelError("analyze_partitioned: task priorities must be distinct");
+  if (partition.per_task.size() != ts.size())
+    throw model::ModelError("analyze_partitioned: partition size mismatch");
+
+  const std::size_t m = ts.core_count();
+  PartitionedRtaResult result;
+  result.per_task.resize(ts.size());
+  result.schedulable = true;
+
+  // Validate assignments before any use, then cache per-task per-core
+  // workloads (response times are filled in priority order below).
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (partition.per_task[i].thread_of.size() != ts.task(i).node_count())
+      throw model::ModelError("analyze_partitioned: assignment size mismatch for " +
+                              ts.task(i).name());
+  }
+  std::vector<std::vector<Time>> workload(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    workload[i] = per_core_workload(ts.task(i), partition.per_task[i], m);
+
+  std::vector<Time> response(ts.size(), util::kTimeInfinity);
+
+  for (std::size_t idx : ts.priority_order()) {
+    const model::DagTask& task = ts.task(idx);
+    const NodeAssignment& assignment = partition.per_task[idx];
+    if (assignment.thread_of.size() != task.node_count())
+      throw model::ModelError("analyze_partitioned: assignment size mismatch for " +
+                              task.name());
+    PartitionedTaskRta& rta = result.per_task[idx];
+
+    rta.deadlock_free =
+        check_deadlock_free_partitioned(task, m, assignment).deadlock_free;
+    if (options.require_deadlock_free && !rta.deadlock_free) {
+      rta.schedulable = false;
+      result.schedulable = false;
+      continue;
+    }
+
+    const auto hp = ts.higher_priority_of(idx);
+    const bool hp_diverged = std::any_of(hp.begin(), hp.end(), [&](std::size_t j) {
+      return !std::isfinite(response[j]);
+    });
+    if (hp_diverged) {
+      rta.schedulable = false;
+      result.schedulable = false;
+      continue;
+    }
+
+    // FIFO work-queue blocking B_v: same-task, same-core, precedence-
+    // unordered nodes (each may be queued ahead of v once per job).
+    const graph::Reachability& reach = task.reachability();
+    auto fifo_blocking = [&](model::NodeId v) {
+      if (task.type(v) == model::NodeType::BJ) return Time{0.0};
+      const ThreadId core = assignment.thread_of[v];
+      Time b = 0.0;
+      for (model::NodeId u = 0; u < task.node_count(); ++u) {
+        if (u == v || assignment.thread_of[u] != core) continue;
+        if (reach.reaches(u, v) || reach.reaches(v, u)) continue;
+        b += task.wcet(u);
+      }
+      return b;
+    };
+
+    if (options.bound == PartitionedBound::kHolisticPath) {
+      // Holistic composition: longest path over C_v + B_v, plus each hp
+      // task's per-core workload charged once over the whole window.
+      std::vector<Time> weights(task.node_count());
+      for (model::NodeId v = 0; v < task.node_count(); ++v)
+        weights[v] = task.wcet(v) + fifo_blocking(v);
+      const Time base = graph::longest_path(task.dag(), weights).length;
+
+      Time r = base;
+      bool converged = false;
+      for (int iter = 0; iter < options.max_iterations; ++iter) {
+        Time demand = base;
+        for (std::size_t j : hp) {
+          for (std::size_t p = 0; p < m; ++p) {
+            if (workload[idx][p] <= 0.0) continue;  // τ_i never runs there
+            const Time wjp = workload[j][p];
+            if (wjp <= 0.0) continue;
+            const Time jitter = std::max(response[j] - wjp, 0.0);
+            demand += util::ceil_div(r + jitter, ts.task(j).period()) * wjp;
+          }
+        }
+        if (util::time_le(demand, r)) {
+          converged = true;
+          break;
+        }
+        r = demand;
+        if (util::time_lt(task.deadline(), r)) break;
+      }
+      rta.response_time = converged ? r : util::kTimeInfinity;
+      rta.schedulable = converged && util::time_le(r, task.deadline());
+      response[idx] = rta.response_time;
+      if (!rta.schedulable) {
+        result.schedulable = false;
+        response[idx] = util::kTimeInfinity;
+      }
+      continue;
+    }
+
+    // Segment response time of node v on its core.
+    bool task_diverged = false;
+    std::vector<Time> segment(task.node_count(), 0.0);
+    for (model::NodeId v = 0; v < task.node_count() && !task_diverged; ++v) {
+      const ThreadId core = assignment.thread_of[v];
+      const Time base = task.wcet(v) + fifo_blocking(v);
+      Time x = base;
+      bool converged = false;
+      for (int iter = 0; iter < options.max_iterations; ++iter) {
+        Time demand = base;
+        for (std::size_t j : hp) {
+          const Time wjp = workload[j][core];
+          if (wjp <= 0.0) continue;
+          const Time jitter = std::max(response[j] - wjp, 0.0);
+          demand += util::ceil_div(x + jitter, ts.task(j).period()) * wjp;
+        }
+        if (util::time_le(demand, x)) {
+          converged = true;
+          break;
+        }
+        x = demand;
+        if (util::time_lt(task.deadline(), x)) break;  // segment alone misses D
+      }
+      segment[v] = x;
+      if (!converged && util::time_le(x, task.deadline())) task_diverged = true;
+      if (util::time_lt(task.deadline(), x)) task_diverged = true;
+    }
+
+    if (task_diverged) {
+      rta.response_time = util::kTimeInfinity;
+      rta.schedulable = false;
+      result.schedulable = false;
+      continue;
+    }
+
+    // SPLIT composition: longest DAG path over segment response times.
+    rta.response_time = graph::longest_path(task.dag(), segment).length;
+    rta.schedulable = util::time_le(rta.response_time, task.deadline());
+    response[idx] = rta.response_time;
+    if (!rta.schedulable) {
+      result.schedulable = false;
+      response[idx] = util::kTimeInfinity;
+    }
+  }
+  return result;
+}
+
+}  // namespace rtpool::analysis

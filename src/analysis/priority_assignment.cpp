@@ -1,0 +1,112 @@
+#include "analysis/priority_assignment.h"
+
+#include <cmath>
+#include <vector>
+
+#include "analysis/antichain.h"
+#include "analysis/concurrency.h"
+
+namespace rtpool::analysis {
+
+namespace {
+
+using util::Time;
+
+/// Deadline-jitter variant of the inter-task interference bound: the only
+/// property of τ_j it uses besides static parameters is D_j, so the value
+/// is independent of the higher-priority ordering (OPA-compatible).
+Time deadline_jitter_interference(const model::DagTask& tj, Time window,
+                                  std::size_t m, InterferenceBound bound) {
+  const Time vol = tj.volume();
+  const Time shifted = window + tj.deadline() - vol / static_cast<double>(m);
+  if (shifted <= 0.0) return 0.0;
+  switch (bound) {
+    case InterferenceBound::kPaperCeil:
+      return util::ceil_div(shifted, tj.period()) * vol;
+    case InterferenceBound::kMelaniCarryIn: {
+      const double jobs = std::floor(shifted / tj.period() * (1.0 + util::kTimeEps));
+      const Time remainder = shifted - jobs * tj.period();
+      return jobs * vol +
+             std::min(vol, static_cast<double>(m) * std::max(remainder, 0.0));
+    }
+  }
+  throw std::invalid_argument("deadline_jitter_interference: bad bound");
+}
+
+}  // namespace
+
+bool schedulable_at_lowest_priority(const model::TaskSet& ts,
+                                    std::size_t task_index,
+                                    const GlobalRtaOptions& options) {
+  const model::DagTask& task = ts.task(task_index);
+  const std::size_t m = ts.core_count();
+
+  double denominator = static_cast<double>(m);
+  if (options.limited_concurrency) {
+    const long lbar =
+        options.concurrency == ConcurrencyBound::kMaxAntichain
+            ? available_concurrency_lower_bound_antichain(task, m)
+            : available_concurrency_lower_bound(task, m);
+    if (lbar <= 0) return false;
+    denominator = static_cast<double>(lbar);
+  }
+
+  const Time len = task.critical_path_length();
+  const Time self_interference = task.volume() - len;
+
+  Time r = len;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Time interference = self_interference;
+    for (std::size_t j = 0; j < ts.size(); ++j) {
+      if (j == task_index) continue;
+      interference +=
+          deadline_jitter_interference(ts.task(j), r, m, options.bound);
+    }
+    const Time next = len + interference / denominator;
+    if (util::time_le(next, r)) return util::time_le(r, task.deadline());
+    r = next;
+    if (util::time_lt(task.deadline(), r)) return false;
+  }
+  return false;
+}
+
+std::optional<model::TaskSet> assign_priorities_audsley(
+    const model::TaskSet& ts, const AudsleyOptions& options) {
+  const std::size_t n = ts.size();
+  std::vector<bool> placed(n, false);
+  std::vector<int> priority(n, 0);
+
+  // Fill priority levels from the lowest (n-1) upward. At each level, the
+  // candidate is tested against ALL not-yet-placed tasks as higher-priority
+  // interference (tasks already placed below it never interfere).
+  for (int level = static_cast<int>(n) - 1; level >= 0; --level) {
+    bool found = false;
+    for (std::size_t i = 0; i < n && !found; ++i) {
+      if (placed[i]) continue;
+      // Build the candidate view: the unplaced tasks form the set; `i` is
+      // tested at the bottom of it.
+      model::TaskSet view(ts.core_count());
+      std::size_t candidate_index = 0;
+      std::size_t k = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (placed[j]) continue;
+        if (j == i) candidate_index = k;
+        view.add(ts.task(j));
+        ++k;
+      }
+      if (schedulable_at_lowest_priority(view, candidate_index, options.base)) {
+        placed[i] = true;
+        priority[i] = level;
+        found = true;
+      }
+    }
+    if (!found) return std::nullopt;  // OPA failure: set unschedulable
+  }
+
+  model::TaskSet out(ts.core_count());
+  for (std::size_t i = 0; i < n; ++i)
+    out.add(ts.task(i).with_priority(priority[i]));
+  return out;
+}
+
+}  // namespace rtpool::analysis

@@ -1,0 +1,52 @@
+#include "analysis/sensitivity.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace rtpool::analysis {
+
+model::TaskSet scale_wcets(const model::TaskSet& ts, double factor) {
+  if (!(factor > 0.0))
+    throw std::invalid_argument("scale_wcets: factor must be > 0");
+  model::TaskSet out(ts.core_count());
+  for (const model::DagTask& t : ts.tasks()) {
+    graph::Dag dag = t.dag();
+    std::vector<model::Node> nodes;
+    nodes.reserve(t.node_count());
+    for (model::NodeId v = 0; v < t.node_count(); ++v)
+      nodes.push_back({t.wcet(v) * factor, t.type(v)});
+    out.add(model::DagTask(t.name(), std::move(dag), std::move(nodes),
+                           t.period(), t.deadline(), t.priority()));
+  }
+  return out;
+}
+
+double critical_scaling_factor(const model::TaskSet& ts,
+                               const SchedulabilityTest& test,
+                               const SensitivityOptions& options) {
+  if (!(options.hi > options.lo) || !(options.tolerance > 0.0))
+    throw std::invalid_argument("critical_scaling_factor: bad bracket");
+
+  double lo = options.lo;
+  double hi = options.hi;
+
+  // The bracket must start from a passing point: probe just above lo.
+  const double probe = lo + options.tolerance;
+  if (!test(scale_wcets(ts, probe))) return 0.0;
+  if (test(scale_wcets(ts, hi))) return hi;
+
+  double best = probe;
+  for (int iter = 0; iter < options.max_iterations && hi - lo > options.tolerance;
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (test(scale_wcets(ts, mid))) {
+      best = mid;
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+}  // namespace rtpool::analysis

@@ -1,0 +1,42 @@
+// Sensitivity analysis: critical WCET scaling.
+//
+// For a schedulability test T, the *critical scaling factor* of a task set
+// is the largest s such that the set with every WCET multiplied by s still
+// passes T (periods and deadlines unchanged). s > 1 quantifies headroom,
+// s < 1 the overload; comparing s across tests measures their pessimism on
+// one concrete instance (e.g. paper's b̄ bound vs the antichain bound).
+//
+// Found by binary search, valid because all tests in this library are
+// sustainable in the WCETs (scaling all C's down never turns a schedulable
+// verdict unschedulable; see tests/test_global_rta.cpp).
+#pragma once
+
+#include <functional>
+
+#include "model/task_set.h"
+
+namespace rtpool::analysis {
+
+struct SensitivityOptions {
+  double lo = 0.0;        ///< Search bracket lower bound (assumed feasible
+                          ///< direction; s = 0 degenerates, never returned).
+  double hi = 8.0;        ///< Upper bracket; results are clamped below it.
+  double tolerance = 1e-3;///< Absolute tolerance on s.
+  int max_iterations = 64;
+};
+
+/// A schedulability test as a predicate over task sets.
+using SchedulabilityTest = std::function<bool(const model::TaskSet&)>;
+
+/// Scale every WCET of every task by `factor` (> 0); periods, deadlines and
+/// priorities are unchanged. Throws std::invalid_argument on factor <= 0.
+model::TaskSet scale_wcets(const model::TaskSet& ts, double factor);
+
+/// Largest s in (options.lo, options.hi] with test(scale_wcets(ts, s))
+/// true, up to the tolerance; returns 0.0 if even the smallest probed
+/// scale fails (the bracket's low end is rejected).
+double critical_scaling_factor(const model::TaskSet& ts,
+                               const SchedulabilityTest& test,
+                               const SensitivityOptions& options = {});
+
+}  // namespace rtpool::analysis

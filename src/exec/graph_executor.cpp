@@ -1,0 +1,189 @@
+#include "exec/graph_executor.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace rtpool::exec {
+
+namespace {
+
+using model::DagTask;
+using model::NodeId;
+using model::NodeType;
+using Clock = std::chrono::steady_clock;
+
+void spin_for(double microseconds) {
+  if (microseconds <= 0.0) return;
+  const auto until = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double, std::micro>(
+                                            microseconds));
+  while (Clock::now() < until) {
+    // busy-wait: models CPU-bound node execution
+  }
+}
+
+/// Shared state of one graph run. Every closure holds a shared_ptr to it,
+/// so a cancelled run (watchdog) can safely outlive the GraphExecutor call:
+/// leftover closures see `cancelled` and return. The ThreadPool itself must
+/// outlive the run only as long as its own workers do, which its destructor
+/// guarantees.
+struct RunState : std::enable_shared_from_this<RunState> {
+  RunState(ThreadPool& p, const DagTask& t, const ExecOptions& opts,
+           std::function<void(NodeId)> b, bool block)
+      : pool(p),
+        task(t),
+        options(opts),
+        body(std::move(b)),
+        blocking(block),
+        preds_left(t.node_count()),
+        executed(0) {
+    for (NodeId v = 0; v < t.node_count(); ++v)
+      preds_left[v].store(static_cast<int>(t.dag().in_degree(v)),
+                          std::memory_order_relaxed);
+  }
+
+  ThreadPool& pool;
+  const DagTask& task;
+  ExecOptions options;
+  std::function<void(NodeId)> body;
+  bool blocking;
+
+  std::vector<std::atomic<int>> preds_left;
+  std::atomic<std::size_t> executed;
+
+  std::mutex mutex;
+  std::condition_variable barrier_cv;  ///< Signalled when any region completes.
+  std::condition_variable done_cv;     ///< Signalled when the sink completes.
+  bool done = false;
+  bool cancelled = false;
+
+  bool is_cancelled() {
+    std::lock_guard lock(mutex);
+    return cancelled;
+  }
+
+  void dispatch(NodeId v, std::function<void()> fn) {
+    if (pool.mode() == ThreadPool::QueueMode::kPerWorker) {
+      pool.submit_to(options.assignment->thread_of[v], std::move(fn));
+    } else {
+      pool.submit(std::move(fn));
+    }
+  }
+
+  void execute_node(NodeId v) {
+    spin_for(task.wcet(v) * options.microseconds_per_unit);
+    if (body) body(v);
+    executed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Mark v complete; release/submit its successors.
+  void complete(NodeId v) {
+    if (v == task.sink()) {
+      std::lock_guard lock(mutex);
+      done = true;
+      done_cv.notify_all();
+      return;
+    }
+    for (NodeId w : task.dag().successors(v)) {
+      if (preds_left[w].fetch_sub(1, std::memory_order_acq_rel) != 1) continue;
+      if (blocking && task.type(w) == NodeType::BJ) {
+        // The barrier of w's region is now open: wake the waiting fork.
+        std::lock_guard lock(mutex);
+        barrier_cv.notify_all();
+      } else {
+        submit_node(w);
+      }
+    }
+  }
+
+  void submit_node(NodeId v) {
+    auto self = shared_from_this();
+
+    if (blocking && task.type(v) == NodeType::BF) {
+      // Listing 1: one function runs fork body, spawns, waits, runs join.
+      const NodeId join = task.join_of(v);
+      dispatch(v, [self, v, join] {
+        if (self->is_cancelled()) return;
+        self->execute_node(v);
+        self->complete(v);  // releases the children (and maybe the barrier)
+        {
+          // Wait for the region on a condition variable: the worker is
+          // suspended and unavailable — the paper's reduced concurrency.
+          ThreadPool::BlockedScope blocked(self->pool);
+          std::unique_lock lock(self->mutex);
+          self->barrier_cv.wait(lock, [&] {
+            return self->cancelled ||
+                   self->preds_left[join].load(std::memory_order_acquire) == 0;
+          });
+          if (self->cancelled) return;
+        }
+        self->execute_node(join);
+        self->complete(join);
+      });
+      return;
+    }
+
+    dispatch(v, [self, v] {
+      if (self->is_cancelled()) return;
+      self->execute_node(v);
+      self->complete(v);
+    });
+  }
+};
+
+ExecReport run_graph(ThreadPool& pool, const DagTask& task, const ExecOptions& options,
+                     std::function<void(NodeId)> body, bool blocking) {
+  if (pool.mode() == ThreadPool::QueueMode::kPerWorker) {
+    if (!options.assignment.has_value())
+      throw std::invalid_argument("GraphExecutor: kPerWorker pool needs an assignment");
+    if (options.assignment->thread_of.size() != task.node_count())
+      throw std::invalid_argument("GraphExecutor: assignment size mismatch");
+    for (analysis::ThreadId w : options.assignment->thread_of)
+      if (w >= pool.worker_count())
+        throw std::invalid_argument("GraphExecutor: worker index out of range");
+  }
+
+  auto state =
+      std::make_shared<RunState>(pool, task, options, std::move(body), blocking);
+
+  const auto start = Clock::now();
+  state->submit_node(task.source());
+
+  ExecReport report;
+  {
+    std::unique_lock lock(state->mutex);
+    const bool finished =
+        state->done_cv.wait_for(lock, options.watchdog, [&] { return state->done; });
+    if (!finished) {
+      // Stall (e.g. deadlock): cancel and release every barrier wait.
+      state->cancelled = true;
+      state->barrier_cv.notify_all();
+    }
+    report.completed = finished;
+  }
+  report.elapsed =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);
+  report.nodes_executed = state->executed.load(std::memory_order_relaxed);
+  report.max_blocked_workers = pool.max_blocked_workers();
+  return report;
+}
+
+}  // namespace
+
+GraphExecutor::GraphExecutor(ThreadPool& pool, const model::DagTask& task)
+    : pool_(pool), task_(task) {}
+
+ExecReport GraphExecutor::run_blocking(const ExecOptions& options,
+                                       const std::function<void(model::NodeId)>& body) {
+  return run_graph(pool_, task_, options, body, /*blocking=*/true);
+}
+
+ExecReport GraphExecutor::run_non_blocking(
+    const ExecOptions& options, const std::function<void(model::NodeId)>& body) {
+  return run_graph(pool_, task_, options, body, /*blocking=*/false);
+}
+
+}  // namespace rtpool::exec

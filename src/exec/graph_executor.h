@@ -1,0 +1,69 @@
+// Executes a DagTask's nodes as real closures on a ThreadPool, with the
+// *blocking* precedence semantics of Listing 1 or the *non-blocking*
+// semantics of Listing 2.
+//
+// Blocking semantics: each BF node runs as a single function that executes
+// the fork body, submits its children, then waits on a condition variable
+// until the region completes — suspending its worker and reducing the
+// pool's available concurrency, exactly the hazard the paper analyzes.
+// With enough concurrent BF nodes (e.g. two replicas of Figure 1(a) on two
+// workers) the execution deadlocks; a watchdog timeout then cancels the
+// run and reports the stall instead of hanging forever.
+//
+// Non-blocking semantics: every node (including BF/BJ) is its own closure
+// dispatched when its predecessors complete — the sporadic DAG model of
+// Listing 2, which cannot deadlock.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/partition.h"
+#include "exec/thread_pool.h"
+#include "model/dag_task.h"
+
+namespace rtpool::exec {
+
+struct ExecOptions {
+  /// Per-node busy work: each node spins for wcet * microseconds_per_unit
+  /// microseconds before invoking `body` (0 = no synthetic work).
+  double microseconds_per_unit = 0.0;
+  /// Watchdog: if the graph does not complete within this budget the run is
+  /// cancelled (all barrier waits are released) and reported as stalled.
+  std::chrono::milliseconds watchdog{2000};
+  /// Node-to-worker assignment; required when the pool is kPerWorker.
+  std::optional<analysis::NodeAssignment> assignment;
+};
+
+struct ExecReport {
+  bool completed = false;            ///< False = watchdog fired (stall).
+  std::size_t nodes_executed = 0;
+  std::size_t max_blocked_workers = 0;  ///< Peak suspended workers.
+  std::chrono::microseconds elapsed{0};
+};
+
+/// One-shot executor (create per run).
+class GraphExecutor {
+ public:
+  /// `body(v)` is invoked for every node (may be a no-op). The pool must
+  /// outlive the executor. Throws std::invalid_argument if a kPerWorker
+  /// pool is used without an assignment (or vice versa a bad assignment).
+  GraphExecutor(ThreadPool& pool, const model::DagTask& task);
+
+  /// Run with Listing-1 semantics (condition-variable barriers).
+  ExecReport run_blocking(const ExecOptions& options,
+                          const std::function<void(model::NodeId)>& body = {});
+
+  /// Run with Listing-2 semantics (every node a dedicated closure).
+  ExecReport run_non_blocking(const ExecOptions& options,
+                              const std::function<void(model::NodeId)>& body = {});
+
+ private:
+  ThreadPool& pool_;
+  const model::DagTask& task_;
+};
+
+}  // namespace rtpool::exec

@@ -1,0 +1,67 @@
+#include "exec/parallel_for.h"
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace rtpool::exec {
+
+namespace {
+
+struct ForState {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t chunks_left = 0;
+  bool cancelled = false;
+};
+
+}  // namespace
+
+bool parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  const ParallelForOptions& options) {
+  if (options.grain == 0)
+    throw std::invalid_argument("parallel_for: grain must be >= 1");
+  if (pool.mode() != ThreadPool::QueueMode::kShared)
+    throw std::logic_error("parallel_for: requires a shared-queue pool");
+  if (begin >= end) return true;
+
+  auto state = std::make_shared<ForState>();
+  const std::size_t total = end - begin;
+  const std::size_t chunks = (total + options.grain - 1) / options.grain;
+  state->chunks_left = chunks;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * options.grain;
+    const std::size_t hi = std::min(end, lo + options.grain);
+    pool.submit([state, lo, hi, b = body] {
+      // The chunk owns a copy of the body (`b`): with a timeout the caller
+      // may return (destroying its `body`) while chunks are still queued.
+      {
+        std::lock_guard lock(state->mutex);
+        if (state->cancelled) return;
+      }
+      for (std::size_t i = lo; i < hi; ++i) b(i);
+      std::lock_guard lock(state->mutex);
+      if (--state->chunks_left == 0) state->done_cv.notify_all();
+    });
+  }
+
+  // Block until the barrier opens — suspending this worker if we are one.
+  std::unique_ptr<ThreadPool::BlockedScope> blocked;
+  if (ThreadPool::current_worker().has_value())
+    blocked = std::make_unique<ThreadPool::BlockedScope>(pool);
+
+  std::unique_lock lock(state->mutex);
+  const auto open = [&] { return state->chunks_left == 0; };
+  if (options.timeout.count() <= 0) {
+    state->done_cv.wait(lock, open);
+    return true;
+  }
+  if (state->done_cv.wait_for(lock, options.timeout, open)) return true;
+  state->cancelled = true;  // skip the chunks that have not started
+  return false;
+}
+
+}  // namespace rtpool::exec

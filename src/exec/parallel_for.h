@@ -1,0 +1,39 @@
+// Eigen/TensorFlow-style blocking parallel-for on a ThreadPool.
+//
+// The caller splits [begin, end) into chunks, submits them to the pool and
+// *waits on a condition variable* until all chunks complete — exactly the
+// Listing-1 pattern the paper analyzes. When the caller is itself a pool
+// worker (a nested parallel-for, as in nested Eigen expressions), the wait
+// suspends that worker and reduces the pool's available concurrency; with
+// enough concurrent nested calls the pool deadlocks. Use the timeout to
+// detect that in tests and demos instead of hanging.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+
+#include "exec/thread_pool.h"
+
+namespace rtpool::exec {
+
+struct ParallelForOptions {
+  /// Iterations per submitted chunk (>= 1).
+  std::size_t grain = 1;
+  /// 0 = wait forever; otherwise give up (and cancel outstanding chunks)
+  /// after this budget and return false.
+  std::chrono::milliseconds timeout{0};
+};
+
+/// Run body(i) for every i in [begin, end) on `pool`, blocking the calling
+/// thread until completion. Returns false iff the timeout fired first —
+/// outstanding chunks are cancelled (their iterations are skipped).
+/// An empty range returns true immediately.
+/// Throws std::invalid_argument on grain == 0 and std::logic_error when the
+/// pool uses per-worker queues (chunks have no natural home there; use
+/// GraphExecutor with an assignment instead).
+bool parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  const ParallelForOptions& options = {});
+
+}  // namespace rtpool::exec

@@ -1,0 +1,108 @@
+#include "exec/thread_pool.h"
+
+#include <stdexcept>
+
+namespace rtpool::exec {
+
+namespace {
+thread_local std::optional<std::size_t> t_worker_index;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers, QueueMode mode, bool steal)
+    : mode_(mode), steal_(steal) {
+  if (workers == 0) throw std::invalid_argument("ThreadPool: need at least one worker");
+  if (mode_ == QueueMode::kPerWorker) worker_queues_.resize(workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  if (mode_ == QueueMode::kPerWorker) {
+    submit_to(0, std::move(fn));
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    shared_queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::submit_to(std::size_t worker, std::function<void()> fn) {
+  if (mode_ != QueueMode::kPerWorker)
+    throw std::logic_error("ThreadPool::submit_to requires kPerWorker mode");
+  if (worker >= workers_.size())
+    throw std::out_of_range("ThreadPool::submit_to: bad worker index");
+  {
+    std::lock_guard lock(mutex_);
+    worker_queues_[worker].push_back(std::move(fn));
+  }
+  cv_.notify_all();  // the target worker must wake even if others are idle
+}
+
+std::optional<std::size_t> ThreadPool::current_worker() { return t_worker_index; }
+
+bool ThreadPool::try_pop(std::size_t index, std::function<void()>& out) {
+  // Caller holds mutex_.
+  if (mode_ == QueueMode::kShared) {
+    if (shared_queue_.empty()) return false;
+    out = std::move(shared_queue_.front());
+    shared_queue_.pop_front();
+    return true;
+  }
+  if (!worker_queues_[index].empty()) {
+    out = std::move(worker_queues_[index].front());
+    worker_queues_[index].pop_front();
+    return true;
+  }
+  if (steal_) {
+    for (std::size_t k = 1; k < worker_queues_.size(); ++k) {
+      const std::size_t victim = (index + k) % worker_queues_.size();
+      if (!worker_queues_[victim].empty()) {
+        // Steal from the back, Eigen-style.
+        out = std::move(worker_queues_[victim].back());
+        worker_queues_[victim].pop_back();
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  t_worker_index = index;
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return shutting_down_ || try_pop(index, fn); });
+      if (!fn) return;  // shutting down and nothing popped
+    }
+    fn();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ThreadPool::BlockedScope::BlockedScope(ThreadPool& pool) : pool_(pool) {
+  const std::size_t now = pool_.blocked_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t seen = pool_.max_blocked_.load(std::memory_order_relaxed);
+  while (seen < now &&
+         !pool_.max_blocked_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
+  }
+}
+
+ThreadPool::BlockedScope::~BlockedScope() {
+  pool_.blocked_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace rtpool::exec

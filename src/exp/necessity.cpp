@@ -1,0 +1,39 @@
+#include "exp/necessity.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/engine.h"
+
+namespace rtpool::exp {
+
+bool passes_simulation(const model::TaskSet& ts, SimPolicy policy,
+                       const std::optional<analysis::TaskSetPartition>& partition,
+                       const NecessityOptions& options) {
+  if (policy == SimPolicy::kPartitioned && !partition.has_value())
+    throw std::invalid_argument("passes_simulation: partitioned needs a partition");
+
+  double max_period = 0.0;
+  for (const auto& t : ts.tasks()) max_period = std::max(max_period, t.period());
+
+  sim::SimConfig cfg;
+  cfg.policy = policy == SimPolicy::kGlobal ? sim::SchedulingPolicy::kGlobal
+                                            : sim::SchedulingPolicy::kPartitioned;
+  cfg.partition = partition;
+  cfg.horizon = options.windows * max_period;
+  cfg.stop_on_miss = true;
+
+  const auto synchronous = sim::simulate(ts, cfg);
+  if (synchronous.deadlock.has_value() || synchronous.any_deadline_miss)
+    return false;
+
+  for (int scenario = 0; scenario < options.jitter_scenarios; ++scenario) {
+    cfg.release_jitter_frac = options.jitter_frac;
+    cfg.seed = static_cast<std::uint64_t>(scenario + 1);
+    const auto run = sim::simulate(ts, cfg);
+    if (run.deadlock.has_value() || run.any_deadline_miss) return false;
+  }
+  return true;
+}
+
+}  // namespace rtpool::exp

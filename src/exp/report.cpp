@@ -1,0 +1,46 @@
+#include "exp/report.h"
+
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace rtpool::exp {
+
+void print_sweep(const std::string& title, const std::string& x_label,
+                 const std::vector<SweepRow>& rows) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-8s | %-17s %-17s | %-17s %-17s\n", x_label.c_str(),
+              "glob-baseline[14]", "glob-proposed", "part-baseline[10]",
+              "part-proposed(A1)");
+  std::printf("---------+-------------------------------------+---------------"
+              "----------------------\n");
+  for (const SweepRow& r : rows) {
+    std::printf("%-8g | %-17.3f %-17.3f | %-17.3f %-17.3f", r.x,
+                r.global.baseline_ratio(), r.global.proposed_ratio(),
+                r.partitioned.baseline_ratio(), r.partitioned.proposed_ratio());
+    if (r.global.attempts_exhausted || r.partitioned.attempts_exhausted)
+      std::printf("  [incomplete: %zu/%zu sets]",
+                  std::min(r.global.accepted, r.partitioned.accepted),
+                  std::max(r.global.accepted, r.partitioned.accepted));
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void write_sweep_csv(const std::string& path, const std::string& x_label,
+                     const std::vector<SweepRow>& rows) {
+  if (path.empty()) return;
+  util::CsvWriter csv(path, {x_label, "global_baseline", "global_proposed",
+                             "partitioned_baseline", "partitioned_proposed",
+                             "global_accepted", "partitioned_accepted",
+                             "global_discarded", "partitioned_discarded"});
+  for (const SweepRow& r : rows) {
+    csv.row_values(r.x, r.global.baseline_ratio(), r.global.proposed_ratio(),
+                   r.partitioned.baseline_ratio(), r.partitioned.proposed_ratio(),
+                   r.global.accepted, r.partitioned.accepted, r.global.discarded,
+                   r.partitioned.discarded);
+  }
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace rtpool::exp

@@ -1,0 +1,28 @@
+// Console/CSV reporting for the figure-reproduction benches.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/schedulability.h"
+
+namespace rtpool::exp {
+
+/// One row of a sweep: x value plus the two ratios.
+struct SweepRow {
+  double x = 0.0;
+  PointResult global;       ///< Global-scheduling point at this x.
+  PointResult partitioned;  ///< Partitioned-scheduling point at this x.
+};
+
+/// Print a figure-style table: header, one row per x with baseline and
+/// proposed schedulability ratios for both schedulers, plus bookkeeping.
+void print_sweep(const std::string& title, const std::string& x_label,
+                 const std::vector<SweepRow>& rows);
+
+/// Dump the same data as CSV (for plotting); no-op when path is empty.
+void write_sweep_csv(const std::string& path, const std::string& x_label,
+                     const std::vector<SweepRow>& rows);
+
+}  // namespace rtpool::exp

@@ -1,0 +1,163 @@
+#include "exp/report_json.h"
+
+#include <fstream>
+
+#include "analysis/antichain.h"
+#include "analysis/concurrency.h"
+#include "analysis/deadlock.h"
+#include "analysis/federated.h"
+#include "analysis/global_rta.h"
+#include "analysis/partition.h"
+#include "analysis/partitioned_rta.h"
+#include "util/json.h"
+
+namespace rtpool::exp {
+
+namespace {
+
+void write_global(util::JsonWriter& json, const model::TaskSet& ts,
+                  const analysis::GlobalRtaOptions& options) {
+  const auto result = analysis::analyze_global(ts, options);
+  json.begin_object();
+  json.kv("schedulable", result.schedulable);
+  json.key("tasks").begin_array();
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    json.begin_object()
+        .kv("name", ts.task(i).name())
+        .kv("response_time", result.per_task[i].response_time)
+        .kv("schedulable", result.per_task[i].schedulable)
+        .kv("concurrency_bound", static_cast<std::int64_t>(
+                                     result.per_task[i].concurrency_bound))
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void write_partitioned(util::JsonWriter& json, const model::TaskSet& ts,
+                       const analysis::PartitionResult& partition,
+                       bool require_deadlock_free) {
+  json.begin_object();
+  json.kv("partition_found", partition.success());
+  if (!partition.success()) {
+    json.kv("failure", partition.failure);
+    json.end_object();
+    return;
+  }
+  analysis::PartitionedRtaOptions opts;
+  opts.require_deadlock_free = require_deadlock_free;
+  const auto result = analysis::analyze_partitioned(ts, *partition.partition, opts);
+  json.kv("schedulable", result.schedulable);
+  json.kv("deadlock_free", analysis::task_set_deadlock_free_partitioned(
+                               ts, *partition.partition));
+  json.key("core_utilization").begin_array();
+  for (double u : partition.partition->core_utilization(ts)) json.value(u);
+  json.end_array();
+  json.key("tasks").begin_array();
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    json.begin_object()
+        .kv("name", ts.task(i).name())
+        .kv("response_time", result.per_task[i].response_time)
+        .kv("schedulable", result.per_task[i].schedulable)
+        .kv("deadlock_free", result.per_task[i].deadlock_free);
+    json.key("assignment").begin_array();
+    for (analysis::ThreadId t : partition.partition->per_task[i].thread_of)
+      json.value(static_cast<std::uint64_t>(t));
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+void write_federated(util::JsonWriter& json, const model::TaskSet& ts,
+                     bool limited) {
+  analysis::FederatedOptions options;
+  options.limited_concurrency = limited;
+  const auto result = analysis::analyze_federated(ts, options);
+  json.begin_object();
+  json.kv("schedulable", result.schedulable);
+  json.kv("dedicated_cores", result.dedicated_cores);
+  json.key("tasks").begin_array();
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    json.begin_object()
+        .kv("name", ts.task(i).name())
+        .kv("dedicated", result.per_task[i].dedicated)
+        .kv("cores", result.per_task[i].cores)
+        .kv("schedulable", result.per_task[i].schedulable)
+        .end_object();
+  }
+  json.end_array();
+  json.end_object();
+}
+
+}  // namespace
+
+void write_analysis_report(std::ostream& os, const model::TaskSet& ts) {
+  util::JsonWriter json(os);
+  json.begin_object();
+  json.kv("cores", ts.core_count());
+  json.kv("total_utilization", ts.total_utilization());
+
+  json.key("tasks").begin_array();
+  for (const model::DagTask& t : ts.tasks()) {
+    const auto deadlock = analysis::check_deadlock_free_global(t, ts.core_count());
+    json.begin_object()
+        .kv("name", t.name())
+        .kv("nodes", t.node_count())
+        .kv("volume", t.volume())
+        .kv("critical_path", t.critical_path_length())
+        .kv("period", t.period())
+        .kv("deadline", t.deadline())
+        .kv("priority", t.priority())
+        .kv("utilization", t.utilization())
+        .kv("blocking_forks", t.blocking_fork_count())
+        .kv("max_affecting_forks", deadlock.max_forks)
+        .kv("concurrency_lower_bound",
+            static_cast<std::int64_t>(deadlock.concurrency_bound))
+        .kv("concurrency_lower_bound_antichain",
+            static_cast<std::int64_t>(
+                analysis::available_concurrency_lower_bound_antichain(
+                    t, ts.core_count())))
+        .kv("deadlock_free_global", deadlock.deadlock_free)
+        .end_object();
+  }
+  json.end_array();
+
+  analysis::GlobalRtaOptions baseline;
+  json.key("global_baseline");
+  write_global(json, ts, baseline);
+
+  analysis::GlobalRtaOptions limited;
+  limited.limited_concurrency = true;
+  json.key("global_limited");
+  write_global(json, ts, limited);
+
+  limited.concurrency = analysis::ConcurrencyBound::kMaxAntichain;
+  json.key("global_limited_antichain");
+  write_global(json, ts, limited);
+
+  json.key("partitioned_worst_fit");
+  write_partitioned(json, ts, analysis::partition_worst_fit(ts),
+                    /*require_deadlock_free=*/false);
+
+  json.key("partitioned_algorithm1");
+  write_partitioned(json, ts, analysis::partition_algorithm1(ts),
+                    /*require_deadlock_free=*/true);
+
+  json.key("federated_classic");
+  write_federated(json, ts, /*limited=*/false);
+
+  json.key("federated_limited");
+  write_federated(json, ts, /*limited=*/true);
+
+  json.end_object();
+}
+
+void save_analysis_report(const std::string& path, const model::TaskSet& ts) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_analysis_report: cannot open " + path);
+  write_analysis_report(out, ts);
+}
+
+}  // namespace rtpool::exp

@@ -1,0 +1,21 @@
+// JSON export of a complete analysis report for one task set — every test
+// the library implements, in one machine-readable document (for CI
+// dashboards and plotting; consumed by `rtpool_cli --json`).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/task_set.h"
+
+namespace rtpool::exp {
+
+/// Analyze `ts` with all available tests (deadlock bounds, global RTA
+/// baseline/limited/antichain, worst-fit and Algorithm 1 partitioned RTA,
+/// federated classic/limited) and write one JSON object.
+void write_analysis_report(std::ostream& os, const model::TaskSet& ts);
+
+/// Convenience: write to a file; throws std::runtime_error on I/O failure.
+void save_analysis_report(const std::string& path, const model::TaskSet& ts);
+
+}  // namespace rtpool::exp

@@ -1,0 +1,75 @@
+#include "exp/schedulability.h"
+
+#include "analysis/global_rta.h"
+#include "analysis/partition.h"
+#include "analysis/partitioned_rta.h"
+
+namespace rtpool::exp {
+
+SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts) {
+  SetVerdict verdict;
+  switch (scheduler) {
+    case Scheduler::kGlobal: {
+      analysis::GlobalRtaOptions baseline;
+      baseline.limited_concurrency = false;
+      verdict.baseline = analysis::analyze_global(ts, baseline).schedulable;
+
+      analysis::GlobalRtaOptions limited;
+      limited.limited_concurrency = true;
+      verdict.proposed = analysis::analyze_global(ts, limited).schedulable;
+      break;
+    }
+    case Scheduler::kPartitioned: {
+      // Baseline: worst-fit + RTA oblivious to reduced concurrency ([10]).
+      const auto wf = analysis::partition_worst_fit(ts);
+      if (wf.success()) {
+        analysis::PartitionedRtaOptions opts;
+        opts.require_deadlock_free = false;
+        verdict.baseline =
+            analysis::analyze_partitioned(ts, *wf.partition, opts).schedulable;
+      }
+
+      // Proposed: Algorithm 1 + the same RTA + Lemma 3 deadlock freedom.
+      const auto alg1 = analysis::partition_algorithm1(ts);
+      if (alg1.success()) {
+        analysis::PartitionedRtaOptions opts;
+        opts.require_deadlock_free = true;
+        verdict.proposed =
+            analysis::analyze_partitioned(ts, *alg1.partition, opts).schedulable;
+      }
+      break;
+    }
+  }
+  return verdict;
+}
+
+PointResult evaluate_point(Scheduler scheduler, const PointConfig& config,
+                           util::Rng& rng) {
+  PointResult result;
+  int attempts = 0;
+  while (result.accepted < static_cast<std::size_t>(config.trials)) {
+    if (++attempts > config.max_attempts) {
+      result.attempts_exhausted = true;
+      break;
+    }
+    model::TaskSet ts(config.gen.cores);
+    try {
+      ts = gen::generate_task_set(config.gen, rng);
+    } catch (const gen::GenerationError&) {
+      ++result.generation_errors;
+      continue;
+    }
+
+    const SetVerdict verdict = evaluate_task_set(scheduler, ts);
+    if (config.filter_baseline && !verdict.baseline) {
+      ++result.discarded;
+      continue;
+    }
+    ++result.accepted;
+    if (verdict.baseline) ++result.baseline_schedulable;
+    if (verdict.proposed) ++result.proposed_schedulable;
+  }
+  return result;
+}
+
+}  // namespace rtpool::exp

@@ -1,0 +1,68 @@
+// Schedulability-ratio experiments (Section 5).
+//
+// Each evaluation point generates random task sets and compares two
+// schedulability tests:
+//
+//   Global      baseline: Melani et al. [14] (ignores reduced concurrency)
+//               proposed: Section 4.1 (interference divided by l̄(τ))
+//   Partitioned baseline: worst-fit partitioning + [10]-style RTA
+//                         (ignores reduced concurrency, possibly unsafe)
+//               proposed: Algorithm 1 partitioning + the same RTA, plus the
+//                         Lemma 3 deadlock-freedom requirement
+//
+// Mirroring the paper's setup, a point can *filter* generation: task sets
+// not schedulable by the baseline test are discarded and regenerated, so
+// the reported proposed-ratio isolates the cost of reduced concurrency
+// (used in the l_max sweeps of Figures 2(a)/(b)).
+#pragma once
+
+#include <cstdint>
+
+#include "gen/taskset_generator.h"
+#include "util/rng.h"
+
+namespace rtpool::exp {
+
+enum class Scheduler { kGlobal, kPartitioned };
+
+struct PointConfig {
+  gen::TaskSetParams gen;      ///< Generator parameters (m, n, U, NFJ, window).
+  bool filter_baseline = false;///< Discard sets the baseline rejects.
+  int trials = 500;            ///< Accepted task sets per point (paper: 500).
+  /// Upper bound on generation attempts (incl. discarded sets) per point;
+  /// prevents infinite loops when the filter is too strict.
+  int max_attempts = 100000;
+};
+
+struct PointResult {
+  std::size_t accepted = 0;
+  std::size_t baseline_schedulable = 0;
+  std::size_t proposed_schedulable = 0;
+  std::size_t discarded = 0;        ///< Sets rejected by the baseline filter.
+  std::size_t generation_errors = 0;///< Blocking-window resampling failures.
+  bool attempts_exhausted = false;  ///< Point is incomplete (filter too strict).
+
+  double baseline_ratio() const {
+    return accepted == 0 ? 0.0
+                         : static_cast<double>(baseline_schedulable) /
+                               static_cast<double>(accepted);
+  }
+  double proposed_ratio() const {
+    return accepted == 0 ? 0.0
+                         : static_cast<double>(proposed_schedulable) /
+                               static_cast<double>(accepted);
+  }
+};
+
+/// Evaluate one point: generate task sets and apply both tests.
+PointResult evaluate_point(Scheduler scheduler, const PointConfig& config,
+                           util::Rng& rng);
+
+/// Per-set verdicts, exposed for tests and custom sweeps.
+struct SetVerdict {
+  bool baseline = false;
+  bool proposed = false;
+};
+SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts);
+
+}  // namespace rtpool::exp

@@ -1,0 +1,186 @@
+#include "gen/nfj_generator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/reachability.h"
+
+namespace rtpool::gen {
+
+namespace {
+
+using model::Node;
+using model::NodeId;
+using model::NodeType;
+
+/// Recursive builder for one task graph.
+class GraphBuilder {
+ public:
+  GraphBuilder(const NfjParams& params, util::Rng& rng) : params_(params), rng_(rng) {}
+
+  GeneratedGraph run() {
+    GeneratedGraph out;
+    dag_ = &out.dag;
+    nodes_ = &out.nodes;
+    spans_ = &out.fork_joins;
+
+    const NodeId src = terminal(NodeType::NB);
+    // Force the outermost expansion so tasks are actually parallel.
+    const auto [entry, exit] = block(/*depth=*/1, /*inside_blocking=*/false,
+                                     /*force_parallel=*/true);
+    const NodeId snk = terminal(NodeType::NB);
+    out.dag.add_edge(src, entry);
+    out.dag.add_edge(exit, snk);
+    return out;
+  }
+
+ private:
+  /// A block has a single entry and a single exit node.
+  struct Span {
+    NodeId entry;
+    NodeId exit;
+  };
+
+  NodeId terminal(NodeType type) {
+    const NodeId id = dag_->add_node();
+    nodes_->push_back(Node{rng_.uniform(params_.wcet_min, params_.wcet_max), type});
+    return id;
+  }
+
+  Span block(int depth, bool inside_blocking, bool force_parallel) {
+    const bool expand = depth <= params_.max_depth &&
+                        (force_parallel || rng_.bernoulli(params_.parallel_prob));
+    if (!expand) {
+      const NodeId v = terminal(inside_blocking ? NodeType::BC : NodeType::NB);
+      return {v, v};
+    }
+
+    // Decide whether this fork-join sub-graph is a blocking region:
+    // p_BF = d/(d+1), only outside existing blocking regions (no nesting).
+    const double p_bf = params_.blocking_bias * static_cast<double>(depth) /
+                        static_cast<double>(depth + 1);
+    const bool blocking =
+        params_.allow_blocking && !inside_blocking && rng_.bernoulli(p_bf);
+
+    const NodeType delim_fork = blocking ? NodeType::BF
+                               : inside_blocking ? NodeType::BC
+                                                 : NodeType::NB;
+    const NodeType delim_join = blocking ? NodeType::BJ
+                               : inside_blocking ? NodeType::BC
+                                                 : NodeType::NB;
+    const NodeId fork = terminal(delim_fork);
+    const bool inner_blocking = inside_blocking || blocking;
+
+    const bool outermost = depth == 1;
+    const auto branches =
+        (outermost && params_.force_outer_branches > 0)
+            ? params_.force_outer_branches
+            : static_cast<int>(
+                  rng_.uniform_int(params_.min_branches, params_.max_branches));
+    std::vector<Span> spans;
+    spans.reserve(static_cast<std::size_t>(branches));
+    for (int b = 0; b < branches; ++b) {
+      const auto series = static_cast<int>(rng_.uniform_int(1, params_.max_series));
+      Span chain = block(depth + 1, inner_blocking, false);
+      for (int s = 1; s < series; ++s) {
+        const Span next = block(depth + 1, inner_blocking, false);
+        dag_->add_edge(chain.exit, next.entry);
+        chain.exit = next.exit;
+      }
+      spans.push_back(chain);
+    }
+
+    const NodeId join = terminal(delim_join);
+    for (const Span& s : spans) {
+      dag_->add_edge(fork, s.entry);
+      dag_->add_edge(s.exit, join);
+    }
+    spans_->push_back(ForkJoinSpan{fork, join, depth});
+    return {fork, join};
+  }
+
+  const NfjParams& params_;
+  util::Rng& rng_;
+  graph::Dag* dag_ = nullptr;
+  std::vector<Node>* nodes_ = nullptr;
+  std::vector<ForkJoinSpan>* spans_ = nullptr;
+};
+
+void validate_params(const NfjParams& p) {
+  if (p.parallel_prob < 0.0 || p.parallel_prob > 1.0)
+    throw std::invalid_argument("NfjParams: parallel_prob out of [0,1]");
+  if (p.max_depth < 1) throw std::invalid_argument("NfjParams: max_depth must be >= 1");
+  if (p.min_branches < 2 || p.max_branches < p.min_branches)
+    throw std::invalid_argument("NfjParams: need 2 <= min_branches <= max_branches");
+  if (p.max_series < 1) throw std::invalid_argument("NfjParams: max_series must be >= 1");
+  if (!(p.wcet_min >= 0.0) || !(p.wcet_max >= p.wcet_min) || !(p.wcet_max > 0.0))
+    throw std::invalid_argument("NfjParams: bad WCET range");
+  if (p.blocking_bias < 0.0 || p.blocking_bias > 1.0)
+    throw std::invalid_argument("NfjParams: blocking_bias out of [0,1]");
+  if (p.force_outer_branches != 0 && p.force_outer_branches < 2)
+    throw std::invalid_argument("NfjParams: force_outer_branches must be 0 or >= 2");
+}
+
+}  // namespace
+
+util::Time GeneratedGraph::volume() const {
+  util::Time v = 0.0;
+  for (const model::Node& n : nodes) v += n.wcet;
+  return v;
+}
+
+GeneratedGraph generate_nfj_graph(const NfjParams& params, util::Rng& rng) {
+  validate_params(params);
+  return GraphBuilder(params, rng).run();
+}
+
+void apply_blocking_selection(GeneratedGraph& g,
+                              const std::vector<std::size_t>& selection) {
+  // Reset all types, then mark each selected span and its interior.
+  for (model::Node& n : g.nodes) n.type = NodeType::NB;
+
+  const graph::Reachability reach(g.dag);
+  for (std::size_t idx : selection) {
+    if (idx >= g.fork_joins.size())
+      throw std::invalid_argument("apply_blocking_selection: span out of range");
+    const ForkJoinSpan& span = g.fork_joins[idx];
+    g.nodes[span.fork].type = NodeType::BF;
+    g.nodes[span.join].type = NodeType::BJ;
+    // Interior = succ(fork) ∩ pred(join): exactly the region members in a
+    // nested-fork-join structure.
+    util::DynamicBitset interior = reach.descendants(span.fork);
+    interior.and_assign(reach.ancestors(span.join));
+    interior.for_each([&](std::size_t v) { g.nodes[v].type = NodeType::BC; });
+  }
+}
+
+std::optional<std::vector<std::size_t>> pick_concurrent_fork_joins(
+    const GeneratedGraph& g, std::size_t k, util::Rng& rng) {
+  if (k == 0) return std::vector<std::size_t>{};
+  if (g.fork_joins.size() < k) return std::nullopt;
+
+  const graph::Reachability reach(g.dag);
+  // Two fork-join sub-graphs are concurrent iff their forks are mutually
+  // unordered (containment and sequencing both order the forks).
+  auto concurrent = [&](const ForkJoinSpan& a, const ForkJoinSpan& b) {
+    return reach.concurrent(a.fork, b.fork);
+  };
+
+  std::vector<std::size_t> order(g.fork_joins.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  std::vector<std::size_t> chosen;
+  for (std::size_t idx : order) {
+    const bool ok = std::all_of(chosen.begin(), chosen.end(), [&](std::size_t c) {
+      return concurrent(g.fork_joins[idx], g.fork_joins[c]);
+    });
+    if (ok) {
+      chosen.push_back(idx);
+      if (chosen.size() == k) return chosen;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtpool::gen

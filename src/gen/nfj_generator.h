@@ -1,0 +1,84 @@
+// Random nested-fork-join DAG generation (Section 5).
+//
+// Follows the recursive-expansion technique of Melani et al. [14]: a block
+// is either a terminal node or a parallel composition of branches, each a
+// series of sub-blocks one nesting level deeper. The paper's extension is
+// the *typing* step: every generated fork-join sub-graph becomes a blocking
+// region (BF/BC.../BJ) with probability p_BF = d/(d+1), where d is its
+// nesting depth (deeper sub-graphs are more likely blocking), unless it is
+// already inside a blocking region (regions cannot nest). Source and sink
+// nodes are always NB.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "model/dag_task.h"
+#include "util/rng.h"
+
+namespace rtpool::gen {
+
+struct NfjParams {
+  /// Probability that a block expands into a parallel sub-graph instead of
+  /// a terminal node (before the depth limit applies).
+  double parallel_prob = 0.8;
+  /// Maximum fork-join nesting depth (the paper's d = 2).
+  int max_depth = 2;
+  /// Parallel branches per fork-join, uniform in [min_branches, max_branches].
+  int min_branches = 2;
+  int max_branches = 4;
+  /// Blocks composed in series within one branch, uniform in [1, max_series].
+  int max_series = 2;
+  /// Node WCETs, uniform in [wcet_min, wcet_max] (paper: [0, 100]; the lower
+  /// end is kept strictly positive so every node carries real work).
+  double wcet_min = 1.0;
+  double wcet_max = 100.0;
+  /// When false, no sub-graph is typed blocking (plain DAG tasks — used for
+  /// baselines, for ablations, and as the skeleton of targeted typing).
+  bool allow_blocking = true;
+  /// Scales p_BF = blocking_bias * d/(d+1); 1.0 reproduces the paper.
+  double blocking_bias = 1.0;
+  /// When > 0, the outermost fork-join uses exactly this many branches
+  /// (used to guarantee enough mutually-concurrent sub-graphs for targeted
+  /// typing); 0 = draw from [min_branches, max_branches] as usual.
+  int force_outer_branches = 0;
+};
+
+/// One generated fork-join sub-graph (delimiter pair + nesting depth).
+struct ForkJoinSpan {
+  model::NodeId fork;
+  model::NodeId join;
+  int depth;  ///< 1 = outermost.
+};
+
+/// Raw generation result before period assignment: graph + node attributes.
+struct GeneratedGraph {
+  graph::Dag dag;
+  std::vector<model::Node> nodes;
+  /// Every fork-join sub-graph (innermost-first construction order); used
+  /// by targeted typing.
+  std::vector<ForkJoinSpan> fork_joins;
+
+  /// Total WCET (the task's C_i = vol).
+  util::Time volume() const;
+};
+
+/// Generate one NFJ graph with types. The graph always has a single NB
+/// source and a single NB sink and satisfies all model restrictions.
+GeneratedGraph generate_nfj_graph(const NfjParams& params, util::Rng& rng);
+
+/// Retype `graph` so that exactly the fork-join sub-graphs in `selection`
+/// become blocking regions (BF/BC.../BJ); all other nodes become NB.
+/// The selected spans must be pairwise precedence-unordered (concurrent) —
+/// then every member of a selected region is affected by exactly
+/// |selection| forks and b̄(τ) = |selection| by construction.
+/// Throws std::invalid_argument if a selected span is out of range.
+void apply_blocking_selection(GeneratedGraph& graph,
+                              const std::vector<std::size_t>& selection);
+
+/// Greedily pick `k` pairwise-concurrent fork-join spans of `graph`
+/// (shuffled order). Returns nullopt if the greedy pass cannot find k.
+std::optional<std::vector<std::size_t>> pick_concurrent_fork_joins(
+    const GeneratedGraph& graph, std::size_t k, util::Rng& rng);
+
+}  // namespace rtpool::gen

@@ -1,0 +1,53 @@
+// Random task-set generation following Section 5 of the paper:
+//
+//  * utilizations via UUniFast for a given n and target U;
+//  * one NFJ graph per task (see nfj_generator.h);
+//  * periods T_i = C_i / U_i, implicit deadlines D_i = T_i;
+//  * deadline-monotonic priorities;
+//  * optionally, resampling until b̄(τ_i) — the maximum number of BF nodes
+//    that can concurrently affect a node — falls in [bf_min, bf_max], which
+//    pins the lower bound on available concurrency to
+//    l̄(τ_i) = m − b̄(τ_i) ∈ [m − bf_max, m − bf_min] (used by the l_max
+//    sweep of Figures 2(a)/(b)).
+#pragma once
+
+#include <optional>
+
+#include "gen/nfj_generator.h"
+#include "model/task_set.h"
+#include "util/rng.h"
+
+namespace rtpool::gen {
+
+/// Inclusive window on b̄(τ).
+struct BlockingWindow {
+  std::size_t bf_min = 0;
+  std::size_t bf_max = 0;
+};
+
+struct TaskSetParams {
+  std::size_t cores = 8;          ///< m: platform cores = threads per pool.
+  std::size_t task_count = 6;     ///< n.
+  double total_utilization = 4.0; ///< U.
+  NfjParams nfj;                  ///< Structure/typing parameters.
+  std::optional<BlockingWindow> blocking_window;  ///< b̄ enforcement.
+  int max_graph_attempts = 2000;  ///< Resampling budget per task.
+};
+
+/// Thrown when the resampling budget is exhausted (e.g. an unreachable
+/// blocking window was requested).
+class GenerationError : public std::runtime_error {
+ public:
+  explicit GenerationError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Generate one task with the given utilization (name "tau<index>").
+/// Respects params.blocking_window by resampling the graph.
+model::DagTask generate_task(const TaskSetParams& params, std::size_t index,
+                             double utilization, util::Rng& rng);
+
+/// Generate a full task set (UUniFast utilizations capped at m, DM
+/// priorities). Throws GenerationError when resampling budgets run out.
+model::TaskSet generate_task_set(const TaskSetParams& params, util::Rng& rng);
+
+}  // namespace rtpool::gen

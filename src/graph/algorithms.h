@@ -1,0 +1,39 @@
+// DAG algorithms: topological order, longest (critical) paths, and helpers.
+#pragma once
+
+#include <vector>
+
+#include "graph/dag.h"
+#include "util/time.h"
+
+namespace rtpool::graph {
+
+/// Kahn topological order. Throws CycleError if the graph has a cycle.
+std::vector<NodeId> topological_order(const Dag& dag);
+
+/// Result of a weighted longest-path computation.
+struct LongestPathResult {
+  util::Time length = 0.0;          ///< Weight sum along the heaviest path.
+  std::vector<NodeId> path;         ///< Node sequence realizing it.
+};
+
+/// Longest path in the DAG where node v has weight `weights[v]` (edge
+/// weights are zero): the paper's `len(λ)` with weights = WCETs gives the
+/// critical path λ*. Empty graph yields length 0 and an empty path.
+/// Throws std::invalid_argument if weights.size() != dag.size().
+LongestPathResult longest_path(const Dag& dag, const std::vector<util::Time>& weights);
+
+/// Per-node earliest-finish values of the weighted longest path ending AT
+/// each node (inclusive of the node's own weight). Used by analyses that
+/// need the full DP table rather than just the critical path.
+std::vector<util::Time> longest_path_to(const Dag& dag,
+                                        const std::vector<util::Time>& weights);
+
+/// Sum of all node weights (the paper's vol(τ) with weights = WCETs).
+util::Time total_weight(const std::vector<util::Time>& weights);
+
+/// True if `dag` is weakly connected (ignoring edge direction). The empty
+/// graph and singleton graphs are connected.
+bool is_weakly_connected(const Dag& dag);
+
+}  // namespace rtpool::graph

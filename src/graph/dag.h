@@ -1,0 +1,77 @@
+// Directed acyclic graph substrate.
+//
+// Nodes are dense indices 0..size()-1; the task model layer attaches its
+// per-node attributes (WCET, type) in parallel arrays. The class maintains
+// forward and backward adjacency and validates acyclicity on demand.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace rtpool::graph {
+
+/// Dense node identifier within one graph.
+using NodeId = std::uint32_t;
+
+/// Directed edge (from, to).
+struct Edge {
+  NodeId from;
+  NodeId to;
+  bool operator==(const Edge&) const = default;
+};
+
+/// Mutable DAG with O(1) amortized edge insertion.
+///
+/// Invariants: node ids are < size(); duplicate edges and self-loops are
+/// rejected at insertion. Acyclicity is *not* enforced per insertion (that
+/// would be O(V+E) each time); call `is_acyclic()` or let algorithms that
+/// require topological order throw `CycleError`.
+class Dag {
+ public:
+  Dag() = default;
+  explicit Dag(std::size_t node_count) : succ_(node_count), pred_(node_count) {}
+
+  std::size_t size() const { return succ_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Append a new node; returns its id.
+  NodeId add_node();
+
+  /// Add edge from -> to. Throws std::invalid_argument on self-loop,
+  /// duplicate edge, or out-of-range ids.
+  void add_edge(NodeId from, NodeId to);
+
+  /// True if the edge exists (O(out-degree of `from`)).
+  bool has_edge(NodeId from, NodeId to) const;
+
+  const std::vector<NodeId>& successors(NodeId v) const;
+  const std::vector<NodeId>& predecessors(NodeId v) const;
+
+  std::size_t out_degree(NodeId v) const { return successors(v).size(); }
+  std::size_t in_degree(NodeId v) const { return predecessors(v).size(); }
+
+  /// Nodes without incoming / outgoing edges.
+  std::vector<NodeId> sources() const;
+  std::vector<NodeId> sinks() const;
+
+  /// All edges in insertion-independent (from, to) order.
+  std::vector<Edge> edges() const;
+
+  bool is_acyclic() const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Thrown by algorithms that require acyclicity when the graph has a cycle.
+class CycleError : public std::invalid_argument {
+ public:
+  CycleError() : std::invalid_argument("graph contains a cycle") {}
+};
+
+}  // namespace rtpool::graph

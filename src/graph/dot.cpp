@@ -1,0 +1,34 @@
+#include "graph/dot.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace rtpool::graph {
+
+std::string to_dot(const Dag& dag, const std::vector<std::string>& labels,
+                   const std::string& graph_name) {
+  if (!labels.empty() && labels.size() != dag.size())
+    throw std::invalid_argument("to_dot: label count mismatch");
+
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=TB;\n";
+  for (NodeId v = 0; v < dag.size(); ++v) {
+    os << "  n" << v << " [label=\"";
+    if (labels.empty()) {
+      os << 'v' << v;
+    } else {
+      for (char c : labels[v]) {
+        if (c == '"' || c == '\\') os << '\\';
+        os << c;
+      }
+    }
+    os << "\"];\n";
+  }
+  for (const Edge& e : dag.edges())
+    os << "  n" << e.from << " -> n" << e.to << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rtpool::graph

@@ -1,0 +1,17 @@
+// Graphviz DOT export for debugging and documentation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dag.h"
+
+namespace rtpool::graph {
+
+/// Render `dag` as a DOT digraph. `labels` (optional) supplies per-node
+/// labels; when empty, node ids are used. Throws std::invalid_argument if a
+/// non-empty label vector has the wrong size.
+std::string to_dot(const Dag& dag, const std::vector<std::string>& labels = {},
+                   const std::string& graph_name = "dag");
+
+}  // namespace rtpool::graph

@@ -1,0 +1,38 @@
+#include "graph/reachability.h"
+
+#include "graph/algorithms.h"
+
+namespace rtpool::graph {
+
+Reachability::Reachability(const Dag& dag) {
+  const std::size_t n = dag.size();
+  const auto order = topological_order(dag);
+
+  ancestors_.assign(n, util::DynamicBitset(n));
+  descendants_.assign(n, util::DynamicBitset(n));
+
+  for (NodeId v : order) {
+    for (NodeId u : dag.predecessors(v)) {
+      ancestors_[v].set(u);
+      ancestors_[v].or_assign(ancestors_[u]);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    for (NodeId w : dag.successors(v)) {
+      descendants_[v].set(w);
+      descendants_[v].or_assign(descendants_[w]);
+    }
+  }
+}
+
+bool Reachability::reaches(NodeId from, NodeId to) const {
+  return descendants_.at(from).test(to);
+}
+
+bool Reachability::concurrent(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  return !reaches(a, b) && !reaches(b, a);
+}
+
+}  // namespace rtpool::graph

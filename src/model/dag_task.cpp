@@ -1,0 +1,201 @@
+#include "model/dag_task.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+namespace rtpool::model {
+
+namespace {
+
+std::vector<util::Time> extract_wcets(const std::vector<Node>& nodes) {
+  std::vector<util::Time> w;
+  w.reserve(nodes.size());
+  for (const Node& n : nodes) w.push_back(n.wcet);
+  return w;
+}
+
+}  // namespace
+
+DagTask::DagTask(std::string name, graph::Dag dag, std::vector<Node> nodes,
+                 util::Time period, util::Time deadline, int priority)
+    : name_(std::move(name)),
+      dag_(std::move(dag)),
+      nodes_(std::move(nodes)),
+      period_(period),
+      deadline_(deadline),
+      priority_(priority),
+      wcets_(extract_wcets(nodes_)),
+      reach_((validate_basic(), dag_)),  // validate before building the closure
+      critical_path_(graph::longest_path(dag_, wcets_)),
+      volume_(graph::total_weight(wcets_)),
+      region_index_(nodes_.size()) {
+  const auto sources = dag_.sources();
+  const auto sinks = dag_.sinks();
+  source_ = sources.front();
+  sink_ = sinks.front();
+  build_regions();
+  validate_regions();
+}
+
+void DagTask::validate_basic() const {
+  if (nodes_.empty()) throw ModelError(name_ + ": task has no nodes");
+  if (nodes_.size() != dag_.size())
+    throw ModelError(name_ + ": node attribute count does not match graph size");
+  if (!dag_.is_acyclic()) throw ModelError(name_ + ": graph has a cycle");
+  if (!graph::is_weakly_connected(dag_))
+    throw ModelError(name_ + ": graph is not weakly connected");
+  if (dag_.sources().size() != 1)
+    throw ModelError(name_ + ": expected exactly one source node");
+  if (dag_.sinks().size() != 1)
+    throw ModelError(name_ + ": expected exactly one sink node");
+  if (!(period_ > 0.0)) throw ModelError(name_ + ": period must be > 0");
+  if (!(deadline_ > 0.0)) throw ModelError(name_ + ": deadline must be > 0");
+  if (deadline_ > period_ * (1.0 + util::kTimeEps))
+    throw ModelError(name_ + ": constrained deadlines required (D <= T)");
+  bool any_positive = false;
+  for (std::size_t v = 0; v < nodes_.size(); ++v) {
+    if (nodes_[v].wcet < 0.0)
+      throw ModelError(name_ + ": negative WCET on node " + std::to_string(v));
+    any_positive = any_positive || nodes_[v].wcet > 0.0;
+  }
+  if (!any_positive) throw ModelError(name_ + ": all WCETs are zero");
+}
+
+void DagTask::build_regions() {
+  // For each BF node, flood forward through BC nodes; the unique non-BC node
+  // reached must be the matching BJ. This reconstructs the paper's regions
+  // from the typing and simultaneously checks their well-formedness.
+  for (NodeId f = 0; f < nodes_.size(); ++f) {
+    if (nodes_[f].type != NodeType::BF) continue;
+
+    BlockingRegion region{f, 0, util::DynamicBitset(nodes_.size())};
+    std::optional<NodeId> join;
+    std::deque<NodeId> frontier(dag_.successors(f).begin(), dag_.successors(f).end());
+    util::DynamicBitset visited(nodes_.size());
+
+    if (frontier.empty())
+      throw ModelError(name_ + ": BF node " + std::to_string(f) + " spawns no children");
+
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop_front();
+      if (visited.test(v)) continue;
+      visited.set(v);
+
+      switch (nodes_[v].type) {
+        case NodeType::BC:
+          region.members.set(v);
+          for (NodeId w : dag_.successors(v)) frontier.push_back(w);
+          break;
+        case NodeType::BJ:
+          if (join.has_value() && *join != v)
+            throw ModelError(name_ + ": BF node " + std::to_string(f) +
+                             " reaches two BJ nodes (" + std::to_string(*join) +
+                             ", " + std::to_string(v) + ")");
+          join = v;
+          break;  // do not traverse past the join
+        case NodeType::BF:
+          throw ModelError(name_ + ": nested blocking regions are not allowed (BF " +
+                           std::to_string(v) + " inside region of BF " +
+                           std::to_string(f) + ")");
+        case NodeType::NB:
+          throw ModelError(name_ + ": node " + std::to_string(v) +
+                           " inside region of BF " + std::to_string(f) +
+                           " must have type BC, found NB");
+      }
+    }
+    if (!join.has_value())
+      throw ModelError(name_ + ": BF node " + std::to_string(f) + " has no matching BJ");
+    region.join = *join;
+
+    // Record region membership for the delimiters and the inner nodes.
+    const std::size_t idx = regions_.size();
+    auto assign = [&](NodeId v) {
+      if (region_index_[v].has_value())
+        throw ModelError(name_ + ": node " + std::to_string(v) +
+                         " belongs to two blocking regions");
+      region_index_[v] = idx;
+    };
+    assign(f);
+    assign(*join);
+    region.members.for_each([&](std::size_t v) { assign(static_cast<NodeId>(v)); });
+    regions_.push_back(std::move(region));
+  }
+
+  // Every BC / BJ node must have been claimed by some region.
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    if ((nodes_[v].type == NodeType::BC || nodes_[v].type == NodeType::BJ) &&
+        !region_index_[v].has_value())
+      throw ModelError(name_ + ": " + to_string(nodes_[v].type) + " node " +
+                       std::to_string(v) + " is not part of any blocking region");
+  }
+}
+
+void DagTask::validate_regions() const {
+  for (const BlockingRegion& r : regions_) {
+    // Restriction (ii): every edge leaving the BF stays in the region.
+    for (NodeId w : dag_.successors(r.fork)) {
+      if (w != r.join && !r.members.test(w))
+        throw ModelError(name_ + ": edge from BF " + std::to_string(r.fork) +
+                         " leaves its blocking region");
+    }
+    // Restriction (iii): every edge entering the BJ comes from the region.
+    for (NodeId u : dag_.predecessors(r.join)) {
+      if (u != r.fork && !r.members.test(u))
+        throw ModelError(name_ + ": edge into BJ " + std::to_string(r.join) +
+                         " enters from outside its blocking region");
+    }
+    // Restriction (i): inner nodes have no edges crossing the boundary.
+    r.members.for_each([&](std::size_t vi) {
+      const auto v = static_cast<NodeId>(vi);
+      for (NodeId u : dag_.predecessors(v)) {
+        if (u != r.fork && !r.members.test(u))
+          throw ModelError(name_ + ": inner node " + std::to_string(v) +
+                           " has an incoming edge from outside its region");
+      }
+      for (NodeId w : dag_.successors(v)) {
+        if (w != r.join && !r.members.test(w))
+          throw ModelError(name_ + ": inner node " + std::to_string(v) +
+                           " has an outgoing edge to outside its region");
+      }
+    });
+  }
+}
+
+std::optional<std::size_t> DagTask::region_of(NodeId v) const {
+  return region_index_.at(v);
+}
+
+NodeId DagTask::blocking_fork_of(NodeId v) const {
+  if (type(v) != NodeType::BC)
+    throw ModelError(name_ + ": blocking_fork_of requires a BC node");
+  return regions_[*region_index_.at(v)].fork;
+}
+
+NodeId DagTask::join_of(NodeId fork) const {
+  if (type(fork) != NodeType::BF)
+    throw ModelError(name_ + ": join_of requires a BF node");
+  return regions_[*region_index_.at(fork)].join;
+}
+
+NodeId DagTask::fork_of(NodeId join) const {
+  if (type(join) != NodeType::BJ)
+    throw ModelError(name_ + ": fork_of requires a BJ node");
+  return regions_[*region_index_.at(join)].fork;
+}
+
+std::vector<NodeId> DagTask::nodes_of_type(NodeType t) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < nodes_.size(); ++v)
+    if (nodes_[v].type == t) out.push_back(v);
+  return out;
+}
+
+DagTask DagTask::with_priority(int priority) const {
+  DagTask copy = *this;
+  copy.priority_ = priority;
+  return copy;
+}
+
+}  // namespace rtpool::model

@@ -1,0 +1,145 @@
+// The parallel real-time task τ_i = {G_i, D_i, T_i, Φ_i, π_i} of Section 2.
+//
+// A DagTask is immutable after construction: the constructor validates the
+// full set of structural restrictions from the paper and caches derived
+// data (transitive reachability, critical path, volume, blocking regions).
+// Analyses therefore never re-derive structure and can treat tasks as pure
+// values.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/dag.h"
+#include "graph/reachability.h"
+#include "model/node.h"
+#include "util/bitset.h"
+#include "util/time.h"
+
+namespace rtpool::model {
+
+using graph::NodeId;
+
+/// Thrown when a task violates the structural model of Section 2.
+class ModelError : public std::invalid_argument {
+ public:
+  explicit ModelError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// One blocking region: the sub-graph delimited by a (BF, BJ) pair.
+///
+/// `members` holds the *inner* nodes (type BC), excluding the delimiters.
+struct BlockingRegion {
+  NodeId fork;                 ///< The BF node.
+  NodeId join;                 ///< The matching BJ node.
+  util::DynamicBitset members; ///< Inner BC nodes of the region.
+};
+
+/// Immutable DAG task.
+///
+/// Validated invariants (throwing ModelError otherwise):
+///  * the graph is a non-empty, weakly connected DAG with exactly one
+///    source and one sink;
+///  * 0 < D <= T, all WCETs >= 0, at least one WCET > 0;
+///  * every BF has exactly one matching BJ reachable through BC-only nodes,
+///    every BJ/BC belongs to exactly one region;
+///  * restrictions (i)-(iii): inner region nodes have no edges crossing the
+///    region boundary, all edges leaving the BF stay in the region, all
+///    edges entering the BJ come from the region;
+///  * regions are not nested (implied by the typing rules, still checked).
+class DagTask {
+ public:
+  /// `nodes[v]` describes graph node v. See class comment for invariants.
+  DagTask(std::string name, graph::Dag dag, std::vector<Node> nodes,
+          util::Time period, util::Time deadline, int priority = 0);
+
+  const std::string& name() const { return name_; }
+  const graph::Dag& dag() const { return dag_; }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  const Node& node(NodeId v) const { return nodes_.at(v); }
+  util::Time wcet(NodeId v) const { return nodes_.at(v).wcet; }
+  NodeType type(NodeId v) const { return nodes_.at(v).type; }
+
+  util::Time period() const { return period_; }
+  util::Time deadline() const { return deadline_; }
+
+  /// Fixed priority π_i of every thread of this task's pool
+  /// (lower value = higher priority).
+  int priority() const { return priority_; }
+
+  /// Task utilization vol(τ)/T.
+  double utilization() const { return volume_ / period_; }
+
+  /// vol(τ): sum of all node WCETs.
+  util::Time volume() const { return volume_; }
+
+  /// len(λ*): length of the critical path.
+  util::Time critical_path_length() const { return critical_path_.length; }
+
+  /// The critical path itself (node sequence source..sink).
+  const std::vector<NodeId>& critical_path() const { return critical_path_.path; }
+
+  NodeId source() const { return source_; }
+  NodeId sink() const { return sink_; }
+
+  /// Cached transitive closure (the paper's transitive pred/succ sets).
+  const graph::Reachability& reachability() const { return reach_; }
+
+  /// All blocking regions, in topological order of their BF nodes.
+  const std::vector<BlockingRegion>& blocking_regions() const { return regions_; }
+
+  /// Region that node v participates in:
+  ///  * for a BF/BJ delimiter: its own region;
+  ///  * for a BC node: the region containing it;
+  ///  * for an NB node: nullopt.
+  std::optional<std::size_t> region_of(NodeId v) const;
+
+  /// For a BC node, the paper's F(v): the BF node whose barrier waits for
+  /// v's completion. Throws ModelError if v is not BC.
+  NodeId blocking_fork_of(NodeId v) const;
+
+  /// For a BF node, the matching BJ (the paper's J(v)); and vice versa.
+  /// Throws ModelError if v is not BF (resp. BJ).
+  NodeId join_of(NodeId fork) const;
+  NodeId fork_of(NodeId join) const;
+
+  /// All nodes of a given type, ascending by id.
+  std::vector<NodeId> nodes_of_type(NodeType t) const;
+
+  /// Number of BF nodes in the task.
+  std::size_t blocking_fork_count() const { return regions_.size(); }
+
+  /// Per-node WCET vector (weights for graph algorithms).
+  const std::vector<util::Time>& wcets() const { return wcets_; }
+
+  /// Replace the priority (used by priority-assignment policies); all other
+  /// state is immutable.
+  DagTask with_priority(int priority) const;
+
+ private:
+  void validate_basic() const;
+  void build_regions();
+  void validate_regions() const;
+
+  std::string name_;
+  graph::Dag dag_;
+  std::vector<Node> nodes_;
+  util::Time period_;
+  util::Time deadline_;
+  int priority_;
+
+  // Derived caches.
+  std::vector<util::Time> wcets_;
+  graph::Reachability reach_;
+  graph::LongestPathResult critical_path_;
+  util::Time volume_ = 0.0;
+  NodeId source_ = 0;
+  NodeId sink_ = 0;
+  std::vector<BlockingRegion> regions_;
+  std::vector<std::optional<std::size_t>> region_index_;  ///< per node
+};
+
+}  // namespace rtpool::model

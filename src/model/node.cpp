@@ -1,0 +1,25 @@
+#include "model/node.h"
+
+#include <stdexcept>
+
+namespace rtpool::model {
+
+std::string to_string(NodeType type) {
+  switch (type) {
+    case NodeType::NB: return "NB";
+    case NodeType::BF: return "BF";
+    case NodeType::BJ: return "BJ";
+    case NodeType::BC: return "BC";
+  }
+  throw std::invalid_argument("to_string: invalid NodeType");
+}
+
+NodeType node_type_from_string(const std::string& name) {
+  if (name == "NB") return NodeType::NB;
+  if (name == "BF") return NodeType::BF;
+  if (name == "BJ") return NodeType::BJ;
+  if (name == "BC") return NodeType::BC;
+  throw std::invalid_argument("node_type_from_string: unknown type '" + name + "'");
+}
+
+}  // namespace rtpool::model

@@ -1,0 +1,34 @@
+// Node types of the parallel task model (Section 2 of the paper).
+#pragma once
+
+#include <string>
+
+#include "util/time.h"
+
+namespace rtpool::model {
+
+/// Type x ∈ X = {BF, BJ, BC, NB} associated with each node.
+///
+/// - `BF` (blocking fork): executes, spawns children, then *suspends its
+///   thread* on a synchronization barrier until the children complete.
+/// - `BJ` (blocking join): the continuation of a BF node after the barrier;
+///   always paired with a BF and executed on the same thread.
+/// - `BC` (child of blocking nodes): a node inside the sub-graph delimited
+///   by a (BF, BJ) pair.
+/// - `NB` (non-blocking): everything else.
+enum class NodeType : unsigned char { NB = 0, BF = 1, BJ = 2, BC = 3 };
+
+/// "NB" / "BF" / "BJ" / "BC".
+std::string to_string(NodeType type);
+
+/// Inverse of to_string; throws std::invalid_argument for unknown names.
+NodeType node_type_from_string(const std::string& name);
+
+/// Per-node attributes: worst-case execution time and type.
+struct Node {
+  util::Time wcet = 0.0;
+  NodeType type = NodeType::NB;
+  bool operator==(const Node&) const = default;
+};
+
+}  // namespace rtpool::model

@@ -1,0 +1,598 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace rtpool::sim {
+
+namespace {
+
+using model::DagTask;
+using model::NodeId;
+using model::NodeType;
+using util::Time;
+
+constexpr double kEps = 1e-9;
+
+/// Completion tolerance at simulation time `now`: must dominate the
+/// floating-point ULP of the time axis, which grows with |now| — an
+/// absolute epsilon alone livelocks once ulp(now) exceeds it (a residual
+/// `remaining` smaller than half an ULP can neither complete nor advance
+/// the clock, because now + remaining rounds back to now).
+inline double completion_eps(double now) { return kEps * std::max(1.0, now); }
+
+/// What a pool thread is doing.
+enum class ThreadMode {
+  kIdle,       ///< No current node; may pull from a queue.
+  kBusy,       ///< Serving a node (running or preempted).
+  kSuspended,  ///< Blocked on a barrier (BF executed, region incomplete).
+};
+
+struct ThreadState {
+  ThreadMode mode = ThreadMode::kIdle;
+  NodeId node = 0;        ///< Valid when kBusy.
+  Time remaining = 0.0;   ///< Remaining execution of `node` when kBusy.
+  std::size_t region = 0; ///< Awaited region index when kSuspended.
+};
+
+/// Runtime state of one task (its pool and current job).
+struct PoolState {
+  std::vector<ThreadState> threads;
+  std::deque<NodeId> pool_queue;                ///< Global intra-pool queue.
+  std::vector<std::deque<NodeId>> thread_queues;///< Partitioned queues.
+
+  bool job_active = false;
+  std::uint64_t job_number = 0;
+  Time job_release = 0.0;
+  std::vector<bool> done;            ///< Per node, current job.
+  std::vector<std::size_t> preds_left;
+  std::size_t nodes_left = 0;
+  std::vector<std::size_t> region_thread;  ///< Suspended thread per region.
+
+  std::deque<Time> backlog;          ///< Release times waiting for the pool.
+  Time next_release = 0.0;
+  bool releases_exhausted = false;
+
+  std::size_t suspended_count = 0;
+  long min_available = 0;
+  bool deadlocked = false;
+};
+
+/// Identity of a running thread (for core assignment / traces).
+struct RunSlot {
+  std::size_t task = 0;
+  std::size_t thread = 0;
+  bool operator==(const RunSlot&) const = default;
+};
+
+class Engine {
+ public:
+  Engine(const model::TaskSet& ts, const SimConfig& config)
+      : ts_(ts), config_(config), m_(ts.core_count()), rng_(config.seed) {
+    if (!(config_.horizon > 0.0))
+      throw std::invalid_argument("simulate: horizon must be > 0");
+    if (config_.policy == SchedulingPolicy::kPartitioned) {
+      if (!config_.partition.has_value())
+        throw std::invalid_argument("simulate: partitioned policy needs a partition");
+      if (config_.partition->per_task.size() != ts_.size())
+        throw std::invalid_argument("simulate: partition size mismatch");
+      for (std::size_t i = 0; i < ts_.size(); ++i) {
+        if (config_.partition->per_task[i].thread_of.size() != ts_.task(i).node_count())
+          throw std::invalid_argument("simulate: assignment size mismatch for task " +
+                                      std::to_string(i));
+        for (analysis::ThreadId th : config_.partition->per_task[i].thread_of)
+          if (th >= m_)
+            throw std::invalid_argument("simulate: thread id out of range");
+      }
+    }
+    if (config_.release_jitter_frac < 0.0)
+      throw std::invalid_argument("simulate: negative release jitter");
+
+    pools_.resize(ts_.size());
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      PoolState& p = pools_[i];
+      p.threads.resize(m_);
+      p.thread_queues.resize(m_);
+      p.region_thread.assign(ts_.task(i).blocking_regions().size(), m_);
+      p.min_available = static_cast<long>(m_);
+      p.next_release = 0.0;
+    }
+    running_.assign(m_, std::nullopt);
+    open_interval_.assign(m_, std::nullopt);
+    result_.per_task.resize(ts_.size());
+  }
+
+  SimResult run() {
+    Time t = 0.0;
+    process_instant(t);
+    while (!halted_) {
+      Time next = next_event_time(t);
+      if (!std::isfinite(next) || next > config_.horizon + kEps) break;
+      // Defensive forced progress: with the relative completion epsilon the
+      // next event is always strictly later, but never trust FP blindly.
+      if (!(next > t)) next = t + completion_eps(t);
+      advance(next - t);
+      t = next;
+      process_instant(t);
+    }
+    finalize(std::min(config_.horizon, std::max(t, 0.0)));
+    return std::move(result_);
+  }
+
+ private:
+  // ---- queue helpers -------------------------------------------------
+
+  bool partitioned() const { return config_.policy == SchedulingPolicy::kPartitioned; }
+
+  analysis::ThreadId thread_of(std::size_t task, NodeId v) const {
+    return config_.partition->per_task[task].thread_of[v];
+  }
+
+  void enqueue(std::size_t task, NodeId v) {
+    PoolState& p = pools_[task];
+    if (partitioned()) {
+      p.thread_queues[thread_of(task, v)].push_back(v);
+    } else {
+      p.pool_queue.push_back(v);
+    }
+  }
+
+  // ---- job lifecycle -------------------------------------------------
+
+  void start_job(std::size_t task, Time release, Time /*now*/) {
+    const DagTask& dag_task = ts_.task(task);
+    PoolState& p = pools_[task];
+    p.job_active = true;
+    ++p.job_number;
+    p.job_release = release;
+    p.done.assign(dag_task.node_count(), false);
+    p.preds_left.resize(dag_task.node_count());
+    for (NodeId v = 0; v < dag_task.node_count(); ++v)
+      p.preds_left[v] = dag_task.dag().in_degree(v);
+    p.nodes_left = dag_task.node_count();
+    std::fill(p.region_thread.begin(), p.region_thread.end(), m_);
+    enqueue(task, dag_task.source());
+  }
+
+  void record_available(std::size_t task) {
+    PoolState& p = pools_[task];
+    if (!p.job_active) return;
+    const long avail = static_cast<long>(m_) - static_cast<long>(p.suspended_count);
+    p.min_available = std::min(p.min_available, avail);
+  }
+
+  void complete_job(std::size_t task, Time now) {
+    PoolState& p = pools_[task];
+    const DagTask& dag_task = ts_.task(task);
+
+    JobRecord rec;
+    rec.task_index = task;
+    rec.job_number = p.job_number;
+    rec.release = p.job_release;
+    rec.completion = now;
+    rec.response = now - p.job_release;
+    rec.completed = true;
+    rec.deadline_miss = rec.response > dag_task.deadline() + kEps;
+    result_.jobs.push_back(rec);
+
+    TaskStats& stats = result_.per_task[task];
+    ++stats.jobs_completed;
+    stats.max_response = std::max(stats.max_response, rec.response);
+    if (rec.deadline_miss) {
+      ++stats.deadline_misses;
+      result_.any_deadline_miss = true;
+      if (config_.stop_on_miss) halted_ = true;
+    }
+
+    p.job_active = false;
+    if (!p.backlog.empty()) {
+      const Time release = p.backlog.front();
+      p.backlog.pop_front();
+      start_job(task, release, now);
+    }
+  }
+
+  // ---- node completion ------------------------------------------------
+
+  void complete_node(std::size_t task, std::size_t thread, Time now) {
+    PoolState& p = pools_[task];
+    const DagTask& dag_task = ts_.task(task);
+    ThreadState& th = p.threads[thread];
+    const NodeId v = th.node;
+
+    th.mode = ThreadMode::kIdle;
+    p.done[v] = true;
+    --p.nodes_left;
+
+    // Release successors (Listing 1: the fork spawns before the wait).
+    for (NodeId w : dag_task.dag().successors(v)) {
+      if (--p.preds_left[w] != 0) continue;
+      if (dag_task.type(w) == NodeType::BJ) {
+        resume_join(task, w, now);
+      } else {
+        enqueue(task, w);
+      }
+    }
+
+    // A blocking fork now suspends its serving thread on the barrier —
+    // unless the barrier is already open (all successors were released and
+    // the region completed through zero-length children; with positive
+    // WCETs this cannot happen, but the model allows zero-WCET nodes).
+    if (dag_task.type(v) == NodeType::BF) {
+      const std::size_t region = *dag_task.region_of(v);
+      const NodeId join = dag_task.join_of(v);
+      if (p.preds_left[join] == 0 && !p.done[join]) {
+        // Barrier already open: run the join directly on this thread.
+        th.mode = ThreadMode::kBusy;
+        th.node = join;
+        th.remaining = dag_task.wcet(join);
+      } else if (!p.done[join]) {
+        th.mode = ThreadMode::kSuspended;
+        th.region = region;
+        p.region_thread[region] = thread;
+        ++p.suspended_count;
+        record_available(task);
+      }
+    }
+
+    if (p.nodes_left == 0) complete_job(task, now);
+  }
+
+  void resume_join(std::size_t task, NodeId join, Time /*now*/) {
+    PoolState& p = pools_[task];
+    const DagTask& dag_task = ts_.task(task);
+    const std::size_t region = *dag_task.region_of(join);
+    const std::size_t thread = p.region_thread[region];
+    if (thread >= m_) {
+      // The fork has not suspended yet (it is still executing or its
+      // completion is being processed). complete_node() handles this case
+      // by running the join directly; nothing to do here.
+      return;
+    }
+    ThreadState& th = p.threads[thread];
+    th.mode = ThreadMode::kBusy;
+    th.node = join;
+    th.remaining = dag_task.wcet(join);
+    p.region_thread[region] = m_;
+    --p.suspended_count;
+    record_available(task);
+  }
+
+  // ---- dispatching ------------------------------------------------------
+
+  /// Number of busy threads with priority at least `prio` (lower value =
+  /// higher priority; equal-priority busy threads are ahead in FIFO order).
+  std::size_t busy_at_least(int prio) const {
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      if (ts_.task(i).priority() > prio) continue;
+      for (const ThreadState& th : pools_[i].threads)
+        if (th.mode == ThreadMode::kBusy) ++count;
+    }
+    return count;
+  }
+
+  void dispatch_global() {
+    // Work-conserving activation: idle threads pull from their pool queue
+    // whenever the pulled node would immediately get a core.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < ts_.size(); ++i) {
+        PoolState& p = pools_[i];
+        if (p.pool_queue.empty()) continue;
+        const int prio = ts_.task(i).priority();
+        for (std::size_t th = 0; th < m_ && !p.pool_queue.empty(); ++th) {
+          if (p.threads[th].mode != ThreadMode::kIdle) continue;
+          if (busy_at_least(prio) >= m_) break;  // would not get a core
+          const NodeId v = p.pool_queue.front();
+          p.pool_queue.pop_front();
+          p.threads[th].mode = ThreadMode::kBusy;
+          p.threads[th].node = v;
+          p.threads[th].remaining = ts_.task(i).wcet(v);
+          changed = true;
+        }
+      }
+    }
+
+    // Give the m highest-priority busy threads the cores.
+    std::vector<RunSlot> busy;
+    for (std::size_t i : ts_.priority_order())
+      for (std::size_t th = 0; th < m_; ++th)
+        if (pools_[i].threads[th].mode == ThreadMode::kBusy)
+          busy.push_back({i, th});
+    if (busy.size() > m_) busy.resize(m_);
+    assign_cores(busy);
+  }
+
+  /// Victim queue index an idle thread of pool `p` on `core` would steal
+  /// from (first nonempty sibling queue, scanning upward), or m_ if none.
+  std::size_t steal_victim(const PoolState& p, std::size_t core) const {
+    for (std::size_t k = 1; k < m_; ++k) {
+      const std::size_t victim = (core + k) % m_;
+      if (!p.thread_queues[victim].empty()) return victim;
+    }
+    return m_;
+  }
+
+  void dispatch_partitioned() {
+    std::vector<RunSlot> winners;
+    for (std::size_t core = 0; core < m_; ++core) {
+      std::optional<RunSlot> best;
+      int best_prio = std::numeric_limits<int>::max();
+      for (std::size_t i : ts_.priority_order()) {
+        const int prio = ts_.task(i).priority();
+        PoolState& p = pools_[i];
+        const ThreadState& th = p.threads[core];
+        const bool busy = th.mode == ThreadMode::kBusy;
+        const bool can_start =
+            th.mode == ThreadMode::kIdle &&
+            (!p.thread_queues[core].empty() ||
+             (config_.work_stealing && steal_victim(p, core) < m_));
+        if ((busy || can_start) && prio < best_prio) {
+          best = RunSlot{i, core};
+          best_prio = prio;
+        }
+      }
+      if (!best.has_value()) continue;
+      PoolState& p = pools_[best->task];
+      ThreadState& th = p.threads[core];
+      if (th.mode == ThreadMode::kIdle) {
+        NodeId v = 0;
+        if (!p.thread_queues[core].empty()) {
+          v = p.thread_queues[core].front();
+          p.thread_queues[core].pop_front();
+        } else {
+          // Steal from the back of the victim queue, Eigen-style.
+          const std::size_t victim = steal_victim(p, core);
+          v = p.thread_queues[victim].back();
+          p.thread_queues[victim].pop_back();
+        }
+        th.mode = ThreadMode::kBusy;
+        th.node = v;
+        th.remaining = ts_.task(best->task).wcet(v);
+      }
+      winners.push_back(*best);
+    }
+    assign_cores(winners);
+  }
+
+  /// Map the chosen run slots onto cores, keeping continuing slots on their
+  /// previous core so traces show stable placements.
+  void assign_cores(const std::vector<RunSlot>& slots) {
+    std::vector<std::optional<RunSlot>> next(m_);
+    std::vector<bool> placed(slots.size(), false);
+
+    for (std::size_t c = 0; c < m_; ++c) {
+      if (!running_[c].has_value()) continue;
+      for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (!placed[s] && slots[s] == *running_[c]) {
+          next[c] = slots[s];
+          placed[s] = true;
+          break;
+        }
+      }
+    }
+    std::size_t cursor = 0;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (placed[s]) continue;
+      while (cursor < m_ && next[cursor].has_value()) ++cursor;
+      if (cursor >= m_) break;  // defensive; slots.size() <= m_ by construction
+      next[cursor] = slots[s];
+    }
+    running_ = std::move(next);
+  }
+
+  // ---- trace -----------------------------------------------------------
+
+  void trace_switch(Time now) {
+    if (!config_.collect_trace) return;
+    for (std::size_t c = 0; c < m_; ++c) {
+      const auto& open = open_interval_[c];
+      const auto& cur = running_[c];
+      const bool same =
+          open.has_value() && cur.has_value() && open->slot == cur.value() &&
+          open->node == pools_[cur->task].threads[cur->thread].node;
+      if (same) continue;
+      if (open.has_value() && now > open->start + kEps) {
+        result_.trace.push_back({c, open->slot.task, open->node, open->start, now});
+      }
+      if (cur.has_value()) {
+        open_interval_[c] = OpenInterval{
+            *cur, pools_[cur->task].threads[cur->thread].node, now};
+      } else {
+        open_interval_[c].reset();
+      }
+    }
+  }
+
+  // ---- main loop pieces --------------------------------------------------
+
+  void advance(Time dt) {
+    for (const auto& slot : running_) {
+      if (!slot.has_value()) continue;
+      ThreadState& th = pools_[slot->task].threads[slot->thread];
+      th.remaining -= dt;
+    }
+  }
+
+  void process_instant(Time t) {
+    bool changed = true;
+    while (changed && !halted_) {
+      changed = false;
+
+      // Job releases due at t.
+      for (std::size_t i = 0; i < ts_.size(); ++i) {
+        PoolState& p = pools_[i];
+        while (!p.releases_exhausted && p.next_release <= t + kEps) {
+          const Time release = p.next_release;
+          ++result_.per_task[i].jobs_released;
+          if (p.job_active) {
+            p.backlog.push_back(release);
+          } else {
+            start_job(i, release, t);
+          }
+          schedule_next_release(i, release);
+          changed = true;
+        }
+      }
+
+      if (partitioned()) {
+        dispatch_partitioned();
+      } else {
+        dispatch_global();
+      }
+
+      // Completions of running nodes that have exhausted their budget.
+      for (std::size_t c = 0; c < m_; ++c) {
+        if (!running_[c].has_value()) continue;
+        const RunSlot slot = *running_[c];
+        ThreadState& th = pools_[slot.task].threads[slot.thread];
+        if (th.mode == ThreadMode::kBusy && th.remaining <= completion_eps(t)) {
+          // Close the trace interval at the true finish time.
+          if (config_.collect_trace && open_interval_[c].has_value()) {
+            const OpenInterval& oi = *open_interval_[c];
+            if (t > oi.start + kEps)
+              result_.trace.push_back({c, oi.slot.task, oi.node, oi.start, t});
+            open_interval_[c].reset();
+          }
+          complete_node(slot.task, slot.thread, t);
+          running_[c].reset();
+          changed = true;
+        }
+      }
+    }
+    trace_switch(t);
+    detect_deadlocks(t);
+  }
+
+  void schedule_next_release(std::size_t task, Time current_release) {
+    PoolState& p = pools_[task];
+    const Time period = ts_.task(task).period();
+    Time next = current_release + period;
+    if (config_.release_jitter_frac > 0.0)
+      next += period * rng_.uniform(0.0, config_.release_jitter_frac);
+    if (next >= config_.horizon - kEps) {
+      p.releases_exhausted = true;
+    } else {
+      p.next_release = next;
+    }
+  }
+
+  /// A task is permanently stuck exactly when its job is incomplete and no
+  /// pool thread is busy after a work-conserving dispatch: every remaining
+  /// node either waits behind a suspended thread or belongs to an unopened
+  /// barrier whose members do (see engine.h).
+  void detect_deadlocks(Time t) {
+    if (result_.deadlock.has_value()) return;
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      PoolState& p = pools_[i];
+      if (!p.job_active || p.deadlocked) continue;
+      const bool any_busy =
+          std::any_of(p.threads.begin(), p.threads.end(), [](const ThreadState& th) {
+            return th.mode == ThreadMode::kBusy;
+          });
+      if (any_busy) continue;
+
+      // Distinguish a *preempted* pool (work is dispatchable, the threads
+      // simply lost their cores to higher-priority tasks) from a *stuck*
+      // one: dispatchable work means an idle (non-suspended) thread can
+      // still pull a queued node once a core frees up.
+      bool dispatchable = false;
+      if (partitioned()) {
+        for (std::size_t th = 0; th < m_; ++th) {
+          if (p.threads[th].mode != ThreadMode::kIdle) continue;
+          if (!p.thread_queues[th].empty() ||
+              (config_.work_stealing && steal_victim(p, th) < m_)) {
+            dispatchable = true;
+            break;
+          }
+        }
+      } else {
+        const bool any_idle =
+            std::any_of(p.threads.begin(), p.threads.end(), [](const ThreadState& th) {
+              return th.mode == ThreadMode::kIdle;
+            });
+        dispatchable = any_idle && !p.pool_queue.empty();
+      }
+      if (dispatchable) continue;
+
+      p.deadlocked = true;
+      DeadlockInfo info;
+      info.task_index = i;
+      info.time = t;
+      info.description =
+          ts_.task(i).name() + " stalled at t=" + std::to_string(t) + ": " +
+          std::to_string(p.suspended_count) + "/" + std::to_string(m_) +
+          " threads suspended on barriers, no runnable node remains (" +
+          std::to_string(p.nodes_left) + " nodes pending)";
+      result_.deadlock = info;
+      halted_ = true;
+      return;
+    }
+  }
+
+  Time next_event_time(Time t) const {
+    Time next = std::numeric_limits<Time>::infinity();
+    for (std::size_t i = 0; i < ts_.size(); ++i)
+      if (!pools_[i].releases_exhausted)
+        next = std::min(next, pools_[i].next_release);
+    for (const auto& slot : running_) {
+      if (!slot.has_value()) continue;
+      const ThreadState& th = pools_[slot->task].threads[slot->thread];
+      next = std::min(next, t + std::max(th.remaining, 0.0));
+    }
+    return next;
+  }
+
+  void finalize(Time t) {
+    trace_switch(t);
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      PoolState& p = pools_[i];
+      result_.per_task[i].min_available_concurrency = p.min_available;
+      if (!p.job_active) continue;
+      // Cut-off job: only count a miss if its deadline already passed.
+      JobRecord rec;
+      rec.task_index = i;
+      rec.job_number = p.job_number;
+      rec.release = p.job_release;
+      rec.completion = t;
+      rec.response = t - p.job_release;
+      rec.completed = false;
+      rec.deadline_miss = p.job_release + ts_.task(i).deadline() < t - kEps ||
+                          p.deadlocked;
+      if (rec.deadline_miss) {
+        ++result_.per_task[i].deadline_misses;
+        result_.any_deadline_miss = true;
+      }
+      result_.jobs.push_back(rec);
+    }
+  }
+
+  struct OpenInterval {
+    RunSlot slot;
+    NodeId node = 0;
+    Time start = 0.0;
+  };
+
+  const model::TaskSet& ts_;
+  SimConfig config_;
+  std::size_t m_;
+  util::Rng rng_;
+
+  std::vector<PoolState> pools_;
+  std::vector<std::optional<RunSlot>> running_;  ///< Per core.
+  std::vector<std::optional<OpenInterval>> open_interval_{};
+  SimResult result_;
+  bool halted_ = false;
+};
+
+}  // namespace
+
+SimResult simulate(const model::TaskSet& ts, const SimConfig& config) {
+  return Engine(ts, config).run();
+}
+
+}  // namespace rtpool::sim

@@ -1,0 +1,58 @@
+#include "sim/gantt.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rtpool::sim {
+
+std::string render_ascii_gantt(const model::TaskSet& ts,
+                               const std::vector<ExecutionInterval>& trace,
+                               const GanttOptions& options) {
+  if (trace.empty() || options.width == 0) return "";
+
+  util::Time end = options.end;
+  if (end < 0.0) {
+    end = 0.0;
+    for (const auto& iv : trace) end = std::max(end, iv.end);
+  }
+  const util::Time start = options.start;
+  if (!(end > start)) return "";
+  const util::Time span = end - start;
+  const double per_char = span / static_cast<double>(options.width);
+
+  std::vector<std::string> rows(ts.core_count(),
+                                std::string(options.width, '.'));
+  for (const auto& iv : trace) {
+    if (iv.end <= start || iv.start >= end || iv.core >= rows.size()) continue;
+    const double lo = std::max(iv.start, start) - start;
+    const double hi = std::min(iv.end, end) - start;
+    auto first = static_cast<std::size_t>(lo / per_char);
+    auto last = static_cast<std::size_t>(hi / per_char);
+    first = std::min(first, options.width - 1);
+    last = std::min(std::max(last, first + 1), options.width);
+    const char label = static_cast<char>('A' + (iv.task_index % 26));
+    for (std::size_t c = first; c < last; ++c) rows[iv.core][c] = label;
+  }
+
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "t=%-10.4g", start);
+  os << "        " << buf
+     << std::string(options.width > 22 ? options.width - 22 : 0, ' ');
+  std::snprintf(buf, sizeof buf, "%10.4g", end);
+  os << buf << "\n";
+  for (std::size_t core = 0; core < rows.size(); ++core) {
+    std::snprintf(buf, sizeof buf, "core %2zu |", core);
+    os << buf << rows[core] << "|\n";
+  }
+  os << "legend: ";
+  for (std::size_t i = 0; i < ts.size() && i < 26; ++i) {
+    if (i != 0) os << ", ";
+    os << static_cast<char>('A' + i) << '=' << ts.task(i).name();
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace rtpool::sim

@@ -1,0 +1,26 @@
+// ASCII Gantt rendering of simulator traces (for examples and debugging).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/task_set.h"
+#include "sim/engine.h"
+
+namespace rtpool::sim {
+
+struct GanttOptions {
+  std::size_t width = 72;     ///< Characters used for the time axis.
+  util::Time start = 0.0;     ///< Left edge of the rendered window.
+  util::Time end = -1.0;      ///< Right edge; < 0 = end of the trace.
+};
+
+/// Render one row per core: task letters ('A' = task 0) in executing slots,
+/// '.' for idle time, with a time ruler on top. Intervals shorter than one
+/// character still occupy one character (labels may overwrite each other at
+/// coarse scales). Returns "" for an empty trace.
+std::string render_ascii_gantt(const model::TaskSet& ts,
+                               const std::vector<ExecutionInterval>& trace,
+                               const GanttOptions& options = {});
+
+}  // namespace rtpool::sim

@@ -1,0 +1,83 @@
+#include "sim/trace_json.h"
+
+#include <fstream>
+
+#include "util/json.h"
+
+namespace rtpool::sim {
+
+void write_chrome_trace(std::ostream& os, const model::TaskSet& ts,
+                        const SimResult& result) {
+  util::JsonWriter json(os);
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+
+  // Name the "threads" (one per core).
+  for (std::size_t core = 0; core < ts.core_count(); ++core) {
+    json.begin_object()
+        .kv("name", "thread_name")
+        .kv("ph", "M")
+        .kv("pid", 1)
+        .kv("tid", core)
+        .key("args")
+        .begin_object()
+        .kv("name", "core " + std::to_string(core))
+        .end_object()
+        .end_object();
+  }
+
+  for (const ExecutionInterval& iv : result.trace) {
+    const model::DagTask& task = ts.task(iv.task_index);
+    json.begin_object()
+        .kv("name", task.name() + "/v" + std::to_string(iv.node))
+        .kv("cat", model::to_string(task.type(iv.node)))
+        .kv("ph", "X")
+        .kv("pid", 1)
+        .kv("tid", iv.core)
+        .kv("ts", iv.start)
+        .kv("dur", iv.end - iv.start)
+        .key("args")
+        .begin_object()
+        .kv("task", task.name())
+        .kv("node", static_cast<std::uint64_t>(iv.node))
+        .kv("type", model::to_string(task.type(iv.node)))
+        .end_object()
+        .end_object();
+  }
+
+  for (const JobRecord& job : result.jobs) {
+    if (!job.deadline_miss) continue;
+    json.begin_object()
+        .kv("name", ts.task(job.task_index).name() + " deadline miss")
+        .kv("ph", "i")
+        .kv("pid", 1)
+        .kv("tid", 0)
+        .kv("ts", job.completion)
+        .kv("s", "g")
+        .end_object();
+  }
+
+  if (result.deadlock.has_value()) {
+    json.begin_object()
+        .kv("name", "DEADLOCK: " + result.deadlock->description)
+        .kv("ph", "i")
+        .kv("pid", 1)
+        .kv("tid", 0)
+        .kv("ts", result.deadlock->time)
+        .kv("s", "g")
+        .end_object();
+  }
+
+  json.end_array();
+  json.kv("displayTimeUnit", "ms");
+  json.end_object();
+}
+
+void save_chrome_trace(const std::string& path, const model::TaskSet& ts,
+                       const SimResult& result) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_chrome_trace: cannot open " + path);
+  write_chrome_trace(out, ts, result);
+}
+
+}  // namespace rtpool::sim

@@ -1,0 +1,23 @@
+// Export simulator traces in the Chrome tracing ("about://tracing" /
+// Perfetto) JSON event format: one row per core, one duration event per
+// ExecutionInterval, plus instant events for deadlocks and deadline misses.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/task_set.h"
+#include "sim/engine.h"
+
+namespace rtpool::sim {
+
+/// Write `result`'s trace (requires SimConfig::collect_trace). Time unit:
+/// one model time unit = 1 µs in the trace. Cores appear as tid 0..m-1.
+void write_chrome_trace(std::ostream& os, const model::TaskSet& ts,
+                        const SimResult& result);
+
+/// Convenience: write to a file; throws std::runtime_error on I/O failure.
+void save_chrome_trace(const std::string& path, const model::TaskSet& ts,
+                       const SimResult& result);
+
+}  // namespace rtpool::sim

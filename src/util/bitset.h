@@ -1,0 +1,72 @@
+// Fixed-capacity dynamic bitset used for reachability closures.
+//
+// std::vector<bool> lacks word-level operations; this class stores 64-bit
+// words and supports the bulk OR/AND/ANDNOT and popcount operations the
+// graph closure and the concurrency analysis (set C(v), Section 3.1 of the
+// paper) are built on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rtpool::util {
+
+/// Dynamic bitset with word-parallel set algebra.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t size);
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const;
+  void set(std::size_t i);
+  void reset(std::size_t i);
+  void clear();        ///< Reset all bits to 0.
+  void set_all();      ///< Set all bits (only the first `size()` bits).
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  /// True if no bit is set.
+  bool none() const;
+
+  /// True if any bit is set in both this and `other` (sizes must match).
+  bool intersects(const DynamicBitset& other) const;
+
+  /// this |= other (sizes must match). Returns true if any bit changed.
+  bool or_assign(const DynamicBitset& other);
+
+  /// this &= other (sizes must match).
+  void and_assign(const DynamicBitset& other);
+
+  /// this &= ~other (sizes must match).
+  void and_not_assign(const DynamicBitset& other);
+
+  /// Indices of all set bits, ascending.
+  std::vector<std::size_t> to_indices() const;
+
+  /// Visit all set bits in ascending order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+ private:
+  void check_compatible(const DynamicBitset& other) const;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rtpool::util

@@ -1,0 +1,38 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace rtpool::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  if (header.empty()) throw std::invalid_argument("CsvWriter: empty header");
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("CsvWriter: cell count mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  out_.flush();
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace rtpool::util

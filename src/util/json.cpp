@@ -1,0 +1,145 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rtpool::util {
+
+void JsonWriter::before_value() {
+  if (stack_.empty()) {
+    if (wrote_root_) throw std::logic_error("JsonWriter: multiple root values");
+    return;
+  }
+  if (stack_.back() == Scope::kObject && !key_pending_)
+    throw std::logic_error("JsonWriter: value inside object requires key()");
+  if (stack_.back() == Scope::kArray) {
+    if (!first_.back()) out_ << ',';
+    first_.back() = false;
+  }
+  key_pending_ = false;
+}
+
+void JsonWriter::write_string(const std::string& s) {
+  out_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_.push_back(true);
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject)
+    throw std::logic_error("JsonWriter: end_object without begin_object");
+  if (key_pending_) throw std::logic_error("JsonWriter: dangling key");
+  out_ << '}';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_.push_back(true);
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray)
+    throw std::logic_error("JsonWriter: end_array without begin_array");
+  out_ << ']';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != Scope::kObject)
+    throw std::logic_error("JsonWriter: key() outside object");
+  if (key_pending_) throw std::logic_error("JsonWriter: key() after key()");
+  if (!first_.back()) out_ << ',';
+  first_.back() = false;
+  write_string(name);
+  out_ << ':';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  write_string(v);
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (std::isnan(v)) {
+    write_string("nan");
+  } else if (std::isinf(v)) {
+    write_string(v > 0 ? "inf" : "-inf");
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out_ << buf;
+  }
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ << v;
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+  wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ << "null";
+  wrote_root_ = true;
+  return *this;
+}
+
+}  // namespace rtpool::util

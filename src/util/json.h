@@ -1,0 +1,62 @@
+// Minimal streaming JSON writer (no external dependencies).
+//
+// Supports the subset needed by the trace/report exporters: nested objects
+// and arrays, string escaping, finite numbers (non-finite doubles are
+// emitted as strings "inf"/"-inf"/"nan" to stay valid JSON), booleans and
+// null. Usage errors (value without a pending key inside an object,
+// mismatched end_*) throw std::logic_error.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rtpool::util {
+
+class JsonWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Inside an object: set the key for the next value.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Shorthand: key(name).value(v).
+  template <typename T>
+  JsonWriter& kv(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once every container has been closed and a root value written.
+  bool complete() const { return stack_.empty() && wrote_root_; }
+
+ private:
+  enum class Scope : unsigned char { kObject, kArray };
+
+  void before_value();
+  void write_string(const std::string& s);
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_;   ///< Parallel to stack_: no element written yet.
+  bool key_pending_ = false;
+  bool wrote_root_ = false;
+};
+
+}  // namespace rtpool::util

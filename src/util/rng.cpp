@@ -1,0 +1,39 @@
+#include "util/rng.h"
+
+#include <stdexcept>
+
+namespace rtpool::util {
+
+double Rng::uniform(double lo, double hi) {
+  if (!(lo <= hi)) throw std::invalid_argument("Rng::uniform: lo > hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t size) {
+  if (size == 0) throw std::invalid_argument("Rng::index: empty range");
+  std::uniform_int_distribution<std::size_t> dist(0, size - 1);
+  return dist(engine_);
+}
+
+Rng Rng::fork() {
+  // Draw two words so child streams do not trivially overlap the parent's.
+  const std::uint64_t a = engine_();
+  const std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace rtpool::util

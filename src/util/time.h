@@ -1,0 +1,49 @@
+// Time representation and numerically robust helpers shared by all analyses.
+//
+// The model layer uses a continuous time domain (`Time = double`): the paper
+// derives periods as T_i = C_i / U_i with UUniFast-generated utilizations, so
+// periods are in general not integral. All fixed-point iterations in the
+// response-time analyses use the epsilon-robust ceiling below so that values
+// that are integral up to floating rounding are not bumped to the next step.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rtpool::util {
+
+/// Continuous time value (same unit as node WCETs).
+using Time = double;
+
+/// Positive infinity, used for "no bound" / divergent fixpoints.
+inline constexpr Time kTimeInfinity = std::numeric_limits<Time>::infinity();
+
+/// Relative tolerance used when comparing analysis times.
+inline constexpr double kTimeEps = 1e-9;
+
+/// True if `a` and `b` are equal up to the analysis tolerance.
+inline bool time_eq(Time a, Time b) {
+  const Time scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) <= kTimeEps * scale;
+}
+
+/// True if `a` is strictly less than `b` beyond the tolerance.
+inline bool time_lt(Time a, Time b) { return a < b && !time_eq(a, b); }
+
+/// True if `a <= b` up to the tolerance.
+inline bool time_le(Time a, Time b) { return a < b || time_eq(a, b); }
+
+/// Epsilon-robust ceil(x): values within tolerance of an integer are not
+/// rounded up to the next one (e.g. ceil(3.0000000001) == 3).
+inline double ceil_robust(double x) {
+  const double r = std::nearbyint(x);
+  const double scale = std::max(std::fabs(x), 1.0);
+  if (std::fabs(x - r) <= kTimeEps * scale) return r;
+  return std::ceil(x);
+}
+
+/// Epsilon-robust ceil(num / den), the workhorse of request-bound functions.
+inline double ceil_div(double num, double den) { return ceil_robust(num / den); }
+
+}  // namespace rtpool::util

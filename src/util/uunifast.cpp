@@ -1,0 +1,40 @@
+#include "util/uunifast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rtpool::util {
+
+std::vector<double> uunifast(std::size_t n, double total_utilization, Rng& rng) {
+  if (n == 0) throw std::invalid_argument("uunifast: n must be > 0");
+  if (!(total_utilization > 0.0))
+    throw std::invalid_argument("uunifast: total utilization must be > 0");
+
+  std::vector<double> u(n);
+  double sum = total_utilization;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double exponent = 1.0 / static_cast<double>(n - 1 - i);
+    const double next = sum * std::pow(rng.uniform(0.0, 1.0), exponent);
+    u[i] = sum - next;
+    sum = next;
+  }
+  u[n - 1] = sum;
+  return u;
+}
+
+std::vector<double> uunifast_capped(std::size_t n, double total_utilization,
+                                    double max_per_task, Rng& rng,
+                                    int max_attempts) {
+  if (max_per_task * static_cast<double>(n) < total_utilization)
+    throw std::invalid_argument("uunifast_capped: infeasible cap");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto u = uunifast(n, total_utilization, rng);
+    const bool ok =
+        std::all_of(u.begin(), u.end(), [&](double x) { return x <= max_per_task; });
+    if (ok) return u;
+  }
+  throw std::runtime_error("uunifast_capped: attempts exhausted");
+}
+
+}  // namespace rtpool::util

@@ -1,0 +1,26 @@
+// UUniFast utilization generation (Bini & Buttazzo, 2005), used by the
+// task-set generator of Section 5 of the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rtpool::util {
+
+/// Generate `n` task utilizations that sum exactly to `total_utilization`,
+/// uniformly distributed over the simplex (UUniFast).
+///
+/// Throws std::invalid_argument if n == 0 or total_utilization <= 0.
+std::vector<double> uunifast(std::size_t n, double total_utilization, Rng& rng);
+
+/// UUniFast variant that rejects vectors containing a task utilization
+/// above `max_per_task` (e.g. 1.0 would reject tasks that cannot fit on a
+/// single processor-equivalent). Retries up to `max_attempts` times and
+/// throws std::runtime_error on exhaustion.
+std::vector<double> uunifast_capped(std::size_t n, double total_utilization,
+                                    double max_per_task, Rng& rng,
+                                    int max_attempts = 1000);
+
+}  // namespace rtpool::util

@@ -1,0 +1,157 @@
+// Unit tests for the antichain refinement of the available-concurrency
+// lower bound (analysis/antichain.h).
+#include <gtest/gtest.h>
+
+#include "analysis/antichain.h"
+#include "analysis/concurrency.h"
+#include "analysis/global_rta.h"
+#include "gen/taskset_generator.h"
+#include "model/builder.h"
+#include "sim/engine.h"
+
+namespace rtpool::analysis {
+namespace {
+
+using model::DagTask;
+using model::DagTaskBuilder;
+using model::NodeId;
+
+TEST(AntichainTest, NoForksIsZero) {
+  const DagTask t = model::make_fork_join_task("plain", 3, 1.0, 100.0, false);
+  EXPECT_EQ(max_simultaneous_suspensions(t), 0u);
+  EXPECT_EQ(available_concurrency_lower_bound_antichain(t, 4), 4);
+}
+
+TEST(AntichainTest, SingleForkIsOne) {
+  const DagTask t = model::make_fork_join_task("one", 3, 1.0, 100.0, true);
+  EXPECT_EQ(max_simultaneous_suspensions(t), 1u);
+}
+
+TEST(AntichainTest, ParallelForksCount) {
+  // k parallel blocking regions: antichain = k = b̄ (no refinement here).
+  for (std::size_t k : {2u, 3u, 4u}) {
+    DagTaskBuilder b("par" + std::to_string(k));
+    const NodeId src = b.add_node(1.0);
+    const NodeId snk = b.add_node(1.0);
+    for (std::size_t i = 0; i < k; ++i) {
+      const auto r = b.add_blocking_fork_join(1.0, 1.0, {1.0});
+      b.add_edge(src, r.fork);
+      b.add_edge(r.join, snk);
+    }
+    b.period(100.0);
+    const DagTask t = b.build();
+    EXPECT_EQ(max_simultaneous_suspensions(t), k);
+    EXPECT_EQ(max_affecting_forks(t), k);
+  }
+}
+
+TEST(AntichainTest, SequentialForksCollapse) {
+  // Regions in series can never suspend together: antichain = 1.
+  DagTaskBuilder b("series");
+  const auto r1 = b.add_blocking_fork_join(1.0, 1.0, {1.0});
+  const auto r2 = b.add_blocking_fork_join(1.0, 1.0, {1.0});
+  const auto r3 = b.add_blocking_fork_join(1.0, 1.0, {1.0});
+  b.add_edge(r1.join, r2.fork);
+  b.add_edge(r2.join, r3.fork);
+  b.period(100.0);
+  const DagTask t = b.build();
+  EXPECT_EQ(max_simultaneous_suspensions(t), 1u);
+}
+
+/// The motivating graph where the refinement is STRICT: two sequential
+/// regions plus a long NB branch spanning both. The NB node is concurrent
+/// with both forks, so b̄ = 2, but the forks themselves are ordered and the
+/// antichain is 1.
+DagTask strict_refinement_task() {
+  DagTaskBuilder b("strict");
+  const NodeId src = b.add_node(1.0);
+  const auto r1 = b.add_blocking_fork_join(1.0, 1.0, {1.0});
+  const auto r2 = b.add_blocking_fork_join(1.0, 1.0, {1.0});
+  const NodeId spanning = b.add_node(10.0);  // parallel to both regions
+  const NodeId snk = b.add_node(1.0);
+  b.add_edge(src, r1.fork);
+  b.add_edge(r1.join, r2.fork);
+  b.add_edge(r2.join, snk);
+  b.add_edge(src, spanning);
+  b.add_edge(spanning, snk);
+  b.period(100.0);
+  return b.build();
+}
+
+TEST(AntichainTest, StrictlyTighterThanMaxAffectingForks) {
+  const DagTask t = strict_refinement_task();
+  EXPECT_EQ(max_affecting_forks(t), 2u);           // the paper's b̄
+  EXPECT_EQ(max_simultaneous_suspensions(t), 1u);  // the refinement
+  EXPECT_EQ(available_concurrency_lower_bound(t, 2), 0);
+  EXPECT_EQ(available_concurrency_lower_bound_antichain(t, 2), 1);
+}
+
+TEST(AntichainTest, RefinedRtaAcceptsMore) {
+  // On m = 2, the paper's test rejects the strict-refinement task
+  // (l̄ = 0 -> potential deadlock) while the antichain bound accepts it.
+  model::TaskSet ts(2);
+  ts.add(strict_refinement_task());
+
+  GlobalRtaOptions paper;
+  paper.limited_concurrency = true;
+  paper.concurrency = ConcurrencyBound::kMaxAffectingForks;
+  EXPECT_FALSE(analyze_global(ts, paper).schedulable);
+
+  GlobalRtaOptions refined = paper;
+  refined.concurrency = ConcurrencyBound::kMaxAntichain;
+  const auto result = analyze_global(ts, refined);
+  EXPECT_TRUE(result.schedulable);
+  EXPECT_EQ(result.per_task[0].concurrency_bound, 1);
+}
+
+TEST(AntichainTest, SimulationConfirmsRefinedBound) {
+  // The simulator agrees: the strict-refinement task never stalls on two
+  // threads and its min available concurrency respects the refined bound.
+  model::TaskSet ts(2);
+  ts.add(strict_refinement_task());
+  sim::SimConfig cfg;
+  cfg.policy = sim::SchedulingPolicy::kGlobal;
+  cfg.horizon = 100.0;
+  const auto r = sim::simulate(ts, cfg);
+  EXPECT_FALSE(r.deadlock.has_value());
+  EXPECT_GE(r.per_task[0].min_available_concurrency, 1);
+}
+
+/// Property: the antichain bound is never below the Section 3.1 bound, and
+/// the simulator's observed minimum concurrency never dips below either.
+class AntichainPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AntichainPropertyTest, DominatesPaperBoundAndSimulation) {
+  util::Rng rng(GetParam());
+  gen::TaskSetParams params;
+  params.cores = 4;
+  params.task_count = 3;
+  params.total_utilization = 1.5;
+  const model::TaskSet ts = gen::generate_task_set(params, rng);
+
+  for (const auto& task : ts.tasks()) {
+    const long paper = available_concurrency_lower_bound(task, 4);
+    const long refined = available_concurrency_lower_bound_antichain(task, 4);
+    EXPECT_GE(refined, paper) << "seed=" << GetParam();
+    EXPECT_LE(max_simultaneous_suspensions(task), task.blocking_fork_count());
+  }
+
+  sim::SimConfig cfg;
+  cfg.policy = sim::SchedulingPolicy::kGlobal;
+  double max_period = 0.0;
+  for (const auto& t : ts.tasks()) max_period = std::max(max_period, t.period());
+  cfg.horizon = 8.0 * max_period;
+  const auto r = sim::simulate(ts, cfg);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const long refined = available_concurrency_lower_bound_antichain(ts.task(i), 4);
+    if (r.deadlock.has_value()) break;  // stalled runs stop early
+    EXPECT_GE(r.per_task[i].min_available_concurrency, refined)
+        << "seed=" << GetParam() << " task=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AntichainPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace rtpool::analysis

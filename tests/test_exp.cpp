@@ -1,0 +1,216 @@
+// Unit tests for the experiment harness (src/exp).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include <sstream>
+
+#include "analysis/partition.h"
+#include "exp/necessity.h"
+#include "exp/report.h"
+#include "exp/report_json.h"
+#include "exp/schedulability.h"
+#include "model/builder.h"
+
+namespace rtpool::exp {
+namespace {
+
+using model::DagTaskBuilder;
+using model::NodeId;
+using model::TaskSet;
+
+/// A trivially schedulable set: one tiny task on many cores.
+TaskSet easy_set() {
+  TaskSet ts(8);
+  DagTaskBuilder b("t");
+  b.add_node(1.0);
+  b.period(1000.0);
+  ts.add(b.build());
+  return ts;
+}
+
+/// A set only the baseline accepts: a blocking region with l̄ = 0.
+TaskSet limited_only_set() {
+  TaskSet ts(1);
+  DagTaskBuilder b("t");
+  const NodeId pre = b.add_node(1.0);
+  const auto fj = b.add_blocking_fork_join(1.0, 1.0, {1.0});
+  b.add_edge(pre, fj.fork);
+  b.period(1000.0);
+  ts.add(b.build());
+  return ts;
+}
+
+TEST(EvaluateTaskSetTest, GlobalVerdicts) {
+  const auto easy = evaluate_task_set(Scheduler::kGlobal, easy_set());
+  EXPECT_TRUE(easy.baseline);
+  EXPECT_TRUE(easy.proposed);
+
+  const auto limited = evaluate_task_set(Scheduler::kGlobal, limited_only_set());
+  EXPECT_TRUE(limited.baseline);   // [14] ignores the blocked thread
+  EXPECT_FALSE(limited.proposed);  // Section 4.1 rejects (l̄ = 0)
+}
+
+TEST(EvaluateTaskSetTest, PartitionedVerdicts) {
+  const auto easy = evaluate_task_set(Scheduler::kPartitioned, easy_set());
+  EXPECT_TRUE(easy.baseline);
+  EXPECT_TRUE(easy.proposed);
+
+  // With m = 1 Algorithm 1 cannot segregate the BF from its children.
+  const auto limited =
+      evaluate_task_set(Scheduler::kPartitioned, limited_only_set());
+  EXPECT_TRUE(limited.baseline);
+  EXPECT_FALSE(limited.proposed);
+}
+
+TEST(EvaluatePointTest, CountsAreConsistent) {
+  PointConfig config;
+  config.gen.cores = 8;
+  config.gen.task_count = 3;
+  config.gen.total_utilization = 2.0;
+  config.trials = 25;
+  util::Rng rng(1);
+  const PointResult r = evaluate_point(Scheduler::kGlobal, config, rng);
+  EXPECT_EQ(r.accepted, 25u);
+  EXPECT_LE(r.baseline_schedulable, r.accepted);
+  EXPECT_LE(r.proposed_schedulable, r.accepted);
+  // The proposed test can never accept a set the baseline rejects.
+  EXPECT_LE(r.proposed_schedulable, r.baseline_schedulable);
+  EXPECT_GE(r.baseline_ratio(), r.proposed_ratio());
+  EXPECT_FALSE(r.attempts_exhausted);
+}
+
+TEST(EvaluatePointTest, FilterMakesBaselineExact) {
+  PointConfig config;
+  config.gen.cores = 8;
+  config.gen.task_count = 3;
+  config.gen.total_utilization = 2.0;
+  config.filter_baseline = true;
+  config.trials = 20;
+  util::Rng rng(2);
+  const PointResult r = evaluate_point(Scheduler::kGlobal, config, rng);
+  EXPECT_EQ(r.accepted, 20u);
+  EXPECT_EQ(r.baseline_schedulable, 20u);  // by construction of the filter
+  EXPECT_DOUBLE_EQ(r.baseline_ratio(), 1.0);
+}
+
+TEST(EvaluatePointTest, AttemptBudgetRespected) {
+  PointConfig config;
+  config.gen.cores = 2;
+  config.gen.task_count = 2;
+  config.gen.total_utilization = 3.9;  // mostly unschedulable
+  config.filter_baseline = true;
+  config.trials = 1000;
+  config.max_attempts = 50;
+  util::Rng rng(3);
+  const PointResult r = evaluate_point(Scheduler::kGlobal, config, rng);
+  EXPECT_TRUE(r.attempts_exhausted);
+  EXPECT_LE(r.accepted + r.discarded + r.generation_errors, 50u);
+}
+
+TEST(EvaluatePointTest, EmptyRatioIsZero) {
+  PointResult r;
+  EXPECT_DOUBLE_EQ(r.baseline_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(r.proposed_ratio(), 0.0);
+}
+
+TEST(NecessityTest, EasySetPasses) {
+  EXPECT_TRUE(passes_simulation(easy_set(), SimPolicy::kGlobal, std::nullopt));
+}
+
+TEST(NecessityTest, OverloadFailsAndJitterScenariosRun) {
+  // U > m: some job must miss in the synchronous scenario.
+  TaskSet ts(1);
+  {
+    DagTaskBuilder b("a");
+    b.add_node(8.0);
+    b.period(10.0).priority(0);
+    ts.add(b.build());
+  }
+  {
+    DagTaskBuilder b("c");
+    b.add_node(8.0);
+    b.period(10.0).priority(1);
+    ts.add(b.build());
+  }
+  EXPECT_FALSE(passes_simulation(ts, SimPolicy::kGlobal, std::nullopt));
+
+  NecessityOptions options;
+  options.jitter_scenarios = 3;
+  EXPECT_FALSE(passes_simulation(ts, SimPolicy::kGlobal, std::nullopt, options));
+}
+
+TEST(NecessityTest, DeadlockCountsAsFailure) {
+  EXPECT_FALSE(passes_simulation(limited_only_set(), SimPolicy::kGlobal,
+                                 std::nullopt));
+}
+
+TEST(NecessityTest, PartitionedRequiresPartition) {
+  EXPECT_THROW(
+      passes_simulation(easy_set(), SimPolicy::kPartitioned, std::nullopt),
+      std::invalid_argument);
+
+  const TaskSet ts = easy_set();
+  const auto wf = analysis::partition_worst_fit(ts);
+  ASSERT_TRUE(wf.success());
+  EXPECT_TRUE(passes_simulation(ts, SimPolicy::kPartitioned, *wf.partition));
+}
+
+TEST(ReportJsonTest, ContainsEveryAnalysis) {
+  std::ostringstream os;
+  write_analysis_report(os, limited_only_set());
+  const std::string out = os.str();
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.back(), '}');
+  for (const char* section :
+       {"\"tasks\":[", "\"global_baseline\":", "\"global_limited\":",
+        "\"global_limited_antichain\":", "\"partitioned_worst_fit\":",
+        "\"partitioned_algorithm1\":", "\"federated_classic\":",
+        "\"federated_limited\":", "\"concurrency_lower_bound\":",
+        "\"max_affecting_forks\":"}) {
+    EXPECT_NE(out.find(section), std::string::npos) << section;
+  }
+  // The limited-only set: baseline accepts, limited rejects with inf bound.
+  EXPECT_NE(out.find("\"response_time\":\"inf\""), std::string::npos);
+}
+
+TEST(ReportJsonTest, ReportsAlgorithm1Failure) {
+  // Single-core blocking task: Algorithm 1 must fail, and the report says
+  // why instead of omitting the section.
+  std::ostringstream os;
+  write_analysis_report(os, limited_only_set());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"partition_found\":false"), std::string::npos);
+  EXPECT_NE(out.find("\"failure\":"), std::string::npos);
+}
+
+TEST(ReportTest, CsvRoundTrip) {
+  std::vector<SweepRow> rows(2);
+  rows[0].x = 1;
+  rows[0].global.accepted = 10;
+  rows[0].global.baseline_schedulable = 10;
+  rows[0].global.proposed_schedulable = 5;
+  rows[1].x = 2;
+  const auto path =
+      std::filesystem::temp_directory_path() / "rtpool_sweep_test.csv";
+  write_sweep_csv(path.string(), "x", rows);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line,
+            "x,global_baseline,global_proposed,partitioned_baseline,"
+            "partitioned_proposed,global_accepted,partitioned_accepted,"
+            "global_discarded,partitioned_discarded");
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 8), "1,1,0.5,");
+  std::filesystem::remove(path);
+
+  // Empty path: silently skipped.
+  write_sweep_csv("", "x", rows);
+  // Console printing must not crash.
+  print_sweep("test sweep", "x", rows);
+}
+
+}  // namespace
+}  // namespace rtpool::exp

@@ -1,0 +1,165 @@
+// Unit tests for federated scheduling (analysis/federated.h), classic and
+// limited-concurrency variants.
+#include <gtest/gtest.h>
+
+#include "analysis/federated.h"
+#include "gen/taskset_generator.h"
+#include "model/builder.h"
+
+namespace rtpool::analysis {
+namespace {
+
+using model::DagTask;
+using model::DagTaskBuilder;
+using model::NodeId;
+using model::TaskSet;
+
+/// Heavy parallel task: vol = 12, len = 3, U = 12/6 = 2.
+DagTask heavy_task(const std::string& name = "heavy") {
+  DagTaskBuilder b(name);
+  const auto fj = b.add_fork_join(1.0, 1.0, std::vector<util::Time>(10, 1.0));
+  (void)fj;
+  b.period(6.0);
+  return b.build();
+}
+
+/// Light sequential-ish task without blocking.
+DagTask light_task(const std::string& name, util::Time period) {
+  DagTaskBuilder b(name);
+  const NodeId a = b.add_node(1.0);
+  const NodeId c = b.add_node(1.0);
+  b.add_edge(a, c);
+  b.period(period);
+  return b.build();
+}
+
+/// Light task WITH one blocking region (vol = 4, U << 1).
+DagTask light_blocking_task(const std::string& name, util::Time period) {
+  DagTaskBuilder b(name);
+  const NodeId pre = b.add_node(1.0);
+  const auto fj = b.add_blocking_fork_join(1.0, 1.0, {1.0});
+  b.add_edge(pre, fj.fork);
+  b.period(period);
+  return b.build();
+}
+
+TEST(FederatedTest, HeavyTaskCoreDemand) {
+  TaskSet ts(8);
+  ts.add(heavy_task());
+  const auto r = analyze_federated(ts);
+  ASSERT_TRUE(r.schedulable);
+  EXPECT_TRUE(r.per_task[0].dedicated);
+  // n = ceil((12-3)/(6-3)) = 3 cores.
+  EXPECT_EQ(r.per_task[0].cores, 3u);
+  EXPECT_EQ(r.dedicated_cores, 3u);
+}
+
+TEST(FederatedTest, HeavyTaskImpossibleDeadline) {
+  // len > D: no number of cores helps.
+  DagTaskBuilder b("tight");
+  const NodeId a = b.add_node(5.0);
+  const NodeId c = b.add_node(5.0);
+  b.add_edge(a, c);
+  b.period(9.0);
+  TaskSet ts(8);
+  ts.add(b.build());
+  // U > 1 makes it heavy; critical path 10 > D = 9.
+  const auto r = analyze_federated(ts);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_FALSE(r.per_task[0].schedulable);
+}
+
+TEST(FederatedTest, NotEnoughCores) {
+  TaskSet ts(2);  // heavy task needs 3
+  ts.add(heavy_task());
+  const auto r = analyze_federated(ts);
+  EXPECT_FALSE(r.schedulable);
+}
+
+TEST(FederatedTest, LightTasksShareRemainingCores) {
+  TaskSet ts(4);
+  ts.add(heavy_task());                    // takes 3 cores
+  ts.add(light_task("l1", 10.0));          // U = 0.2
+  ts.add(light_task("l2", 8.0));           // U = 0.25
+  const auto r = analyze_federated(ts);
+  ASSERT_TRUE(r.schedulable);
+  EXPECT_FALSE(r.per_task[1].dedicated);
+  EXPECT_FALSE(r.per_task[2].dedicated);
+}
+
+TEST(FederatedTest, LightOverloadRejected) {
+  TaskSet ts(4);
+  ts.add(heavy_task());  // 3 cores -> 1 left for the light tasks
+  // Two light tasks that do not fit one core together: U = 0.6 + 0.6.
+  {
+    DagTaskBuilder b("l1");
+    b.add_node(6.0);
+    b.period(10.0);
+    ts.add(b.build());
+  }
+  {
+    DagTaskBuilder b("l2");
+    b.add_node(6.0);
+    b.period(10.0);
+    ts.add(b.build());
+  }
+  const auto r = analyze_federated(ts);
+  EXPECT_FALSE(r.schedulable);
+}
+
+TEST(FederatedTest, LimitedVariantAddsSuspensionCores) {
+  // Heavy blocking task: same shape as heavy_task but children are BC.
+  DagTaskBuilder b("heavyb");
+  b.add_blocking_fork_join(1.0, 1.0, std::vector<util::Time>(10, 1.0));
+  b.period(6.0);
+  TaskSet ts(8);
+  ts.add(b.build());
+
+  const auto classic = analyze_federated(ts);
+  ASSERT_TRUE(classic.schedulable);
+  EXPECT_EQ(classic.per_task[0].cores, 3u);
+
+  FederatedOptions limited;
+  limited.limited_concurrency = true;
+  const auto adapted = analyze_federated(ts, limited);
+  ASSERT_TRUE(adapted.schedulable);
+  EXPECT_EQ(adapted.per_task[0].cores, 4u);  // +b̄ = +1
+}
+
+TEST(FederatedTest, LightBlockingTaskPromoted) {
+  // Classic federated happily serializes a light blocking task — which
+  // would deadlock on one thread. The limited variant promotes it.
+  TaskSet ts(4);
+  ts.add(light_blocking_task("lb", 100.0));
+
+  const auto classic = analyze_federated(ts);
+  EXPECT_TRUE(classic.schedulable);
+  EXPECT_FALSE(classic.per_task[0].dedicated);
+
+  FederatedOptions limited;
+  limited.limited_concurrency = true;
+  const auto adapted = analyze_federated(ts, limited);
+  ASSERT_TRUE(adapted.schedulable);
+  EXPECT_TRUE(adapted.per_task[0].dedicated);
+  EXPECT_EQ(adapted.per_task[0].cores, 2u);  // 1 + b̄ = 2
+}
+
+TEST(FederatedTest, LimitedRequiresMoreCoresOverall) {
+  util::Rng rng(5);
+  gen::TaskSetParams params;
+  params.cores = 8;
+  params.task_count = 4;
+  params.total_utilization = 2.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const TaskSet ts = gen::generate_task_set(params, rng);
+    const auto classic = analyze_federated(ts);
+    FederatedOptions opt;
+    opt.limited_concurrency = true;
+    const auto limited = analyze_federated(ts, opt);
+    // The adaptation can only consume more dedicated cores.
+    EXPECT_GE(limited.dedicated_cores, classic.dedicated_cores);
+  }
+}
+
+}  // namespace
+}  // namespace rtpool::analysis

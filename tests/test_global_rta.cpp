@@ -1,0 +1,231 @@
+// Unit tests for the global response-time analysis of Section 4.1:
+// the [14]-style baseline and the limited-concurrency adaptation (Eq. 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/concurrency.h"
+#include "analysis/global_rta.h"
+#include "gen/taskset_generator.h"
+#include "model/builder.h"
+
+namespace rtpool::analysis {
+namespace {
+
+using model::DagTask;
+using model::DagTaskBuilder;
+using model::NodeId;
+using model::TaskSet;
+
+DagTask one_region_task(util::Time period = 100.0) {
+  DagTaskBuilder b("one");
+  const NodeId pre = b.add_node(1.0);
+  const auto fj = b.add_blocking_fork_join(2.0, 3.0, {4.0, 5.0, 6.0});
+  const NodeId post = b.add_node(1.0);
+  b.add_edge(pre, fj.fork);
+  b.add_edge(fj.join, post);
+  b.period(period);
+  return b.build();
+}
+
+TEST(GlobalRtaTest, SingleTaskBaselineClosedForm) {
+  // Plain fork-join: len = 3, vol = 2 + 3*2 = wait, compute: fork 1, join 1,
+  // three children of 2 each: vol = 8, len = 1+2+1 = 4.
+  TaskSet ts(2);
+  ts.add(model::make_fork_join_task("t", 3, 2.0, 100.0, false)
+             .with_priority(0));
+  // Replace fork/join WCETs: make_fork_join_task uses node_wcet everywhere,
+  // so fork=2, join=2, children=2: vol = 10, len = 6.
+  const auto result = analyze_global(ts);
+  ASSERT_TRUE(result.schedulable);
+  // R = len + (vol - len)/m = 6 + 4/2 = 8.
+  EXPECT_NEAR(result.per_task[0].response_time, 8.0, 1e-9);
+}
+
+TEST(GlobalRtaTest, LimitedConcurrencyDividesByLowerBound) {
+  // one_region_task: vol = 22, len = 13, b̄ = 1.
+  TaskSet ts(3);
+  ts.add(one_region_task());
+  GlobalRtaOptions baseline;
+  const auto base = analyze_global(ts, baseline);
+  ASSERT_TRUE(base.schedulable);
+  EXPECT_NEAR(base.per_task[0].response_time, 13.0 + 9.0 / 3.0, 1e-9);
+
+  GlobalRtaOptions limited;
+  limited.limited_concurrency = true;
+  const auto lim = analyze_global(ts, limited);
+  ASSERT_TRUE(lim.schedulable);
+  EXPECT_EQ(lim.per_task[0].concurrency_bound, 2);
+  EXPECT_NEAR(lim.per_task[0].response_time, 13.0 + 9.0 / 2.0, 1e-9);
+}
+
+TEST(GlobalRtaTest, ZeroLowerBoundIsUnschedulable) {
+  TaskSet ts(1);  // m = 1, b̄ = 1 -> l̄ = 0
+  ts.add(one_region_task());
+  GlobalRtaOptions limited;
+  limited.limited_concurrency = true;
+  const auto result = analyze_global(ts, limited);
+  EXPECT_FALSE(result.schedulable);
+  EXPECT_FALSE(result.per_task[0].schedulable);
+  EXPECT_TRUE(std::isinf(result.per_task[0].response_time));
+  // The baseline happily accepts the same set (the paper's point).
+  EXPECT_TRUE(analyze_global(ts).schedulable);
+}
+
+TEST(GlobalRtaTest, HigherPriorityInterferenceHandComputed) {
+  // tau0 (hp): single node C=2, T=10 -> R0 = 2.
+  // tau1: single node C=3, T=50, m=1.
+  // R1 = 3 + I with I = ceil((R1 + R0 - vol0/1)/10) * 2.
+  TaskSet ts(1);
+  {
+    DagTaskBuilder b("hp");
+    b.add_node(2.0);
+    b.period(10.0).priority(0);
+    ts.add(b.build());
+  }
+  {
+    DagTaskBuilder b("lp");
+    b.add_node(3.0);
+    b.period(50.0).priority(1);
+    ts.add(b.build());
+  }
+  const auto result = analyze_global(ts);
+  ASSERT_TRUE(result.schedulable);
+  EXPECT_NEAR(result.per_task[0].response_time, 2.0, 1e-9);
+  // Fixpoint: R=3 -> I=ceil(3/10)*2=2 -> R=5 -> I=ceil(5/10)*2=2 -> stop.
+  EXPECT_NEAR(result.per_task[1].response_time, 5.0, 1e-9);
+}
+
+TEST(GlobalRtaTest, DivergenceDetected) {
+  // hp task saturates the single core: U = 1; lp can never converge.
+  TaskSet ts(1);
+  {
+    DagTaskBuilder b("hp");
+    b.add_node(10.0);
+    b.period(10.0).priority(0);
+    ts.add(b.build());
+  }
+  {
+    DagTaskBuilder b("lp");
+    b.add_node(1.0);
+    b.period(100.0).priority(1);
+    ts.add(b.build());
+  }
+  const auto result = analyze_global(ts);
+  EXPECT_FALSE(result.schedulable);
+  EXPECT_TRUE(result.per_task[0].schedulable);
+  EXPECT_FALSE(result.per_task[1].schedulable);
+}
+
+TEST(GlobalRtaTest, DistinctPrioritiesRequired) {
+  TaskSet ts(2);
+  ts.add(one_region_task().with_priority(1));
+  ts.add(model::make_fork_join_task("x", 2, 1.0, 60.0, false).with_priority(1));
+  EXPECT_THROW(analyze_global(ts), model::ModelError);
+}
+
+TEST(GlobalRtaTest, CarryInBoundNeverLooser) {
+  util::Rng rng(99);
+  gen::TaskSetParams params;
+  params.cores = 4;
+  params.task_count = 4;
+  params.total_utilization = 2.0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const TaskSet ts = gen::generate_task_set(params, rng);
+    GlobalRtaOptions ceil_opts;
+    ceil_opts.bound = InterferenceBound::kPaperCeil;
+    GlobalRtaOptions carry_opts;
+    carry_opts.bound = InterferenceBound::kMelaniCarryIn;
+    const auto a = analyze_global(ts, ceil_opts);
+    const auto b = analyze_global(ts, carry_opts);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (std::isinf(a.per_task[i].response_time)) continue;
+      EXPECT_LE(b.per_task[i].response_time,
+                a.per_task[i].response_time + 1e-6)
+          << "trial=" << trial << " task=" << i;
+    }
+  }
+}
+
+/// Properties that must hold on arbitrary generated task sets.
+class GlobalRtaPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GlobalRtaPropertyTest, LimitedTestIsNeverMoreOptimistic) {
+  util::Rng rng(GetParam());
+  gen::TaskSetParams params;
+  params.cores = 8;
+  params.task_count = 5;
+  params.total_utilization = 3.5;
+  const TaskSet ts = gen::generate_task_set(params, rng);
+
+  GlobalRtaOptions baseline;
+  GlobalRtaOptions limited;
+  limited.limited_concurrency = true;
+  const auto base = analyze_global(ts, baseline);
+  const auto lim = analyze_global(ts, limited);
+
+  // Limited-concurrency schedulable implies baseline schedulable, and the
+  // limited response bound dominates the baseline bound per task.
+  if (lim.schedulable) {
+    EXPECT_TRUE(base.schedulable) << "seed=" << GetParam();
+  }
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const double rb = base.per_task[i].response_time;
+    const double rl = lim.per_task[i].response_time;
+    if (std::isinf(rl)) continue;  // lim failed, nothing to compare
+    EXPECT_GE(rl + 1e-9, rb) << "seed=" << GetParam() << " task=" << i;
+    EXPECT_GE(rb + 1e-9, ts.task(i).critical_path_length());
+  }
+
+  // Sanity: per-task concurrency bound matches the direct computation.
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(lim.per_task[i].concurrency_bound,
+              available_concurrency_lower_bound(ts.task(i), ts.core_count()));
+  }
+}
+
+TEST_P(GlobalRtaPropertyTest, SustainableUnderWcetReduction) {
+  // Sustainability: uniformly scaling every WCET down (periods unchanged)
+  // can only shrink the response-time bounds — an accepted set stays
+  // accepted. This guards the analysis against anomalies.
+  util::Rng rng(GetParam() + 500);
+  gen::TaskSetParams params;
+  params.cores = 8;
+  params.task_count = 4;
+  params.total_utilization = 3.0;
+  const TaskSet ts = gen::generate_task_set(params, rng);
+
+  // Rebuild with all WCETs scaled by 0.8.
+  TaskSet scaled(ts.core_count());
+  for (const auto& t : ts.tasks()) {
+    graph::Dag dag = t.dag();
+    std::vector<model::Node> nodes;
+    for (model::NodeId v = 0; v < t.node_count(); ++v)
+      nodes.push_back({t.wcet(v) * 0.8, t.type(v)});
+    scaled.add(model::DagTask(t.name(), std::move(dag), std::move(nodes),
+                              t.period(), t.deadline(), t.priority()));
+  }
+
+  for (bool limited : {false, true}) {
+    GlobalRtaOptions opts;
+    opts.limited_concurrency = limited;
+    const auto before = analyze_global(ts, opts);
+    const auto after = analyze_global(scaled, opts);
+    if (before.schedulable) {
+      EXPECT_TRUE(after.schedulable)
+          << "seed=" << GetParam() << " limited=" << limited;
+    }
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (!std::isfinite(before.per_task[i].response_time)) continue;
+      EXPECT_LE(after.per_task[i].response_time,
+                before.per_task[i].response_time + 1e-6)
+          << "seed=" << GetParam() << " task=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobalRtaPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace rtpool::analysis

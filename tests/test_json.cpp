@@ -1,0 +1,117 @@
+// Unit tests for the streaming JSON writer (util/json.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace rtpool::util {
+namespace {
+
+std::string render(const std::function<void(JsonWriter&)>& fn) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  fn(json);
+  return os.str();
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  EXPECT_EQ(render([](JsonWriter& j) { j.begin_object().end_object(); }), "{}");
+  EXPECT_EQ(render([](JsonWriter& j) { j.begin_array().end_array(); }), "[]");
+}
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  const std::string out = render([](JsonWriter& j) {
+    j.begin_object()
+        .kv("s", "hi")
+        .kv("i", std::int64_t{-3})
+        .kv("u", std::uint64_t{7})
+        .kv("d", 2.5)
+        .kv("b", true)
+        .key("n")
+        .null()
+        .end_object();
+  });
+  EXPECT_EQ(out, R"({"s":"hi","i":-3,"u":7,"d":2.5,"b":true,"n":null})");
+}
+
+TEST(JsonWriterTest, NestedContainers) {
+  const std::string out = render([](JsonWriter& j) {
+    j.begin_object().key("a").begin_array();
+    j.value(std::int64_t{1});
+    j.begin_object().kv("x", std::int64_t{2}).end_object();
+    j.begin_array().end_array();
+    j.end_array().end_object();
+  });
+  EXPECT_EQ(out, R"({"a":[1,{"x":2},[]]})");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  const std::string out = render([](JsonWriter& j) {
+    j.value(std::string("quote\" slash\\ nl\n tab\t ctl\x01"));
+  });
+  EXPECT_EQ(out, "\"quote\\\" slash\\\\ nl\\n tab\\t ctl\\u0001\"");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersAsStrings) {
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(INFINITY); }), "\"inf\"");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(-INFINITY); }), "\"-inf\"");
+  EXPECT_EQ(render([](JsonWriter& j) { j.value(NAN); }), "\"nan\"");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripPrecision) {
+  const double v = 0.1 + 0.2;
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.value(v);
+  EXPECT_DOUBLE_EQ(std::stod(os.str()), v);
+}
+
+TEST(JsonWriterTest, CompleteTracking) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  EXPECT_FALSE(json.complete());
+  json.begin_object();
+  EXPECT_FALSE(json.complete());
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+}
+
+TEST(JsonWriterTest, UsageErrors) {
+  {
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.begin_object();
+    EXPECT_THROW(json.value(std::int64_t{1}), std::logic_error);  // no key
+  }
+  {
+    std::ostringstream os;
+    JsonWriter json(os);
+    EXPECT_THROW(json.key("k"), std::logic_error);  // key outside object
+  }
+  {
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.begin_array();
+    EXPECT_THROW(json.end_object(), std::logic_error);  // mismatch
+  }
+  {
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.begin_object().key("k");
+    EXPECT_THROW(json.key("k2"), std::logic_error);  // key after key
+    json.value(std::int64_t{1});
+    json.end_object();
+    EXPECT_THROW(json.value(std::int64_t{2}), std::logic_error);  // 2nd root
+  }
+  {
+    std::ostringstream os;
+    JsonWriter json(os);
+    json.begin_object().key("dangling");
+    EXPECT_THROW(json.end_object(), std::logic_error);
+  }
+}
+
+}  // namespace
+}  // namespace rtpool::util

@@ -1,0 +1,274 @@
+// Unit tests for Algorithm 1 and the worst-fit baseline partitioner.
+#include <gtest/gtest.h>
+
+#include "analysis/deadlock.h"
+#include "analysis/partition.h"
+#include "analysis/partitioned_rta.h"
+#include "gen/taskset_generator.h"
+#include "model/builder.h"
+
+namespace rtpool::analysis {
+namespace {
+
+using model::DagTask;
+using model::DagTaskBuilder;
+using model::NodeId;
+using model::NodeType;
+using model::TaskSet;
+
+DagTask one_region_task(const std::string& name = "one") {
+  DagTaskBuilder b(name);
+  const NodeId pre = b.add_node(1.0);
+  const auto fj = b.add_blocking_fork_join(2.0, 3.0, {4.0, 5.0});
+  b.add_edge(pre, fj.fork);
+  b.period(100.0);
+  return b.build();
+}
+
+struct TwoRegions {
+  DagTask task;
+  NodeId f1, f2;
+};
+
+TwoRegions two_region_task() {
+  DagTaskBuilder b("two");
+  const NodeId src = b.add_node(1.0);
+  const auto r1 = b.add_blocking_fork_join(1.0, 1.0, {2.0, 2.0});
+  const auto r2 = b.add_blocking_fork_join(1.0, 1.0, {2.0, 2.0});
+  const NodeId snk = b.add_node(1.0);
+  b.add_edge(src, r1.fork);
+  b.add_edge(src, r2.fork);
+  b.add_edge(r1.join, snk);
+  b.add_edge(r2.join, snk);
+  b.period(100.0);
+  return {b.build(), r1.fork, r2.fork};
+}
+
+TEST(Algorithm1Test, OneRegionOnTwoThreads) {
+  TaskSet ts(2);
+  ts.add(one_region_task());
+  const auto result = partition_algorithm1(ts);
+  ASSERT_TRUE(result.success()) << result.failure;
+
+  const DagTask& t = ts.task(0);
+  const NodeAssignment& asg = result.partition->per_task[0];
+  ASSERT_EQ(asg.thread_of.size(), t.node_count());
+  // Eq. (3) holds by construction.
+  EXPECT_FALSE(find_eq3_violation(t, asg).has_value());
+  // BF and BJ share the thread (two halves of the same function).
+  const auto& region = t.blocking_regions()[0];
+  EXPECT_EQ(asg.thread_of[region.fork], asg.thread_of[region.join]);
+}
+
+TEST(Algorithm1Test, TwoConcurrentRegionsNeedThreeThreads) {
+  const auto r = two_region_task();
+  {
+    TaskSet ts(2);
+    ts.add(r.task);
+    const auto result = partition_algorithm1(ts);
+    EXPECT_FALSE(result.success());
+    EXPECT_FALSE(result.failure.empty());
+  }
+  {
+    TaskSet ts(3);
+    ts.add(r.task);
+    const auto result = partition_algorithm1(ts);
+    ASSERT_TRUE(result.success()) << result.failure;
+    const NodeAssignment& asg = result.partition->per_task[0];
+    // Mutually concurrent forks must not share a thread.
+    EXPECT_NE(asg.thread_of[r.f1], asg.thread_of[r.f2]);
+    EXPECT_FALSE(find_eq3_violation(r.task, asg).has_value());
+  }
+}
+
+TEST(Algorithm1Test, TaskWithoutBlockingAlwaysSucceeds) {
+  TaskSet ts(1);
+  ts.add(model::make_fork_join_task("plain", 4, 1.0, 100.0, false));
+  EXPECT_TRUE(partition_algorithm1(ts).success());
+}
+
+TEST(Algorithm1Test, CapacityCheckCanFail) {
+  // One node with utilization 2 cannot fit any unit-capacity core.
+  DagTaskBuilder b("heavy");
+  b.add_node(10.0);
+  b.period(5.0);
+  TaskSet ts(2);
+  ts.add(b.build());
+  EXPECT_TRUE(partition_algorithm1(ts).success());  // no capacity check
+  EXPECT_FALSE(
+      partition_algorithm1(ts, TieBreak::kWorstFit, /*capacity_check=*/true)
+          .success());
+}
+
+TEST(Algorithm1Test, WorstFitTieBreakBalancesLoad) {
+  // Many independent NB nodes: worst-fit should spread them evenly.
+  DagTaskBuilder b("wide");
+  const NodeId src = b.add_node(0.0);
+  const NodeId snk = b.add_node(0.0);
+  for (int i = 0; i < 8; ++i) {
+    const NodeId v = b.add_node(10.0);
+    b.add_edge(src, v);
+    b.add_edge(v, snk);
+  }
+  b.period(100.0);
+  TaskSet ts(4);
+  ts.add(b.build());
+  const auto result = partition_algorithm1(ts, TieBreak::kWorstFit);
+  ASSERT_TRUE(result.success());
+  const auto util = result.partition->core_utilization(ts);
+  for (double u : util) EXPECT_NEAR(u, 0.2, 1e-9);  // 80/100 over 4 cores
+}
+
+TEST(Algorithm1Test, FirstFitTieBreakPacksLow) {
+  DagTaskBuilder b("wide");
+  const NodeId src = b.add_node(0.0);
+  const NodeId snk = b.add_node(0.0);
+  for (int i = 0; i < 4; ++i) {
+    const NodeId v = b.add_node(10.0);
+    b.add_edge(src, v);
+    b.add_edge(v, snk);
+  }
+  b.period(100.0);
+  TaskSet ts(4);
+  ts.add(b.build());
+  const auto result = partition_algorithm1(ts, TieBreak::kFirstFit);
+  ASSERT_TRUE(result.success());
+  const auto util = result.partition->core_utilization(ts);
+  // Everything (no blocking constraints) lands on core 0: 4 * 10 / 100.
+  EXPECT_NEAR(util[0], 0.4, 1e-9);
+  EXPECT_NEAR(util[1], 0.0, 1e-9);
+}
+
+TEST(WorstFitTest, BalancesAcrossCores) {
+  TaskSet ts(2);
+  ts.add(one_region_task("a").with_priority(0));
+  ts.add(one_region_task("b").with_priority(1));
+  const auto result = partition_worst_fit(ts);
+  ASSERT_TRUE(result.success());
+  const auto util = result.partition->core_utilization(ts);
+  const double total = util[0] + util[1];
+  EXPECT_NEAR(total, ts.total_utilization(), 1e-9);
+  // Worst-fit decreasing keeps the cores within one node of each other.
+  EXPECT_LT(std::abs(util[0] - util[1]), 0.06);
+}
+
+TEST(WorstFitTest, FusesForkAndJoin) {
+  TaskSet ts(4);
+  ts.add(one_region_task());
+  const auto result = partition_worst_fit(ts);
+  ASSERT_TRUE(result.success());
+  const DagTask& t = ts.task(0);
+  const auto& region = t.blocking_regions()[0];
+  const NodeAssignment& asg = result.partition->per_task[0];
+  EXPECT_EQ(asg.thread_of[region.fork], asg.thread_of[region.join]);
+}
+
+TEST(WorstFitTest, FailsWhenNodeExceedsUnitCapacity) {
+  DagTaskBuilder b("heavy");
+  b.add_node(10.0);
+  b.period(5.0);
+  TaskSet ts(4);
+  ts.add(b.build());
+  EXPECT_FALSE(partition_worst_fit(ts).success());
+}
+
+TEST(PartitionTest, CoreUtilizationSums) {
+  TaskSet ts(3);
+  ts.add(one_region_task("a").with_priority(0));
+  ts.add(model::make_fork_join_task("b", 3, 2.0, 40.0, false).with_priority(1));
+  const auto result = partition_worst_fit(ts);
+  ASSERT_TRUE(result.success());
+  const auto util = result.partition->core_utilization(ts);
+  double total = 0.0;
+  for (double u : util) total += u;
+  EXPECT_NEAR(total, ts.total_utilization(), 1e-9);
+}
+
+TEST(RandomizedAlg1Test, MatchesDeterministicOnEasySets) {
+  TaskSet ts(2);
+  ts.add(one_region_task());
+  util::Rng rng(1);
+  const auto result = partition_algorithm1_randomized(ts, rng, 8);
+  ASSERT_TRUE(result.success());
+  EXPECT_FALSE(find_eq3_violation(ts.task(0), result.partition->per_task[0])
+                   .has_value());
+}
+
+TEST(RandomizedAlg1Test, FailsWhereAlgorithm1MustFail) {
+  // Two concurrent regions on two threads: no restart can help (line 9
+  // failures are structural, independent of the tie-break).
+  const auto r = two_region_task();
+  TaskSet ts(2);
+  ts.add(r.task);
+  util::Rng rng(2);
+  const auto result = partition_algorithm1_randomized(ts, rng, 32);
+  EXPECT_FALSE(result.success());
+  EXPECT_FALSE(result.failure.empty());
+}
+
+TEST(RandomizedAlg1Test, MinResponseObjectiveNeverWorseThanWorstFit) {
+  util::Rng gen_rng(77);
+  gen::TaskSetParams params;
+  params.cores = 6;
+  params.task_count = 3;
+  params.total_utilization = 1.5;
+  int compared = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const TaskSet ts = gen::generate_task_set(params, gen_rng);
+    const auto det = partition_algorithm1(ts);
+    if (!det.success()) continue;
+    const auto det_rta = analyze_partitioned(ts, *det.partition);
+
+    util::Rng rng(trial + 1);
+    const auto rnd = partition_algorithm1_randomized(
+        ts, rng, 16, RandomizedObjective::kMinResponse);
+    ASSERT_TRUE(rnd.success());
+    const auto rnd_rta = analyze_partitioned(ts, *rnd.partition);
+
+    auto worst = [&](const analysis::PartitionedRtaResult& rta) {
+      double w = 0.0;
+      for (std::size_t i = 0; i < ts.size(); ++i)
+        w = std::max(w, rta.per_task[i].response_time / ts.task(i).deadline());
+      return w;
+    };
+    EXPECT_LE(worst(rnd_rta), worst(det_rta) + 1e-9) << "trial=" << trial;
+    ++compared;
+    // The randomized result must still satisfy Eq. (3) everywhere.
+    for (std::size_t i = 0; i < ts.size(); ++i)
+      EXPECT_FALSE(
+          find_eq3_violation(ts.task(i), rnd.partition->per_task[i]).has_value());
+  }
+  EXPECT_GT(compared, 0);
+}
+
+/// Property: whenever Algorithm 1 succeeds, Eq. (3) holds for every task
+/// (that is the algorithm's entire point), and every BJ sits with its BF.
+class Algorithm1PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Algorithm1PropertyTest, SuccessImpliesEq3) {
+  util::Rng rng(GetParam());
+  gen::TaskSetParams params;
+  params.cores = 8;
+  params.task_count = 4;
+  params.total_utilization = 3.0;
+  model::TaskSet ts = gen::generate_task_set(params, rng);
+
+  const auto result = partition_algorithm1(ts);
+  if (!result.success()) return;  // failure is a legitimate outcome
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const DagTask& t = ts.task(i);
+    const NodeAssignment& asg = result.partition->per_task[i];
+    EXPECT_FALSE(find_eq3_violation(t, asg).has_value())
+        << "seed=" << GetParam() << " task=" << i;
+    for (const auto& region : t.blocking_regions())
+      EXPECT_EQ(asg.thread_of[region.fork], asg.thread_of[region.join]);
+    for (NodeId v = 0; v < t.node_count(); ++v)
+      EXPECT_LT(asg.thread_of[v], ts.core_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Algorithm1PropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace rtpool::analysis
