@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_lmax.dir/fig2_lmax.cpp.o"
+  "CMakeFiles/fig2_lmax.dir/fig2_lmax.cpp.o.d"
+  "fig2_lmax"
+  "fig2_lmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

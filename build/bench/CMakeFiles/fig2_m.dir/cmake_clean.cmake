@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_m.dir/fig2_m.cpp.o"
+  "CMakeFiles/fig2_m.dir/fig2_m.cpp.o.d"
+  "fig2_m"
+  "fig2_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

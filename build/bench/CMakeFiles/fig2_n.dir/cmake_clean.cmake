@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_n.dir/fig2_n.cpp.o"
+  "CMakeFiles/fig2_n.dir/fig2_n.cpp.o.d"
+  "fig2_n"
+  "fig2_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gap_analysis.dir/gap_analysis.cpp.o"
+  "CMakeFiles/gap_analysis.dir/gap_analysis.cpp.o.d"
+  "gap_analysis"
+  "gap_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gap_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

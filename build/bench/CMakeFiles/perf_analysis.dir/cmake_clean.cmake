@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_analysis.dir/perf_analysis.cpp.o"
+  "CMakeFiles/perf_analysis.dir/perf_analysis.cpp.o.d"
+  "perf_analysis"
+  "perf_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

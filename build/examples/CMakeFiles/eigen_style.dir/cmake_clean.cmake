@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eigen_style.dir/eigen_style.cpp.o"
+  "CMakeFiles/eigen_style.dir/eigen_style.cpp.o.d"
+  "eigen_style"
+  "eigen_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eigen_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/partitioning_demo.cpp" "examples/CMakeFiles/partitioning_demo.dir/partitioning_demo.cpp.o" "gcc" "examples/CMakeFiles/partitioning_demo.dir/partitioning_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/rtpool_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/rtpool_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/rtpool_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtpool_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rtpool_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rtpool_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtpool_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtpool_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioning_demo.dir/partitioning_demo.cpp.o"
+  "CMakeFiles/partitioning_demo.dir/partitioning_demo.cpp.o.d"
+  "partitioning_demo"
+  "partitioning_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioning_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpool_cli.dir/rtpool_cli.cpp.o"
+  "CMakeFiles/rtpool_cli.dir/rtpool_cli.cpp.o.d"
+  "rtpool_cli"
+  "rtpool_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpool_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/antichain.cpp" "src/analysis/CMakeFiles/rtpool_analysis.dir/antichain.cpp.o" "gcc" "src/analysis/CMakeFiles/rtpool_analysis.dir/antichain.cpp.o.d"
+  "/root/repo/src/analysis/concurrency.cpp" "src/analysis/CMakeFiles/rtpool_analysis.dir/concurrency.cpp.o" "gcc" "src/analysis/CMakeFiles/rtpool_analysis.dir/concurrency.cpp.o.d"
+  "/root/repo/src/analysis/deadlock.cpp" "src/analysis/CMakeFiles/rtpool_analysis.dir/deadlock.cpp.o" "gcc" "src/analysis/CMakeFiles/rtpool_analysis.dir/deadlock.cpp.o.d"
+  "/root/repo/src/analysis/federated.cpp" "src/analysis/CMakeFiles/rtpool_analysis.dir/federated.cpp.o" "gcc" "src/analysis/CMakeFiles/rtpool_analysis.dir/federated.cpp.o.d"
+  "/root/repo/src/analysis/global_rta.cpp" "src/analysis/CMakeFiles/rtpool_analysis.dir/global_rta.cpp.o" "gcc" "src/analysis/CMakeFiles/rtpool_analysis.dir/global_rta.cpp.o.d"
+  "/root/repo/src/analysis/partition.cpp" "src/analysis/CMakeFiles/rtpool_analysis.dir/partition.cpp.o" "gcc" "src/analysis/CMakeFiles/rtpool_analysis.dir/partition.cpp.o.d"
+  "/root/repo/src/analysis/partitioned_rta.cpp" "src/analysis/CMakeFiles/rtpool_analysis.dir/partitioned_rta.cpp.o" "gcc" "src/analysis/CMakeFiles/rtpool_analysis.dir/partitioned_rta.cpp.o.d"
+  "/root/repo/src/analysis/priority_assignment.cpp" "src/analysis/CMakeFiles/rtpool_analysis.dir/priority_assignment.cpp.o" "gcc" "src/analysis/CMakeFiles/rtpool_analysis.dir/priority_assignment.cpp.o.d"
+  "/root/repo/src/analysis/sensitivity.cpp" "src/analysis/CMakeFiles/rtpool_analysis.dir/sensitivity.cpp.o" "gcc" "src/analysis/CMakeFiles/rtpool_analysis.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/rtpool_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtpool_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtpool_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

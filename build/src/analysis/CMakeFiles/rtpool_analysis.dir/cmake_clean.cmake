@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpool_analysis.dir/antichain.cpp.o"
+  "CMakeFiles/rtpool_analysis.dir/antichain.cpp.o.d"
+  "CMakeFiles/rtpool_analysis.dir/concurrency.cpp.o"
+  "CMakeFiles/rtpool_analysis.dir/concurrency.cpp.o.d"
+  "CMakeFiles/rtpool_analysis.dir/deadlock.cpp.o"
+  "CMakeFiles/rtpool_analysis.dir/deadlock.cpp.o.d"
+  "CMakeFiles/rtpool_analysis.dir/federated.cpp.o"
+  "CMakeFiles/rtpool_analysis.dir/federated.cpp.o.d"
+  "CMakeFiles/rtpool_analysis.dir/global_rta.cpp.o"
+  "CMakeFiles/rtpool_analysis.dir/global_rta.cpp.o.d"
+  "CMakeFiles/rtpool_analysis.dir/partition.cpp.o"
+  "CMakeFiles/rtpool_analysis.dir/partition.cpp.o.d"
+  "CMakeFiles/rtpool_analysis.dir/partitioned_rta.cpp.o"
+  "CMakeFiles/rtpool_analysis.dir/partitioned_rta.cpp.o.d"
+  "CMakeFiles/rtpool_analysis.dir/priority_assignment.cpp.o"
+  "CMakeFiles/rtpool_analysis.dir/priority_assignment.cpp.o.d"
+  "CMakeFiles/rtpool_analysis.dir/sensitivity.cpp.o"
+  "CMakeFiles/rtpool_analysis.dir/sensitivity.cpp.o.d"
+  "librtpool_analysis.a"
+  "librtpool_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpool_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpool_exec.dir/graph_executor.cpp.o"
+  "CMakeFiles/rtpool_exec.dir/graph_executor.cpp.o.d"
+  "CMakeFiles/rtpool_exec.dir/parallel_for.cpp.o"
+  "CMakeFiles/rtpool_exec.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/rtpool_exec.dir/thread_pool.cpp.o"
+  "CMakeFiles/rtpool_exec.dir/thread_pool.cpp.o.d"
+  "librtpool_exec.a"
+  "librtpool_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpool_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpool_exp.dir/necessity.cpp.o"
+  "CMakeFiles/rtpool_exp.dir/necessity.cpp.o.d"
+  "CMakeFiles/rtpool_exp.dir/report.cpp.o"
+  "CMakeFiles/rtpool_exp.dir/report.cpp.o.d"
+  "CMakeFiles/rtpool_exp.dir/report_json.cpp.o"
+  "CMakeFiles/rtpool_exp.dir/report_json.cpp.o.d"
+  "CMakeFiles/rtpool_exp.dir/schedulability.cpp.o"
+  "CMakeFiles/rtpool_exp.dir/schedulability.cpp.o.d"
+  "librtpool_exp.a"
+  "librtpool_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpool_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

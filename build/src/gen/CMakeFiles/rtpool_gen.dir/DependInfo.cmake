@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/nfj_generator.cpp" "src/gen/CMakeFiles/rtpool_gen.dir/nfj_generator.cpp.o" "gcc" "src/gen/CMakeFiles/rtpool_gen.dir/nfj_generator.cpp.o.d"
+  "/root/repo/src/gen/taskset_generator.cpp" "src/gen/CMakeFiles/rtpool_gen.dir/taskset_generator.cpp.o" "gcc" "src/gen/CMakeFiles/rtpool_gen.dir/taskset_generator.cpp.o.d"
+  "/root/repo/src/gen/topologies.cpp" "src/gen/CMakeFiles/rtpool_gen.dir/topologies.cpp.o" "gcc" "src/gen/CMakeFiles/rtpool_gen.dir/topologies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/rtpool_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rtpool_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtpool_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtpool_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

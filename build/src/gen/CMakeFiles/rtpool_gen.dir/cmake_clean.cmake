@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpool_gen.dir/nfj_generator.cpp.o"
+  "CMakeFiles/rtpool_gen.dir/nfj_generator.cpp.o.d"
+  "CMakeFiles/rtpool_gen.dir/taskset_generator.cpp.o"
+  "CMakeFiles/rtpool_gen.dir/taskset_generator.cpp.o.d"
+  "CMakeFiles/rtpool_gen.dir/topologies.cpp.o"
+  "CMakeFiles/rtpool_gen.dir/topologies.cpp.o.d"
+  "librtpool_gen.a"
+  "librtpool_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpool_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpool_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/rtpool_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/rtpool_graph.dir/dag.cpp.o"
+  "CMakeFiles/rtpool_graph.dir/dag.cpp.o.d"
+  "CMakeFiles/rtpool_graph.dir/dot.cpp.o"
+  "CMakeFiles/rtpool_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/rtpool_graph.dir/reachability.cpp.o"
+  "CMakeFiles/rtpool_graph.dir/reachability.cpp.o.d"
+  "librtpool_graph.a"
+  "librtpool_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpool_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

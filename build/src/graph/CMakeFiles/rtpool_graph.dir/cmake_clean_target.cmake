@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtpool_graph.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/builder.cpp" "src/model/CMakeFiles/rtpool_model.dir/builder.cpp.o" "gcc" "src/model/CMakeFiles/rtpool_model.dir/builder.cpp.o.d"
+  "/root/repo/src/model/dag_task.cpp" "src/model/CMakeFiles/rtpool_model.dir/dag_task.cpp.o" "gcc" "src/model/CMakeFiles/rtpool_model.dir/dag_task.cpp.o.d"
+  "/root/repo/src/model/io.cpp" "src/model/CMakeFiles/rtpool_model.dir/io.cpp.o" "gcc" "src/model/CMakeFiles/rtpool_model.dir/io.cpp.o.d"
+  "/root/repo/src/model/node.cpp" "src/model/CMakeFiles/rtpool_model.dir/node.cpp.o" "gcc" "src/model/CMakeFiles/rtpool_model.dir/node.cpp.o.d"
+  "/root/repo/src/model/task_set.cpp" "src/model/CMakeFiles/rtpool_model.dir/task_set.cpp.o" "gcc" "src/model/CMakeFiles/rtpool_model.dir/task_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rtpool_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtpool_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

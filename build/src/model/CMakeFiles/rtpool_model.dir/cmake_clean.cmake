@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpool_model.dir/builder.cpp.o"
+  "CMakeFiles/rtpool_model.dir/builder.cpp.o.d"
+  "CMakeFiles/rtpool_model.dir/dag_task.cpp.o"
+  "CMakeFiles/rtpool_model.dir/dag_task.cpp.o.d"
+  "CMakeFiles/rtpool_model.dir/io.cpp.o"
+  "CMakeFiles/rtpool_model.dir/io.cpp.o.d"
+  "CMakeFiles/rtpool_model.dir/node.cpp.o"
+  "CMakeFiles/rtpool_model.dir/node.cpp.o.d"
+  "CMakeFiles/rtpool_model.dir/task_set.cpp.o"
+  "CMakeFiles/rtpool_model.dir/task_set.cpp.o.d"
+  "librtpool_model.a"
+  "librtpool_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpool_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/rtpool_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/rtpool_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/rtpool_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/rtpool_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/trace_json.cpp" "src/sim/CMakeFiles/rtpool_sim.dir/trace_json.cpp.o" "gcc" "src/sim/CMakeFiles/rtpool_sim.dir/trace_json.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/rtpool_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/rtpool_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rtpool_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtpool_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpool_sim.dir/engine.cpp.o"
+  "CMakeFiles/rtpool_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/rtpool_sim.dir/gantt.cpp.o"
+  "CMakeFiles/rtpool_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/rtpool_sim.dir/trace_json.cpp.o"
+  "CMakeFiles/rtpool_sim.dir/trace_json.cpp.o.d"
+  "librtpool_sim.a"
+  "librtpool_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpool_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

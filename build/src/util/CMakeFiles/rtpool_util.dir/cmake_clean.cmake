@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtpool_util.dir/args.cpp.o"
+  "CMakeFiles/rtpool_util.dir/args.cpp.o.d"
+  "CMakeFiles/rtpool_util.dir/bitset.cpp.o"
+  "CMakeFiles/rtpool_util.dir/bitset.cpp.o.d"
+  "CMakeFiles/rtpool_util.dir/csv.cpp.o"
+  "CMakeFiles/rtpool_util.dir/csv.cpp.o.d"
+  "CMakeFiles/rtpool_util.dir/json.cpp.o"
+  "CMakeFiles/rtpool_util.dir/json.cpp.o.d"
+  "CMakeFiles/rtpool_util.dir/rng.cpp.o"
+  "CMakeFiles/rtpool_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rtpool_util.dir/stats.cpp.o"
+  "CMakeFiles/rtpool_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rtpool_util.dir/uunifast.cpp.o"
+  "CMakeFiles/rtpool_util.dir/uunifast.cpp.o.d"
+  "librtpool_util.a"
+  "librtpool_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtpool_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_antichain.dir/test_antichain.cpp.o"
+  "CMakeFiles/test_antichain.dir/test_antichain.cpp.o.d"
+  "test_antichain"
+  "test_antichain.pdb"
+  "test_antichain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_antichain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

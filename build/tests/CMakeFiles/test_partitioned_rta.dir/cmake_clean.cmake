@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioned_rta.dir/test_partitioned_rta.cpp.o"
+  "CMakeFiles/test_partitioned_rta.dir/test_partitioned_rta.cpp.o.d"
+  "test_partitioned_rta"
+  "test_partitioned_rta.pdb"
+  "test_partitioned_rta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioned_rta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority_assignment.dir/test_priority_assignment.cpp.o"
+  "CMakeFiles/test_priority_assignment.dir/test_priority_assignment.cpp.o.d"
+  "test_priority_assignment"
+  "test_priority_assignment.pdb"
+  "test_priority_assignment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

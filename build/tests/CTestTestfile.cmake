@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_model_io[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrency[1]_include.cmake")
+include("/root/repo/build/tests/test_antichain[1]_include.cmake")
+include("/root/repo/build/tests/test_federated[1]_include.cmake")
+include("/root/repo/build/tests/test_deadlock[1]_include.cmake")
+include("/root/repo/build/tests/test_partition[1]_include.cmake")
+include("/root/repo/build/tests/test_global_rta[1]_include.cmake")
+include("/root/repo/build/tests/test_partitioned_rta[1]_include.cmake")
+include("/root/repo/build/tests/test_priority_assignment[1]_include.cmake")
+include("/root/repo/build/tests/test_sensitivity[1]_include.cmake")
+include("/root/repo/build/tests/test_generator[1]_include.cmake")
+include("/root/repo/build/tests/test_topologies[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_exec[1]_include.cmake")
+include("/root/repo/build/tests/test_exp[1]_include.cmake")
+include("/root/repo/build/tests/test_validation[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
