@@ -66,9 +66,15 @@ int main() {
 
   // --- 5. Export the DAG for documentation ---------------------------------
   std::vector<std::string> labels;
-  for (model::NodeId v = 0; v < task.node_count(); ++v)
-    labels.push_back("v" + std::to_string(v + 1) + ":" +
-                     model::to_string(task.type(v)));
+  for (model::NodeId v = 0; v < task.node_count(); ++v) {
+    // Built with += (not chained operator+): GCC 12's -Wrestrict reports a
+    // false positive on the temporary chain at -O2.
+    std::string label = "v";
+    label += std::to_string(v + 1);
+    label += ':';
+    label += model::to_string(task.type(v));
+    labels.push_back(std::move(label));
+  }
   std::printf("%s", graph::to_dot(task.dag(), labels, "fig1a").c_str());
   return 0;
 }

@@ -24,6 +24,51 @@ class BipartiteMatcher {
     return matched;
   }
 
+  /// König's theorem: the minimum vertex cover of the bipartite graph,
+  /// derived from a maximum matching (call max_matching() first) via the
+  /// alternating-path reachable set Z: cover = (L \ Z_L) ∪ (R ∩ Z_R).
+  /// Returns per-side membership flags.
+  struct VertexCover {
+    std::vector<bool> left;
+    std::vector<bool> right;
+  };
+  VertexCover min_vertex_cover() const {
+    const std::size_t nl = adj_.size();
+    const std::size_t nr = match_right_.size();
+    std::vector<bool> matched_left(nl, false);
+    for (std::size_t v = 0; v < nr; ++v)
+      if (match_right_[v] != kFree) matched_left[match_right_[v]] = true;
+
+    // BFS over alternating paths: left → right along non-matching edges,
+    // right → left along matching edges, seeded at unmatched left vertices.
+    std::vector<bool> z_left(nl, false);
+    std::vector<bool> z_right(nr, false);
+    std::vector<std::size_t> frontier;
+    for (std::size_t u = 0; u < nl; ++u)
+      if (!matched_left[u]) {
+        z_left[u] = true;
+        frontier.push_back(u);
+      }
+    while (!frontier.empty()) {
+      const std::size_t u = frontier.back();
+      frontier.pop_back();
+      for (std::size_t v : adj_[u]) {
+        if (z_right[v] || match_right_[v] == u) continue;
+        z_right[v] = true;
+        const std::size_t w = match_right_[v];
+        if (w != kFree && !z_left[w]) {
+          z_left[w] = true;
+          frontier.push_back(w);
+        }
+      }
+    }
+
+    VertexCover cover{std::vector<bool>(nl, false), std::vector<bool>(nr, false)};
+    for (std::size_t u = 0; u < nl; ++u) cover.left[u] = !z_left[u];
+    for (std::size_t v = 0; v < nr; ++v) cover.right[v] = z_right[v];
+    return cover;
+  }
+
  private:
   static constexpr std::size_t kFree = static_cast<std::size_t>(-1);
 
@@ -44,18 +89,19 @@ class BipartiteMatcher {
   std::vector<bool> visited_;
 };
 
-}  // namespace
-
-std::size_t max_simultaneous_suspensions(const model::DagTask& task) {
+std::vector<model::NodeId> blocking_forks(const model::DagTask& task) {
   std::vector<model::NodeId> forks;
   for (const model::BlockingRegion& r : task.blocking_regions())
     forks.push_back(r.fork);
-  const std::size_t k = forks.size();
-  if (k <= 1) return k;
+  return forks;
+}
 
-  // Dilworth via Fulkerson: min chain cover of the BF poset = k − maximum
-  // matching in the bipartite graph with an edge (i -> j) per comparable
-  // ordered pair fork_i ≺ fork_j; max antichain = min chain cover.
+/// Dilworth via Fulkerson: one bipartite vertex pair per fork, an edge
+/// (i -> j) per comparable ordered pair fork_i ≺ fork_j; min chain cover of
+/// the BF poset = k − maximum matching = max antichain.
+BipartiteMatcher comparability_matcher(const model::DagTask& task,
+                                       const std::vector<model::NodeId>& forks) {
+  const std::size_t k = forks.size();
   const graph::Reachability& reach = task.reachability();
   BipartiteMatcher matcher(k, k);
   for (std::size_t i = 0; i < k; ++i) {
@@ -63,7 +109,32 @@ std::size_t max_simultaneous_suspensions(const model::DagTask& task) {
       if (i != j && reach.reaches(forks[i], forks[j])) matcher.add_edge(i, j);
     }
   }
-  return k - matcher.max_matching();
+  return matcher;
+}
+
+}  // namespace
+
+std::size_t max_simultaneous_suspensions(const model::DagTask& task) {
+  const auto forks = blocking_forks(task);
+  if (forks.size() <= 1) return forks.size();
+  BipartiteMatcher matcher = comparability_matcher(task, forks);
+  return forks.size() - matcher.max_matching();
+}
+
+std::vector<model::NodeId> max_simultaneous_suspension_set(const model::DagTask& task) {
+  const auto forks = blocking_forks(task);
+  if (forks.size() <= 1) return forks;
+  BipartiteMatcher matcher = comparability_matcher(task, forks);
+  matcher.max_matching();
+  const auto cover = matcher.min_vertex_cover();
+
+  // Fulkerson's correspondence: fork i belongs to the maximum antichain iff
+  // neither of its two bipartite copies is in the minimum vertex cover (any
+  // comparable pair would otherwise leave an edge uncovered).
+  std::vector<model::NodeId> antichain;
+  for (std::size_t i = 0; i < forks.size(); ++i)
+    if (!cover.left[i] && !cover.right[i]) antichain.push_back(forks[i]);
+  return antichain;
 }
 
 long available_concurrency_lower_bound_antichain(const model::DagTask& task,

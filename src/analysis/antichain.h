@@ -38,6 +38,14 @@ namespace rtpool::analysis {
 /// 0 for tasks without blocking forks.
 std::size_t max_simultaneous_suspensions(const model::DagTask& task);
 
+/// The members of one maximum antichain of BF nodes, ascending by id:
+/// a concrete set of pairwise-concurrent forks that can all be suspended
+/// simultaneously. Size equals max_simultaneous_suspensions(). Extracted
+/// from the minimum vertex cover of the comparability graph (König's
+/// theorem applied to the Fulkerson reduction); used by the deadlock
+/// wait-for-cycle witness (lint rule RTP-L2).
+std::vector<model::NodeId> max_simultaneous_suspension_set(const model::DagTask& task);
+
 /// Refined lower bound l̄'(τ) = m − maxAntichain(BF(τ)); always >= the
 /// Section 3.1 bound available_concurrency_lower_bound().
 long available_concurrency_lower_bound_antichain(const model::DagTask& task,

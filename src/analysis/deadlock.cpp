@@ -1,8 +1,109 @@
 #include "analysis/deadlock.h"
 
+#include <sstream>
+
+#include "analysis/antichain.h"
 #include "analysis/concurrency.h"
 
 namespace rtpool::analysis {
+
+namespace {
+
+std::string join_node_list(const std::vector<model::NodeId>& nodes,
+                           const char* separator) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i != 0) os << separator;
+    os << nodes[i];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<BlockingChainWitness> find_lemma1_witness(const model::DagTask& task,
+                                                        std::size_t pool_size) {
+  // Pivot = the node v* achieving b̄(τ) = max_v |X(v)|; the chain is X(v*).
+  BlockingChainWitness witness{0, {}, pool_size};
+  std::size_t best = 0;
+  for (model::NodeId v = 0; v < task.node_count(); ++v) {
+    const util::DynamicBitset x = affecting_blocking_forks(task, v);
+    const std::size_t count = x.count();
+    if (count > best) {
+      best = count;
+      witness.pivot = v;
+      witness.forks.clear();
+      x.for_each([&](std::size_t f) {
+        witness.forks.push_back(static_cast<model::NodeId>(f));
+      });
+    }
+  }
+  if (best < pool_size) return std::nullopt;
+  return witness;
+}
+
+std::string describe(const BlockingChainWitness& witness, const std::string& task_name) {
+  std::ostringstream os;
+  os << task_name << ": node " << witness.pivot << " can wait behind "
+     << witness.forks.size() << " simultaneously suspended BF node"
+     << (witness.forks.size() == 1 ? "" : "s") << " {"
+     << join_node_list(witness.forks, ", ") << "} exhausting a pool of "
+     << witness.pool_size << " thread" << (witness.pool_size == 1 ? "" : "s");
+  return os.str();
+}
+
+std::optional<WaitForCycle> find_wait_for_cycle(const model::DagTask& task,
+                                                std::size_t pool_size) {
+  std::vector<model::NodeId> antichain = max_simultaneous_suspension_set(task);
+  if (antichain.size() < pool_size || pool_size == 0) return std::nullopt;
+  antichain.resize(pool_size);  // m forks suffice to close the cycle
+  return WaitForCycle{std::move(antichain), pool_size};
+}
+
+std::string describe(const WaitForCycle& cycle, const std::string& task_name) {
+  std::ostringstream os;
+  os << task_name << ": wait-for cycle on the WC graph: BF "
+     << join_node_list(cycle.forks, " -> BF ") << " -> BF " << cycle.forks.front()
+     << " (" << cycle.forks.size() << " pairwise-concurrent forks hold all "
+     << cycle.pool_size << " threads while each waits for the next)";
+  return os.str();
+}
+
+std::vector<Eq3Violation> find_eq3_violations(const model::DagTask& task,
+                                              const NodeAssignment& assignment) {
+  if (assignment.thread_of.size() != task.node_count())
+    throw std::invalid_argument("find_eq3_violations: assignment size mismatch");
+
+  std::vector<Eq3Violation> violations;
+  for (model::NodeId v = 0; v < task.node_count(); ++v) {
+    if (task.type(v) != model::NodeType::BC) continue;
+    const ThreadId own = assignment.thread_of[v];
+    // P(v): threads hosting a node of C(v) ∪ {F(v)}.
+    const util::DynamicBitset dangerous = affecting_blocking_forks(task, v);
+    bool hit = false;
+    dangerous.for_each([&](std::size_t f) {
+      if (!hit && assignment.thread_of[f] == own) {
+        hit = true;
+        violations.push_back(Eq3Violation{v, static_cast<model::NodeId>(f), own});
+      }
+    });
+  }
+  return violations;
+}
+
+std::optional<Eq3Violation> find_eq3_violation(const model::DagTask& task,
+                                               const NodeAssignment& assignment) {
+  const std::vector<Eq3Violation> all = find_eq3_violations(task, assignment);
+  if (all.empty()) return std::nullopt;
+  return all.front();
+}
+
+std::string describe(const Eq3Violation& violation, const std::string& task_name) {
+  return task_name + ": BC node " + std::to_string(violation.bc_node) +
+         " shares thread " + std::to_string(violation.thread) +
+         " with dangerous BF " + std::to_string(violation.fork) +
+         " (Eq. (3) violated)";
+}
 
 DeadlockCheck check_deadlock_free_global(const model::DagTask& task,
                                          std::size_t pool_size) {
@@ -10,33 +111,10 @@ DeadlockCheck check_deadlock_free_global(const model::DagTask& task,
   check.max_forks = max_affecting_forks(task);
   check.concurrency_bound =
       static_cast<long>(pool_size) - static_cast<long>(check.max_forks);
-  check.deadlock_free = check.concurrency_bound > 0;
-  if (!check.deadlock_free) {
-    check.witness = task.name() + ": up to " + std::to_string(check.max_forks) +
-                    " concurrently suspended BF nodes can exhaust a pool of " +
-                    std::to_string(pool_size) + " threads";
-  }
+  const auto witness = find_lemma1_witness(task, pool_size);
+  check.deadlock_free = !witness.has_value();
+  if (witness.has_value()) check.witness = describe(*witness, task.name());
   return check;
-}
-
-std::optional<Eq3Violation> find_eq3_violation(const model::DagTask& task,
-                                               const NodeAssignment& assignment) {
-  if (assignment.thread_of.size() != task.node_count())
-    throw std::invalid_argument("find_eq3_violation: assignment size mismatch");
-
-  for (model::NodeId v = 0; v < task.node_count(); ++v) {
-    if (task.type(v) != model::NodeType::BC) continue;
-    const ThreadId own = assignment.thread_of[v];
-    // P(v): threads hosting a node of C(v) ∪ {F(v)}.
-    const util::DynamicBitset dangerous = affecting_blocking_forks(task, v);
-    std::optional<Eq3Violation> hit;
-    dangerous.for_each([&](std::size_t f) {
-      if (!hit.has_value() && assignment.thread_of[f] == own)
-        hit = Eq3Violation{v, static_cast<model::NodeId>(f), own};
-    });
-    if (hit.has_value()) return hit;
-  }
-  return std::nullopt;
 }
 
 DeadlockCheck check_deadlock_free_partitioned(const model::DagTask& task,
@@ -47,10 +125,7 @@ DeadlockCheck check_deadlock_free_partitioned(const model::DagTask& task,
 
   if (const auto violation = find_eq3_violation(task, assignment)) {
     check.deadlock_free = false;
-    check.witness = task.name() + ": BC node " + std::to_string(violation->bc_node) +
-                    " shares thread " + std::to_string(violation->thread) +
-                    " with dangerous BF " + std::to_string(violation->fork) +
-                    " (Eq. (3) violated)";
+    check.witness = describe(*violation, task.name());
   }
   return check;
 }

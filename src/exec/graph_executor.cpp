@@ -1,10 +1,10 @@
 #include "exec/graph_executor.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
+
+#include "util/thread_annotations.h"
 
 namespace rtpool::exec {
 
@@ -54,14 +54,14 @@ struct RunState : std::enable_shared_from_this<RunState> {
   std::vector<std::atomic<int>> preds_left;
   std::atomic<std::size_t> executed;
 
-  std::mutex mutex;
-  std::condition_variable barrier_cv;  ///< Signalled when any region completes.
-  std::condition_variable done_cv;     ///< Signalled when the sink completes.
-  bool done = false;
-  bool cancelled = false;
+  util::Mutex mutex;
+  util::CondVar barrier_cv;  ///< Signalled when any region completes.
+  util::CondVar done_cv;     ///< Signalled when the sink completes.
+  bool done RTPOOL_GUARDED_BY(mutex) = false;
+  bool cancelled RTPOOL_GUARDED_BY(mutex) = false;
 
-  bool is_cancelled() {
-    std::lock_guard lock(mutex);
+  bool is_cancelled() RTPOOL_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
     return cancelled;
   }
 
@@ -82,30 +82,45 @@ struct RunState : std::enable_shared_from_this<RunState> {
   /// Mark v complete; release/submit its successors.
   void complete(NodeId v) {
     if (v == task.sink()) {
-      std::lock_guard lock(mutex);
+      util::MutexLock lock(mutex);
       done = true;
       done_cv.notify_all();
       return;
     }
+    std::vector<NodeId> ready;
     for (NodeId w : task.dag().successors(v)) {
       if (preds_left[w].fetch_sub(1, std::memory_order_acq_rel) != 1) continue;
       if (blocking && task.type(w) == NodeType::BJ) {
         // The barrier of w's region is now open: wake the waiting fork.
-        std::lock_guard lock(mutex);
+        util::MutexLock lock(mutex);
         barrier_cv.notify_all();
       } else {
-        submit_node(w);
+        ready.push_back(w);
       }
     }
+    if (ready.size() > 1 && pool.mode() == ThreadPool::QueueMode::kShared) {
+      // Release simultaneously-ready successors atomically: a precedence
+      // constraint opening must not expose a partially-submitted state, or
+      // scheduling outcomes (e.g. which forks overlap) depend on preemption
+      // between the individual submits.
+      std::vector<std::function<void()>> batch;
+      batch.reserve(ready.size());
+      for (NodeId w : ready) batch.push_back(make_closure(w));
+      pool.submit_batch(std::move(batch));
+      return;
+    }
+    for (NodeId w : ready) submit_node(w);
   }
 
-  void submit_node(NodeId v) {
+  void submit_node(NodeId v) { dispatch(v, make_closure(v)); }
+
+  std::function<void()> make_closure(NodeId v) {
     auto self = shared_from_this();
 
     if (blocking && task.type(v) == NodeType::BF) {
       // Listing 1: one function runs fork body, spawns, waits, runs join.
       const NodeId join = task.join_of(v);
-      dispatch(v, [self, v, join] {
+      return [self, v, join] {
         if (self->is_cancelled()) return;
         self->execute_node(v);
         self->complete(v);  // releases the children (and maybe the barrier)
@@ -113,24 +128,22 @@ struct RunState : std::enable_shared_from_this<RunState> {
           // Wait for the region on a condition variable: the worker is
           // suspended and unavailable — the paper's reduced concurrency.
           ThreadPool::BlockedScope blocked(self->pool);
-          std::unique_lock lock(self->mutex);
-          self->barrier_cv.wait(lock, [&] {
-            return self->cancelled ||
-                   self->preds_left[join].load(std::memory_order_acquire) == 0;
-          });
+          util::MutexLock lock(self->mutex);
+          while (!self->cancelled &&
+                 self->preds_left[join].load(std::memory_order_acquire) != 0)
+            self->barrier_cv.wait(self->mutex);
           if (self->cancelled) return;
         }
         self->execute_node(join);
         self->complete(join);
-      });
-      return;
+      };
     }
 
-    dispatch(v, [self, v] {
+    return [self, v] {
       if (self->is_cancelled()) return;
       self->execute_node(v);
       self->complete(v);
-    });
+    };
   }
 };
 
@@ -154,15 +167,17 @@ ExecReport run_graph(ThreadPool& pool, const DagTask& task, const ExecOptions& o
 
   ExecReport report;
   {
-    std::unique_lock lock(state->mutex);
-    const bool finished =
-        state->done_cv.wait_for(lock, options.watchdog, [&] { return state->done; });
-    if (!finished) {
+    util::MutexLock lock(state->mutex);
+    const auto deadline = Clock::now() + options.watchdog;
+    while (!state->done &&
+           state->done_cv.wait_until(state->mutex, deadline) != std::cv_status::timeout) {
+    }
+    if (!state->done) {
       // Stall (e.g. deadlock): cancel and release every barrier wait.
       state->cancelled = true;
       state->barrier_cv.notify_all();
     }
-    report.completed = finished;
+    report.completed = state->done;
   }
   report.elapsed =
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);

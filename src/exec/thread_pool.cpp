@@ -11,7 +11,10 @@ thread_local std::optional<std::size_t> t_worker_index;
 ThreadPool::ThreadPool(std::size_t workers, QueueMode mode, bool steal)
     : mode_(mode), steal_(steal) {
   if (workers == 0) throw std::invalid_argument("ThreadPool: need at least one worker");
-  if (mode_ == QueueMode::kPerWorker) worker_queues_.resize(workers);
+  if (mode_ == QueueMode::kPerWorker) {
+    util::MutexLock lock(mutex_);  // workers don't exist yet; TSA discipline
+    worker_queues_.resize(workers);
+  }
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -19,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t workers, QueueMode mode, bool steal)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     shutting_down_ = true;
   }
   cv_.notify_all();
@@ -32,10 +35,23 @@ void ThreadPool::submit(std::function<void()> fn) {
     return;
   }
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     shared_queue_.push_back(std::move(fn));
   }
   cv_.notify_one();
+}
+
+void ThreadPool::submit_batch(std::vector<std::function<void()>> fns) {
+  if (fns.empty()) return;
+  if (mode_ == QueueMode::kPerWorker) {
+    for (auto& fn : fns) submit_to(0, std::move(fn));
+    return;
+  }
+  {
+    util::MutexLock lock(mutex_);
+    for (auto& fn : fns) shared_queue_.push_back(std::move(fn));
+  }
+  cv_.notify_all();
 }
 
 void ThreadPool::submit_to(std::size_t worker, std::function<void()> fn) {
@@ -44,7 +60,7 @@ void ThreadPool::submit_to(std::size_t worker, std::function<void()> fn) {
   if (worker >= workers_.size())
     throw std::out_of_range("ThreadPool::submit_to: bad worker index");
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     worker_queues_[worker].push_back(std::move(fn));
   }
   cv_.notify_all();  // the target worker must wake even if others are idle
@@ -53,7 +69,6 @@ void ThreadPool::submit_to(std::size_t worker, std::function<void()> fn) {
 std::optional<std::size_t> ThreadPool::current_worker() { return t_worker_index; }
 
 bool ThreadPool::try_pop(std::size_t index, std::function<void()>& out) {
-  // Caller holds mutex_.
   if (mode_ == QueueMode::kShared) {
     if (shared_queue_.empty()) return false;
     out = std::move(shared_queue_.front());
@@ -84,8 +99,10 @@ void ThreadPool::worker_loop(std::size_t index) {
   for (;;) {
     std::function<void()> fn;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [&] { return shutting_down_ || try_pop(index, fn); });
+      util::MutexLock lock(mutex_);
+      // Explicit wait loop: a wait predicate lambda would escape the
+      // thread-safety analysis context.
+      while (!shutting_down_ && !try_pop(index, fn)) cv_.wait(mutex_);
       if (!fn) return;  // shutting down and nothing popped
     }
     fn();

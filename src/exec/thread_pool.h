@@ -16,14 +16,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace rtpool::exec {
 
@@ -50,6 +50,12 @@ class ThreadPool {
   /// Enqueue into the shared queue (kShared) or into the least-index worker
   /// queue (kPerWorker).
   void submit(std::function<void()> fn);
+
+  /// Enqueue several closures atomically (one lock hold): no worker can
+  /// observe a state where only a prefix of the batch is queued. Used by
+  /// GraphExecutor to release all successors of a completed node at once,
+  /// the way a precedence constraint opens in the paper's model.
+  void submit_batch(std::vector<std::function<void()>> fns);
 
   /// Enqueue into a specific worker's queue (kPerWorker only; throws
   /// std::logic_error in kShared mode, std::out_of_range on a bad index).
@@ -84,16 +90,17 @@ class ThreadPool {
 
  private:
   void worker_loop(std::size_t index);
-  bool try_pop(std::size_t index, std::function<void()>& out);
+  bool try_pop(std::size_t index, std::function<void()>& out) RTPOOL_REQUIRES(mutex_);
 
   QueueMode mode_;
   bool steal_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> shared_queue_;
-  std::vector<std::deque<std::function<void()>>> worker_queues_;
-  bool shutting_down_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<std::function<void()>> shared_queue_ RTPOOL_GUARDED_BY(mutex_);
+  std::vector<std::deque<std::function<void()>>> worker_queues_
+      RTPOOL_GUARDED_BY(mutex_);
+  bool shutting_down_ RTPOOL_GUARDED_BY(mutex_) = false;
 
   std::atomic<std::size_t> blocked_{0};
   std::atomic<std::size_t> max_blocked_{0};

@@ -1,0 +1,28 @@
+#include "lint/diagnostics.h"
+
+namespace rtpool::lint {
+
+std::string to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "unknown";
+}
+
+std::size_t LintReport::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == severity) ++n;
+  return n;
+}
+
+std::vector<Diagnostic> LintReport::by_rule(const std::string& rule_id) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diagnostics)
+    if (d.rule_id == rule_id) out.push_back(d);
+  return out;
+}
+
+}  // namespace rtpool::lint

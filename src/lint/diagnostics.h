@@ -1,0 +1,50 @@
+// Structured diagnostics emitted by the rtpool-lint rule pipeline.
+//
+// Every finding carries a stable rule id (see rules.h for the registry and
+// the paper lemma/equation each rule enforces), a severity, the offending
+// task/node location, a human-readable message and a fix hint. Reports are
+// rendered either as text or JSON (render.h).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/node.h"
+
+namespace rtpool::lint {
+
+enum class Severity : unsigned char { kError = 0, kWarning = 1, kNote = 2 };
+
+/// "error" / "warning" / "note".
+std::string to_string(Severity severity);
+
+/// One lint finding.
+struct Diagnostic {
+  std::string rule_id;               ///< Stable id, e.g. "RTP-L1".
+  Severity severity = Severity::kError;
+  std::string task;                  ///< Task name ("" = task-set level).
+  std::optional<std::size_t> node;   ///< Offending node id, when one exists.
+  std::string message;               ///< What is wrong (includes witness).
+  std::string fix_hint;              ///< How to repair the model.
+};
+
+/// Ordered collection of findings for one lint run.
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  std::size_t count(Severity severity) const;
+  std::size_t error_count() const { return count(Severity::kError); }
+  std::size_t warning_count() const { return count(Severity::kWarning); }
+  std::size_t note_count() const { return count(Severity::kNote); }
+
+  /// True when no error-severity diagnostic was emitted (warnings/notes do
+  /// not make a model unusable).
+  bool clean() const { return error_count() == 0; }
+
+  /// All findings for one rule id (used by tests and tooling).
+  std::vector<Diagnostic> by_rule(const std::string& rule_id) const;
+};
+
+}  // namespace rtpool::lint

@@ -1,0 +1,174 @@
+#include "lint/raw_model.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "graph/dag.h"
+#include "model/io.h"
+
+namespace rtpool::lint {
+
+namespace {
+
+using model::ParseError;
+
+std::map<std::string, std::string> parse_kv(std::istringstream& line, int lineno) {
+  std::map<std::string, std::string> kv;
+  std::string token;
+  while (line >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos)
+      throw ParseError("line " + std::to_string(lineno) +
+                       ": expected key=value, got '" + token + "'");
+    kv[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return kv;
+}
+
+const std::string& require(const std::map<std::string, std::string>& kv,
+                           const std::string& key, int lineno) {
+  const auto it = kv.find(key);
+  if (it == kv.end())
+    throw ParseError("line " + std::to_string(lineno) + ": missing '" + key + "='");
+  return it->second;
+}
+
+double to_double(const std::string& s, int lineno) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("line " + std::to_string(lineno) + ": bad number '" + s + "'");
+  }
+}
+
+long to_long(const std::string& s, int lineno) {
+  try {
+    std::size_t pos = 0;
+    const long v = std::stol(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw ParseError("line " + std::to_string(lineno) + ": bad integer '" + s + "'");
+  }
+}
+
+}  // namespace
+
+RawTaskSet read_raw_task_set(std::istream& is) {
+  RawTaskSet raw;
+  bool saw_header = false;
+  bool in_task = false;
+  RawTask current;
+  std::size_t declared_nodes = 0;
+
+  std::string line_text;
+  int lineno = 0;
+  while (std::getline(is, line_text)) {
+    ++lineno;
+    std::istringstream line(line_text);
+    std::string keyword;
+    if (!(line >> keyword)) continue;     // blank line
+    if (keyword[0] == '#') continue;      // comment
+
+    if (keyword == "taskset") {
+      if (saw_header)
+        throw ParseError("line " + std::to_string(lineno) + ": duplicate 'taskset'");
+      const auto kv = parse_kv(line, lineno);
+      const long cores = to_long(require(kv, "cores", lineno), lineno);
+      if (cores <= 0)
+        throw ParseError("line " + std::to_string(lineno) + ": cores must be > 0");
+      raw.cores = static_cast<std::size_t>(cores);
+      saw_header = true;
+    } else if (keyword == "task") {
+      if (!saw_header)
+        throw ParseError("line " + std::to_string(lineno) + ": 'task' before 'taskset'");
+      if (in_task)
+        throw ParseError("line " + std::to_string(lineno) + ": nested 'task'");
+      const auto kv = parse_kv(line, lineno);
+      current = RawTask{};
+      current.name = require(kv, "name", lineno);
+      current.period = to_double(require(kv, "period", lineno), lineno);
+      current.deadline = to_double(require(kv, "deadline", lineno), lineno);
+      current.priority = static_cast<int>(to_long(require(kv, "priority", lineno), lineno));
+      declared_nodes = static_cast<std::size_t>(to_long(require(kv, "nodes", lineno), lineno));
+      in_task = true;
+    } else if (keyword == "node") {
+      if (!in_task)
+        throw ParseError("line " + std::to_string(lineno) + ": 'node' outside task");
+      long id = 0;
+      if (!(line >> id))
+        throw ParseError("line " + std::to_string(lineno) + ": missing node id");
+      if (id != static_cast<long>(current.nodes.size()))
+        throw ParseError("line " + std::to_string(lineno) +
+                         ": node ids must be dense and in order");
+      const auto kv = parse_kv(line, lineno);
+      model::Node n;
+      n.wcet = to_double(require(kv, "wcet", lineno), lineno);
+      try {
+        n.type = model::node_type_from_string(require(kv, "type", lineno));
+      } catch (const std::invalid_argument& e) {
+        throw ParseError("line " + std::to_string(lineno) + ": " + e.what());
+      }
+      current.nodes.push_back(n);
+    } else if (keyword == "edge") {
+      if (!in_task)
+        throw ParseError("line " + std::to_string(lineno) + ": 'edge' outside task");
+      long from = 0;
+      long to = 0;
+      if (!(line >> from >> to))
+        throw ParseError("line " + std::to_string(lineno) + ": edge needs two node ids");
+      if (from < 0 || to < 0 || static_cast<std::size_t>(from) >= current.nodes.size() ||
+          static_cast<std::size_t>(to) >= current.nodes.size())
+        throw ParseError("line " + std::to_string(lineno) + ": edge id out of range");
+      // Self-loops and duplicate edges are *model* defects the lint rules
+      // diagnose; record them verbatim.
+      current.edges.push_back(RawEdge{static_cast<std::size_t>(from),
+                                      static_cast<std::size_t>(to)});
+    } else if (keyword == "endtask") {
+      if (!in_task)
+        throw ParseError("line " + std::to_string(lineno) + ": stray 'endtask'");
+      if (current.nodes.size() != declared_nodes)
+        throw ParseError("line " + std::to_string(lineno) + ": task '" + current.name +
+                         "' declared " + std::to_string(declared_nodes) +
+                         " nodes but has " + std::to_string(current.nodes.size()));
+      raw.tasks.push_back(std::move(current));
+      in_task = false;
+    } else {
+      throw ParseError("line " + std::to_string(lineno) + ": unknown keyword '" +
+                       keyword + "'");
+    }
+  }
+  if (in_task)
+    throw ParseError("unexpected end of input inside task '" + current.name + "'");
+  if (!saw_header) throw ParseError("input contains no 'taskset' header");
+  return raw;
+}
+
+RawTaskSet load_raw_task_set(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_raw_task_set: cannot open " + path);
+  return read_raw_task_set(in);
+}
+
+RawTaskSet to_raw(const model::TaskSet& ts) {
+  RawTaskSet raw;
+  raw.cores = ts.core_count();
+  for (const model::DagTask& t : ts.tasks()) {
+    RawTask rt;
+    rt.name = t.name();
+    rt.period = t.period();
+    rt.deadline = t.deadline();
+    rt.priority = t.priority();
+    for (model::NodeId v = 0; v < t.node_count(); ++v) rt.nodes.push_back(t.node(v));
+    for (const graph::Edge& e : t.dag().edges())
+      rt.edges.push_back(RawEdge{e.from, e.to});
+    raw.tasks.push_back(std::move(rt));
+  }
+  return raw;
+}
+
+}  // namespace rtpool::lint

@@ -1,0 +1,52 @@
+// Unvalidated mirror of the task model, for linting.
+//
+// model::DagTask validates the full Section 2 structural model in its
+// constructor and throws on the first violation — correct for analyses,
+// useless for a linter whose job is to report *every* violation with a
+// rule id and a fix hint. RawTaskSet holds exactly what a .taskset file
+// says, however broken; the rule pipeline (rules.h) checks it and only
+// constructs validated DagTasks for tasks that pass the structural rules.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/node.h"
+#include "model/task_set.h"
+
+namespace rtpool::lint {
+
+struct RawEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+};
+
+struct RawTask {
+  std::string name;
+  double period = 0.0;
+  double deadline = 0.0;
+  int priority = 0;
+  std::vector<model::Node> nodes;   ///< wcet + type per node (dense ids).
+  std::vector<RawEdge> edges;
+};
+
+struct RawTaskSet {
+  std::size_t cores = 0;
+  std::vector<RawTask> tasks;
+};
+
+/// Parse the .taskset format (see model/io.h) without semantic validation:
+/// only file-format errors throw (model::ParseError) — syntax, unknown
+/// keywords, out-of-range edge endpoints, non-dense node ids. Everything
+/// the linter diagnoses (cycles, self-loops, duplicate edges, broken
+/// regions, bad timing, duplicate names) parses fine.
+RawTaskSet read_raw_task_set(std::istream& is);
+RawTaskSet load_raw_task_set(const std::string& path);
+
+/// Lossless down-conversion of an already-validated task set, so validated
+/// models can be linted through the same pipeline (semantic rules only —
+/// the structural rules pass by construction).
+RawTaskSet to_raw(const model::TaskSet& ts);
+
+}  // namespace rtpool::lint

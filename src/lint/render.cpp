@@ -1,0 +1,68 @@
+#include "lint/render.h"
+
+#include <sstream>
+
+#include "util/json.h"
+
+namespace rtpool::lint {
+
+void render_text(const LintReport& report, std::ostream& os) {
+  for (const Diagnostic& d : report.diagnostics) {
+    os << to_string(d.severity) << "[" << d.rule_id << "]";
+    if (!d.task.empty()) {
+      os << " task '" << d.task << "'";
+      if (d.node.has_value()) os << " node " << *d.node;
+    }
+    os << ": " << d.message << "\n";
+    if (!d.fix_hint.empty()) os << "    hint: " << d.fix_hint << "\n";
+  }
+  os << report.error_count() << (report.error_count() == 1 ? " error, " : " errors, ")
+     << report.warning_count()
+     << (report.warning_count() == 1 ? " warning, " : " warnings, ")
+     << report.note_count() << (report.note_count() == 1 ? " note" : " notes")
+     << "\n";
+}
+
+void render_json(const LintReport& report, std::ostream& os) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("tool", "rtpool-lint");
+  w.kv("version", 1);
+  w.key("diagnostics").begin_array();
+  for (const Diagnostic& d : report.diagnostics) {
+    w.begin_object();
+    w.kv("rule_id", d.rule_id);
+    w.kv("severity", to_string(d.severity));
+    w.kv("task", d.task);
+    w.key("node");
+    if (d.node.has_value())
+      w.value(static_cast<std::uint64_t>(*d.node));
+    else
+      w.null();
+    w.kv("message", d.message);
+    w.kv("fix_hint", d.fix_hint);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("counts").begin_object();
+  w.kv("errors", static_cast<std::uint64_t>(report.error_count()));
+  w.kv("warnings", static_cast<std::uint64_t>(report.warning_count()));
+  w.kv("notes", static_cast<std::uint64_t>(report.note_count()));
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+std::string render_text(const LintReport& report) {
+  std::ostringstream os;
+  render_text(report, os);
+  return os.str();
+}
+
+std::string render_json(const LintReport& report) {
+  std::ostringstream os;
+  render_json(report, os);
+  return os.str();
+}
+
+}  // namespace rtpool::lint

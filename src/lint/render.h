@@ -1,0 +1,32 @@
+// Renderers for lint reports: compiler-style text and machine-readable JSON.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "lint/diagnostics.h"
+
+namespace rtpool::lint {
+
+/// Compiler-style text, one finding per line plus an indented fix hint:
+///
+///   error[RTP-L1] task 'tau_1': Lemma 1: ...
+///       hint: increase the pool size ...
+///   2 errors, 1 warning, 0 notes
+void render_text(const LintReport& report, std::ostream& os);
+
+/// JSON document:
+///
+///   {"tool": "rtpool-lint", "version": 1,
+///    "diagnostics": [{"rule_id": ..., "severity": ..., "task": ...,
+///                     "node": <id or null>, "message": ..., "fix_hint": ...}],
+///    "counts": {"errors": E, "warnings": W, "notes": N}}
+///
+/// Parsable back with util::parse_json (round-trip tested).
+void render_json(const LintReport& report, std::ostream& os);
+
+/// Convenience wrappers returning the rendered string.
+std::string render_text(const LintReport& report);
+std::string render_json(const LintReport& report);
+
+}  // namespace rtpool::lint

@@ -1,14 +1,23 @@
-// Minimal streaming JSON writer (no external dependencies).
+// Minimal streaming JSON writer and recursive-descent parser (no external
+// dependencies).
 //
-// Supports the subset needed by the trace/report exporters: nested objects
-// and arrays, string escaping, finite numbers (non-finite doubles are
-// emitted as strings "inf"/"-inf"/"nan" to stay valid JSON), booleans and
-// null. Usage errors (value without a pending key inside an object,
-// mismatched end_*) throw std::logic_error.
+// The writer supports the subset needed by the trace/report exporters:
+// nested objects and arrays, string escaping, finite numbers (non-finite
+// doubles are emitted as strings "inf"/"-inf"/"nan" to stay valid JSON),
+// booleans and null. Usage errors (value without a pending key inside an
+// object, mismatched end_*) throw std::logic_error.
+//
+// The parser (`parse_json`) accepts everything the writer can emit — used
+// by tests to round-trip exported reports/diagnostics — plus standard JSON
+// it never produces (\uXXXX escapes, exponents, whitespace). Malformed
+// input throws JsonParseError with the offending byte offset.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -58,5 +67,65 @@ class JsonWriter {
   bool key_pending_ = false;
   bool wrote_root_ = false;
 };
+
+/// Thrown by parse_json on malformed input; the message includes the
+/// 0-based byte offset of the error.
+class JsonParseError : public std::runtime_error {
+ public:
+  explicit JsonParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parsed JSON document node (immutable after parsing).
+///
+/// Object member order is not preserved (std::map keeps keys sorted) —
+/// sufficient for the round-trip checks this parser exists for.
+class JsonValue {
+ public:
+  enum class Kind : unsigned char { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double d) : kind_(Kind::kNumber), number_(d) {}
+  explicit JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  explicit JsonValue(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw std::logic_error on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; throws std::logic_error if not an object and
+  /// std::out_of_range if the key is absent.
+  const JsonValue& at(const std::string& key) const;
+
+  /// True if this is an object containing `key`.
+  bool contains(const std::string& key) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parse a complete JSON document. Trailing non-whitespace input and any
+/// syntax error throw JsonParseError.
+JsonValue parse_json(const std::string& text);
 
 }  // namespace rtpool::util

@@ -78,6 +78,41 @@ DagTask strict_refinement_task() {
   return b.build();
 }
 
+TEST(AntichainTest, ExtractedSetMatchesSizeAndIsPairwiseConcurrent) {
+  for (const DagTask& t :
+       {strict_refinement_task(), model::make_fork_join_task("one", 3, 1.0, 100.0, true),
+        model::make_fork_join_task("plain", 3, 1.0, 100.0, false)}) {
+    const auto set = max_simultaneous_suspension_set(t);
+    EXPECT_EQ(set.size(), max_simultaneous_suspensions(t));
+    for (const NodeId f : set) EXPECT_EQ(t.type(f), model::NodeType::BF);
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      for (std::size_t j = i + 1; j < set.size(); ++j) {
+        EXPECT_FALSE(t.reachability().reaches(set[i], set[j]));
+        EXPECT_FALSE(t.reachability().reaches(set[j], set[i]));
+      }
+    }
+  }
+}
+
+TEST(AntichainTest, ExtractedSetOnRandomTasks) {
+  gen::TaskSetParams params;
+  params.cores = 8;
+  params.task_count = 6;
+  params.total_utilization = 3.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const auto ts = gen::generate_task_set(params, rng);
+    for (const DagTask& t : ts.tasks()) {
+      const auto set = max_simultaneous_suspension_set(t);
+      EXPECT_EQ(set.size(), max_simultaneous_suspensions(t));
+      for (std::size_t i = 0; i < set.size(); ++i)
+        for (std::size_t j = i + 1; j < set.size(); ++j)
+          EXPECT_FALSE(t.reachability().reaches(set[i], set[j]) ||
+                       t.reachability().reaches(set[j], set[i]));
+    }
+  }
+}
+
 TEST(AntichainTest, StrictlyTighterThanMaxAffectingForks) {
   const DagTask t = strict_refinement_task();
   EXPECT_EQ(max_affecting_forks(t), 2u);           // the paper's b̄

@@ -137,6 +137,70 @@ TEST(PartitionedDeadlockTest, RequiresBothConditions) {
   EXPECT_NE(check.witness.find("Eq. (3)"), std::string::npos);
 }
 
+TEST(WitnessTest, Lemma1BlockingChain) {
+  const auto r = two_region_task();
+  // b̄ = 2 (each BC sees the other region's fork plus its own): a 2-thread
+  // pool can be exhausted, a 3-thread pool cannot.
+  const auto witness = find_lemma1_witness(r.task, 2);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(witness->forks.size(), 2u);
+  EXPECT_EQ(witness->pool_size, 2u);
+  for (const NodeId f : witness->forks)
+    EXPECT_EQ(r.task.type(f), model::NodeType::BF);  // X(v) holds forks only
+  const std::string text = describe(*witness, r.task.name());
+  EXPECT_NE(text.find("suspended BF node"), std::string::npos);
+  EXPECT_FALSE(find_lemma1_witness(r.task, 3).has_value());
+}
+
+TEST(WitnessTest, WaitForCycleOnConcurrentRegions) {
+  const auto r = two_region_task();
+  const auto cycle = find_wait_for_cycle(r.task, 2);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->forks.size(), 2u);
+  for (const NodeId f : cycle->forks)
+    EXPECT_EQ(r.task.type(f), model::NodeType::BF);
+  const std::string text = describe(*cycle, r.task.name());
+  EXPECT_NE(text.find("wait-for cycle"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+  EXPECT_FALSE(find_wait_for_cycle(r.task, 3).has_value());
+}
+
+TEST(WitnessTest, WaitForCycleNeedsMutualConcurrency) {
+  // Two *sequential* regions plus an NB branch spanning both: b̄ = 2 but
+  // the forks are ordered, so no two of them can be suspended together.
+  // Lemma 1 (chain) fires on m = 2, the Lemma 2 wait-for cycle does not.
+  DagTaskBuilder b("strict");
+  const NodeId src = b.add_node(1.0);
+  const auto r1 = b.add_blocking_fork_join(1.0, 1.0, {1.0});
+  const auto r2 = b.add_blocking_fork_join(1.0, 1.0, {1.0});
+  const NodeId spanning = b.add_node(10.0);
+  const NodeId snk = b.add_node(1.0);
+  b.add_edge(src, r1.fork);
+  b.add_edge(r1.join, r2.fork);
+  b.add_edge(r2.join, snk);
+  b.add_edge(src, spanning);
+  b.add_edge(spanning, snk);
+  b.period(100.0);
+  const DagTask t = b.build();
+
+  EXPECT_TRUE(find_lemma1_witness(t, 2).has_value());
+  EXPECT_FALSE(find_wait_for_cycle(t, 2).has_value());
+  const auto cycle = find_wait_for_cycle(t, 1);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->forks.size(), 1u);
+}
+
+TEST(WitnessTest, Eq3AllViolationsReported) {
+  const DagTask t = one_region_task();
+  NodeAssignment all_zero{std::vector<ThreadId>(t.node_count(), 0)};
+  const auto all = find_eq3_violations(t, all_zero);
+  EXPECT_EQ(all.size(), 2u);  // both BC children share the fork's thread
+  for (const auto& v : all) {
+    EXPECT_EQ(t.type(v.bc_node), model::NodeType::BC);
+    EXPECT_EQ(v.thread, 0u);
+  }
+}
+
 TEST(TaskSetDeadlockTest, AppliesPerTask) {
   model::TaskSet ts(2);
   ts.add(one_region_task().with_priority(0));

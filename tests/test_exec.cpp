@@ -154,6 +154,9 @@ TEST(GraphExecutorTest, BlockingDeadlocksOnTwoRegionsTwoWorkers) {
   std::mutex mu;
   std::condition_variable cv;
   pool.submit([&] {
+    // Notify under the lock: otherwise the waiter can wake, return and
+    // destroy cv while notify_all is still running (TSan-visible race).
+    std::lock_guard lock(mu);
     ran = true;
     cv.notify_all();
   });
@@ -311,6 +314,7 @@ TEST(ParallelForTest, CallerWorkerCountsAsBlocked) {
     ok = parallel_for(pool, 0, 8, [](std::size_t) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     });
+    std::lock_guard lock(mu);  // notify under the lock (cv lifetime)
     done = true;
     cv.notify_all();
   });
@@ -338,6 +342,7 @@ TEST(ParallelForTest, NestedOnSingleWorkerDeadlocksAndTimesOut) {
     options.timeout = std::chrono::milliseconds(200);
     result = parallel_for(pool, 0, 4, [&](std::size_t) { executed.fetch_add(1); },
                           options);
+    std::lock_guard lock(mu);  // notify under the lock (cv lifetime)
     done = true;
     cv.notify_all();
   });

@@ -113,5 +113,70 @@ TEST(JsonWriterTest, UsageErrors) {
   }
 }
 
+TEST(JsonParserTest, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5e2").as_number(), -350.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParserTest, NestedContainers) {
+  const JsonValue v = parse_json(R"({"a":[1,{"x":2},[]],"b":null})");
+  const auto& a = v.at("a").as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(a[1].at("x").as_number(), 2.0);
+  EXPECT_TRUE(a[2].as_array().empty());
+  EXPECT_TRUE(v.at("b").is_null());
+  EXPECT_TRUE(v.contains("b"));
+  EXPECT_FALSE(v.contains("c"));
+}
+
+TEST(JsonParserTest, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("quote\" slash\\ nl\n tab\t uA")").as_string(),
+            "quote\" slash\\ nl\n tab\t uA");
+}
+
+TEST(JsonParserTest, RoundTripsWriterOutput) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object()
+      .kv("s", std::string("ctl\x01 nl\n"))
+      .kv("d", 0.1 + 0.2)
+      .kv("i", std::int64_t{-42})
+      .key("arr")
+      .begin_array()
+      .value(true)
+      .null()
+      .end_array()
+      .end_object();
+  const JsonValue v = parse_json(os.str());
+  EXPECT_EQ(v.at("s").as_string(), "ctl\x01 nl\n");
+  EXPECT_DOUBLE_EQ(v.at("d").as_number(), 0.1 + 0.2);
+  EXPECT_DOUBLE_EQ(v.at("i").as_number(), -42.0);
+  EXPECT_EQ(v.at("arr").as_array()[0].as_bool(), true);
+  EXPECT_TRUE(v.at("arr").as_array()[1].is_null());
+}
+
+TEST(JsonParserTest, Errors) {
+  EXPECT_THROW(parse_json(""), JsonParseError);
+  EXPECT_THROW(parse_json("{"), JsonParseError);
+  EXPECT_THROW(parse_json("[1,]"), JsonParseError);
+  EXPECT_THROW(parse_json("{\"a\":1,}"), JsonParseError);
+  EXPECT_THROW(parse_json("tru"), JsonParseError);
+  EXPECT_THROW(parse_json("1 2"), JsonParseError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonParseError);
+  EXPECT_THROW(parse_json("\"bad\\q\""), JsonParseError);
+  EXPECT_THROW(parse_json("--1"), JsonParseError);
+}
+
+TEST(JsonParserTest, KindMismatchThrows) {
+  const JsonValue v = parse_json("[1]");
+  EXPECT_THROW(v.as_object(), std::logic_error);
+  EXPECT_THROW(v.at("k"), std::logic_error);
+  EXPECT_THROW(parse_json("{}").at("k"), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace rtpool::util
