@@ -1,12 +1,15 @@
 // Figure 1 (b)/(c) live: runs the blocking fork-join pattern on a REAL
 // thread pool with condition variables, then provokes the deadlock of
 // Figure 1(c) (two concurrent blocking forks on a two-worker pool) and
-// shows that (i) a watchdog catches the stall, (ii) the non-blocking
-// implementation of Listing 2 completes, and (iii) the discrete-event
+// shows that (i) the runtime guard proves the stall and prints a wait-for
+// cycle that matches the static Lemma 2 witness, (ii) the kEmergencyWorker
+// recovery policy rescues the very same run, (iii) the non-blocking
+// implementation of Listing 2 completes, and (iv) the discrete-event
 // simulator predicts the same outcomes.
 #include <chrono>
 #include <cstdio>
 
+#include "analysis/deadlock.h"
 #include "exec/graph_executor.h"
 #include "exec/thread_pool.h"
 #include "model/builder.h"
@@ -32,22 +35,33 @@ model::DagTask replicas_task() {
   return b.build();
 }
 
-void run_real(const model::DagTask& task, bool blocking, std::size_t workers) {
+void run_real(const model::DagTask& task, bool blocking, std::size_t workers,
+              exec::RecoveryPolicy policy = exec::RecoveryPolicy::kReport) {
   exec::ThreadPool pool(workers);
   exec::GraphExecutor executor(pool, task);
   exec::ExecOptions options;
   options.microseconds_per_unit = 1000.0;  // 1 ms per WCET unit
   options.watchdog = std::chrono::milliseconds(500);
+  options.recovery = policy;
   const exec::ExecReport report = blocking
                                       ? executor.run_blocking(options)
                                       : executor.run_non_blocking(options);
   std::printf("  %-12s workers=%zu: %s  (%zu/%zu nodes, peak blocked=%zu, "
               "%.1f ms)\n",
               blocking ? "blocking" : "non-blocking", workers,
-              report.completed ? "completed" : "STALLED (watchdog)",
+              report.completed ? "completed" : "STALLED (guard)",
               report.nodes_executed, task.node_count(),
               report.max_blocked_workers,
               static_cast<double>(report.elapsed.count()) / 1000.0);
+  if (report.stall.has_value())
+    std::printf("    guard: %s\n", report.stall->describe().c_str());
+  // Cross-check the runtime diagnosis against the static analysis.
+  if (report.stall.has_value() && !report.stall->wait_cycle.empty()) {
+    const auto witness = analysis::find_wait_for_cycle(task, workers);
+    if (witness.has_value())
+      std::printf("    static Lemma 2 witness agrees: %s\n",
+                  analysis::describe(*witness, task.name()).c_str());
+  }
 }
 
 void run_sim(const model::DagTask& task, std::size_t m) {
@@ -80,6 +94,10 @@ int main() {
   const model::DagTask replicas = replicas_task();
   run_real(replicas, /*blocking=*/true, 2);
   run_sim(replicas, 2);
+
+  std::printf("\n=== Recovery: same run under kEmergencyWorker ===\n");
+  run_real(replicas, /*blocking=*/true, 2,
+           exec::RecoveryPolicy::kEmergencyWorker);
 
   std::printf("\n=== Listing 2: same graph, non-blocking semantics ===\n");
   run_real(replicas, /*blocking=*/false, 2);

@@ -1,0 +1,227 @@
+// Randomized robustness harness for the runtime guard (exec/guard.h).
+//
+// For each seed, generates a random NFJ task and runs it on a real thread
+// pool under a seeded fault plan (WCET overruns, stalls, thrown node
+// bodies, dropped notifies — exec/fault.h), across three scenarios:
+//
+//   safe-global   — m = b̄(τ)+1 shared-queue workers: Lemma 1 guarantees
+//                   deadlock freedom, so the guard must never report a
+//                   stall (injected lost wakeups must be healed, thrown
+//                   bodies must degrade to failed_nodes, never terminate);
+//   deadlock      — m ≤ b̄(τ) workers: the blocking chain can close. Under
+//                   kReport the guard must either complete or produce a
+//                   quiescence-proof StallReport that the static analysis
+//                   agrees with (Lemma 1 witness exists); under
+//                   kEmergencyWorker with a b̄(τ) injection cap the run
+//                   must COMPLETE — injected workers restore l̄ > 0;
+//   partitioned   — Algorithm 1 placement on a kPerWorker pool: Eq. (3)
+//                   holds, so no deadlock report is acceptable.
+//
+// Every verdict is checked; any violation prints the replay seed and the
+// fault plan and exits 1. All randomness derives from --base-seed, so every
+// failure is replayable.
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/concurrency.h"
+#include "analysis/deadlock.h"
+#include "analysis/partition.h"
+#include "exec/graph_executor.h"
+#include "exec/thread_pool.h"
+#include "gen/taskset_generator.h"
+#include "model/task_set.h"
+#include "util/args.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace rtpool;
+
+int g_failures = 0;
+bool g_verbose = false;
+
+void fail(const std::string& context, const exec::FaultPlan& plan,
+          const std::string& what) {
+  std::printf("FAIL [%s] %s\n      plan: %s\n", context.c_str(), what.c_str(),
+              exec::describe(plan).c_str());
+  ++g_failures;
+}
+
+/// Thrown-body bookkeeping must match the plan: every throw fault that ran
+/// is in failed_nodes, and nothing else is.
+void check_failed_nodes(const std::string& context, const exec::FaultPlan& plan,
+                        const exec::ExecReport& report, bool run_complete) {
+  std::set<model::NodeId> throws;
+  for (const auto& [v, f] : plan.faults())
+    if (f.kind == exec::FaultKind::kThrow) throws.insert(v);
+  const std::set<model::NodeId> failed(report.failed_nodes.begin(),
+                                       report.failed_nodes.end());
+  for (model::NodeId v : failed)
+    if (throws.count(v) == 0)
+      fail(context, plan, "node " + std::to_string(v) + " failed without a throw fault");
+  if (run_complete && failed != throws)
+    fail(context, plan, "completed run lost injected throws (" +
+                            std::to_string(failed.size()) + "/" +
+                            std::to_string(throws.size()) + " recorded)");
+  if (!throws.empty() && !failed.empty() && report.first_error.empty())
+    fail(context, plan, "failed nodes recorded but first_error empty");
+}
+
+exec::FaultPlan draw_plan(const model::DagTask& task, std::uint64_t seed,
+                          bool allow_stalls) {
+  exec::FaultPlanParams params;
+  params.p_overrun = 0.2;
+  params.p_throw = 0.15;
+  params.p_drop_notify = 0.3;
+  params.p_stall = allow_stalls ? 0.1 : 0.0;
+  params.max_stall = std::chrono::milliseconds(10);
+  params.max_overrun_factor = 4.0;
+  return exec::make_random_fault_plan(task, params, seed);
+}
+
+void run_safe_global(const model::DagTask& task, std::uint64_t seed) {
+  const std::size_t bbar = analysis::max_affecting_forks(task);
+  exec::ThreadPool pool(bbar + 1);
+  exec::GraphExecutor executor(pool, task);
+  exec::ExecOptions options;
+  options.microseconds_per_unit = 2.0;
+  options.watchdog = std::chrono::milliseconds(5000);
+  options.faults = draw_plan(task, seed, /*allow_stalls=*/true);
+  const exec::ExecReport report = executor.run_blocking(options);
+
+  const std::string context = "safe-global seed=" + std::to_string(seed);
+  if (!report.completed)
+    fail(context, options.faults, "Lemma-1-safe run did not complete");
+  if (report.stall.has_value())
+    fail(context, options.faults,
+         "false stall report: " + report.stall->describe());
+  check_failed_nodes(context, options.faults, report, report.completed);
+  if (g_verbose)
+    std::printf("  [%s] ok: %zu nodes, %zu failed, %zu lost wakeups healed\n",
+                context.c_str(), report.nodes_executed,
+                report.failed_nodes.size(), report.lost_wakeups_recovered);
+}
+
+void run_deadlock(const model::DagTask& task, std::uint64_t seed,
+                  exec::RecoveryPolicy policy) {
+  const std::size_t bbar = analysis::max_affecting_forks(task);
+  if (bbar < 1) return;
+  const std::size_t m = bbar > 1 ? bbar : 1;
+  exec::ThreadPool pool(m);
+  exec::GraphExecutor executor(pool, task);
+  exec::ExecOptions options;
+  options.microseconds_per_unit = 2.0;
+  options.watchdog = std::chrono::milliseconds(5000);
+  options.recovery = policy;
+  options.max_emergency_workers = bbar;  // enough to restore l̄ > 0
+  // No stall faults here: a deadlock verdict must stay a deadlock verdict.
+  options.faults = draw_plan(task, seed, /*allow_stalls=*/false);
+
+  const std::string context = std::string("deadlock/") +
+                              exec::to_string(policy) +
+                              " seed=" + std::to_string(seed);
+  const exec::ExecReport report = executor.run_blocking(options);
+  if (report.stall.has_value() && !report.stall->budget_exhausted &&
+      !analysis::find_lemma1_witness(task, m).has_value())
+    fail(context, options.faults,
+         "stall reported but Lemma 1 guarantees freedom: " +
+             report.stall->describe());
+  if (policy == exec::RecoveryPolicy::kEmergencyWorker && !report.completed)
+    fail(context, options.faults,
+         "emergency workers (cap b̄) failed to rescue the run");
+  if (policy == exec::RecoveryPolicy::kReport && !report.completed &&
+      !report.stall.has_value())
+    fail(context, options.faults, "cancelled without a stall report");
+  check_failed_nodes(context, options.faults, report, report.completed);
+  if (g_verbose)
+    std::printf("  [%s] %s: %zu/%zu nodes, %zu emergency\n", context.c_str(),
+                report.completed ? "completed" : "stalled",
+                report.nodes_executed, task.node_count(),
+                report.emergency_workers);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+// GCC 12's -Wmaybe-uninitialized cannot track std::optional's engaged flag
+// through the inlined emplace/reset under -fsanitize=address and flags the
+// freshly default-constructed ExecOptions::assignment.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+void run_partitioned(const model::DagTask& task, std::uint64_t seed) {
+  const std::size_t bbar = analysis::max_affecting_forks(task);
+  const std::size_t m = bbar + 1;
+  model::TaskSet ts(m);
+  ts.add(task);
+  const analysis::PartitionResult partition = analysis::partition_algorithm1(ts);
+  if (!partition.success()) return;  // Algorithm 1 may fail; normal result
+  const analysis::NodeAssignment& assignment = partition.partition->per_task[0];
+
+  exec::ThreadPool pool(m, exec::ThreadPool::QueueMode::kPerWorker);
+  exec::GraphExecutor executor(pool, task);
+  exec::ExecOptions options;
+  options.microseconds_per_unit = 2.0;
+  options.watchdog = std::chrono::milliseconds(5000);
+  options.assignment.emplace(assignment);
+  options.faults = draw_plan(task, seed, /*allow_stalls=*/true);
+
+  const std::string context = "partitioned seed=" + std::to_string(seed);
+  const exec::ExecReport report = executor.run_blocking(options);
+  if (!report.completed)
+    fail(context, options.faults, "Lemma-3-safe partitioned run stalled");
+  if (report.stall.has_value())
+    fail(context, options.faults,
+         "false deadlock report on an Eq. (3) placement: " +
+             report.stall->describe());
+  check_failed_nodes(context, options.faults, report, report.completed);
+  if (g_verbose)
+    std::printf("  [%s] ok: %zu nodes on %zu workers\n", context.c_str(),
+                report.nodes_executed, m);
+}
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv,
+                  {"seeds", "base-seed", "verbose", "help"});
+  if (args.get_bool("help", false)) {
+    std::printf(
+        "rtpool_stress — randomized guard/fault-injection harness\n"
+        "  --seeds=N      number of random (task, fault plan) draws (20)\n"
+        "  --base-seed=S  root seed; every failure replays from it (1)\n"
+        "  --verbose      per-run details\n");
+    return 0;
+  }
+  const std::int64_t seeds = args.get_int("seeds", 20);
+  const std::uint64_t base_seed =
+      static_cast<std::uint64_t>(args.get_int("base-seed", 1));
+  g_verbose = args.get_bool("verbose", false);
+
+  gen::TaskSetParams params;
+  params.cores = 4;
+  params.nfj.max_branches = 3;
+  params.nfj.max_depth = 2;
+
+  std::size_t runs = 0;
+  for (std::int64_t i = 0; i < seeds; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    util::Rng rng(seed);
+    const model::DagTask task =
+        gen::generate_task(params, static_cast<std::size_t>(i), 0.5, rng);
+
+    run_safe_global(task, seed);
+    run_deadlock(task, seed, exec::RecoveryPolicy::kReport);
+    run_deadlock(task, seed, exec::RecoveryPolicy::kEmergencyWorker);
+    run_partitioned(task, seed);
+    runs += 4;
+  }
+
+  std::printf("rtpool_stress: %zu runs over %lld seeds, %d failure(s)\n", runs,
+              static_cast<long long>(seeds), g_failures);
+  return g_failures == 0 ? 0 : 1;
+}

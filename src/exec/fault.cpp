@@ -1,0 +1,86 @@
+#include "exec/fault.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace rtpool::exec {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kWcetOverrun: return "wcet-overrun";
+    case FaultKind::kStall: return "stall";
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kDropNotify: return "drop-notify";
+  }
+  return "?";
+}
+
+void FaultPlan::set(model::NodeId v, NodeFault fault) {
+  if (fault.kind == FaultKind::kNone) {
+    faults_.erase(v);
+    return;
+  }
+  faults_[v] = std::move(fault);
+}
+
+const NodeFault* FaultPlan::find(model::NodeId v) const {
+  const auto it = faults_.find(v);
+  return it == faults_.end() ? nullptr : &it->second;
+}
+
+std::size_t FaultPlan::count(FaultKind kind) const {
+  std::size_t n = 0;
+  for (const auto& [v, f] : faults_)
+    if (f.kind == kind) ++n;
+  return n;
+}
+
+FaultPlan make_random_fault_plan(const model::DagTask& task,
+                                 const FaultPlanParams& params,
+                                 std::uint64_t seed) {
+  const util::Rng base(seed);
+  FaultPlan plan(seed);
+  for (model::NodeId v = 0; v < task.node_count(); ++v) {
+    util::Rng rng = base.fork_with(v);
+    NodeFault fault;
+    if (task.type(v) == model::NodeType::BJ && rng.bernoulli(params.p_drop_notify)) {
+      fault.kind = FaultKind::kDropNotify;
+    } else if (rng.bernoulli(params.p_throw)) {
+      fault.kind = FaultKind::kThrow;
+      std::ostringstream msg;
+      msg << "injected fault: node " << v << " (seed " << seed << ")";
+      fault.message = msg.str();
+    } else if (rng.bernoulli(params.p_stall) && params.max_stall.count() > 0) {
+      fault.kind = FaultKind::kStall;
+      fault.stall = std::chrono::milliseconds(
+          rng.uniform_int(1, params.max_stall.count()));
+    } else if (rng.bernoulli(params.p_overrun)) {
+      fault.kind = FaultKind::kWcetOverrun;
+      fault.overrun_factor = rng.uniform(1.0, params.max_overrun_factor);
+    } else {
+      continue;
+    }
+    plan.set(v, std::move(fault));
+  }
+  return plan;
+}
+
+std::string describe(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << "seed=" << plan.seed() << ":";
+  if (plan.empty()) {
+    out << " clean";
+    return out.str();
+  }
+  for (const auto& [v, f] : plan.faults()) {
+    out << " node " << v << " " << to_string(f.kind);
+    if (f.kind == FaultKind::kWcetOverrun) out << " x" << f.overrun_factor;
+    if (f.kind == FaultKind::kStall) out << " " << f.stall.count() << "ms";
+  }
+  return out.str();
+}
+
+}  // namespace rtpool::exec

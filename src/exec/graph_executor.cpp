@@ -1,8 +1,12 @@
 #include "exec/graph_executor.h"
 
+#include <algorithm>
 #include <atomic>
+#include <map>
 #include <memory>
+#include <set>
 #include <stdexcept>
+#include <thread>
 
 #include "util/thread_annotations.h"
 
@@ -31,6 +35,13 @@ void spin_for(double microseconds) {
 /// outlive the run only as long as its own workers do, which its destructor
 /// guarantees.
 struct RunState : std::enable_shared_from_this<RunState> {
+  /// Runtime phase of one blocking region, sampled by the guard.
+  struct RegionRt {
+    enum class Phase { kIdle, kForkRunning, kWaiting, kDone };
+    Phase phase = Phase::kIdle;
+    std::optional<std::size_t> worker;  ///< Who runs/suspends the fork.
+  };
+
   RunState(ThreadPool& p, const DagTask& t, const ExecOptions& opts,
            std::function<void(NodeId)> b, bool block)
       : pool(p),
@@ -43,6 +54,8 @@ struct RunState : std::enable_shared_from_this<RunState> {
     for (NodeId v = 0; v < t.node_count(); ++v)
       preds_left[v].store(static_cast<int>(t.dag().in_degree(v)),
                           std::memory_order_relaxed);
+    util::MutexLock lock(mutex);  // closures don't exist yet; TSA discipline
+    regions.resize(t.blocking_regions().size());
   }
 
   ThreadPool& pool;
@@ -60,23 +73,68 @@ struct RunState : std::enable_shared_from_this<RunState> {
   bool done RTPOOL_GUARDED_BY(mutex) = false;
   bool cancelled RTPOOL_GUARDED_BY(mutex) = false;
 
+  // Guard instrumentation: region phases and submitted-but-not-started
+  // nodes (value = target worker; nullopt = shared queue).
+  std::vector<RegionRt> regions RTPOOL_GUARDED_BY(mutex);
+  std::map<NodeId, std::optional<std::size_t>> pending RTPOOL_GUARDED_BY(mutex);
+
+  // Exception-safe execution: nodes whose body threw.
+  std::vector<NodeId> failed_nodes RTPOOL_GUARDED_BY(mutex);
+  std::string first_error RTPOOL_GUARDED_BY(mutex);
+
+  // Injected drop-notify faults already consumed (each drops one notify).
+  std::set<NodeId> notify_dropped RTPOOL_GUARDED_BY(mutex);
+
   bool is_cancelled() RTPOOL_EXCLUDES(mutex) {
     util::MutexLock lock(mutex);
     return cancelled;
   }
 
-  void dispatch(NodeId v, std::function<void()> fn) {
-    if (pool.mode() == ThreadPool::QueueMode::kPerWorker) {
-      pool.submit_to(options.assignment->thread_of[v], std::move(fn));
-    } else {
-      pool.submit(std::move(fn));
-    }
+  std::optional<std::size_t> target_of(NodeId v) const {
+    if (pool.mode() == ThreadPool::QueueMode::kPerWorker)
+      return options.assignment->thread_of[v];
+    return std::nullopt;
   }
 
   void execute_node(NodeId v) {
-    spin_for(task.wcet(v) * options.microseconds_per_unit);
-    if (body) body(v);
+    const NodeFault* fault = options.faults.find(v);
+    double factor = 1.0;
+    if (fault && fault->kind == FaultKind::kWcetOverrun)
+      factor = fault->overrun_factor;
+    spin_for(task.wcet(v) * options.microseconds_per_unit * factor);
+    if (fault && fault->kind == FaultKind::kStall)
+      std::this_thread::sleep_for(fault->stall);
+    try {
+      if (fault && fault->kind == FaultKind::kThrow)
+        throw std::runtime_error(fault->message);
+      if (body) body(v);
+    } catch (...) {
+      // A throwing body degrades to a failed node: record it and let the
+      // node complete structurally so successors run and barriers open.
+      record_failure(v);
+    }
     executed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void record_failure(NodeId v) RTPOOL_EXCLUDES(mutex) {
+    std::string what = "unknown exception";
+    try {
+      throw;  // rethrow the in-flight exception to classify it
+    } catch (const std::exception& e) {
+      what = e.what();
+    } catch (...) {
+    }
+    util::MutexLock lock(mutex);
+    failed_nodes.push_back(v);
+    if (first_error.empty()) first_error = what;
+  }
+
+  /// True when the injected drop-notify fault on BJ node w eats this
+  /// notify (once per plan entry).
+  bool consume_drop_notify(NodeId w) RTPOOL_REQUIRES(mutex) {
+    const NodeFault* fault = options.faults.find(w);
+    if (fault == nullptr || fault->kind != FaultKind::kDropNotify) return false;
+    return notify_dropped.insert(w).second;
   }
 
   /// Mark v complete; release/submit its successors.
@@ -91,28 +149,50 @@ struct RunState : std::enable_shared_from_this<RunState> {
     for (NodeId w : task.dag().successors(v)) {
       if (preds_left[w].fetch_sub(1, std::memory_order_acq_rel) != 1) continue;
       if (blocking && task.type(w) == NodeType::BJ) {
-        // The barrier of w's region is now open: wake the waiting fork.
+        // The barrier of w's region is now open: wake the waiting fork —
+        // unless a drop-notify fault eats the wakeup (the guard detects the
+        // satisfied-but-sleeping barrier and re-notifies).
         util::MutexLock lock(mutex);
-        barrier_cv.notify_all();
+        if (!consume_drop_notify(w)) barrier_cv.notify_all();
       } else {
         ready.push_back(w);
       }
     }
-    if (ready.size() > 1 && pool.mode() == ThreadPool::QueueMode::kShared) {
-      // Release simultaneously-ready successors atomically: a precedence
-      // constraint opening must not expose a partially-submitted state, or
-      // scheduling outcomes (e.g. which forks overlap) depend on preemption
-      // between the individual submits.
+    if (ready.empty()) return;
+    // Release simultaneously-ready successors atomically: a precedence
+    // constraint opening must not expose a partially-submitted state, or
+    // scheduling outcomes (e.g. which forks overlap) depend on preemption
+    // between the individual submits.
+    {
+      util::MutexLock lock(mutex);
+      for (NodeId w : ready) pending[w] = target_of(w);
+    }
+    if (pool.mode() == ThreadPool::QueueMode::kPerWorker) {
+      std::vector<std::pair<std::size_t, std::function<void()>>> batch;
+      batch.reserve(ready.size());
+      for (NodeId w : ready) batch.emplace_back(*target_of(w), make_closure(w));
+      pool.submit_batch_to(std::move(batch));
+    } else if (ready.size() > 1) {
       std::vector<std::function<void()>> batch;
       batch.reserve(ready.size());
       for (NodeId w : ready) batch.push_back(make_closure(w));
       pool.submit_batch(std::move(batch));
-      return;
+    } else {
+      pool.submit(make_closure(ready.front()));
     }
-    for (NodeId w : ready) submit_node(w);
   }
 
-  void submit_node(NodeId v) { dispatch(v, make_closure(v)); }
+  void submit_node(NodeId v) {
+    {
+      util::MutexLock lock(mutex);
+      pending[v] = target_of(v);
+    }
+    if (pool.mode() == ThreadPool::QueueMode::kPerWorker) {
+      pool.submit(make_closure(v), *target_of(v));
+    } else {
+      pool.submit(make_closure(v));
+    }
+  }
 
   std::function<void()> make_closure(NodeId v) {
     auto self = shared_from_this();
@@ -120,8 +200,15 @@ struct RunState : std::enable_shared_from_this<RunState> {
     if (blocking && task.type(v) == NodeType::BF) {
       // Listing 1: one function runs fork body, spawns, waits, runs join.
       const NodeId join = task.join_of(v);
-      return [self, v, join] {
-        if (self->is_cancelled()) return;
+      const std::size_t region = *task.region_of(v);
+      return [self, v, join, region] {
+        {
+          util::MutexLock lock(self->mutex);
+          if (self->cancelled) return;
+          self->pending.erase(v);
+          self->regions[region].phase = RegionRt::Phase::kForkRunning;
+          self->regions[region].worker = ThreadPool::current_worker();
+        }
         self->execute_node(v);
         self->complete(v);  // releases the children (and maybe the barrier)
         {
@@ -129,10 +216,12 @@ struct RunState : std::enable_shared_from_this<RunState> {
           // suspended and unavailable — the paper's reduced concurrency.
           ThreadPool::BlockedScope blocked(self->pool);
           util::MutexLock lock(self->mutex);
+          self->regions[region].phase = RegionRt::Phase::kWaiting;
           while (!self->cancelled &&
                  self->preds_left[join].load(std::memory_order_acquire) != 0)
             self->barrier_cv.wait(self->mutex);
           if (self->cancelled) return;
+          self->regions[region].phase = RegionRt::Phase::kDone;
         }
         self->execute_node(join);
         self->complete(join);
@@ -140,10 +229,81 @@ struct RunState : std::enable_shared_from_this<RunState> {
     }
 
     return [self, v] {
-      if (self->is_cancelled()) return;
+      {
+        util::MutexLock lock(self->mutex);
+        if (self->cancelled) return;
+        self->pending.erase(v);
+      }
       self->execute_node(v);
       self->complete(v);
     };
+  }
+
+  /// One guard poll: pool counters + region/queue introspection.
+  GuardSample sample() RTPOOL_EXCLUDES(mutex) {
+    GuardSample s;
+    s.active = pool.active();
+    s.blocked = pool.blocked_workers();
+    s.pool_workers = pool.worker_count();
+    const std::size_t capacity =
+        pool.worker_count() + pool.emergency_worker_count();
+    const bool per_worker = pool.mode() == ThreadPool::QueueMode::kPerWorker;
+    // Stealing replicates global scheduling: any idle worker reaches any
+    // queue. Suppressed per-run stealing is conservative here (treated as
+    // off — the run asked for strict placement).
+    const bool global_reach =
+        !per_worker ||
+        (pool.stealing_configured() && options.allow_stealing_with_assignment);
+
+    util::MutexLock lock(mutex);
+    s.done = done;
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+      if (regions[r].phase != RegionRt::Phase::kWaiting) continue;
+      const model::BlockingRegion& br = task.blocking_regions()[r];
+      const int left = preds_left[br.join].load(std::memory_order_acquire);
+      const std::size_t remaining = left > 0 ? static_cast<std::size_t>(left) : 0;
+      s.waiting.push_back({br.fork, regions[r].worker, remaining});
+      if (remaining == 0) s.lost_wakeup = true;  // satisfied barrier asleep
+    }
+    for (const auto& [v, target] : pending) {
+      bool reachable;
+      if (global_reach) {
+        reachable = s.active < capacity;  // an idle worker will pop it
+      } else {
+        reachable = target.has_value() && !pool.worker_blocked(*target);
+        // Emergency workers scan every queue, so any idle thread suffices.
+        if (!reachable && pool.emergency_worker_count() > 0)
+          reachable = s.active < capacity;
+      }
+      if (reachable) {
+        s.reachable_work = true;
+      } else {
+        s.starved.push_back({v, target});
+      }
+    }
+    // Any change in this fingerprint counts as progress for the budget.
+    std::uint64_t h = executed.load(std::memory_order_relaxed);
+    h = h * 1000003u + s.active;
+    h = h * 1000003u + s.blocked;
+    h = h * 1000003u + pending.size();
+    h = h * 1000003u + s.waiting.size();
+    h = h * 1000003u + failed_nodes.size();
+    s.progress = h;
+    return s;
+  }
+
+  void renotify() RTPOOL_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
+    barrier_cv.notify_all();
+    done_cv.notify_all();
+  }
+
+  void cancel() RTPOOL_EXCLUDES(mutex) {
+    util::MutexLock lock(mutex);
+    if (done) return;
+    cancelled = true;
+    barrier_cv.notify_all();
+    done_cv.notify_all();
   }
 };
 
@@ -159,30 +319,75 @@ ExecReport run_graph(ThreadPool& pool, const DagTask& task, const ExecOptions& o
         throw std::invalid_argument("GraphExecutor: worker index out of range");
   }
 
+  ExecReport report;
+
+  // Stealing off another worker's queue breaks the Eq. (3) placement the
+  // partitioned analysis assumes: suppress it for the run unless the caller
+  // loudly opts in.
+  std::optional<ThreadPool::SuppressStealing> suppress;
+  if (options.assignment.has_value() && pool.stealing_configured()) {
+    if (options.allow_stealing_with_assignment) {
+      report.stealing_bypassed_assignment = true;
+    } else {
+      suppress.emplace(pool);
+    }
+  }
+
   auto state =
       std::make_shared<RunState>(pool, task, options, std::move(body), blocking);
 
-  const auto start = Clock::now();
-  state->submit_node(task.source());
+  GuardOptions guard_options;
+  guard_options.policy = options.recovery;
+  guard_options.poll = options.guard_poll;
+  guard_options.budget = options.watchdog;
+  guard_options.max_emergency_workers = options.max_emergency_workers;
+  GuardHooks hooks;
+  hooks.sample = [state] { return state->sample(); };
+  hooks.renotify = [state] { state->renotify(); };
+  hooks.inject_worker = [&pool] { return pool.spawn_emergency_worker(); };
+  hooks.cancel = [state] { state->cancel(); };
 
-  ExecReport report;
+  const auto start = Clock::now();
+  std::optional<StallReport> stall;
   {
-    util::MutexLock lock(state->mutex);
-    const auto deadline = Clock::now() + options.watchdog;
-    while (!state->done &&
-           state->done_cv.wait_until(state->mutex, deadline) != std::cv_status::timeout) {
+    Watchdog watchdog(guard_options, std::move(hooks));
+    state->submit_node(task.source());
+    {
+      util::MutexLock lock(state->mutex);
+      // The guard owns stall handling; this deadline is only a safety net
+      // against a defect in the guard itself.
+      const auto hard_deadline =
+          Clock::now() + options.watchdog * 4 + std::chrono::seconds(5);
+      while (!state->done && !state->cancelled) {
+        if (state->done_cv.wait_until(state->mutex, hard_deadline) ==
+            std::cv_status::timeout) {
+          state->cancelled = true;
+          state->barrier_cv.notify_all();
+          break;
+        }
+      }
+      report.completed = state->done;
     }
-    if (!state->done) {
-      // Stall (e.g. deadlock): cancel and release every barrier wait.
-      state->cancelled = true;
-      state->barrier_cv.notify_all();
-    }
-    report.completed = state->done;
+    watchdog.stop();
+    stall = watchdog.stall();
+    report.emergency_workers = watchdog.emergency_workers_injected();
+    report.lost_wakeups_recovered = watchdog.lost_wakeups_recovered();
   }
   report.elapsed =
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);
   report.nodes_executed = state->executed.load(std::memory_order_relaxed);
   report.max_blocked_workers = pool.max_blocked_workers();
+  {
+    util::MutexLock lock(state->mutex);
+    report.failed_nodes = state->failed_nodes;
+    std::sort(report.failed_nodes.begin(), report.failed_nodes.end());
+    report.first_error = state->first_error;
+  }
+  report.stall = std::move(stall);
+  if (report.stall.has_value() &&
+      options.recovery == RecoveryPolicy::kFailFast) {
+    throw StallError(*report.stall);
+  }
   return report;
 }
 

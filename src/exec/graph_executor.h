@@ -7,12 +7,25 @@
 // until the region completes — suspending its worker and reducing the
 // pool's available concurrency, exactly the hazard the paper analyzes.
 // With enough concurrent BF nodes (e.g. two replicas of Figure 1(a) on two
-// workers) the execution deadlocks; a watchdog timeout then cancels the
-// run and reports the stall instead of hanging forever.
+// workers) the execution deadlocks; the runtime guard (exec/guard.h) then
+// detects the quiescent pool, reconstructs the wait-for graph among the
+// suspended forks, and recovers per the configured RecoveryPolicy instead
+// of hanging (or blindly timing out) forever.
 //
 // Non-blocking semantics: every node (including BF/BJ) is its own closure
 // dispatched when its predecessors complete — the sporadic DAG model of
 // Listing 2, which cannot deadlock.
+//
+// Robustness guarantees:
+//  * a node body that throws degrades to a failed run (failed_nodes /
+//    first_error in the report), never std::terminate and never a hang:
+//    the node still completes structurally so every barrier opens;
+//  * an ExecOptions::faults plan injects seeded misbehavior (WCET overrun,
+//    stall, throw, dropped notify) for testing the guard — see exec/fault.h;
+//  * a run over a partitioned assignment suppresses work stealing for its
+//    duration (stealing breaks the Eq. (3) placement Lemma 3 relies on)
+//    unless allow_stealing_with_assignment opts in, which is flagged
+//    loudly in the report.
 #pragma once
 
 #include <chrono>
@@ -22,6 +35,8 @@
 #include <vector>
 
 #include "analysis/partition.h"
+#include "exec/fault.h"
+#include "exec/guard.h"
 #include "exec/thread_pool.h"
 #include "model/dag_task.h"
 
@@ -31,18 +46,49 @@ struct ExecOptions {
   /// Per-node busy work: each node spins for wcet * microseconds_per_unit
   /// microseconds before invoking `body` (0 = no synthetic work).
   double microseconds_per_unit = 0.0;
-  /// Watchdog: if the graph does not complete within this budget the run is
-  /// cancelled (all barrier waits are released) and reported as stalled.
+  /// Guard budget: if the run makes NO progress for this long it is
+  /// declared stalled (budget verdict). Progress resets the clock, so a
+  /// slow-but-advancing run is never cancelled by this.
   std::chrono::milliseconds watchdog{2000};
   /// Node-to-worker assignment; required when the pool is kPerWorker.
   std::optional<analysis::NodeAssignment> assignment;
+
+  /// What the guard does on a confirmed stall (see exec/guard.h).
+  RecoveryPolicy recovery = RecoveryPolicy::kReport;
+  /// Guard sampling interval.
+  std::chrono::milliseconds guard_poll{5};
+  /// Injection cap under RecoveryPolicy::kEmergencyWorker.
+  std::size_t max_emergency_workers = 2;
+  /// Seeded fault plan (empty = clean run).
+  FaultPlan faults;
+  /// Permit work stealing during a run with an assignment; sets
+  /// ExecReport::stealing_bypassed_assignment instead of suppressing.
+  bool allow_stealing_with_assignment = false;
 };
 
 struct ExecReport {
-  bool completed = false;            ///< False = watchdog fired (stall).
+  bool completed = false;            ///< False = cancelled by the guard.
   std::size_t nodes_executed = 0;
   std::size_t max_blocked_workers = 0;  ///< Peak suspended workers.
   std::chrono::microseconds elapsed{0};
+
+  /// Nodes whose body threw (exception contained, run degraded).
+  std::vector<model::NodeId> failed_nodes;
+  /// what() of the first contained exception ("" if none).
+  std::string first_error;
+  /// Guard diagnosis; present when a stall was confirmed — even when
+  /// emergency workers then rescued the run (completed stays true).
+  std::optional<StallReport> stall;
+  /// Emergency workers injected into the pool by this run.
+  std::size_t emergency_workers = 0;
+  /// Lost wakeups the guard healed by re-notifying.
+  std::size_t lost_wakeups_recovered = 0;
+  /// Loud flag: stealing stayed enabled while executing a partitioned
+  /// assignment (Eq. (3) placement not enforced at runtime).
+  bool stealing_bypassed_assignment = false;
+
+  /// Clean success: completed, no failed nodes, no stall diagnosis.
+  bool ok() const { return completed && failed_nodes.empty() && !stall.has_value(); }
 };
 
 /// One-shot executor (create per run).
@@ -53,7 +99,8 @@ class GraphExecutor {
   /// pool is used without an assignment (or vice versa a bad assignment).
   GraphExecutor(ThreadPool& pool, const model::DagTask& task);
 
-  /// Run with Listing-1 semantics (condition-variable barriers).
+  /// Run with Listing-1 semantics (condition-variable barriers). Throws
+  /// StallError when a stall is confirmed under RecoveryPolicy::kFailFast.
   ExecReport run_blocking(const ExecOptions& options,
                           const std::function<void(model::NodeId)>& body = {});
 

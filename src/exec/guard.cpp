@@ -1,0 +1,148 @@
+#include "exec/guard.h"
+
+#include <sstream>
+
+namespace rtpool::exec {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+const char* to_string(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kReport: return "report";
+    case RecoveryPolicy::kEmergencyWorker: return "emergency-worker";
+    case RecoveryPolicy::kFailFast: return "fail-fast";
+  }
+  return "?";
+}
+
+std::string StallReport::describe() const {
+  std::ostringstream out;
+  out << (budget_exhausted ? "no progress for the watchdog budget"
+                           : "stall (quiescent pool)")
+      << " after " << detected_after.count() << " ms: " << blocked_workers << "/"
+      << pool_workers << " workers suspended";
+  for (const BlockedForkInfo& b : blocked) {
+    out << "; fork " << b.fork;
+    if (b.worker.has_value()) out << " on worker " << *b.worker;
+    out << " waits for " << b.remaining << " node(s)";
+  }
+  if (!starved.empty()) {
+    out << "; starved nodes:";
+    for (const StarvedNodeInfo& s : starved) {
+      out << " " << s.node;
+      if (s.queued_on.has_value()) out << "@w" << *s.queued_on;
+    }
+  }
+  if (!wait_cycle.empty()) {
+    out << "; wait-for cycle: ";
+    for (model::NodeId f : wait_cycle) out << f << " -> ";
+    out << wait_cycle.front();
+  }
+  out << "; policy=" << to_string(policy);
+  if (emergency_workers_injected > 0)
+    out << " (injected " << emergency_workers_injected
+        << " emergency worker(s): pool size m exceeded)";
+  return out.str();
+}
+
+StallError::StallError(StallReport report)
+    : std::runtime_error(report.describe()), report_(std::move(report)) {}
+
+Watchdog::Watchdog(GuardOptions options, GuardHooks hooks)
+    : options_(options), hooks_(std::move(hooks)) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::stop() {
+  {
+    util::MutexLock lock(mutex_);
+    if (stop_ && !thread_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Watchdog::loop() {
+  const auto start = Clock::now();
+  auto last_progress_time = start;
+  std::uint64_t last_progress = ~std::uint64_t{0};
+  int confirmed = 0;
+
+  for (;;) {
+    {
+      util::MutexLock lock(mutex_);
+      if (stop_) return;
+      cv_.wait_for(mutex_, options_.poll);
+      if (stop_) return;
+    }
+    GuardSample s = hooks_.sample();
+    if (s.done) {
+      // Belt and braces: if done was reached but the completion notify was
+      // lost (an injected fault can drop it), wake the run's caller.
+      if (hooks_.renotify) hooks_.renotify();
+      return;
+    }
+    const auto now = Clock::now();
+    if (s.progress != last_progress) {
+      last_progress = s.progress;
+      last_progress_time = now;
+      confirmed = 0;
+    }
+    if (s.lost_wakeup) {
+      // A barrier whose condition already holds is asleep on a lost notify:
+      // re-notify (waiters re-check their predicate, so this is always safe)
+      // instead of declaring a stall.
+      ++lost_wakeups_;
+      if (hooks_.renotify) hooks_.renotify();
+      confirmed = 0;
+      continue;
+    }
+    // Quiescent = every in-flight closure is suspended at a barrier and no
+    // queued closure can be reached by an unblocked worker. Nothing can
+    // change state anymore: a genuine deadlock, not mere slowness.
+    const bool quiescent =
+        s.blocked > 0 && s.active == s.blocked && !s.reachable_work;
+    confirmed = quiescent ? confirmed + 1 : 0;
+    const bool budget_out = now - last_progress_time >= options_.budget;
+    if (confirmed < options_.confirm_samples && !budget_out) continue;
+
+    const bool proven = confirmed >= options_.confirm_samples;
+    if (!stall_.has_value()) {
+      StallReport report;
+      report.detected_after =
+          std::chrono::duration_cast<std::chrono::milliseconds>(now - start);
+      report.blocked = s.waiting;
+      report.starved = s.starved;
+      report.pool_workers = s.pool_workers;
+      report.blocked_workers = s.blocked;
+      report.policy = options_.policy;
+      report.budget_exhausted = !proven;
+      if (proven) {
+        // The blocked forks wait on threads held (cyclically) by each other:
+        // the runtime image of the Lemma 2 wait-for cycle. A single fork
+        // starving its own children (Lemma 3) shows up as a 1-cycle.
+        for (const BlockedForkInfo& b : s.waiting)
+          report.wait_cycle.push_back(b.fork);
+      }
+      stall_ = std::move(report);
+    }
+    if (proven && options_.policy == RecoveryPolicy::kEmergencyWorker &&
+        injected_ < options_.max_emergency_workers && hooks_.inject_worker &&
+        hooks_.inject_worker()) {
+      ++injected_;
+      stall_->emergency_workers_injected = injected_;
+      confirmed = 0;
+      last_progress_time = now;  // give the new worker a fresh budget
+      continue;
+    }
+    hooks_.cancel();
+    return;
+  }
+}
+
+}  // namespace rtpool::exec

@@ -1,5 +1,6 @@
 #include "exec/thread_pool.h"
 
+#include <exception>
 #include <stdexcept>
 
 namespace rtpool::exec {
@@ -9,31 +10,42 @@ thread_local std::optional<std::size_t> t_worker_index;
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers, QueueMode mode, bool steal)
-    : mode_(mode), steal_(steal) {
+    : mode_(mode), steal_(steal), base_workers_(workers) {
   if (workers == 0) throw std::invalid_argument("ThreadPool: need at least one worker");
   if (mode_ == QueueMode::kPerWorker) {
     util::MutexLock lock(mutex_);  // workers don't exist yet; TSA discipline
     worker_queues_.resize(workers);
   }
+  worker_blocked_ = std::make_unique<std::atomic<bool>[]>(workers);
+  for (std::size_t i = 0; i < workers; ++i) worker_blocked_[i].store(false);
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
     workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
+  std::vector<std::thread> emergencies;
   {
     util::MutexLock lock(mutex_);
     shutting_down_ = true;
+    emergencies.swap(emergency_workers_);
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  for (std::thread& t : emergencies) t.join();
 }
 
-void ThreadPool::submit(std::function<void()> fn) {
+void ThreadPool::submit(std::function<void()> fn, std::optional<std::size_t> target) {
   if (mode_ == QueueMode::kPerWorker) {
-    submit_to(0, std::move(fn));
+    const std::size_t worker =
+        target.has_value()
+            ? *target
+            : rr_next_.fetch_add(1, std::memory_order_relaxed) % base_workers_;
+    submit_to(worker, std::move(fn));
     return;
   }
+  if (target.has_value())
+    throw std::logic_error("ThreadPool::submit: target requires kPerWorker mode");
   {
     util::MutexLock lock(mutex_);
     shared_queue_.push_back(std::move(fn));
@@ -43,13 +55,35 @@ void ThreadPool::submit(std::function<void()> fn) {
 
 void ThreadPool::submit_batch(std::vector<std::function<void()>> fns) {
   if (fns.empty()) return;
-  if (mode_ == QueueMode::kPerWorker) {
-    for (auto& fn : fns) submit_to(0, std::move(fn));
-    return;
-  }
   {
     util::MutexLock lock(mutex_);
-    for (auto& fn : fns) shared_queue_.push_back(std::move(fn));
+    if (mode_ == QueueMode::kPerWorker) {
+      // Spread round-robin under the single lock hold: the batch stays
+      // atomic and no single worker silently collects the whole release.
+      for (auto& fn : fns) {
+        const std::size_t worker =
+            rr_next_.fetch_add(1, std::memory_order_relaxed) % base_workers_;
+        worker_queues_[worker].push_back(std::move(fn));
+      }
+    } else {
+      for (auto& fn : fns) shared_queue_.push_back(std::move(fn));
+    }
+  }
+  cv_.notify_all();
+}
+
+void ThreadPool::submit_batch_to(
+    std::vector<std::pair<std::size_t, std::function<void()>>> items) {
+  if (mode_ != QueueMode::kPerWorker)
+    throw std::logic_error("ThreadPool::submit_batch_to requires kPerWorker mode");
+  for (const auto& [worker, fn] : items)
+    if (worker >= base_workers_)
+      throw std::out_of_range("ThreadPool::submit_batch_to: bad worker index");
+  if (items.empty()) return;
+  {
+    util::MutexLock lock(mutex_);
+    for (auto& [worker, fn] : items)
+      worker_queues_[worker].push_back(std::move(fn));
   }
   cv_.notify_all();
 }
@@ -57,7 +91,7 @@ void ThreadPool::submit_batch(std::vector<std::function<void()>> fns) {
 void ThreadPool::submit_to(std::size_t worker, std::function<void()> fn) {
   if (mode_ != QueueMode::kPerWorker)
     throw std::logic_error("ThreadPool::submit_to requires kPerWorker mode");
-  if (worker >= workers_.size())
+  if (worker >= base_workers_)
     throw std::out_of_range("ThreadPool::submit_to: bad worker index");
   {
     util::MutexLock lock(mutex_);
@@ -68,6 +102,10 @@ void ThreadPool::submit_to(std::size_t worker, std::function<void()> fn) {
 
 std::optional<std::size_t> ThreadPool::current_worker() { return t_worker_index; }
 
+bool ThreadPool::worker_blocked(std::size_t i) const {
+  return i < base_workers_ && worker_blocked_[i].load(std::memory_order_relaxed);
+}
+
 bool ThreadPool::try_pop(std::size_t index, std::function<void()>& out) {
   if (mode_ == QueueMode::kShared) {
     if (shared_queue_.empty()) return false;
@@ -75,23 +113,59 @@ bool ThreadPool::try_pop(std::size_t index, std::function<void()>& out) {
     shared_queue_.pop_front();
     return true;
   }
-  if (!worker_queues_[index].empty()) {
+  const bool emergency = index >= base_workers_;
+  if (!emergency && !worker_queues_[index].empty()) {
     out = std::move(worker_queues_[index].front());
     worker_queues_[index].pop_front();
     return true;
   }
-  if (steal_) {
-    for (std::size_t k = 1; k < worker_queues_.size(); ++k) {
+  // Emergency workers always scan every queue: their purpose is to drain
+  // work starved behind suspended workers, placement notwithstanding.
+  // Regular workers steal only when configured and not suppressed by a
+  // partitioned run.
+  const bool may_steal =
+      emergency ||
+      (steal_ && steal_suppressed_.load(std::memory_order_relaxed) == 0);
+  if (may_steal) {
+    for (std::size_t k = emergency ? 0 : 1; k < worker_queues_.size(); ++k) {
       const std::size_t victim = (index + k) % worker_queues_.size();
       if (!worker_queues_[victim].empty()) {
         // Steal from the back, Eigen-style.
         out = std::move(worker_queues_[victim].back());
         worker_queues_[victim].pop_back();
+        steals_.fetch_add(1, std::memory_order_relaxed);
         return true;
       }
     }
   }
   return false;
+}
+
+void ThreadPool::record_uncaught() {
+  uncaught_.fetch_add(1, std::memory_order_relaxed);
+  std::string what = "unknown exception";
+  try {
+    throw;  // rethrow the in-flight exception to classify it
+  } catch (const std::exception& e) {
+    what = e.what();
+  } catch (...) {
+  }
+  util::MutexLock lock(mutex_);
+  if (first_uncaught_.empty()) first_uncaught_ = what;
+}
+
+std::string ThreadPool::first_uncaught_error() const {
+  util::MutexLock lock(mutex_);
+  return first_uncaught_;
+}
+
+bool ThreadPool::spawn_emergency_worker() {
+  util::MutexLock lock(mutex_);
+  if (shutting_down_) return false;
+  const std::size_t index =
+      base_workers_ + emergency_count_.fetch_add(1, std::memory_order_relaxed);
+  emergency_workers_.emplace_back([this, index] { worker_loop(index); });
+  return true;
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
@@ -104,8 +178,19 @@ void ThreadPool::worker_loop(std::size_t index) {
       // thread-safety analysis context.
       while (!shutting_down_ && !try_pop(index, fn)) cv_.wait(mutex_);
       if (!fn) return;  // shutting down and nothing popped
+      // Count in-flight while still holding the lock: the guard's sampler
+      // must never observe "queue drained but nothing active".
+      active_.fetch_add(1, std::memory_order_relaxed);
     }
-    fn();
+    // Contain anything a closure throws: a failing body degrades to a
+    // recorded error, never std::terminate. Executor closures catch their
+    // own body exceptions; this protects foreign submissions.
+    try {
+      fn();
+    } catch (...) {
+      record_uncaught();
+    }
+    active_.fetch_sub(1, std::memory_order_relaxed);
     executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -116,9 +201,16 @@ ThreadPool::BlockedScope::BlockedScope(ThreadPool& pool) : pool_(pool) {
   while (seen < now &&
          !pool_.max_blocked_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
   }
+  const std::optional<std::size_t> worker = current_worker();
+  if (worker.has_value() && *worker < pool_.base_workers_) {
+    flagged_worker_ = worker;
+    pool_.worker_blocked_[*worker].store(true, std::memory_order_relaxed);
+  }
 }
 
 ThreadPool::BlockedScope::~BlockedScope() {
+  if (flagged_worker_.has_value())
+    pool_.worker_blocked_[*flagged_worker_].store(false, std::memory_order_relaxed);
   pool_.blocked_.fetch_sub(1, std::memory_order_relaxed);
 }
 

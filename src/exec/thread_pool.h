@@ -12,15 +12,34 @@
 // The pool exposes the *blocked worker* instrumentation the paper's model
 // is about: closures that wait on condition variables while holding a
 // worker reduce the available concurrency; `blocked_workers()` reports how
-// many workers are currently suspended this way (see BlockedScope).
+// many workers are currently suspended this way (see BlockedScope), and
+// `worker_blocked(i)` which ones — the runtime guard (exec/guard.h) samples
+// both to reconstruct the wait-for graph of a stalled run.
+//
+// Robustness features used by the guard:
+//  * emergency workers (spawn_emergency_worker): temporary extra threads
+//    injected to break a blocking-chain deadlock, TensorFlow-style. They
+//    drain any queue (ignoring the partitioned placement — that is the
+//    point) and retire at pool destruction.
+//  * stealing suppression (SuppressStealing): a partitioned run can turn
+//    stealing off for its duration, since stealing off another worker's
+//    queue breaks the Eq. (3) placement condition the partitioned analysis
+//    assumes.
+//  * exception containment: a closure that throws no longer terminates the
+//    process; the pool records it (uncaught_exceptions()) and the worker
+//    survives. The GraphExecutor catches node-body exceptions itself; this
+//    is the safety net for foreign closures.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/thread_annotations.h"
@@ -38,30 +57,43 @@ class ThreadPool {
 
   /// Drains nothing: pending closures are abandoned; blocked closures must
   /// have been cancelled by their owner before destruction (GraphExecutor
-  /// guarantees this).
+  /// guarantees this). Emergency workers are joined here too.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t worker_count() const { return workers_.size(); }
+  /// Base pool size m; excludes emergency workers.
+  std::size_t worker_count() const { return base_workers_; }
   QueueMode mode() const { return mode_; }
+  bool stealing_configured() const { return steal_; }
 
-  /// Enqueue into the shared queue (kShared) or into the least-index worker
-  /// queue (kPerWorker).
-  void submit(std::function<void()> fn);
+  /// Enqueue a closure. kShared: into the shared queue. kPerWorker: into
+  /// `target`'s queue when given, else round-robin across workers (the old
+  /// behaviour silently funnelled everything to worker 0, violating any
+  /// partitioned placement). `target` with kShared throws std::logic_error.
+  void submit(std::function<void()> fn,
+              std::optional<std::size_t> target = std::nullopt);
 
   /// Enqueue several closures atomically (one lock hold): no worker can
   /// observe a state where only a prefix of the batch is queued. Used by
   /// GraphExecutor to release all successors of a completed node at once,
   /// the way a precedence constraint opens in the paper's model.
+  /// kPerWorker: items are spread round-robin; use submit_batch_to() to
+  /// honor a placement.
   void submit_batch(std::vector<std::function<void()>> fns);
+
+  /// Atomic targeted batch (kPerWorker only): each closure goes to its
+  /// paired worker queue, all under one lock hold.
+  void submit_batch_to(
+      std::vector<std::pair<std::size_t, std::function<void()>>> items);
 
   /// Enqueue into a specific worker's queue (kPerWorker only; throws
   /// std::logic_error in kShared mode, std::out_of_range on a bad index).
   void submit_to(std::size_t worker, std::function<void()> fn);
 
   /// Index of the pool worker executing the calling thread, if any.
+  /// Emergency workers report indices >= worker_count().
   static std::optional<std::size_t> current_worker();
 
   /// Number of workers currently blocked inside a BlockedScope (suspended
@@ -69,11 +101,42 @@ class ThreadPool {
   /// the pool's available concurrency l(t, τ).
   std::size_t blocked_workers() const { return blocked_.load(std::memory_order_relaxed); }
 
+  /// Whether base worker i is currently suspended in a BlockedScope.
+  bool worker_blocked(std::size_t i) const;
+
   /// Highest number of simultaneously blocked workers observed.
   std::size_t max_blocked_workers() const { return max_blocked_.load(std::memory_order_relaxed); }
 
+  /// Closures currently in flight (popped and running OR suspended at a
+  /// barrier). active() == blocked_workers() means every busy worker is
+  /// suspended — the guard's quiescence signal.
+  std::size_t active() const { return active_.load(std::memory_order_relaxed); }
+
   /// Total closures executed (diagnostics).
   std::size_t executed() const { return executed_.load(std::memory_order_relaxed); }
+
+  /// Closures taken from another worker's queue (kPerWorker + steal).
+  std::size_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+  /// Closures that escaped with an exception (contained by the worker).
+  std::size_t uncaught_exceptions() const {
+    return uncaught_.load(std::memory_order_relaxed);
+  }
+
+  /// Message of the first contained exception ("" if none yet).
+  std::string first_uncaught_error() const;
+
+  /// Spawn one temporary worker (joined at destruction). Emergency workers
+  /// pop from the shared queue and, in kPerWorker mode, from ANY worker
+  /// queue regardless of the steal setting — their job is to break a
+  /// blocking chain that has suspended the regular workers. Returns false
+  /// if the pool is shutting down.
+  bool spawn_emergency_worker();
+
+  /// Emergency workers spawned so far.
+  std::size_t emergency_worker_count() const {
+    return emergency_count_.load(std::memory_order_relaxed);
+  }
 
   /// RAII marker: the enclosing worker counts as blocked while in scope.
   /// Used around condition-variable waits inside pool closures.
@@ -86,14 +149,34 @@ class ThreadPool {
 
    private:
     ThreadPool& pool_;
+    std::optional<std::size_t> flagged_worker_;
+  };
+
+  /// RAII: regular workers stop stealing while any suppression is alive
+  /// (emergency workers still steal). Used by partitioned graph runs.
+  class SuppressStealing {
+   public:
+    explicit SuppressStealing(ThreadPool& pool) : pool_(pool) {
+      pool_.steal_suppressed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~SuppressStealing() {
+      pool_.steal_suppressed_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    SuppressStealing(const SuppressStealing&) = delete;
+    SuppressStealing& operator=(const SuppressStealing&) = delete;
+
+   private:
+    ThreadPool& pool_;
   };
 
  private:
   void worker_loop(std::size_t index);
   bool try_pop(std::size_t index, std::function<void()>& out) RTPOOL_REQUIRES(mutex_);
+  void record_uncaught();
 
   QueueMode mode_;
   bool steal_;
+  std::size_t base_workers_;
 
   mutable util::Mutex mutex_;
   util::CondVar cv_;
@@ -101,10 +184,22 @@ class ThreadPool {
   std::vector<std::deque<std::function<void()>>> worker_queues_
       RTPOOL_GUARDED_BY(mutex_);
   bool shutting_down_ RTPOOL_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> emergency_workers_ RTPOOL_GUARDED_BY(mutex_);
+  std::string first_uncaught_ RTPOOL_GUARDED_BY(mutex_);
 
   std::atomic<std::size_t> blocked_{0};
   std::atomic<std::size_t> max_blocked_{0};
+  std::atomic<std::size_t> active_{0};
   std::atomic<std::size_t> executed_{0};
+  std::atomic<std::size_t> steals_{0};
+  std::atomic<std::size_t> uncaught_{0};
+  std::atomic<std::size_t> emergency_count_{0};
+  std::atomic<std::size_t> rr_next_{0};
+  std::atomic<int> steal_suppressed_{0};
+
+  /// Per base-worker blocked flag (fixed size; emergency workers are only
+  /// counted in blocked_).
+  std::unique_ptr<std::atomic<bool>[]> worker_blocked_;
 
   std::vector<std::thread> workers_;
 };

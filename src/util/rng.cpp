@@ -36,4 +36,18 @@ Rng Rng::fork() {
   return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
 }
 
+namespace {
+/// splitmix64 finalizer: full-avalanche mix for seed derivation.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+Rng Rng::fork_with(std::uint64_t salt) const {
+  return Rng(mix64(seed_ ^ mix64(salt)));
+}
+
 }  // namespace rtpool::util

@@ -14,7 +14,7 @@ namespace rtpool::util {
 /// Deterministic random source (mt19937_64 behind a convenience API).
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi);
@@ -40,11 +40,19 @@ class Rng {
   /// Derive an independent child RNG (for parallel experiment trials).
   Rng fork();
 
+  /// Derive a child RNG keyed by `salt` WITHOUT advancing this engine:
+  /// the stream for a given (seed, salt) pair is stable no matter how many
+  /// other draws happen in between. Used by the fault injector so the fault
+  /// hitting node v depends only on (plan seed, v), never on iteration
+  /// order — every failure replays from its seed.
+  Rng fork_with(std::uint64_t salt) const;
+
   /// Access the underlying engine (for std distributions).
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
+  std::uint64_t seed_;  ///< Construction seed, kept for fork_with().
 };
 
 }  // namespace rtpool::util

@@ -448,5 +448,167 @@ TEST_P(ExecLemmaTest, EnoughWorkersNeverStall) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ExecLemmaTest,
                          ::testing::Range<std::uint64_t>(1, 13));
 
+// ---------------------------------------------------------------------------
+// Routing fixes: kPerWorker submit() without a target must round-robin, not
+// funnel everything into worker 0.
+
+TEST(ThreadPoolTest, PerWorkerSubmitRoundRobinsAcrossWorkers) {
+  ThreadPool pool(3, ThreadPool::QueueMode::kPerWorker);
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 30; ++i)
+    pool.submit([&] {
+      {
+        std::lock_guard lock(mu);
+        seen.insert(*ThreadPool::current_worker());
+      }
+      done.fetch_add(1);
+    });
+  while (done.load() < 30) std::this_thread::yield();
+  // No stealing: each closure ran on the worker whose queue received it, so
+  // all three workers must have been fed.
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ThreadPoolTest, SubmitHonorsExplicitTarget) {
+  ThreadPool pool(3, ThreadPool::QueueMode::kPerWorker);
+  std::atomic<int> done{0};
+  std::atomic<bool> routed{true};
+  for (int i = 0; i < 30; ++i)
+    pool.submit([&] {
+      if (ThreadPool::current_worker() != 2u) routed = false;
+      done.fetch_add(1);
+    }, /*target=*/2);
+  while (done.load() < 30) std::this_thread::yield();
+  EXPECT_TRUE(routed.load());
+}
+
+TEST(ThreadPoolTest, SubmitTargetRejectedInSharedMode) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.submit([] {}, /*target=*/0), std::logic_error);
+}
+
+TEST(ThreadPoolTest, SubmitBatchToRoutesEachClosure) {
+  ThreadPool pool(3, ThreadPool::QueueMode::kPerWorker);
+  std::atomic<int> done{0};
+  std::atomic<bool> routed{true};
+  std::vector<std::pair<std::size_t, std::function<void()>>> items;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const std::size_t target = i % 3;
+    items.emplace_back(target, [&, target] {
+      if (ThreadPool::current_worker() != target) routed = false;
+      done.fetch_add(1);
+    });
+  }
+  pool.submit_batch_to(std::move(items));
+  while (done.load() < 30) std::this_thread::yield();
+  EXPECT_TRUE(routed.load());
+}
+
+// ---------------------------------------------------------------------------
+// Exception containment: a foreign closure that throws must not take the
+// worker (or the process) down.
+
+TEST(ThreadPoolTest, ThrowingClosureContainedAndWorkerSurvives) {
+  ThreadPool pool(1);
+  pool.submit([] { throw std::runtime_error("foreign closure blew up"); });
+  std::atomic<bool> ran{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  pool.submit([&] {
+    std::lock_guard lock(mu);
+    ran = true;
+    cv.notify_all();
+  });
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(
+      cv.wait_for(lock, std::chrono::seconds(5), [&] { return ran.load(); }));
+  EXPECT_EQ(pool.uncaught_exceptions(), 1u);
+  EXPECT_EQ(pool.first_uncaught_error(), "foreign closure blew up");
+}
+
+// ---------------------------------------------------------------------------
+// Stealing suppression during partitioned runs (the Eq. (3) placement must
+// be enforced at runtime, or bypassed LOUDLY).
+
+TEST(GraphExecutorTest, PartitionedRunSuppressesStealing) {
+  const DagTask task = fig1_task();
+  // Stealing is configured on, but the run carries an assignment: the
+  // executor must suppress stealing for its duration so every node runs on
+  // its assigned worker.
+  ThreadPool pool(2, ThreadPool::QueueMode::kPerWorker, /*steal=*/true);
+  ASSERT_TRUE(pool.stealing_configured());
+  // Fork+join on worker 0, everything else on worker 1 — a safe placement.
+  std::vector<analysis::ThreadId> thread_of(task.node_count(), 1);
+  const auto& region = task.blocking_regions()[0];
+  thread_of[region.fork] = 0;
+  thread_of[region.join] = 0;
+  ExecOptions options;
+  options.assignment = analysis::NodeAssignment{thread_of};
+
+  GraphExecutor exec(pool, task);
+  std::mutex mu;
+  bool placement_honored = true;
+  const ExecReport report = exec.run_blocking(options, [&](NodeId v) {
+    std::lock_guard lock(mu);
+    if (ThreadPool::current_worker() != thread_of[v]) placement_honored = false;
+  });
+  EXPECT_TRUE(report.completed);
+  EXPECT_FALSE(report.stealing_bypassed_assignment);
+  EXPECT_TRUE(placement_honored);
+  EXPECT_EQ(pool.steals(), 0u);
+}
+
+TEST(GraphExecutorTest, OptInStealingWithAssignmentIsFlagged) {
+  const DagTask task = fig1_task();
+  ThreadPool pool(2, ThreadPool::QueueMode::kPerWorker, /*steal=*/true);
+  std::vector<analysis::ThreadId> thread_of(task.node_count(), 1);
+  const auto& region = task.blocking_regions()[0];
+  thread_of[region.fork] = 0;
+  thread_of[region.join] = 0;
+  ExecOptions options;
+  options.assignment = analysis::NodeAssignment{thread_of};
+  options.allow_stealing_with_assignment = true;
+
+  GraphExecutor exec(pool, task);
+  const ExecReport report = exec.run_blocking(options);
+  EXPECT_TRUE(report.completed);
+  EXPECT_TRUE(report.stealing_bypassed_assignment);  // the loud flag
+}
+
+// ---------------------------------------------------------------------------
+// Emergency workers at the pool level.
+
+TEST(ThreadPoolTest, EmergencyWorkerDrainsTargetedQueues) {
+  ThreadPool pool(1, ThreadPool::QueueMode::kPerWorker);
+  // Suspend the only base worker at a barrier.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<bool> emergency_ran{false};
+  pool.submit_to(0, [&] {
+    ThreadPool::BlockedScope blocked(pool);
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (pool.blocked_workers() == 0) std::this_thread::yield();
+  // Work queued behind the suspended worker is unreachable...
+  pool.submit_to(0, [&] {
+    if (ThreadPool::current_worker().value_or(0) >= pool.worker_count())
+      emergency_ran = true;
+    std::lock_guard lock(mu);
+    release = true;
+    cv.notify_all();
+  });
+  // ...until an emergency worker drains it, ignoring the placement.
+  ASSERT_TRUE(pool.spawn_emergency_worker());
+  EXPECT_EQ(pool.emergency_worker_count(), 1u);
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(
+      cv.wait_for(lock, std::chrono::seconds(5), [&] { return release; }));
+  EXPECT_TRUE(emergency_ran.load());
+}
+
 }  // namespace
 }  // namespace rtpool::exec
