@@ -20,6 +20,7 @@
 #include "analysis/priority_assignment.h"
 #include "analysis/partition.h"
 #include "analysis/partitioned_rta.h"
+#include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
 #include "util/args.h"
 #include "util/csv.h"
@@ -27,17 +28,19 @@
 int main(int argc, char** argv) {
   using namespace rtpool;
   const util::Args args(argc, argv,
-                        {"m", "n", "u-global", "u-part", "trials", "seed", "csv"});
+                        {"m", "n", "u-global", "u-part", "trials", "seed", "csv",
+                         "threads"});
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const auto ns = args.get_int_list("n", {2, 4, 6, 8, 10, 12, 14, 16});
   const double u_global = args.get_double("u-global", 0.3 * static_cast<double>(m));
   const double u_part = args.get_double("u-part", 0.15 * static_cast<double>(m));
   const int trials = static_cast<int>(args.get_int("trials", 300));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::uint64_t seed = args.get_uint64("seed", 1);
+  const int threads = static_cast<int>(args.get_int("threads", 1));
 
   std::printf("Ablation C: extension variants [m=%zu U_glob=%.2f U_part=%.2f "
-              "trials=%d]\n",
-              m, u_global, u_part, trials);
+              "trials=%d threads=%d]\n",
+              m, u_global, u_part, trials, threads);
   std::printf("%-4s | %-9s %-9s %-9s | %-9s %-9s | %-9s %-9s\n", "n",
               "lim-bbar", "lim-anti", "lim-opa", "fed", "fed-lim",
               "part-split", "part-hol");
@@ -47,13 +50,14 @@ int main(int argc, char** argv) {
                        "federated", "federated_limited", "partitioned_split",
                        "partitioned_holistic"});
 
+  exp::ExperimentEngine engine(threads);
   for (std::int64_t n : ns) {
     gen::TaskSetParams params;
     params.cores = m;
     params.task_count = static_cast<std::size_t>(n);
     params.nfj.min_branches = 5;
     params.nfj.max_branches = 7;
-    util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(n));
+    const util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(n));
 
     int lim_bbar = 0;
     int lim_anti = 0;
@@ -62,44 +66,63 @@ int main(int argc, char** argv) {
     int fed_lim = 0;
     int part_split = 0;
     int part_hol = 0;
-    for (int t = 0; t < trials; ++t) {
-      params.total_utilization = u_global;
-      const model::TaskSet ts = gen::generate_task_set(params, rng);
+    struct TrialOutcome {
+      bool lim_bbar = false, lim_anti = false, lim_opa = false;
+      bool fed = false, fed_lim = false;
+      bool part_split = false, part_hol = false;
+    };
+    engine.map_trials(
+        static_cast<std::size_t>(trials), rng,
+        [&](std::size_t /*trial*/, util::Rng& arng) {
+          TrialOutcome out;
+          gen::TaskSetParams p = params;  // local copy: eval runs concurrently
+          p.total_utilization = u_global;
+          const model::TaskSet ts = gen::generate_task_set(p, arng);
 
-      analysis::GlobalRtaOptions lim;
-      lim.limited_concurrency = true;
-      if (analysis::analyze_global(ts, lim).schedulable) ++lim_bbar;
-      lim.concurrency = analysis::ConcurrencyBound::kMaxAntichain;
-      if (analysis::analyze_global(ts, lim).schedulable) ++lim_anti;
+          analysis::GlobalRtaOptions lim;
+          lim.limited_concurrency = true;
+          out.lim_bbar = analysis::analyze_global(ts, lim).schedulable;
+          lim.concurrency = analysis::ConcurrencyBound::kMaxAntichain;
+          out.lim_anti = analysis::analyze_global(ts, lim).schedulable;
 
-      // OPA over the deadline-jitter variant of the b̄-based limited test,
-      // verified with the original response-jitter analysis.
-      analysis::AudsleyOptions audsley;
-      audsley.base.limited_concurrency = true;
-      if (const auto opa = analysis::assign_priorities_audsley(ts, audsley)) {
-        analysis::GlobalRtaOptions verify;
-        verify.limited_concurrency = true;
-        if (analysis::analyze_global(*opa, verify).schedulable) ++lim_opa;
-      }
+          // OPA over the deadline-jitter variant of the b̄-based limited
+          // test, verified with the original response-jitter analysis.
+          analysis::AudsleyOptions audsley;
+          audsley.base.limited_concurrency = true;
+          if (const auto opa = analysis::assign_priorities_audsley(ts, audsley)) {
+            analysis::GlobalRtaOptions verify;
+            verify.limited_concurrency = true;
+            out.lim_opa = analysis::analyze_global(*opa, verify).schedulable;
+          }
 
-      if (analysis::analyze_federated(ts).schedulable) ++fed;
-      analysis::FederatedOptions fopt;
-      fopt.limited_concurrency = true;
-      if (analysis::analyze_federated(ts, fopt).schedulable) ++fed_lim;
+          out.fed = analysis::analyze_federated(ts).schedulable;
+          analysis::FederatedOptions fopt;
+          fopt.limited_concurrency = true;
+          out.fed_lim = analysis::analyze_federated(ts, fopt).schedulable;
 
-      params.total_utilization = u_part;
-      const model::TaskSet tsp = gen::generate_task_set(params, rng);
-      const auto wf = analysis::partition_worst_fit(tsp);
-      if (wf.success()) {
-        analysis::PartitionedRtaOptions opts;
-        opts.require_deadlock_free = false;
-        if (analysis::analyze_partitioned(tsp, *wf.partition, opts).schedulable)
-          ++part_split;
-        opts.bound = analysis::PartitionedBound::kHolisticPath;
-        if (analysis::analyze_partitioned(tsp, *wf.partition, opts).schedulable)
-          ++part_hol;
-      }
-    }
+          p.total_utilization = u_part;
+          const model::TaskSet tsp = gen::generate_task_set(p, arng);
+          const auto wf = analysis::partition_worst_fit(tsp);
+          if (wf.success()) {
+            analysis::PartitionedRtaOptions opts;
+            opts.require_deadlock_free = false;
+            out.part_split =
+                analysis::analyze_partitioned(tsp, *wf.partition, opts).schedulable;
+            opts.bound = analysis::PartitionedBound::kHolisticPath;
+            out.part_hol =
+                analysis::analyze_partitioned(tsp, *wf.partition, opts).schedulable;
+          }
+          return out;
+        },
+        [&](std::size_t /*trial*/, const TrialOutcome& out) {
+          lim_bbar += out.lim_bbar;
+          lim_anti += out.lim_anti;
+          lim_opa += out.lim_opa;
+          fed += out.fed;
+          fed_lim += out.fed_lim;
+          part_split += out.part_split;
+          part_hol += out.part_hol;
+        });
     const double d = trials;
     std::printf("%-4lld | %-9.3f %-9.3f %-9.3f | %-9.3f %-9.3f | %-9.3f "
                 "%-9.3f\n",

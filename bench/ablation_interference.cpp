@@ -9,22 +9,25 @@
 #include <cstdio>
 
 #include "analysis/global_rta.h"
+#include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
 #include "util/args.h"
 #include "util/csv.h"
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv, {"m", "n", "u", "trials", "seed", "csv"});
+  const util::Args args(argc, argv,
+                        {"m", "n", "u", "trials", "seed", "csv", "threads"});
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const auto ns = args.get_int_list("n", {2, 4, 6, 8, 10, 12, 14, 16});
   const double u = args.get_double("u", 0.4 * static_cast<double>(m));
   const int trials = static_cast<int>(args.get_int("trials", 300));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::uint64_t seed = args.get_uint64("seed", 1);
+  const int threads = static_cast<int>(args.get_int("threads", 1));
 
   std::printf("Ablation A: paper ceil bound vs Melani carry-in bound "
-              "[m=%zu U=%.2f trials=%d]\n",
-              m, u, trials);
+              "[m=%zu U=%.2f trials=%d threads=%d]\n",
+              m, u, trials, threads);
   std::printf("%-4s | %-12s %-12s | %-12s %-12s | %-12s\n", "n", "ceil-base",
               "carry-base", "ceil-lim", "carry-lim", "R carry/ceil");
 
@@ -32,42 +35,57 @@ int main(int argc, char** argv) {
                       {"n", "ceil_baseline", "carryin_baseline", "ceil_limited",
                        "carryin_limited", "mean_r_ratio"});
 
+  exp::ExperimentEngine engine(threads);
   for (std::int64_t n : ns) {
     gen::TaskSetParams params;
     params.cores = m;
     params.task_count = static_cast<std::size_t>(n);
     params.total_utilization = u;
-    util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(n));
+    const util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(n));
 
     int counts[4] = {0, 0, 0, 0};
     double ratio_sum = 0.0;
     std::size_t ratio_count = 0;
-    for (int t = 0; t < trials; ++t) {
-      const model::TaskSet ts = gen::generate_task_set(params, rng);
-      int k = 0;
-      analysis::GlobalRtaResult results[4];
-      for (bool limited : {false, true}) {
-        for (auto bound : {analysis::InterferenceBound::kPaperCeil,
-                           analysis::InterferenceBound::kMelaniCarryIn}) {
-          analysis::GlobalRtaOptions opts;
-          opts.limited_concurrency = limited;
-          opts.bound = bound;
-          results[k] = analysis::analyze_global(ts, opts);
-          if (results[k].schedulable) ++counts[k];
-          ++k;
-        }
-      }
-      // Mean per-task response-time improvement of the refined bound
-      // (baseline test, finite responses only).
-      for (std::size_t i = 0; i < ts.size(); ++i) {
-        const double r_ceil = results[0].per_task[i].response_time;
-        const double r_carry = results[1].per_task[i].response_time;
-        if (std::isfinite(r_ceil) && std::isfinite(r_carry) && r_ceil > 0.0) {
-          ratio_sum += r_carry / r_ceil;
-          ++ratio_count;
-        }
-      }
-    }
+    struct TrialOutcome {
+      bool schedulable[4] = {false, false, false, false};
+      double ratio_sum = 0.0;
+      std::size_t ratio_count = 0;
+    };
+    engine.map_trials(
+        static_cast<std::size_t>(trials), rng,
+        [&](std::size_t /*trial*/, util::Rng& arng) {
+          const model::TaskSet ts = gen::generate_task_set(params, arng);
+          TrialOutcome out;
+          int k = 0;
+          analysis::GlobalRtaResult results[4];
+          for (bool limited : {false, true}) {
+            for (auto bound : {analysis::InterferenceBound::kPaperCeil,
+                               analysis::InterferenceBound::kMelaniCarryIn}) {
+              analysis::GlobalRtaOptions opts;
+              opts.limited_concurrency = limited;
+              opts.bound = bound;
+              results[k] = analysis::analyze_global(ts, opts);
+              out.schedulable[k] = results[k].schedulable;
+              ++k;
+            }
+          }
+          // Mean per-task response-time improvement of the refined bound
+          // (baseline test, finite responses only).
+          for (std::size_t i = 0; i < ts.size(); ++i) {
+            const double r_ceil = results[0].per_task[i].response_time;
+            const double r_carry = results[1].per_task[i].response_time;
+            if (std::isfinite(r_ceil) && std::isfinite(r_carry) && r_ceil > 0.0) {
+              out.ratio_sum += r_carry / r_ceil;
+              ++out.ratio_count;
+            }
+          }
+          return out;
+        },
+        [&](std::size_t /*trial*/, const TrialOutcome& out) {
+          for (int k = 0; k < 4; ++k) counts[k] += out.schedulable[k];
+          ratio_sum += out.ratio_sum;
+          ratio_count += out.ratio_count;
+        });
     const double d = trials;
     const double mean_ratio = ratio_count == 0 ? 1.0 : ratio_sum / ratio_count;
     std::printf("%-4lld | %-12.3f %-12.3f | %-12.3f %-12.3f | %-12.4f\n",

@@ -11,22 +11,25 @@
 
 #include "analysis/partition.h"
 #include "analysis/partitioned_rta.h"
+#include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
 #include "util/args.h"
 #include "util/csv.h"
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv, {"m", "n", "u", "trials", "seed", "csv"});
+  const util::Args args(argc, argv,
+                        {"m", "n", "u", "trials", "seed", "csv", "threads"});
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const auto n = static_cast<std::size_t>(args.get_int("n", 6));
   const double u = args.get_double("u", 0.15 * static_cast<double>(m));
   const int trials = static_cast<int>(args.get_int("trials", 300));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::uint64_t seed = args.get_uint64("seed", 1);
+  const int threads = static_cast<int>(args.get_int("threads", 1));
 
   std::printf("Ablation B: Algorithm 1 tie-break & failure modes "
-              "[m=%zu n=%zu U=%.2f trials=%d]\n",
-              m, n, u, trials);
+              "[m=%zu n=%zu U=%.2f trials=%d threads=%d]\n",
+              m, n, u, trials, threads);
   std::printf("%-6s | %-10s %-10s %-10s | %-12s %-12s\n", "bbar", "wf-sched",
               "ff-sched", "rand-sched", "alg1-fail", "rta-reject");
 
@@ -34,6 +37,7 @@ int main(int argc, char** argv) {
                       {"bbar", "worstfit_sched", "firstfit_sched",
                        "randomized_sched", "alg1_fail", "rta_reject"});
 
+  exp::ExperimentEngine engine(threads);
   for (std::size_t bbar = 0; bbar < m; ++bbar) {
     gen::TaskSetParams params;
     params.cores = m;
@@ -42,7 +46,7 @@ int main(int argc, char** argv) {
     params.nfj.min_branches = 3;
     params.nfj.max_branches = 5;
     params.blocking_window = gen::BlockingWindow{bbar, bbar};
-    util::Rng rng(seed * 1000003 + bbar);
+    const util::Rng rng(seed * 1000003 + bbar);
 
     int wf_sched = 0;
     int ff_sched = 0;
@@ -50,37 +54,58 @@ int main(int argc, char** argv) {
     int alg1_fail = 0;
     int rta_reject = 0;
     int done = 0;
-    int attempts = 0;
-    while (done < trials && attempts < trials * 200) {
-      ++attempts;
-      model::TaskSet ts(m);
-      try {
-        ts = gen::generate_task_set(params, rng);
-      } catch (const gen::GenerationError&) {
-        continue;
-      }
-      ++done;
-      const auto wf = analysis::partition_algorithm1(ts, analysis::TieBreak::kWorstFit);
-      const auto ff = analysis::partition_algorithm1(ts, analysis::TieBreak::kFirstFit);
-      if (!wf.success()) {
-        ++alg1_fail;
-      } else {
-        if (analysis::analyze_partitioned(ts, *wf.partition).schedulable) {
-          ++wf_sched;
-        } else {
-          ++rta_reject;
-        }
-      }
-      if (ff.success() &&
-          analysis::analyze_partitioned(ts, *ff.partition).schedulable)
-        ++ff_sched;
-      util::Rng restart_rng = rng.fork();
-      const auto rnd =
-          analysis::partition_algorithm1_randomized(ts, restart_rng, 16);
-      if (rnd.success() &&
-          analysis::analyze_partitioned(ts, *rnd.partition).schedulable)
-        ++rand_sched;
-    }
+    struct AttemptOutcome {
+      bool generated = false;
+      bool wf_success = false, wf_sched = false;
+      bool ff_sched = false, rand_sched = false;
+    };
+    engine.run_attempts(
+        static_cast<std::size_t>(trials),
+        static_cast<std::size_t>(trials) * 200, rng,
+        [&](std::size_t /*attempt*/, util::Rng& arng) {
+          AttemptOutcome out;
+          model::TaskSet ts(m);
+          try {
+            ts = gen::generate_task_set(params, arng);
+          } catch (const gen::GenerationError&) {
+            return out;
+          }
+          out.generated = true;
+          const auto wf =
+              analysis::partition_algorithm1(ts, analysis::TieBreak::kWorstFit);
+          const auto ff =
+              analysis::partition_algorithm1(ts, analysis::TieBreak::kFirstFit);
+          out.wf_success = wf.success();
+          if (wf.success())
+            out.wf_sched =
+                analysis::analyze_partitioned(ts, *wf.partition).schedulable;
+          out.ff_sched =
+              ff.success() &&
+              analysis::analyze_partitioned(ts, *ff.partition).schedulable;
+          // The restart stream forks off this attempt's own RNG, so the
+          // randomized column is as thread-count-invariant as the rest.
+          util::Rng restart_rng = arng.fork();
+          const auto rnd =
+              analysis::partition_algorithm1_randomized(ts, restart_rng, 16);
+          out.rand_sched =
+              rnd.success() &&
+              analysis::analyze_partitioned(ts, *rnd.partition).schedulable;
+          return out;
+        },
+        [&](std::size_t /*attempt*/, const AttemptOutcome& out) {
+          if (!out.generated) return false;
+          ++done;
+          if (!out.wf_success) {
+            ++alg1_fail;
+          } else if (out.wf_sched) {
+            ++wf_sched;
+          } else {
+            ++rta_reject;
+          }
+          ff_sched += out.ff_sched;
+          rand_sched += out.rand_sched;
+          return true;
+        });
     const double d = std::max(done, 1);
     std::printf("%-6zu | %-10.3f %-10.3f %-10.3f | %-12.3f %-12.3f%s\n", bbar,
                 wf_sched / d, ff_sched / d, rand_sched / d, alg1_fail / d,

@@ -17,6 +17,7 @@
 #include <cstdio>
 
 #include "analysis/partition.h"
+#include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
 #include "sim/engine.h"
 #include "util/args.h"
@@ -26,14 +27,25 @@ namespace {
 
 using namespace rtpool;
 
+/// The four policies' simulation outcomes for one task set, as booleans so
+/// trials can be evaluated concurrently and folded in trial order.
+struct TrialOutcome {
+  bool wf_ok = false;  ///< Worst-fit partition exists (naive/steal columns).
+  bool naive_deadlock = false, naive_miss = false;
+  bool steal_deadlock = false, steal_miss = false;
+  bool global_deadlock = false, global_miss = false;
+  bool alg1_ok = false;  ///< Algorithm 1 succeeded (alg1 columns).
+  bool alg1_deadlock = false, alg1_miss = false;
+};
+
 struct Rates {
   int deadlocks = 0;
   int misses = 0;
 
-  void add(const sim::SimResult& r) {
-    if (r.deadlock.has_value()) {
+  void add(bool deadlock, bool miss) {
+    if (deadlock) {
       ++deadlocks;
-    } else if (r.any_deadline_miss) {
+    } else if (miss) {
       ++misses;
     }
   }
@@ -43,16 +55,18 @@ struct Rates {
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv, {"m", "n", "u", "trials", "seed", "csv"});
+  const util::Args args(argc, argv,
+                        {"m", "n", "u", "trials", "seed", "csv", "threads"});
   const auto m = static_cast<std::size_t>(args.get_int("m", 4));
   const auto n = static_cast<std::size_t>(args.get_int("n", 3));
   const double u = args.get_double("u", 0.3 * static_cast<double>(m));
   const int trials = static_cast<int>(args.get_int("trials", 200));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::uint64_t seed = args.get_uint64("seed", 1);
+  const int threads = static_cast<int>(args.get_int("threads", 1));
 
   std::printf("Ablation D: simulated dispatching policies [m=%zu n=%zu U=%.2f "
-              "trials=%d]\n",
-              m, n, u, trials);
+              "trials=%d threads=%d]\n",
+              m, n, u, trials, threads);
   std::printf("%-6s | %-22s %-22s %-22s %-22s\n", "bbar",
               "naive-part dl/miss", "naive+steal dl/miss", "global dl/miss",
               "alg1-part dl/miss");
@@ -62,6 +76,7 @@ int main(int argc, char** argv) {
                        "steal_miss", "global_deadlock", "global_miss",
                        "alg1_deadlock", "alg1_miss"});
 
+  exp::ExperimentEngine engine(threads);
   for (std::size_t bbar = 1; bbar < m; ++bbar) {
     gen::TaskSetParams params;
     params.cores = m;
@@ -70,7 +85,7 @@ int main(int argc, char** argv) {
     params.nfj.min_branches = 3;
     params.nfj.max_branches = 5;
     params.blocking_window = gen::BlockingWindow{bbar, bbar};
-    util::Rng rng(seed * 1000003 + bbar);
+    const util::Rng rng(seed * 1000003 + bbar);
 
     Rates naive;
     Rates steal;
@@ -78,42 +93,63 @@ int main(int argc, char** argv) {
     Rates alg1_rates;
     int alg1_applicable = 0;
 
-    for (int t = 0; t < trials; ++t) {
-      const model::TaskSet ts = gen::generate_task_set(params, rng);
-      double max_period = 0.0;
-      for (const auto& task : ts.tasks())
-        max_period = std::max(max_period, task.period());
+    engine.map_trials(
+        static_cast<std::size_t>(trials), rng,
+        [&](std::size_t /*trial*/, util::Rng& arng) {
+          const model::TaskSet ts = gen::generate_task_set(params, arng);
+          double max_period = 0.0;
+          for (const auto& task : ts.tasks())
+            max_period = std::max(max_period, task.period());
 
-      sim::SimConfig cfg;
-      // One synchronous busy window suffices: with synchronous release at
-      // t = 0 the densest contention (and any partitioning deadlock) shows
-      // up in the first jobs; longer horizons only replay it. This also
-      // caps the event count when UUniFast draws extreme period ratios.
-      cfg.horizon = 1.2 * max_period;
+          sim::SimConfig cfg;
+          // One synchronous busy window suffices: with synchronous release at
+          // t = 0 the densest contention (and any partitioning deadlock) shows
+          // up in the first jobs; longer horizons only replay it. This also
+          // caps the event count when UUniFast draws extreme period ratios.
+          cfg.horizon = 1.2 * max_period;
 
-      const auto wf = analysis::partition_worst_fit(ts);
-      if (wf.success()) {
-        cfg.policy = sim::SchedulingPolicy::kPartitioned;
-        cfg.partition = *wf.partition;
-        cfg.work_stealing = false;
-        naive.add(sim::simulate(ts, cfg));
-        cfg.work_stealing = true;
-        steal.add(sim::simulate(ts, cfg));
-      }
+          TrialOutcome out;
+          const auto record = [](const sim::SimResult& r, bool& deadlock,
+                                 bool& miss) {
+            deadlock = r.deadlock.has_value();
+            miss = r.any_deadline_miss;
+          };
+          const auto wf = analysis::partition_worst_fit(ts);
+          if (wf.success()) {
+            out.wf_ok = true;
+            cfg.policy = sim::SchedulingPolicy::kPartitioned;
+            cfg.partition = *wf.partition;
+            cfg.work_stealing = false;
+            record(sim::simulate(ts, cfg), out.naive_deadlock, out.naive_miss);
+            cfg.work_stealing = true;
+            record(sim::simulate(ts, cfg), out.steal_deadlock, out.steal_miss);
+          }
 
-      cfg.policy = sim::SchedulingPolicy::kGlobal;
-      cfg.partition.reset();
-      cfg.work_stealing = false;
-      global_rates.add(sim::simulate(ts, cfg));
+          cfg.policy = sim::SchedulingPolicy::kGlobal;
+          cfg.partition.reset();
+          cfg.work_stealing = false;
+          record(sim::simulate(ts, cfg), out.global_deadlock, out.global_miss);
 
-      const auto a1 = analysis::partition_algorithm1(ts);
-      if (a1.success()) {
-        ++alg1_applicable;
-        cfg.policy = sim::SchedulingPolicy::kPartitioned;
-        cfg.partition = *a1.partition;
-        alg1_rates.add(sim::simulate(ts, cfg));
-      }
-    }
+          const auto a1 = analysis::partition_algorithm1(ts);
+          if (a1.success()) {
+            out.alg1_ok = true;
+            cfg.policy = sim::SchedulingPolicy::kPartitioned;
+            cfg.partition = *a1.partition;
+            record(sim::simulate(ts, cfg), out.alg1_deadlock, out.alg1_miss);
+          }
+          return out;
+        },
+        [&](std::size_t /*trial*/, const TrialOutcome& out) {
+          if (out.wf_ok) {
+            naive.add(out.naive_deadlock, out.naive_miss);
+            steal.add(out.steal_deadlock, out.steal_miss);
+          }
+          global_rates.add(out.global_deadlock, out.global_miss);
+          if (out.alg1_ok) {
+            ++alg1_applicable;
+            alg1_rates.add(out.alg1_deadlock, out.alg1_miss);
+          }
+        });
 
     const double d = trials;
     const double da = std::max(alg1_applicable, 1);

@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   using namespace rtpool;
   const util::Args args(argc, argv,
                         {"m", "n", "u-frac-global", "u-frac-part", "trials",
-                         "seed", "csv"});
+                         "seed", "csv", "threads"});
   const auto ms = args.get_int_list("m", {2, 4, 6, 8, 12, 16});
   const auto n = static_cast<std::size_t>(args.get_int("n", 6));
   // Target utilization scales with the platform: U = u_frac * m; each arm
@@ -22,13 +22,17 @@ int main(int argc, char** argv) {
   const double u_frac_global = args.get_double("u-frac-global", 0.3);
   const double u_frac_part = args.get_double("u-frac-part", 0.175);
   const int trials = static_cast<int>(args.get_int("trials", 500));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::uint64_t seed = args.get_uint64("seed", 1);
+  // Engine workers (0 = all hardware threads); results are thread-count
+  // invariant.
+  const int threads = static_cast<int>(args.get_int("threads", 1));
 
   std::printf("Figure 2 (c)/(d): schedulability vs m  [n=%zu U_glob=%.2f*m "
-              "U_part=%.2f*m trials=%d seed=%llu]\n",
+              "U_part=%.2f*m trials=%d seed=%llu threads=%d]\n",
               n, u_frac_global, u_frac_part, trials,
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed), threads);
 
+  exp::ExperimentEngine engine(threads);
   std::vector<exp::SweepRow> rows;
   for (std::int64_t m : ms) {
     exp::PointConfig config;
@@ -46,14 +50,14 @@ int main(int argc, char** argv) {
     row.x = static_cast<double>(m);
     {
       config.gen.total_utilization = u_frac_global * static_cast<double>(m);
-      util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(m));
-      row.global = exp::evaluate_point(exp::Scheduler::kGlobal, config, rng);
+      const util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(m));
+      row.global = engine.evaluate_point(exp::Scheduler::kGlobal, config, rng);
     }
     {
       config.gen.total_utilization = u_frac_part * static_cast<double>(m);
-      util::Rng rng(seed * 2000003 + static_cast<std::uint64_t>(m));
+      const util::Rng rng(seed * 2000003 + static_cast<std::uint64_t>(m));
       row.partitioned =
-          exp::evaluate_point(exp::Scheduler::kPartitioned, config, rng);
+          engine.evaluate_point(exp::Scheduler::kPartitioned, config, rng);
     }
     rows.push_back(row);
     std::printf("  m=%-3lld global %.3f/%.3f  partitioned %.3f/%.3f\n",

@@ -14,19 +14,23 @@ int main(int argc, char** argv) {
   using namespace rtpool;
   const util::Args args(argc, argv,
                         {"m", "n", "u-global", "u-part", "trials", "seed", "csv",
-                         "branches-min", "branches-max"});
+                         "branches-min", "branches-max", "threads"});
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const auto ns = args.get_int_list("n", {2, 4, 6, 8, 10, 12, 14, 16});
   const double u_global = args.get_double("u-global", 0.3 * static_cast<double>(m));
   const double u_part = args.get_double("u-part", 0.15 * static_cast<double>(m));
   const int trials = static_cast<int>(args.get_int("trials", 500));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::uint64_t seed = args.get_uint64("seed", 1);
+  // Engine workers (0 = all hardware threads); results are thread-count
+  // invariant.
+  const int threads = static_cast<int>(args.get_int("threads", 1));
 
   std::printf("Figure 2 (e)/(f): schedulability vs n  [m=%zu U_glob=%.2f "
-              "U_part=%.2f trials=%d seed=%llu]\n",
+              "U_part=%.2f trials=%d seed=%llu threads=%d]\n",
               m, u_global, u_part, trials,
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(seed), threads);
 
+  exp::ExperimentEngine engine(threads);
   std::vector<exp::SweepRow> rows;
   for (std::int64_t n : ns) {
     exp::PointConfig config;
@@ -46,14 +50,14 @@ int main(int argc, char** argv) {
     row.x = static_cast<double>(n);
     {
       config.gen.total_utilization = u_global;
-      util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(n));
-      row.global = exp::evaluate_point(exp::Scheduler::kGlobal, config, rng);
+      const util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(n));
+      row.global = engine.evaluate_point(exp::Scheduler::kGlobal, config, rng);
     }
     {
       config.gen.total_utilization = u_part;
-      util::Rng rng(seed * 2000003 + static_cast<std::uint64_t>(n));
+      const util::Rng rng(seed * 2000003 + static_cast<std::uint64_t>(n));
       row.partitioned =
-          exp::evaluate_point(exp::Scheduler::kPartitioned, config, rng);
+          engine.evaluate_point(exp::Scheduler::kPartitioned, config, rng);
     }
     rows.push_back(row);
     std::printf("  n=%-3lld global %.3f/%.3f  partitioned %.3f/%.3f\n",

@@ -13,6 +13,7 @@
 #include "analysis/partition.h"
 #include "analysis/partitioned_rta.h"
 #include "exp/necessity.h"
+#include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
 #include "util/args.h"
 #include "util/csv.h"
@@ -20,16 +21,17 @@
 int main(int argc, char** argv) {
   using namespace rtpool;
   const util::Args args(argc, argv,
-                        {"m", "n", "u-list", "trials", "seed", "csv"});
+                        {"m", "n", "u-list", "trials", "seed", "csv", "threads"});
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const auto n = static_cast<std::size_t>(args.get_int("n", 4));
   const auto u_percent = args.get_int_list("u-list", {10, 20, 30, 40, 50, 60});
   const int trials = static_cast<int>(args.get_int("trials", 200));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::uint64_t seed = args.get_uint64("seed", 1);
+  const int threads = static_cast<int>(args.get_int("threads", 1));
 
   std::printf("Pessimism gap: analysis (sufficient) vs simulation (necessary) "
-              "[m=%zu n=%zu trials=%d]\n",
-              m, n, trials);
+              "[m=%zu n=%zu trials=%d threads=%d]\n",
+              m, n, trials, threads);
   std::printf("%-6s | %-12s %-12s | %-12s %-12s\n", "U/m", "glob-analysis",
               "glob-sim", "part-analysis", "part-sim");
 
@@ -37,36 +39,50 @@ int main(int argc, char** argv) {
                       {"u_frac", "global_analysis", "global_sim",
                        "partitioned_analysis", "partitioned_sim"});
 
+  exp::ExperimentEngine engine(threads);
   for (std::int64_t u_pct : u_percent) {
     gen::TaskSetParams params;
     params.cores = m;
     params.task_count = n;
     params.total_utilization =
         static_cast<double>(u_pct) / 100.0 * static_cast<double>(m);
-    util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(u_pct));
+    const util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(u_pct));
 
     int glob_analysis = 0;
     int glob_sim = 0;
     int part_analysis = 0;
     int part_sim = 0;
-    for (int t = 0; t < trials; ++t) {
-      const model::TaskSet ts = gen::generate_task_set(params, rng);
+    struct TrialVerdicts {
+      bool glob_analysis = false, glob_sim = false;
+      bool part_analysis = false, part_sim = false;
+    };
+    engine.map_trials(
+        static_cast<std::size_t>(trials), rng,
+        [&](std::size_t /*trial*/, util::Rng& arng) {
+          const model::TaskSet ts = gen::generate_task_set(params, arng);
+          TrialVerdicts v;
 
-      analysis::GlobalRtaOptions limited;
-      limited.limited_concurrency = true;
-      if (analysis::analyze_global(ts, limited).schedulable) ++glob_analysis;
-      if (exp::passes_simulation(ts, exp::SimPolicy::kGlobal, std::nullopt))
-        ++glob_sim;
+          analysis::GlobalRtaOptions limited;
+          limited.limited_concurrency = true;
+          v.glob_analysis = analysis::analyze_global(ts, limited).schedulable;
+          v.glob_sim =
+              exp::passes_simulation(ts, exp::SimPolicy::kGlobal, std::nullopt);
 
-      const auto alg1 = analysis::partition_algorithm1(ts);
-      if (alg1.success()) {
-        if (analysis::analyze_partitioned(ts, *alg1.partition).schedulable)
-          ++part_analysis;
-        if (exp::passes_simulation(ts, exp::SimPolicy::kPartitioned,
-                                   *alg1.partition))
-          ++part_sim;
-      }
-    }
+          const auto alg1 = analysis::partition_algorithm1(ts);
+          if (alg1.success()) {
+            v.part_analysis =
+                analysis::analyze_partitioned(ts, *alg1.partition).schedulable;
+            v.part_sim = exp::passes_simulation(ts, exp::SimPolicy::kPartitioned,
+                                                *alg1.partition);
+          }
+          return v;
+        },
+        [&](std::size_t /*trial*/, const TrialVerdicts& v) {
+          glob_analysis += v.glob_analysis;
+          glob_sim += v.glob_sim;
+          part_analysis += v.part_analysis;
+          part_sim += v.part_sim;
+        });
     const double d = trials;
     std::printf("%-6.2f | %-12.3f %-12.3f | %-12.3f %-12.3f\n",
                 static_cast<double>(u_pct) / 100.0, glob_analysis / d,

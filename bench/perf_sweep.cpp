@@ -1,0 +1,164 @@
+// Perf-regression harness for the experiment engine and analysis kernels.
+//
+// Times canonical evaluation points (one Figure-2 l_max point per scheduler
+// arm, one unfiltered Figure-2(c) point, one pessimism-gap style point)
+// across a list of engine thread counts, VERIFIES that every run is
+// bit-identical to the single-threaded reference (the engine's core
+// guarantee), and writes the timings to a JSON report
+// (`BENCH_analysis.json`) that CI uploads and `scripts/bench_report.py`
+// merges with the google-benchmark kernel numbers from `perf_analysis`.
+//
+// Exit status: 0 on success, 1 if any thread count produced a result that
+// differs from the reference — a determinism regression, not a perf one.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/schedulability.h"
+#include "util/args.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace rtpool;
+
+struct CanonicalPoint {
+  std::string name;
+  exp::Scheduler scheduler;
+  exp::PointConfig config;
+  std::uint64_t seed_salt;
+};
+
+std::vector<CanonicalPoint> canonical_points(int trials) {
+  std::vector<CanonicalPoint> points;
+
+  // Figure 2(a)/(b) style: m = 8, l_max = 4 (blocking window pinned to
+  // b̄ = 4), baseline filter on — exercises the discard/regenerate path.
+  exp::PointConfig lmax;
+  lmax.gen.cores = 8;
+  lmax.gen.task_count = 6;
+  lmax.gen.nfj.min_branches = 3;
+  lmax.gen.nfj.max_branches = 5;
+  lmax.gen.blocking_window = gen::BlockingWindow{4, 4};
+  lmax.filter_baseline = true;
+  lmax.trials = trials;
+  lmax.max_attempts = trials * 400;
+  lmax.gen.total_utilization = 0.45 * 8.0;
+  points.push_back({"fig2_lmax4_global", exp::Scheduler::kGlobal, lmax, 1000003});
+  lmax.gen.total_utilization = 0.175 * 8.0;
+  points.push_back(
+      {"fig2_lmax4_partitioned", exp::Scheduler::kPartitioned, lmax, 2000003});
+
+  // Figure 2(c) style: m = 8, free typing, nothing discarded.
+  exp::PointConfig m8;
+  m8.gen.cores = 8;
+  m8.gen.task_count = 6;
+  m8.gen.nfj.min_branches = 3;
+  m8.gen.nfj.max_branches = 5;
+  m8.gen.total_utilization = 0.3 * 8.0;
+  m8.filter_baseline = false;
+  m8.trials = trials;
+  m8.max_attempts = trials * 100;
+  points.push_back({"fig2_m8_global", exp::Scheduler::kGlobal, m8, 3000017});
+  points.push_back(
+      {"fig2_m8_partitioned", exp::Scheduler::kPartitioned, m8, 4000037});
+
+  return points;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rtpool;
+  const util::Args args(argc, argv, {"threads", "trials", "seed", "out"});
+  const auto thread_list = args.get_int_list("threads", {1, 2, 4});
+  const int trials = static_cast<int>(args.get_int("trials", 200));
+  const std::uint64_t seed = args.get_uint64("seed", 1);
+  const std::string out_path = args.get_string("out", "BENCH_analysis.json");
+
+  std::printf("perf_sweep: %d trials/point, seed %llu, thread counts:",
+              trials, static_cast<unsigned long long>(seed));
+  for (std::int64_t t : thread_list) std::printf(" %lld", static_cast<long long>(t));
+  std::printf("\n");
+
+  bool all_deterministic = true;
+  std::ofstream out(out_path);
+  util::JsonWriter json(out);
+  json.begin_object();
+  json.kv("schema", "rtpool-bench-analysis-v1");
+  json.kv("trials", trials);
+  json.kv("seed", seed);
+  json.key("points");
+  json.begin_array();
+
+  for (const CanonicalPoint& point : canonical_points(trials)) {
+    const util::Rng rng(seed * point.seed_salt + 17);
+    std::optional<exp::PointResult> reference;
+    bool deterministic = true;
+
+    json.begin_object();
+    json.kv("name", point.name);
+    json.kv("scheduler",
+            point.scheduler == exp::Scheduler::kGlobal ? "global" : "partitioned");
+    json.key("runs");
+    json.begin_array();
+    for (std::int64_t t : thread_list) {
+      exp::ExperimentEngine engine(static_cast<int>(t));
+      const auto start = std::chrono::steady_clock::now();
+      const exp::PointResult result =
+          engine.evaluate_point(point.scheduler, point.config, rng);
+      const double wall_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+              .count();
+      const double trials_per_s =
+          wall_s > 0.0 ? static_cast<double>(result.accepted) / wall_s : 0.0;
+
+      bool matches = true;
+      if (!reference.has_value()) {
+        reference = result;
+      } else {
+        matches = result == *reference;
+        deterministic = deterministic && matches;
+      }
+
+      json.begin_object();
+      json.kv("threads", t);
+      json.kv("wall_s", wall_s);
+      json.kv("trials_per_s", trials_per_s);
+      json.kv("accepted", static_cast<std::uint64_t>(result.accepted));
+      json.kv("discarded", static_cast<std::uint64_t>(result.discarded));
+      json.kv("matches_reference", matches);
+      json.end_object();
+
+      std::printf("  %-24s threads=%-3lld wall=%8.3fs  %8.1f trials/s  "
+                  "ratio=%.3f%s\n",
+                  point.name.c_str(), static_cast<long long>(t), wall_s,
+                  trials_per_s, result.proposed_ratio(),
+                  matches ? "" : "  MISMATCH");
+    }
+    json.end_array();
+    json.kv("proposed_ratio", reference->proposed_ratio());
+    json.kv("baseline_ratio", reference->baseline_ratio());
+    json.kv("deterministic", deterministic);
+    json.end_object();
+    all_deterministic = all_deterministic && deterministic;
+  }
+
+  json.end_array();
+  json.kv("deterministic_all", all_deterministic);
+  json.end_object();
+  out << "\n";
+  out.close();
+
+  std::printf("wrote %s\n", out_path.c_str());
+  if (!all_deterministic) {
+    std::fprintf(stderr,
+                 "perf_sweep: DETERMINISM FAILURE — results differ across "
+                 "thread counts\n");
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,7 @@
 
 #include "analysis/antichain.h"
 #include "analysis/concurrency.h"
+#include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
 #include "util/args.h"
 #include "util/csv.h"
@@ -17,10 +18,11 @@
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv, {"m", "trials", "seed", "csv"});
+  const util::Args args(argc, argv, {"m", "trials", "seed", "csv", "threads"});
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const int trials = static_cast<int>(args.get_int("trials", 2000));
-  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::uint64_t seed = args.get_uint64("seed", 1);
+  const int threads = static_cast<int>(args.get_int("threads", 1));
 
   std::printf("Generator characterization  [m=%zu, %d tasks per row]\n", m, trials);
   std::printf("%-14s | %-14s %-8s %-10s %-10s %-10s %-10s\n", "branches/depth",
@@ -35,6 +37,7 @@ int main(int argc, char** argv) {
   struct Config {
     int bmin, bmax, depth;
   };
+  exp::ExperimentEngine engine(threads);
   for (const Config& c : {Config{2, 4, 2}, Config{3, 5, 2}, Config{5, 7, 2},
                           Config{3, 5, 3}, Config{2, 4, 3}}) {
     gen::TaskSetParams params;
@@ -42,7 +45,7 @@ int main(int argc, char** argv) {
     params.nfj.min_branches = c.bmin;
     params.nfj.max_branches = c.bmax;
     params.nfj.max_depth = c.depth;
-    util::Rng rng(seed);
+    const util::Rng rng(seed);
 
     util::RunningStats nodes;
     util::RunningStats regions;
@@ -50,17 +53,25 @@ int main(int argc, char** argv) {
     util::RunningStats antichain;
     util::RatioCounter lbar_zero;
     util::RatioCounter anti_zero;
-    for (int t = 0; t < trials; ++t) {
-      const model::DagTask task = gen::generate_task(params, 0, 0.5, rng);
-      nodes.add(static_cast<double>(task.node_count()));
-      regions.add(static_cast<double>(task.blocking_fork_count()));
-      const std::size_t b = analysis::max_affecting_forks(task);
-      const std::size_t a = analysis::max_simultaneous_suspensions(task);
-      bbar.add(static_cast<double>(b));
-      antichain.add(static_cast<double>(a));
-      lbar_zero.add(b >= m);
-      anti_zero.add(a >= m);
-    }
+    struct TaskStats {
+      std::size_t nodes = 0, regions = 0, bbar = 0, antichain = 0;
+    };
+    engine.map_trials(
+        static_cast<std::size_t>(trials), rng,
+        [&](std::size_t /*trial*/, util::Rng& arng) {
+          const model::DagTask task = gen::generate_task(params, 0, 0.5, arng);
+          return TaskStats{task.node_count(), task.blocking_fork_count(),
+                           analysis::max_affecting_forks(task),
+                           analysis::max_simultaneous_suspensions(task)};
+        },
+        [&](std::size_t /*trial*/, const TaskStats& s) {
+          nodes.add(static_cast<double>(s.nodes));
+          regions.add(static_cast<double>(s.regions));
+          bbar.add(static_cast<double>(s.bbar));
+          antichain.add(static_cast<double>(s.antichain));
+          lbar_zero.add(s.bbar >= m);
+          anti_zero.add(s.antichain >= m);
+        });
     std::printf("%d-%d / %-6d | %6.1f/%-7.0f %-8.2f %-10.2f %-10.2f %-10.3f "
                 "%-10.3f\n",
                 c.bmin, c.bmax, c.depth, nodes.mean(), nodes.max(),

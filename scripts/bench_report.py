@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Merge perf results into one BENCH_analysis.json report.
+
+Inputs (both optional, at least one required):
+  --sweep    JSON written by `bench/perf_sweep` (experiment-engine wall
+             times, trials/sec, cross-thread determinism verdicts).
+  --kernels  JSON written by `bench/perf_analysis
+             --benchmark_format=json` (google-benchmark per-kernel timings).
+
+Output (--out, default BENCH_analysis.json): the sweep report with a
+`kernels` section appended:
+
+  "kernels": [{"name": "BM_Algorithm1/8", "time_ns": ..., "cpu_ns": ...,
+               "iterations": ...}, ...]
+
+Standard library only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def extract_kernels(gbench):
+    """Per-kernel rows from a google-benchmark JSON document."""
+    kernels = []
+    for row in gbench.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue  # keep raw iterations; aggregates repeat them
+        unit = row.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            print(f"bench_report: unknown time unit '{unit}' for "
+                  f"{row.get('name')}, skipping", file=sys.stderr)
+            continue
+        kernels.append({
+            "name": row.get("name", "?"),
+            "time_ns": row.get("real_time", 0.0) * scale,
+            "cpu_ns": row.get("cpu_time", 0.0) * scale,
+            "iterations": row.get("iterations", 0),
+        })
+    return kernels
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sweep", help="perf_sweep JSON report")
+    parser.add_argument("--kernels", help="perf_analysis google-benchmark JSON")
+    parser.add_argument("--out", default="BENCH_analysis.json")
+    args = parser.parse_args()
+
+    if not args.sweep and not args.kernels:
+        parser.error("need --sweep and/or --kernels")
+
+    report = {"schema": "rtpool-bench-analysis-v1"}
+    if args.sweep:
+        report = load_json(args.sweep)
+
+    if args.kernels:
+        gbench = load_json(args.kernels)
+        report["kernels"] = extract_kernels(gbench)
+        context = gbench.get("context", {})
+        report["host"] = {
+            "num_cpus": context.get("num_cpus"),
+            "mhz_per_cpu": context.get("mhz_per_cpu"),
+            "library_build_type": context.get("library_build_type"),
+        }
+
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    points = report.get("points", [])
+    if points and not report.get("deterministic_all", True):
+        print("bench_report: determinism failure recorded in sweep input",
+              file=sys.stderr)
+        return 1
+    print(f"bench_report: wrote {args.out} "
+          f"({len(points)} points, {len(report.get('kernels', []))} kernels)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

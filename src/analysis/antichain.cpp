@@ -2,92 +2,11 @@
 
 #include <vector>
 
+#include "graph/matching.h"
+
 namespace rtpool::analysis {
 
 namespace {
-
-/// Hopcroft-Karp is overkill at these sizes; simple Kuhn augmenting paths
-/// give O(V·E) on the comparability graph of the BF nodes.
-class BipartiteMatcher {
- public:
-  explicit BipartiteMatcher(std::size_t left_size, std::size_t right_size)
-      : adj_(left_size), match_right_(right_size, kFree) {}
-
-  void add_edge(std::size_t left, std::size_t right) { adj_[left].push_back(right); }
-
-  std::size_t max_matching() {
-    std::size_t matched = 0;
-    for (std::size_t u = 0; u < adj_.size(); ++u) {
-      visited_.assign(match_right_.size(), false);
-      if (augment(u)) ++matched;
-    }
-    return matched;
-  }
-
-  /// König's theorem: the minimum vertex cover of the bipartite graph,
-  /// derived from a maximum matching (call max_matching() first) via the
-  /// alternating-path reachable set Z: cover = (L \ Z_L) ∪ (R ∩ Z_R).
-  /// Returns per-side membership flags.
-  struct VertexCover {
-    std::vector<bool> left;
-    std::vector<bool> right;
-  };
-  VertexCover min_vertex_cover() const {
-    const std::size_t nl = adj_.size();
-    const std::size_t nr = match_right_.size();
-    std::vector<bool> matched_left(nl, false);
-    for (std::size_t v = 0; v < nr; ++v)
-      if (match_right_[v] != kFree) matched_left[match_right_[v]] = true;
-
-    // BFS over alternating paths: left → right along non-matching edges,
-    // right → left along matching edges, seeded at unmatched left vertices.
-    std::vector<bool> z_left(nl, false);
-    std::vector<bool> z_right(nr, false);
-    std::vector<std::size_t> frontier;
-    for (std::size_t u = 0; u < nl; ++u)
-      if (!matched_left[u]) {
-        z_left[u] = true;
-        frontier.push_back(u);
-      }
-    while (!frontier.empty()) {
-      const std::size_t u = frontier.back();
-      frontier.pop_back();
-      for (std::size_t v : adj_[u]) {
-        if (z_right[v] || match_right_[v] == u) continue;
-        z_right[v] = true;
-        const std::size_t w = match_right_[v];
-        if (w != kFree && !z_left[w]) {
-          z_left[w] = true;
-          frontier.push_back(w);
-        }
-      }
-    }
-
-    VertexCover cover{std::vector<bool>(nl, false), std::vector<bool>(nr, false)};
-    for (std::size_t u = 0; u < nl; ++u) cover.left[u] = !z_left[u];
-    for (std::size_t v = 0; v < nr; ++v) cover.right[v] = z_right[v];
-    return cover;
-  }
-
- private:
-  static constexpr std::size_t kFree = static_cast<std::size_t>(-1);
-
-  bool augment(std::size_t u) {
-    for (std::size_t v : adj_[u]) {
-      if (visited_[v]) continue;
-      visited_[v] = true;
-      if (match_right_[v] == kFree || augment(match_right_[v])) {
-        match_right_[v] = u;
-        return true;
-      }
-    }
-    return false;
-  }
-
-  std::vector<std::vector<std::size_t>> adj_;
-  std::vector<std::size_t> match_right_;
-  std::vector<bool> visited_;
-};
 
 std::vector<model::NodeId> blocking_forks(const model::DagTask& task) {
   std::vector<model::NodeId> forks;
@@ -98,16 +17,26 @@ std::vector<model::NodeId> blocking_forks(const model::DagTask& task) {
 
 /// Dilworth via Fulkerson: one bipartite vertex pair per fork, an edge
 /// (i -> j) per comparable ordered pair fork_i ≺ fork_j; min chain cover of
-/// the BF poset = k − maximum matching = max antichain.
-BipartiteMatcher comparability_matcher(const model::DagTask& task,
-                                       const std::vector<model::NodeId>& forks) {
+/// the BF poset = k − maximum matching = max antichain. Comparability edges
+/// come from word-parallel intersections of the descendant closures with
+/// the fork mask instead of per-pair reachability probes.
+graph::BipartiteMatcher comparability_matcher(
+    const model::DagTask& task, const std::vector<model::NodeId>& forks) {
   const std::size_t k = forks.size();
   const graph::Reachability& reach = task.reachability();
-  BipartiteMatcher matcher(k, k);
+  util::DynamicBitset fork_mask(task.node_count());
+  std::vector<std::size_t> fork_index(task.node_count(), 0);
   for (std::size_t i = 0; i < k; ++i) {
-    for (std::size_t j = 0; j < k; ++j) {
-      if (i != j && reach.reaches(forks[i], forks[j])) matcher.add_edge(i, j);
-    }
+    fork_mask.set(forks[i]);
+    fork_index[forks[i]] = i;
+  }
+  graph::BipartiteMatcher matcher(k, k);
+  util::DynamicBitset reachable(task.node_count());
+  for (std::size_t i = 0; i < k; ++i) {
+    reachable = reach.descendants(forks[i]);
+    reachable.and_assign(fork_mask);
+    reachable.for_each(
+        [&](std::size_t f) { matcher.add_edge(i, fork_index[f]); });
   }
   return matcher;
 }
@@ -115,16 +44,15 @@ BipartiteMatcher comparability_matcher(const model::DagTask& task,
 }  // namespace
 
 std::size_t max_simultaneous_suspensions(const model::DagTask& task) {
-  const auto forks = blocking_forks(task);
-  if (forks.size() <= 1) return forks.size();
-  BipartiteMatcher matcher = comparability_matcher(task, forks);
-  return forks.size() - matcher.max_matching();
+  // Cached by DagTask at construction (the matching itself lives in
+  // graph::BipartiteMatcher); kept as the analysis-facing name.
+  return task.max_suspension_antichain();
 }
 
 std::vector<model::NodeId> max_simultaneous_suspension_set(const model::DagTask& task) {
   const auto forks = blocking_forks(task);
   if (forks.size() <= 1) return forks;
-  BipartiteMatcher matcher = comparability_matcher(task, forks);
+  graph::BipartiteMatcher matcher = comparability_matcher(task, forks);
   matcher.max_matching();
   const auto cover = matcher.min_vertex_cover();
 
@@ -140,7 +68,7 @@ std::vector<model::NodeId> max_simultaneous_suspension_set(const model::DagTask&
 long available_concurrency_lower_bound_antichain(const model::DagTask& task,
                                                  std::size_t pool_size) {
   return static_cast<long>(pool_size) -
-         static_cast<long>(max_simultaneous_suspensions(task));
+         static_cast<long>(task.max_suspension_antichain());
 }
 
 }  // namespace rtpool::analysis

@@ -32,10 +32,10 @@ util::DynamicBitset affecting_blocking_forks(const DagTask& task, NodeId v) {
 }
 
 std::size_t max_affecting_forks(const DagTask& task) {
-  std::size_t best = 0;
-  for (NodeId v = 0; v < task.node_count(); ++v)
-    best = std::max(best, affecting_blocking_forks(task, v).count());
-  return best;
+  // The maximum over v of |X(v)| is structural and cached by DagTask at
+  // construction; the per-node accessors above stay available for witness
+  // extraction and diagnostics.
+  return task.max_affecting_forks();
 }
 
 long available_concurrency_lower_bound(const DagTask& task, std::size_t pool_size) {
@@ -44,18 +44,26 @@ long available_concurrency_lower_bound(const DagTask& task, std::size_t pool_siz
 
 std::vector<util::DynamicBitset> all_affecting_forks(const DagTask& task) {
   std::vector<util::DynamicBitset> out;
-  out.reserve(task.node_count());
+  all_affecting_forks(task, out);
+  return out;
+}
+
+void all_affecting_forks(const DagTask& task,
+                         std::vector<util::DynamicBitset>& out) {
+  // Copy-assigning into recycled slots reuses each bitset's word storage
+  // when the caller sweeps many same-sized tasks (the experiment engine's
+  // partitioning hot loop).
+  out.resize(task.node_count());
   const util::DynamicBitset bf_mask = blocking_fork_mask(task);
   const graph::Reachability& reach = task.reachability();
   for (NodeId v = 0; v < task.node_count(); ++v) {
-    util::DynamicBitset x = bf_mask;
+    util::DynamicBitset& x = out[v];
+    x = bf_mask;
     x.and_not_assign(reach.ancestors(v));
     x.and_not_assign(reach.descendants(v));
     if (x.test(v)) x.reset(v);
     if (task.type(v) == model::NodeType::BC) x.set(task.blocking_fork_of(v));
-    out.push_back(std::move(x));
   }
-  return out;
 }
 
 }  // namespace rtpool::analysis

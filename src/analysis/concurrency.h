@@ -41,4 +41,9 @@ long available_concurrency_lower_bound(const DagTask& task, std::size_t pool_siz
 /// the partitioning algorithm and the experiment harness.
 std::vector<util::DynamicBitset> all_affecting_forks(const DagTask& task);
 
+/// Allocation-reusing variant: fills `out` (resized to node_count()),
+/// recycling the bitset storage across calls.
+void all_affecting_forks(const DagTask& task,
+                         std::vector<util::DynamicBitset>& out);
+
 }  // namespace rtpool::analysis

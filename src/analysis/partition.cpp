@@ -22,25 +22,36 @@ class CoreLoad {
   void add(ThreadId core, double u) { util_.at(core) += u; }
   std::size_t cores() const { return util_.size(); }
 
-  /// Pick from `eligible` (non-empty) according to the tie-break rule;
-  /// respects the capacity limit when `capacity_check` is set. With a
-  /// non-null `rng`, picks uniformly among the allowed cores instead
-  /// (randomized Algorithm 1 restarts).
-  std::optional<ThreadId> pick(const std::vector<ThreadId>& eligible,
+  /// Pick a non-banned core according to the tie-break rule; respects the
+  /// capacity limit when `capacity_check` is set. `banned` is a per-core
+  /// mask (empty = every core eligible) — taking the mask directly avoids
+  /// materializing an eligible-core vector in the placement inner loop.
+  /// With a non-null `rng`, picks uniformly among the allowed cores instead
+  /// (randomized Algorithm 1 restarts; one index draw, like the eligible-
+  /// vector implementation it replaces).
+  std::optional<ThreadId> pick(const std::vector<char>& banned,
                                TieBreak tie_break, double extra_util,
                                bool capacity_check, util::Rng* rng = nullptr) const {
+    const auto allowed = [&](ThreadId c) {
+      if (!banned.empty() && banned[c]) return false;
+      return !capacity_check || util_[c] + extra_util <= 1.0 + kCapacityEps;
+    };
     if (rng != nullptr) {
-      std::vector<ThreadId> allowed;
-      for (ThreadId c : eligible) {
-        if (capacity_check && util_[c] + extra_util > 1.0 + kCapacityEps) continue;
-        allowed.push_back(c);
+      std::size_t count = 0;
+      for (ThreadId c = 0; c < util_.size(); ++c)
+        if (allowed(c)) ++count;
+      if (count == 0) return std::nullopt;
+      std::size_t target = rng->index(count);
+      for (ThreadId c = 0; c < util_.size(); ++c) {
+        if (!allowed(c)) continue;
+        if (target == 0) return c;
+        --target;
       }
-      if (allowed.empty()) return std::nullopt;
-      return allowed[rng->index(allowed.size())];
+      return std::nullopt;  // unreachable
     }
     std::optional<ThreadId> best;
-    for (ThreadId c : eligible) {
-      if (capacity_check && util_[c] + extra_util > 1.0 + kCapacityEps) continue;
+    for (ThreadId c = 0; c < util_.size(); ++c) {
+      if (!allowed(c)) continue;
       if (!best.has_value()) {
         best = c;
         continue;
@@ -79,13 +90,21 @@ PartitionResult partition_algorithm1_impl(const TaskSet& ts, TieBreak tie_break,
   TaskSetPartition partition;
   partition.per_task.resize(ts.size());
 
+  // Scratch buffers shared across tasks and placement steps: the X(v)
+  // bitsets, the per-core banned masks and the pending-BF worklist are the
+  // inner-loop allocations this hot path used to make per node.
+  std::vector<util::DynamicBitset> X;
+  std::vector<char> phi_bf(m);
+  std::vector<char> banned(m);
+  std::vector<std::size_t> pending;
+
   for (std::size_t i = 0; i < ts.size(); ++i) {
     const model::DagTask& task = ts.task(i);
     std::vector<ThreadId>& T = partition.per_task[i].thread_of;
     T.assign(task.node_count(), kUnassigned);
 
     // X(v) = C(v) ∪ F'(v) for every node, as used at line 5 of Algorithm 1.
-    const std::vector<util::DynamicBitset> X = all_affecting_forks(task);
+    all_affecting_forks(task, X);
 
     auto node_util = [&](model::NodeId v) { return task.wcet(v) / task.period(); };
 
@@ -94,29 +113,23 @@ PartitionResult partition_algorithm1_impl(const TaskSet& ts, TieBreak tie_break,
       load.add(core, node_util(v));
     };
 
-    // Threads hosting at least one *already allocated* node of `forks`.
-    auto hosting_threads = [&](const util::DynamicBitset& forks) {
-      std::vector<bool> used(m, false);
+    // Mark the threads hosting at least one *already allocated* node of
+    // `forks` in the reused mask `used`.
+    auto hosting_threads = [&](const util::DynamicBitset& forks,
+                               std::vector<char>& used) {
+      std::fill(used.begin(), used.end(), 0);
       forks.for_each([&](std::size_t x) {
         const ThreadId t = T[x];
-        if (t != kUnassigned) used[t] = true;
+        if (t != kUnassigned) used[t] = 1;
       });
-      return used;
-    };
-
-    auto eligible_from = [&](const std::vector<bool>& banned) {
-      std::vector<ThreadId> out;
-      for (ThreadId c = 0; c < m; ++c)
-        if (!banned[c]) out.push_back(c);
-      return out;
     };
 
     for (model::NodeId v = 0; v < task.node_count(); ++v) {
       if (task.type(v) == model::NodeType::BJ) continue;  // forced with its BF
 
-      const std::vector<bool> phi_bf = hosting_threads(X[v]);
-      const std::size_t phi_bf_count =
-          static_cast<std::size_t>(std::count(phi_bf.begin(), phi_bf.end(), true));
+      hosting_threads(X[v], phi_bf);
+      const std::size_t phi_bf_count = static_cast<std::size_t>(
+          std::count(phi_bf.begin(), phi_bf.end(), char{1}));
 
       if (T[v] != kUnassigned && phi_bf[T[v]]) {
         return {std::nullopt,
@@ -129,8 +142,8 @@ PartitionResult partition_algorithm1_impl(const TaskSet& ts, TieBreak tie_break,
                     " cover all threads (line 9)"};
       }
       if (T[v] == kUnassigned) {
-        const auto choice = load.pick(eligible_from(phi_bf), tie_break,
-                                      node_util(v), capacity_check, rng);
+        const auto choice =
+            load.pick(phi_bf, tie_break, node_util(v), capacity_check, rng);
         if (!choice.has_value()) {
           return {std::nullopt,
                   task.name() + ": no core has capacity for node " + std::to_string(v)};
@@ -144,23 +157,25 @@ PartitionResult partition_algorithm1_impl(const TaskSet& ts, TieBreak tie_break,
 
       // Lines 14-18: pre-place the still-unallocated dangerous BFs so they
       // cannot later land on v's thread.
-      std::vector<std::size_t> pending;
+      pending.clear();
       X[v].for_each([&](std::size_t f) {
         if (T[f] == kUnassigned) pending.push_back(f);
       });
       for (std::size_t fi : pending) {
         const auto f = static_cast<model::NodeId>(fi);
-        std::vector<bool> banned =
-            hosting_threads(concurrent_blocking_forks(task, f));  // Φ'_BF, line 15
-        banned[T[v]] = true;
-        const auto eligible = eligible_from(banned);
-        if (eligible.empty()) {
+        // Φ'_BF, line 15: C(f) equals X(f) here since every member of X(v)
+        // is a BF node (affecting_blocking_forks only adds F(v) for BC
+        // nodes), so the precomputed set is reused instead of recomputed.
+        hosting_threads(X[f], banned);
+        banned[T[v]] = 1;
+        if (static_cast<std::size_t>(std::count(banned.begin(), banned.end(),
+                                                char{1})) >= m) {
           return {std::nullopt,
                   task.name() + ": cannot segregate BF " + std::to_string(fi) +
                       " required by node " + std::to_string(v) + " (line 17)"};
         }
         const auto choice =
-            load.pick(eligible, tie_break, node_util(f), capacity_check, rng);
+            load.pick(banned, tie_break, node_util(f), capacity_check, rng);
         if (!choice.has_value()) {
           return {std::nullopt,
                   task.name() + ": no core has capacity for BF " + std::to_string(fi)};
@@ -253,12 +268,10 @@ PartitionResult partition_worst_fit(const TaskSet& ts) {
       return unit_util[a] > unit_util[b];  // worst-fit decreasing
     });
 
-    std::vector<ThreadId> all_cores(m);
-    std::iota(all_cores.begin(), all_cores.end(), ThreadId{0});
-
+    const std::vector<char> no_banned;  // every core eligible
     for (model::NodeId u : units) {
       const auto choice =
-          load.pick(all_cores, TieBreak::kWorstFit, unit_util[u], /*capacity_check=*/true);
+          load.pick(no_banned, TieBreak::kWorstFit, unit_util[u], /*capacity_check=*/true);
       if (!choice.has_value()) {
         return {std::nullopt, task.name() + ": worst-fit cannot place node " +
                                   std::to_string(u) + " within unit capacity"};

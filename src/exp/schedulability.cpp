@@ -1,8 +1,12 @@
 #include "exp/schedulability.h"
 
+#include <thread>
+
 #include "analysis/global_rta.h"
 #include "analysis/partition.h"
 #include "analysis/partitioned_rta.h"
+#include "exec/thread_pool.h"
+#include "util/thread_annotations.h"
 
 namespace rtpool::exp {
 
@@ -43,33 +47,104 @@ SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts) {
   return verdict;
 }
 
+ExperimentEngine::ExperimentEngine(int threads) {
+  if (threads <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads_ = hw == 0 ? 1 : static_cast<int>(hw);
+  } else {
+    threads_ = threads;
+  }
+  if (threads_ > 1) {
+    pool_ = std::make_unique<exec::ThreadPool>(
+        static_cast<std::size_t>(threads_), exec::ThreadPool::QueueMode::kShared);
+  }
+}
+
+ExperimentEngine::~ExperimentEngine() = default;
+
+void ExperimentEngine::dispatch(std::vector<std::function<void()>>& jobs) {
+  if (pool_ == nullptr || jobs.size() <= 1) {
+    for (auto& job : jobs) job();
+    return;
+  }
+  // Counter-latch over the library's own primitives: the calling thread
+  // sleeps until every job of the batch has run. Jobs never throw (the
+  // run_attempts wrappers capture exceptions into per-slot slots).
+  struct Latch {
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::size_t remaining = 0;
+  } latch;
+  latch.remaining = jobs.size();
+
+  std::vector<std::function<void()>> wrapped;
+  wrapped.reserve(jobs.size());
+  for (auto& job : jobs) {
+    wrapped.push_back([&latch, job = std::move(job)] {
+      job();
+      util::MutexLock lock(latch.mutex);
+      if (--latch.remaining == 0) latch.cv.notify_one();
+    });
+  }
+  pool_->submit_batch(std::move(wrapped));
+
+  util::MutexLock lock(latch.mutex);
+  while (latch.remaining != 0) latch.cv.wait(latch.mutex);
+}
+
+namespace {
+
+/// Outcome of one speculative generation attempt (computed on a worker).
+struct AttemptOutcome {
+  bool generated = false;  ///< false → gen::GenerationError.
+  SetVerdict verdict;
+};
+
+}  // namespace
+
+PointResult ExperimentEngine::evaluate_point(Scheduler scheduler,
+                                             const PointConfig& config,
+                                             const util::Rng& rng) {
+  PointResult result;
+  if (config.trials <= 0) return result;
+
+  const AttemptLoopStats stats = run_attempts(
+      static_cast<std::size_t>(config.trials),
+      static_cast<std::size_t>(std::max(config.max_attempts, 0)), rng,
+      [&](std::size_t /*attempt*/, util::Rng& arng) {
+        AttemptOutcome outcome;
+        try {
+          const model::TaskSet ts = gen::generate_task_set(config.gen, arng);
+          outcome.generated = true;
+          outcome.verdict = evaluate_task_set(scheduler, ts);
+        } catch (const gen::GenerationError&) {
+          outcome.generated = false;
+        }
+        return outcome;
+      },
+      [&](std::size_t /*attempt*/, AttemptOutcome& outcome) {
+        if (!outcome.generated) {
+          ++result.generation_errors;
+          return false;
+        }
+        if (config.filter_baseline && !outcome.verdict.baseline) {
+          ++result.discarded;
+          return false;
+        }
+        ++result.accepted;
+        if (outcome.verdict.baseline) ++result.baseline_schedulable;
+        if (outcome.verdict.proposed) ++result.proposed_schedulable;
+        result.verdicts.push_back(outcome.verdict);
+        return true;
+      });
+  result.attempts_exhausted = stats.exhausted;
+  return result;
+}
+
 PointResult evaluate_point(Scheduler scheduler, const PointConfig& config,
                            util::Rng& rng) {
-  PointResult result;
-  int attempts = 0;
-  while (result.accepted < static_cast<std::size_t>(config.trials)) {
-    if (++attempts > config.max_attempts) {
-      result.attempts_exhausted = true;
-      break;
-    }
-    model::TaskSet ts(config.gen.cores);
-    try {
-      ts = gen::generate_task_set(config.gen, rng);
-    } catch (const gen::GenerationError&) {
-      ++result.generation_errors;
-      continue;
-    }
-
-    const SetVerdict verdict = evaluate_task_set(scheduler, ts);
-    if (config.filter_baseline && !verdict.baseline) {
-      ++result.discarded;
-      continue;
-    }
-    ++result.accepted;
-    if (verdict.baseline) ++result.baseline_schedulable;
-    if (verdict.proposed) ++result.proposed_schedulable;
-  }
-  return result;
+  ExperimentEngine engine(1);
+  return engine.evaluate_point(scheduler, config, rng);
 }
 
 }  // namespace rtpool::exp

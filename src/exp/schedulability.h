@@ -14,12 +14,30 @@
 // not schedulable by the baseline test are discarded and regenerated, so
 // the reported proposed-ratio isolates the cost of reduced concurrency
 // (used in the l_max sweeps of Figures 2(a)/(b)).
+//
+// Determinism & parallelism: every generation attempt k derives its own
+// RNG as `rng.fork_with(k)` (a splitmix64-keyed stream independent of how
+// many draws other attempts make), and accepted sets are committed in
+// strict attempt order. A point's result is therefore BIT-IDENTICAL for
+// any ExperimentEngine thread count — parallel fan-out across the
+// library's own exec::ThreadPool only changes wall time, never numbers.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
 
 #include "gen/taskset_generator.h"
 #include "util/rng.h"
+
+namespace rtpool::exec {
+class ThreadPool;
+}
 
 namespace rtpool::exp {
 
@@ -34,6 +52,14 @@ struct PointConfig {
   int max_attempts = 100000;
 };
 
+/// Per-set verdicts, exposed for tests and custom sweeps.
+struct SetVerdict {
+  bool baseline = false;
+  bool proposed = false;
+
+  friend bool operator==(const SetVerdict&, const SetVerdict&) = default;
+};
+
 struct PointResult {
   std::size_t accepted = 0;
   std::size_t baseline_schedulable = 0;
@@ -41,6 +67,9 @@ struct PointResult {
   std::size_t discarded = 0;        ///< Sets rejected by the baseline filter.
   std::size_t generation_errors = 0;///< Blocking-window resampling failures.
   bool attempts_exhausted = false;  ///< Point is incomplete (filter too strict).
+  /// Verdicts of the accepted sets, committed in attempt order (identical
+  /// for every thread count; used by the determinism tests).
+  std::vector<SetVerdict> verdicts;
 
   double baseline_ratio() const {
     return accepted == 0 ? 0.0
@@ -52,17 +81,162 @@ struct PointResult {
                          : static_cast<double>(proposed_schedulable) /
                                static_cast<double>(accepted);
   }
+
+  friend bool operator==(const PointResult&, const PointResult&) = default;
 };
 
-/// Evaluate one point: generate task sets and apply both tests.
+SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts);
+
+/// Bookkeeping of one deterministic attempt loop.
+struct AttemptLoopStats {
+  std::size_t attempts = 0;  ///< Attempts consumed (committed, in order).
+  bool exhausted = false;    ///< Budget ran out before `needed` commits.
+};
+
+/// Deterministic parallel experiment engine.
+///
+/// Owns a worker pool (the library's own exec::ThreadPool — the experiment
+/// harness dogfoods the runtime it analyzes) reused across evaluation
+/// points. All entry points guarantee thread-count-invariant results: work
+/// units are seeded per attempt index via Rng::fork_with and folded in
+/// attempt order on the calling thread.
+class ExperimentEngine {
+ public:
+  /// `threads` <= 0 selects std::thread::hardware_concurrency(); 1 runs
+  /// everything inline on the calling thread (no pool).
+  explicit ExperimentEngine(int threads = 1);
+  ~ExperimentEngine();
+
+  ExperimentEngine(const ExperimentEngine&) = delete;
+  ExperimentEngine& operator=(const ExperimentEngine&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Evaluate one point: generate task sets and apply both tests. `rng` is
+  /// only read as a seed root (fork_with per attempt), never advanced.
+  PointResult evaluate_point(Scheduler scheduler, const PointConfig& config,
+                             const util::Rng& rng);
+
+  /// Generic deterministic speculative attempt loop, the engine's core.
+  ///
+  /// Conceptually equivalent to the sequential loop
+  ///
+  ///   while committed < needed and attempts < max_attempts:
+  ///       k = attempts++
+  ///       r = eval(k, rng.fork_with(k))     // parallelized, speculative
+  ///       if commit(k, r): committed++      // strictly in attempt order
+  ///
+  /// `eval` must be pure w.r.t. everything except its own Rng (it runs on
+  /// pool workers, possibly out of order and speculatively past the final
+  /// commit); `commit` runs on the calling thread, in attempt order, and
+  /// returns whether the attempt filled one of the `needed` slots (a
+  /// filtered/failed attempt still consumes budget, as in the paper's
+  /// discard-and-regenerate setup).
+  template <typename Eval, typename Commit>
+  AttemptLoopStats run_attempts(std::size_t needed, std::size_t max_attempts,
+                                const util::Rng& rng, Eval&& eval,
+                                Commit&& commit) {
+    using Result = std::decay_t<std::invoke_result_t<Eval&, std::size_t, util::Rng&>>;
+    AttemptLoopStats stats;
+    if (needed == 0 || max_attempts == 0) {
+      stats.exhausted = needed > 0;
+      return stats;
+    }
+
+    std::size_t committed = 0;
+    if (pool_ == nullptr) {
+      // Inline path: one attempt at a time, no speculation.
+      while (committed < needed) {
+        if (stats.attempts == max_attempts) {
+          stats.exhausted = true;
+          return stats;
+        }
+        const std::size_t k = stats.attempts++;
+        util::Rng arng = rng.fork_with(k);
+        Result r = eval(k, arng);
+        if (commit(k, r)) ++committed;
+      }
+      return stats;
+    }
+
+    std::vector<std::optional<Result>> slots;
+    std::vector<std::exception_ptr> errors;
+    std::vector<std::function<void()>> jobs;
+    std::size_t next_attempt = 0;
+    while (committed < needed && next_attempt < max_attempts) {
+      // Speculative batch: sized from the acceptance rate observed so far
+      // so each round roughly finishes the point. Any size produces
+      // bit-identical results — commits are strictly attempt-ordered;
+      // oversized batches only waste eval work past the final commit.
+      const double rate =
+          stats.attempts == 0
+              ? 1.0
+              : std::max(static_cast<double>(committed) /
+                             static_cast<double>(stats.attempts),
+                         0.02);
+      std::size_t batch = static_cast<std::size_t>(
+          static_cast<double>(needed - committed) / rate) + 1;
+      batch = std::clamp<std::size_t>(batch, static_cast<std::size_t>(threads_),
+                                      4096);
+      batch = std::min(batch, max_attempts - next_attempt);
+
+      const std::size_t base = next_attempt;
+      next_attempt += batch;
+      slots.assign(batch, std::nullopt);
+      errors.assign(batch, nullptr);
+      jobs.clear();
+      jobs.reserve(batch);
+      for (std::size_t i = 0; i < batch; ++i) {
+        jobs.push_back([this_eval = &eval, &rng, &slots, &errors, base, i] {
+          util::Rng arng = rng.fork_with(base + i);
+          try {
+            slots[i].emplace((*this_eval)(base + i, arng));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
+      }
+      dispatch(jobs);
+
+      for (std::size_t i = 0; i < batch && committed < needed; ++i) {
+        if (errors[i]) std::rethrow_exception(errors[i]);
+        ++stats.attempts;
+        if (commit(base + i, *slots[i])) ++committed;
+      }
+    }
+    stats.exhausted = committed < needed;
+    return stats;
+  }
+
+  /// Deterministic parallel map over `count` independent trials: trial i is
+  /// evaluated with rng.fork_with(i) (on the pool) and folded with
+  /// `fold(i, result)` in trial order on the calling thread. Used by the
+  /// bench drivers whose per-trial work has no discard/regenerate step.
+  template <typename Eval, typename Fold>
+  void map_trials(std::size_t count, const util::Rng& rng, Eval&& eval,
+                  Fold&& fold) {
+    run_attempts(count, count, rng, eval,
+                 [&fold](std::size_t i, auto& r) {
+                   fold(i, r);
+                   return true;
+                 });
+  }
+
+ private:
+  /// Run all jobs (on the pool when present, inline otherwise) and wait for
+  /// completion. Jobs must not throw (callers capture exceptions).
+  void dispatch(std::vector<std::function<void()>>& jobs);
+
+  int threads_ = 1;
+  std::unique_ptr<exec::ThreadPool> pool_;
+};
+
+/// Sequential convenience wrapper (an inline ExperimentEngine(1) point).
+/// `rng` is used as the seed root of the per-attempt streams and is NOT
+/// advanced (per-attempt seeding is what makes results thread-count
+/// invariant — and is the one-time break from the pre-engine stream-draw
+/// numbers; see EXPERIMENTS.md).
 PointResult evaluate_point(Scheduler scheduler, const PointConfig& config,
                            util::Rng& rng);
-
-/// Per-set verdicts, exposed for tests and custom sweeps.
-struct SetVerdict {
-  bool baseline = false;
-  bool proposed = false;
-};
-SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts);
 
 }  // namespace rtpool::exp

@@ -1,0 +1,70 @@
+#include "graph/matching.h"
+
+namespace rtpool::graph {
+
+BipartiteMatcher::BipartiteMatcher(std::size_t left_size, std::size_t right_size)
+    : adj_(left_size), match_right_(right_size, kFree) {}
+
+void BipartiteMatcher::add_edge(std::size_t left, std::size_t right) {
+  adj_.at(left).push_back(right);
+}
+
+std::size_t BipartiteMatcher::max_matching() {
+  std::size_t matched = 0;
+  for (std::size_t u = 0; u < adj_.size(); ++u) {
+    visited_.assign(match_right_.size(), false);
+    if (augment(u)) ++matched;
+  }
+  return matched;
+}
+
+BipartiteMatcher::VertexCover BipartiteMatcher::min_vertex_cover() const {
+  const std::size_t nl = adj_.size();
+  const std::size_t nr = match_right_.size();
+  std::vector<bool> matched_left(nl, false);
+  for (std::size_t v = 0; v < nr; ++v)
+    if (match_right_[v] != kFree) matched_left[match_right_[v]] = true;
+
+  // BFS over alternating paths: left → right along non-matching edges,
+  // right → left along matching edges, seeded at unmatched left vertices.
+  std::vector<bool> z_left(nl, false);
+  std::vector<bool> z_right(nr, false);
+  std::vector<std::size_t> frontier;
+  for (std::size_t u = 0; u < nl; ++u)
+    if (!matched_left[u]) {
+      z_left[u] = true;
+      frontier.push_back(u);
+    }
+  while (!frontier.empty()) {
+    const std::size_t u = frontier.back();
+    frontier.pop_back();
+    for (std::size_t v : adj_[u]) {
+      if (z_right[v] || match_right_[v] == u) continue;
+      z_right[v] = true;
+      const std::size_t w = match_right_[v];
+      if (w != kFree && !z_left[w]) {
+        z_left[w] = true;
+        frontier.push_back(w);
+      }
+    }
+  }
+
+  VertexCover cover{std::vector<bool>(nl, false), std::vector<bool>(nr, false)};
+  for (std::size_t u = 0; u < nl; ++u) cover.left[u] = !z_left[u];
+  for (std::size_t v = 0; v < nr; ++v) cover.right[v] = z_right[v];
+  return cover;
+}
+
+bool BipartiteMatcher::augment(std::size_t u) {
+  for (std::size_t v : adj_[u]) {
+    if (visited_[v]) continue;
+    visited_[v] = true;
+    if (match_right_[v] == kFree || augment(match_right_[v])) {
+      match_right_[v] = u;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rtpool::graph

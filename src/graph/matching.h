@@ -1,0 +1,50 @@
+// Maximum bipartite matching (Kuhn augmenting paths) with König minimum
+// vertex cover extraction.
+//
+// Used by the antichain analysis: Dilworth's theorem reduces the maximum
+// antichain of a poset to a minimum chain cover, computed as |elements|
+// minus a maximum matching on the transitive comparability relation
+// (Fulkerson's reduction). The König cover then yields the members of one
+// maximum antichain (the wait-for-cycle witness of lint rule RTP-L2).
+//
+// Hopcroft-Karp is overkill at the sizes involved (a handful of blocking
+// forks per task); Kuhn's algorithm gives O(V·E) with trivial code.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rtpool::graph {
+
+/// Bipartite graph with a fixed left/right partition; edges are added
+/// explicitly, then max_matching() / min_vertex_cover() are queried.
+class BipartiteMatcher {
+ public:
+  BipartiteMatcher(std::size_t left_size, std::size_t right_size);
+
+  void add_edge(std::size_t left, std::size_t right);
+
+  /// Size of a maximum matching (Kuhn augmenting paths).
+  std::size_t max_matching();
+
+  /// König's theorem: the minimum vertex cover of the bipartite graph,
+  /// derived from a maximum matching (call max_matching() first) via the
+  /// alternating-path reachable set Z: cover = (L \ Z_L) ∪ (R ∩ Z_R).
+  /// Returns per-side membership flags.
+  struct VertexCover {
+    std::vector<bool> left;
+    std::vector<bool> right;
+  };
+  VertexCover min_vertex_cover() const;
+
+ private:
+  static constexpr std::size_t kFree = static_cast<std::size_t>(-1);
+
+  bool augment(std::size_t u);
+
+  std::vector<std::vector<std::size_t>> adj_;
+  std::vector<std::size_t> match_right_;
+  std::vector<bool> visited_;
+};
+
+}  // namespace rtpool::graph

@@ -4,6 +4,8 @@
 #include <deque>
 #include <sstream>
 
+#include "graph/matching.h"
+
 namespace rtpool::model {
 
 namespace {
@@ -36,6 +38,7 @@ DagTask::DagTask(std::string name, graph::Dag dag, std::vector<Node> nodes,
   sink_ = sinks.front();
   build_regions();
   validate_regions();
+  compute_concurrency_caches();
 }
 
 void DagTask::validate_basic() const {
@@ -161,6 +164,45 @@ void DagTask::validate_regions() const {
       }
     });
   }
+}
+
+void DagTask::compute_concurrency_caches() {
+  util::DynamicBitset bf_mask(nodes_.size());
+  for (const BlockingRegion& r : regions_) bf_mask.set(r.fork);
+
+  // b̄ = max_v |X(v)| with X(v) = BF \ (pred(v) ∪ succ(v) ∪ {v}), plus the
+  // delimiting fork F(v) when v is of type BC (Section 3.1).
+  util::DynamicBitset x(nodes_.size());
+  for (NodeId v = 0; v < nodes_.size(); ++v) {
+    x = bf_mask;
+    x.and_not_assign(reach_.ancestors(v));
+    x.and_not_assign(reach_.descendants(v));
+    if (x.test(v)) x.reset(v);
+    if (nodes_[v].type == NodeType::BC) x.set(regions_[*region_index_[v]].fork);
+    max_affecting_forks_ = std::max(max_affecting_forks_, x.count());
+  }
+
+  // Maximum antichain of the BF poset: Dilworth via Fulkerson — one
+  // bipartite vertex pair per fork, an edge (i → j) per comparable ordered
+  // pair fork_i ≺ fork_j, max antichain = k − maximum matching. The
+  // comparability edges come from word-parallel intersections of the
+  // descendant closures with the BF mask, not per-pair probes.
+  const std::size_t k = regions_.size();
+  if (k <= 1) {
+    max_suspension_antichain_ = k;
+    return;
+  }
+  std::vector<std::size_t> fork_index(nodes_.size(), 0);
+  for (std::size_t i = 0; i < k; ++i) fork_index[regions_[i].fork] = i;
+  graph::BipartiteMatcher matcher(k, k);
+  util::DynamicBitset reachable(nodes_.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    reachable = reach_.descendants(regions_[i].fork);
+    reachable.and_assign(bf_mask);
+    reachable.for_each(
+        [&](std::size_t f) { matcher.add_edge(i, fork_index[f]); });
+  }
+  max_suspension_antichain_ = k - matcher.max_matching();
 }
 
 std::optional<std::size_t> DagTask::region_of(NodeId v) const {

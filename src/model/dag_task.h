@@ -112,6 +112,19 @@ class DagTask {
   /// Number of BF nodes in the task.
   std::size_t blocking_fork_count() const { return regions_.size(); }
 
+  /// b̄(τ) = max_v |X(v)| (Section 3.1): the largest number of blocking
+  /// forks whose suspension can affect a single node. Cached at
+  /// construction so the analyses (which evaluate it once per
+  /// analyze_global/partition call) read it in O(1); see
+  /// analysis/concurrency.h for the definition of X(v).
+  std::size_t max_affecting_forks() const { return max_affecting_forks_; }
+
+  /// Maximum antichain of the BF nodes under (transitive) precedence: the
+  /// largest set of forks that can be suspended simultaneously. Cached at
+  /// construction (Dilworth via bipartite matching on the comparability
+  /// relation); see analysis/antichain.h for why this refines b̄(τ).
+  std::size_t max_suspension_antichain() const { return max_suspension_antichain_; }
+
   /// Per-node WCET vector (weights for graph algorithms).
   const std::vector<util::Time>& wcets() const { return wcets_; }
 
@@ -123,6 +136,7 @@ class DagTask {
   void validate_basic() const;
   void build_regions();
   void validate_regions() const;
+  void compute_concurrency_caches();
 
   std::string name_;
   graph::Dag dag_;
@@ -140,6 +154,8 @@ class DagTask {
   NodeId sink_ = 0;
   std::vector<BlockingRegion> regions_;
   std::vector<std::optional<std::size_t>> region_index_;  ///< per node
+  std::size_t max_affecting_forks_ = 0;
+  std::size_t max_suspension_antichain_ = 0;
 };
 
 }  // namespace rtpool::model

@@ -64,6 +64,24 @@ std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) const 
   }
 }
 
+std::uint64_t Args::get_uint64(const std::string& key, std::uint64_t fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  const auto first = v->find_first_not_of(" \t");
+  if (first != std::string::npos && (*v)[first] == '-')
+    throw std::invalid_argument("Args: --" + key +
+                                " expects a non-negative integer, got '" + *v + "'");
+  try {
+    std::size_t consumed = 0;
+    const std::uint64_t value = std::stoull(*v, &consumed);
+    if (consumed != v->size()) throw std::invalid_argument(*v);
+    return value;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Args: --" + key +
+                                " expects a non-negative integer, got '" + *v + "'");
+  }
+}
+
 double Args::get_double(const std::string& key, double fallback) const {
   const auto v = raw(key);
   if (!v) return fallback;

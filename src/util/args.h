@@ -25,6 +25,9 @@ class Args {
 
   std::string get_string(const std::string& key, const std::string& fallback) const;
   std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  /// Unsigned 64-bit value (seeds, counters). Rejects negative input, which
+  /// a get_int → uint64 cast would silently wrap into a huge value.
+  std::uint64_t get_uint64(const std::string& key, std::uint64_t fallback) const;
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
 

@@ -12,6 +12,7 @@
 #include "exp/report_json.h"
 #include "exp/schedulability.h"
 #include "model/builder.h"
+#include "util/json.h"
 
 namespace rtpool::exp {
 namespace {
@@ -115,6 +116,175 @@ TEST(EvaluatePointTest, EmptyRatioIsZero) {
   EXPECT_DOUBLE_EQ(r.proposed_ratio(), 0.0);
 }
 
+// ---------- ExperimentEngine: parallel determinism & accounting ----------
+//
+// NOTE for these tests: the build/CI box may have a single core, so they
+// assert bit-identical *results* across thread counts, never any speedup.
+
+TEST(ExperimentEngineTest, ResultsAreThreadCountInvariant) {
+  for (const bool filter : {false, true}) {
+    PointConfig config;
+    config.gen.cores = 8;
+    config.gen.task_count = 3;
+    config.gen.total_utilization = 2.0;
+    config.filter_baseline = filter;
+    config.trials = 30;
+    const util::Rng rng(7);
+
+    ExperimentEngine sequential(1);
+    ExperimentEngine parallel4(4);
+    const PointResult a = sequential.evaluate_point(Scheduler::kGlobal, config, rng);
+    const PointResult b = parallel4.evaluate_point(Scheduler::kGlobal, config, rng);
+    EXPECT_EQ(a.accepted, 30u);
+    EXPECT_TRUE(a == b) << "filter=" << filter;
+    ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
+    for (std::size_t i = 0; i < a.verdicts.size(); ++i)
+      EXPECT_TRUE(a.verdicts[i] == b.verdicts[i]) << "set " << i;
+
+    // The pool is reused across points inside one engine: a second identical
+    // point gives the same result again (per-attempt seeding, no state).
+    const PointResult c = parallel4.evaluate_point(Scheduler::kGlobal, config, rng);
+    EXPECT_TRUE(a == c);
+  }
+}
+
+TEST(ExperimentEngineTest, PartitionedArmIsThreadCountInvariant) {
+  PointConfig config;
+  config.gen.cores = 4;
+  config.gen.task_count = 2;
+  config.gen.total_utilization = 1.0;
+  config.trials = 10;
+  const util::Rng rng(11);
+  ExperimentEngine sequential(1);
+  ExperimentEngine parallel3(3);
+  const PointResult a =
+      sequential.evaluate_point(Scheduler::kPartitioned, config, rng);
+  const PointResult b =
+      parallel3.evaluate_point(Scheduler::kPartitioned, config, rng);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ExperimentEngineTest, FreeFunctionMatchesEngine) {
+  PointConfig config;
+  config.gen.cores = 8;
+  config.gen.task_count = 3;
+  config.gen.total_utilization = 2.0;
+  config.trials = 10;
+  util::Rng rng(13);
+  const PointResult a = evaluate_point(Scheduler::kGlobal, config, rng);
+  ExperimentEngine engine(2);
+  const PointResult b = engine.evaluate_point(Scheduler::kGlobal, config, rng);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ExperimentEngineTest, ParallelAttemptAccountingMatchesSequential) {
+  // A nearly-unschedulable filtered point: the budget runs out, and every
+  // consumed attempt must be accounted as accepted, discarded, or a
+  // generation error — identically for any thread count.
+  PointConfig config;
+  config.gen.cores = 2;
+  config.gen.task_count = 2;
+  config.gen.total_utilization = 3.9;
+  config.filter_baseline = true;
+  config.trials = 1000;
+  config.max_attempts = 50;
+  const util::Rng rng(3);
+
+  ExperimentEngine sequential(1);
+  ExperimentEngine parallel4(4);
+  const PointResult a = sequential.evaluate_point(Scheduler::kGlobal, config, rng);
+  const PointResult b = parallel4.evaluate_point(Scheduler::kGlobal, config, rng);
+  EXPECT_TRUE(a.attempts_exhausted);
+  EXPECT_EQ(a.accepted + a.discarded + a.generation_errors, 50u);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ExperimentEngineTest, GenerationErrorsCountedUnderParallelPath) {
+  // A blocking window wider than the small graphs can host: generation
+  // fails for some attempts, which must be counted, not dropped, by the
+  // speculative path.
+  PointConfig config;
+  config.gen.cores = 8;
+  config.gen.task_count = 2;
+  config.gen.total_utilization = 1.0;
+  config.gen.nfj.min_branches = 2;
+  config.gen.nfj.max_branches = 3;
+  config.gen.blocking_window = gen::BlockingWindow{6, 6};
+  config.trials = 20;
+  config.max_attempts = 200;
+  const util::Rng rng(17);
+
+  ExperimentEngine sequential(1);
+  ExperimentEngine parallel4(4);
+  const PointResult a = sequential.evaluate_point(Scheduler::kGlobal, config, rng);
+  const PointResult b = parallel4.evaluate_point(Scheduler::kGlobal, config, rng);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.generation_errors, b.generation_errors);
+}
+
+TEST(ExperimentEngineTest, MapTrialsFoldsInTrialOrder) {
+  ExperimentEngine engine(4);
+  std::vector<std::size_t> order;
+  std::vector<double> parallel_draws(20, 0.0);
+  engine.map_trials(
+      20, util::Rng(5),
+      [](std::size_t /*i*/, util::Rng& r) { return r.uniform(0.0, 1.0); },
+      [&](std::size_t i, double v) {
+        order.push_back(i);
+        parallel_draws[i] = v;
+      });
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+
+  ExperimentEngine sequential(1);
+  std::vector<double> sequential_draws(20, 0.0);
+  sequential.map_trials(
+      20, util::Rng(5),
+      [](std::size_t /*i*/, util::Rng& r) { return r.uniform(0.0, 1.0); },
+      [&](std::size_t i, double v) { sequential_draws[i] = v; });
+  EXPECT_EQ(parallel_draws, sequential_draws);
+}
+
+TEST(ExperimentEngineTest, EvalExceptionRethrownAtItsAttemptIndex) {
+  // A worker-side exception surfaces on the calling thread, after the
+  // commits of every earlier attempt and none of the later ones — the same
+  // observable order as the sequential loop.
+  for (const int threads : {1, 4}) {
+    ExperimentEngine engine(threads);
+    std::vector<std::size_t> folded;
+    EXPECT_THROW(
+        engine.map_trials(
+            8, util::Rng(1),
+            [](std::size_t i, util::Rng&) -> int {
+              if (i == 3) throw std::runtime_error("attempt 3 failed");
+              return static_cast<int>(i);
+            },
+            [&](std::size_t i, int) { folded.push_back(i); }),
+        std::runtime_error);
+    EXPECT_EQ(folded, (std::vector<std::size_t>{0, 1, 2})) << threads;
+  }
+}
+
+TEST(ExperimentEngineTest, RunAttemptsStopsAtNeededCommits) {
+  // Commit every other attempt: 10 commits need exactly 19 attempts, and
+  // the attempt-ordered stop discards any over-speculated evaluations.
+  ExperimentEngine engine(4);
+  std::vector<std::size_t> committed;
+  const AttemptLoopStats stats = engine.run_attempts(
+      10, 1000, util::Rng(2),
+      [](std::size_t i, util::Rng&) { return i; },
+      [&](std::size_t i, std::size_t) {
+        if (i % 2 != 0) return false;
+        committed.push_back(i);
+        return true;
+      });
+  EXPECT_FALSE(stats.exhausted);
+  EXPECT_EQ(stats.attempts, 19u);
+  EXPECT_EQ(committed.size(), 10u);
+  for (std::size_t i = 0; i < committed.size(); ++i)
+    EXPECT_EQ(committed[i], 2 * i);
+}
+
 TEST(NecessityTest, EasySetPasses) {
   EXPECT_TRUE(passes_simulation(easy_set(), SimPolicy::kGlobal, std::nullopt));
 }
@@ -173,6 +343,32 @@ TEST(ReportJsonTest, ContainsEveryAnalysis) {
   }
   // The limited-only set: baseline accepts, limited rejects with inf bound.
   EXPECT_NE(out.find("\"response_time\":\"inf\""), std::string::npos);
+}
+
+TEST(ReportJsonTest, RoundTripsThroughJsonParser) {
+  // write → util::parse_json → compare: the exported report is valid JSON
+  // whose parsed content matches the analyses it claims to contain.
+  std::ostringstream os;
+  write_analysis_report(os, easy_set());
+  const util::JsonValue doc = util::parse_json(os.str());
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_TRUE(doc.contains("tasks"));
+  EXPECT_EQ(doc.at("tasks").as_array().size(), 1u);
+  EXPECT_TRUE(doc.at("global_baseline").at("schedulable").as_bool());
+  EXPECT_TRUE(doc.at("global_limited").at("schedulable").as_bool());
+
+  // The writer is deterministic: a second export of the same set is
+  // byte-identical (what lets CI diff committed reports).
+  std::ostringstream os2;
+  write_analysis_report(os2, easy_set());
+  EXPECT_EQ(os.str(), os2.str());
+
+  // Non-finite bounds survive the trip as the writer's "inf" strings.
+  std::ostringstream os3;
+  write_analysis_report(os3, limited_only_set());
+  const util::JsonValue limited = util::parse_json(os3.str());
+  ASSERT_TRUE(limited.is_object());
+  EXPECT_FALSE(limited.at("global_limited").at("schedulable").as_bool());
 }
 
 TEST(ReportJsonTest, ReportsAlgorithm1Failure) {

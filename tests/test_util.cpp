@@ -327,6 +327,18 @@ TEST(ArgsTest, TypeErrors) {
   EXPECT_THROW(args.get_bool("m", false), std::invalid_argument);
 }
 
+TEST(ArgsTest, Uint64ParsesFullRangeAndRejectsNegatives) {
+  const char* argv[] = {"prog", "--seed=18446744073709551615", "--neg=-3",
+                        "--junk=12x"};
+  Args args(4, argv, {"seed", "neg", "junk"});
+  EXPECT_EQ(args.get_uint64("seed", 0), 18446744073709551615ull);
+  EXPECT_EQ(args.get_uint64("missing", 42), 42u);
+  // get_int would silently wrap a negative into a huge unsigned; get_uint64
+  // rejects it loudly, along with trailing garbage.
+  EXPECT_THROW(args.get_uint64("neg", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_uint64("junk", 0), std::invalid_argument);
+}
+
 TEST(ArgsTest, IntList) {
   const char* argv[] = {"prog", "--ms=2,4,8"};
   Args args(2, argv, {"ms"});
