@@ -8,6 +8,8 @@
 #include "analysis/global_rta.h"
 #include "analysis/partition.h"
 #include "analysis/partitioned_rta.h"
+#include "analysis/rta_context.h"
+#include "analysis/sensitivity.h"
 #include "gen/taskset_generator.h"
 #include "sim/engine.h"
 
@@ -104,6 +106,123 @@ void BM_PartitionedRta(benchmark::State& state) {
         analysis::analyze_partitioned(ts, *part.partition, opts).schedulable);
 }
 BENCHMARK(BM_PartitionedRta)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_PartitionedRtaCtx(benchmark::State& state) {
+  // Same workload as BM_PartitionedRta, but with a reused RtaContext — the
+  // experiment-engine / sensitivity configuration. The gap between the two
+  // is the per-call cost the context amortizes (blocking vectors, per-core
+  // workloads, Lemma-3 verdicts, priority orders).
+  const auto ts = make_set(8, static_cast<std::size_t>(state.range(0)), 46);
+  const auto part = analysis::partition_worst_fit(ts);
+  if (!part.success()) {
+    state.SkipWithError("worst-fit failed");
+    return;
+  }
+  analysis::PartitionedRtaOptions opts;
+  opts.require_deadlock_free = false;
+  analysis::RtaContext ctx(ts);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        analysis::analyze_partitioned(ts, *part.partition, opts, &ctx)
+            .schedulable);
+}
+BENCHMARK(BM_PartitionedRtaCtx)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_FifoBlockingVector(benchmark::State& state) {
+  // The word-parallel bitset kernel on one task (per analyze call the old
+  // code paid the naive O(|V|²) equivalent per node instead).
+  const auto task = make_task(static_cast<std::size_t>(state.range(0)), 42);
+  model::TaskSet ts(8);
+  ts.add(task);
+  const auto part = analysis::partition_worst_fit(ts);
+  if (!part.success()) {
+    state.SkipWithError("worst-fit failed");
+    return;
+  }
+  const analysis::NodeAssignment& assignment = part.partition->per_task[0];
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        analysis::fifo_blocking_vector(ts.task(0), assignment).size());
+  state.SetComplexityN(
+      static_cast<benchmark::IterationCount>(ts.task(0).node_count()));
+}
+BENCHMARK(BM_FifoBlockingVector)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_FifoBlockingNaive(benchmark::State& state) {
+  // Contrast: the pre-kernel O(|V|²) double loop (reach.reaches per pair),
+  // kept as the reference the property tests compare against.
+  const auto task = make_task(static_cast<std::size_t>(state.range(0)), 42);
+  model::TaskSet ts(8);
+  ts.add(task);
+  const auto part = analysis::partition_worst_fit(ts);
+  if (!part.success()) {
+    state.SkipWithError("worst-fit failed");
+    return;
+  }
+  const auto& thread_of = part.partition->per_task[0].thread_of;
+  const model::DagTask& t = ts.task(0);
+  const graph::Reachability& reach = t.reachability();
+  for (auto _ : state) {
+    std::vector<util::Time> blocking(t.node_count(), 0.0);
+    for (model::NodeId v = 0; v < t.node_count(); ++v) {
+      if (t.type(v) == model::NodeType::BJ) continue;
+      util::Time b = 0.0;
+      for (model::NodeId u = 0; u < t.node_count(); ++u) {
+        if (u == v || thread_of[u] != thread_of[v]) continue;
+        if (reach.reaches(u, v) || reach.reaches(v, u)) continue;
+        b += t.wcet(u);
+      }
+      blocking[v] = b;
+    }
+    benchmark::DoNotOptimize(blocking.data());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(t.node_count()));
+}
+BENCHMARK(BM_FifoBlockingNaive)->Arg(16)->Arg(64)->Arg(256)->Complexity();
+
+void BM_SensitivityGlobalLegacy(benchmark::State& state) {
+  // Generic search: one materialized scaled TaskSet per probe.
+  const auto ts = make_set(8, 8, 50);
+  analysis::GlobalRtaOptions opts;
+  opts.limited_concurrency = true;
+  for (auto _ : state) {
+    const double s = analysis::critical_scaling_factor(
+        ts, [&](const model::TaskSet& set) {
+          return analysis::analyze_global(set, opts).schedulable;
+        });
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SensitivityGlobalLegacy);
+
+void BM_SensitivityGlobalFast(benchmark::State& state) {
+  // Fast path: scaled options + shared context + warm starts + cutoffs.
+  const auto ts = make_set(8, 8, 50);
+  analysis::GlobalRtaOptions opts;
+  opts.limited_concurrency = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::critical_scaling_factor_global(ts, opts).factor);
+  }
+}
+BENCHMARK(BM_SensitivityGlobalFast);
+
+void BM_SensitivityPartitionedFast(benchmark::State& state) {
+  const auto ts = make_set(8, 8, 50);
+  const auto part = analysis::partition_worst_fit(ts);
+  if (!part.success()) {
+    state.SkipWithError("worst-fit failed");
+    return;
+  }
+  analysis::PartitionedRtaOptions opts;
+  opts.require_deadlock_free = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::critical_scaling_factor_partitioned(ts, *part.partition, opts)
+            .factor);
+  }
+}
+BENCHMARK(BM_SensitivityPartitionedFast);
 
 void BM_SimulateGlobal(benchmark::State& state) {
   const auto ts = make_set(4, 3, 47);

@@ -10,14 +10,19 @@
 //
 // Exit status: 0 on success, 1 if any thread count produced a result that
 // differs from the reference — a determinism regression, not a perf one.
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/partition.h"
+#include "analysis/sensitivity.h"
 #include "exp/schedulability.h"
+#include "gen/taskset_generator.h"
 #include "util/args.h"
 #include "util/json.h"
 
@@ -148,6 +153,87 @@ int main(int argc, char** argv) {
   }
 
   json.end_array();
+
+  // Sensitivity search timings: the legacy generic path (scaled TaskSet
+  // copy per probe) vs the fast scaled-options path (one RtaContext, warm
+  // starts, critical-path cutoffs) on a small fixed suite. The *factors*
+  // must agree within the bisection tolerance — that check is folded into
+  // the exit gate (a value-agreement gate, never a wall-time one).
+  {
+    const int sens_sets = 5;
+    const double tol = analysis::SensitivityOptions{}.tolerance;
+    double legacy_wall = 0.0, fast_wall = 0.0, part_wall = 0.0;
+    double max_delta = 0.0;
+    std::size_t warm_hits = 0;
+    int cutoff_probes = 0;
+    bool agree = true;
+
+    analysis::GlobalRtaOptions gopts;
+    gopts.limited_concurrency = true;
+    for (int k = 0; k < sens_sets; ++k) {
+      gen::TaskSetParams params;
+      params.cores = 8;
+      params.task_count = 6;
+      params.nfj.min_branches = 3;
+      params.nfj.max_branches = 5;
+      params.total_utilization = 0.3 * 8.0;
+      util::Rng rng(seed * 5000011 + static_cast<std::uint64_t>(k));
+      const model::TaskSet ts = gen::generate_task_set(params, rng);
+
+      auto t0 = std::chrono::steady_clock::now();
+      const double legacy = analysis::critical_scaling_factor(
+          ts, [&](const model::TaskSet& set) {
+            return analysis::analyze_global(set, gopts).schedulable;
+          });
+      auto t1 = std::chrono::steady_clock::now();
+      const analysis::SensitivityResult fast =
+          analysis::critical_scaling_factor_global(ts, gopts);
+      auto t2 = std::chrono::steady_clock::now();
+      legacy_wall += std::chrono::duration<double>(t1 - t0).count();
+      fast_wall += std::chrono::duration<double>(t2 - t1).count();
+      warm_hits += fast.warm_hits;
+      cutoff_probes += fast.cutoff_probes;
+      const double delta = std::abs(fast.factor - legacy);
+      max_delta = std::max(max_delta, delta);
+      if (delta > 3.0 * tol) agree = false;
+
+      const auto wf = analysis::partition_worst_fit(ts);
+      if (wf.success()) {
+        analysis::PartitionedRtaOptions popts;
+        popts.require_deadlock_free = false;
+        auto t3 = std::chrono::steady_clock::now();
+        const analysis::SensitivityResult pfast =
+            analysis::critical_scaling_factor_partitioned(ts, *wf.partition,
+                                                          popts);
+        part_wall += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t3)
+                         .count();
+        warm_hits += pfast.warm_hits;
+        cutoff_probes += pfast.cutoff_probes;
+      }
+    }
+
+    json.key("sensitivity");
+    json.begin_object();
+    json.kv("sets", static_cast<std::uint64_t>(sens_sets));
+    json.kv("global_legacy_wall_s", legacy_wall);
+    json.kv("global_fast_wall_s", fast_wall);
+    json.kv("global_speedup", fast_wall > 0.0 ? legacy_wall / fast_wall : 0.0);
+    json.kv("partitioned_fast_wall_s", part_wall);
+    json.kv("warm_hits", static_cast<std::uint64_t>(warm_hits));
+    json.kv("cutoff_probes", static_cast<std::uint64_t>(cutoff_probes));
+    json.kv("max_factor_delta", max_delta);
+    json.kv("factors_agree", agree);
+    json.end_object();
+
+    std::printf("  sensitivity: legacy %.3fs, fast %.3fs (%.1fx), "
+                "partitioned fast %.3fs, max |Δs*| = %.2e%s\n",
+                legacy_wall, fast_wall,
+                fast_wall > 0.0 ? legacy_wall / fast_wall : 0.0, part_wall,
+                max_delta, agree ? "" : "  DISAGREE");
+    all_deterministic = all_deterministic && agree;
+  }
+
   json.kv("deterministic_all", all_deterministic);
   json.end_object();
   out << "\n";

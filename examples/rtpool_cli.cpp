@@ -127,22 +127,36 @@ int main(int argc, char** argv) {
 
     if (args.get_bool("sensitivity", false)) {
       // Critical WCET scaling per analysis: how much execution-time margin
-      // (or overload) the set has under each test.
+      // (or overload) the set has under each test. Uses the fast scaled-
+      // options search (one RtaContext per search, warm-started probes).
       const auto run = [&](const char* label, bool limited, bool antichain) {
-        const double s = analysis::critical_scaling_factor(
-            ts, [&](const model::TaskSet& set) {
-              analysis::GlobalRtaOptions opts;
-              opts.limited_concurrency = limited;
-              if (antichain)
-                opts.concurrency = analysis::ConcurrencyBound::kMaxAntichain;
-              return analysis::analyze_global(set, opts).schedulable;
-            });
-        std::printf("  %-28s s* = %.3f\n", label, s);
+        analysis::GlobalRtaOptions opts;
+        opts.limited_concurrency = limited;
+        if (antichain)
+          opts.concurrency = analysis::ConcurrencyBound::kMaxAntichain;
+        const analysis::SensitivityResult r =
+            analysis::critical_scaling_factor_global(ts, opts);
+        std::printf("  %-28s s* = %.3f  (%d probes, %d cut off, %zu warm)\n",
+                    label, r.factor, r.probes, r.cutoff_probes, r.warm_hits);
       };
       std::printf("\nSENSITIVITY (critical WCET scaling, global tests)\n");
       run("baseline [14]", false, false);
       run("limited (b̄, Sec. 4.1)", true, false);
       run("limited (antichain)", true, true);
+
+      // Partitioned headroom under the proposed (Algorithm 1 + Lemma 3)
+      // configuration, when a deadlock-free partition exists.
+      const auto alg1 = analysis::partition_algorithm1(ts);
+      if (alg1.success()) {
+        analysis::PartitionedRtaOptions popts;
+        popts.require_deadlock_free = true;
+        const analysis::SensitivityResult r =
+            analysis::critical_scaling_factor_partitioned(ts, *alg1.partition,
+                                                          popts);
+        std::printf("  %-28s s* = %.3f  (%d probes, %d cut off, %zu warm)\n",
+                    "partitioned (Alg. 1)", r.factor, r.probes, r.cutoff_probes,
+                    r.warm_hits);
+      }
     }
 
     if (args.get_bool("dot", false)) {

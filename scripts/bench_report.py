@@ -6,6 +6,10 @@ Inputs (both optional, at least one required):
              times, trials/sec, cross-thread determinism verdicts).
   --kernels  JSON written by `bench/perf_analysis
              --benchmark_format=json` (google-benchmark per-kernel timings).
+  --baseline Committed BENCH_analysis.json to diff against. REPORT-ONLY:
+             per-point trials/s and per-kernel timing deltas are printed
+             and recorded under `baseline_diff`, but never affect the exit
+             status (wall-time asserts are meaningless on shared CI boxes).
 
 Output (--out, default BENCH_analysis.json): the sweep report with a
 `kernels` section appended:
@@ -47,10 +51,56 @@ def extract_kernels(gbench):
     return kernels
 
 
+def point_rates(report):
+    """{point name: best trials/s across thread counts} from a report."""
+    rates = {}
+    for point in report.get("points", []):
+        best = 0.0
+        for run in point.get("runs", []):
+            best = max(best, run.get("trials_per_s", 0.0))
+        rates[point.get("name", "?")] = best
+    return rates
+
+
+def kernel_times(report):
+    """{kernel name: time_ns} from a report."""
+    return {k.get("name", "?"): k.get("time_ns", 0.0)
+            for k in report.get("kernels", [])}
+
+
+def diff_against_baseline(report, baseline):
+    """Report-only comparison of the new report against a committed one."""
+    diff = {"points": [], "kernels": []}
+    old_rates = point_rates(baseline)
+    for name, rate in sorted(point_rates(report).items()):
+        old = old_rates.get(name)
+        if old is None or old <= 0.0 or rate <= 0.0:
+            continue
+        row = {"name": name, "trials_per_s": rate, "baseline_trials_per_s": old,
+               "speedup": rate / old}
+        diff["points"].append(row)
+        print(f"bench_report: point {name}: {rate:.1f} trials/s "
+              f"vs baseline {old:.1f} ({rate / old:.2f}x)")
+    old_kernels = kernel_times(baseline)
+    for name, t in sorted(kernel_times(report).items()):
+        old = old_kernels.get(name)
+        if old is None or old <= 0.0 or t <= 0.0:
+            continue
+        row = {"name": name, "time_ns": t, "baseline_time_ns": old,
+               "speedup": old / t}
+        diff["kernels"].append(row)
+        print(f"bench_report: kernel {name}: {t:.0f} ns "
+              f"vs baseline {old:.0f} ({old / t:.2f}x)")
+    return diff
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sweep", help="perf_sweep JSON report")
     parser.add_argument("--kernels", help="perf_analysis google-benchmark JSON")
+    parser.add_argument("--baseline",
+                        help="committed BENCH_analysis.json to diff against "
+                             "(report-only, never affects exit status)")
     parser.add_argument("--out", default="BENCH_analysis.json")
     args = parser.parse_args()
 
@@ -70,6 +120,15 @@ def main():
             "mhz_per_cpu": context.get("mhz_per_cpu"),
             "library_build_type": context.get("library_build_type"),
         }
+
+    if args.baseline:
+        try:
+            baseline = load_json(args.baseline)
+        except (OSError, ValueError) as err:
+            print(f"bench_report: cannot read baseline {args.baseline}: {err}",
+                  file=sys.stderr)
+        else:
+            report["baseline_diff"] = diff_against_baseline(report, baseline)
 
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)

@@ -4,8 +4,10 @@
 #include <array>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "analysis/concurrency.h"
+#include "analysis/rta_context.h"
 #include "util/time.h"
 
 namespace rtpool::analysis {
@@ -14,12 +16,12 @@ namespace {
 
 using util::Time;
 
-/// Dedicated-core demand of a DAG task so that len + (vol−len)/n <= D.
-/// Returns 0 if impossible (len > D... the caller rejects), 1 if the task
-/// fits sequentially.
-std::size_t dedicated_core_demand(const model::DagTask& task) {
-  const Time len = task.critical_path_length();
-  const Time vol = task.volume();
+/// Dedicated-core demand of a DAG task so that len + (vol−len)/n <= D,
+/// with every WCET pre-scaled by `scale`. Returns 0 if impossible (len > D
+/// — the caller rejects), 1 if the task fits sequentially.
+std::size_t dedicated_core_demand(const model::DagTask& task, double scale) {
+  const Time len = scale * task.critical_path_length();
+  const Time vol = scale * task.volume();
   const Time d = task.deadline();
   if (!(d > len)) return 0;  // critical path alone misses the deadline
   return static_cast<std::size_t>(std::max(1.0, util::ceil_div(vol - len, d - len)));
@@ -48,14 +50,33 @@ bool uniprocessor_schedulable(const std::vector<std::array<Time, 3>>& tasks) {
 }  // namespace
 
 FederatedResult analyze_federated(const model::TaskSet& ts,
-                                  const FederatedOptions& options) {
+                                  const FederatedOptions& options, RtaContext* ctx) {
+  if (!(options.wcet_scale > 0.0))
+    throw model::ModelError("analyze_federated: wcet_scale must be > 0");
+  std::optional<RtaContext> local_ctx;
+  if (ctx == nullptr) {
+    local_ctx.emplace(ts);
+    ctx = &*local_ctx;
+  } else if (&ctx->task_set() != &ts) {
+    throw model::ModelError("analyze_federated: context bound to another task set");
+  }
+
   FederatedResult result;
   result.per_task.resize(ts.size());
   result.schedulable = true;
 
   const std::size_t m = ts.core_count();
+  const double scale = options.wcet_scale;
   std::size_t cores_left = m;
-  std::vector<std::size_t> shared;  // indices of serialized light tasks
+  std::vector<std::size_t>& shared = ctx->index_scratch();  // light tasks
+  shared.clear();
+
+  // Hoisted scaled utilizations (scale · vol / T); 1.0 · u == u exactly, so
+  // the unscaled path is untouched.
+  std::vector<Time>& sutil = ctx->time_scratch();
+  sutil.resize(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    sutil[i] = scale * ts.task(i).utilization();
 
   for (std::size_t i = 0; i < ts.size(); ++i) {
     const model::DagTask& task = ts.task(i);
@@ -63,11 +84,11 @@ FederatedResult analyze_federated(const model::TaskSet& ts,
 
     const std::size_t bbar =
         options.limited_concurrency ? max_affecting_forks(task) : 0;
-    const bool heavy = task.utilization() > 1.0;
+    const bool heavy = sutil[i] > 1.0;
     const bool promoted = options.limited_concurrency && bbar > 0;
 
     if (heavy || promoted) {
-      const std::size_t base = dedicated_core_demand(task);
+      const std::size_t base = dedicated_core_demand(task, scale);
       if (base == 0) {
         tr.dedicated = true;
         tr.schedulable = false;
@@ -92,7 +113,7 @@ FederatedResult analyze_federated(const model::TaskSet& ts,
   // Serialize the light tasks and worst-fit them onto the leftover cores,
   // deadline-monotonic per core.
   std::stable_sort(shared.begin(), shared.end(), [&](std::size_t a, std::size_t b) {
-    return ts.task(a).utilization() > ts.task(b).utilization();
+    return sutil[a] > sutil[b];
   });
   std::vector<std::vector<std::size_t>> per_core(cores_left);
   std::vector<double> load(cores_left, 0.0);
@@ -106,7 +127,7 @@ FederatedResult analyze_federated(const model::TaskSet& ts,
     const auto core = static_cast<std::size_t>(
         std::min_element(load.begin(), load.end()) - load.begin());
     per_core[core].push_back(i);
-    load[core] += ts.task(i).utilization();
+    load[core] += sutil[i];
     tr.schedulable = true;  // provisional; the per-core RTA below decides
   }
 
@@ -118,7 +139,7 @@ FederatedResult analyze_federated(const model::TaskSet& ts,
     std::vector<std::array<Time, 3>> triples;
     triples.reserve(tasks.size());
     for (std::size_t i : tasks)
-      triples.push_back({ts.task(i).volume(), ts.task(i).period(),
+      triples.push_back({scale * ts.task(i).volume(), ts.task(i).period(),
                          ts.task(i).deadline()});
     if (!uniprocessor_schedulable(triples)) {
       for (std::size_t i : tasks) result.per_task[i].schedulable = false;

@@ -32,6 +32,9 @@ struct FederatedOptions {
   /// false = classic federated scheduling (blocking ignored, may deadlock);
   /// true = the limited-concurrency adaptation described above.
   bool limited_concurrency = false;
+  /// Analyze as if every WCET were multiplied by this factor (> 0); 1.0 is
+  /// bit-identical to the unscaled analysis (sensitivity fast path).
+  double wcet_scale = 1.0;
 };
 
 struct FederatedTaskResult {
@@ -46,10 +49,16 @@ struct FederatedResult {
   std::vector<FederatedTaskResult> per_task;
 };
 
+class RtaContext;
+
 /// Run the federated test. Light shared tasks are prioritized
 /// deadline-monotonically on their cores regardless of the task-set
 /// priorities (federated scheduling assigns its own).
+///
+/// `ctx` (optional, see rta_context.h) must have been built for `ts`; it
+/// provides reusable scratch so repeated scaled probes allocate nothing.
 FederatedResult analyze_federated(const model::TaskSet& ts,
-                                  const FederatedOptions& options = {});
+                                  const FederatedOptions& options = {},
+                                  RtaContext* ctx = nullptr);
 
 }  // namespace rtpool::analysis

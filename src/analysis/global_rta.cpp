@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "analysis/antichain.h"
 #include "analysis/concurrency.h"
+#include "analysis/rta_context.h"
 
 namespace rtpool::analysis {
 
@@ -13,24 +15,25 @@ namespace {
 using util::Time;
 
 /// I_{j,i}(L): workload of higher-priority task τ_j interfering in a window
-/// of length L, given τ_j's already-computed response time R_j.
-Time inter_task_interference(const model::DagTask& tj, Time rj, Time window,
-                             std::size_t m, InterferenceBound bound) {
-  const Time vol = tj.volume();
+/// of length L, given τ_j's already-computed response time R_j. `svol` and
+/// `svolm` are the pre-scaled vol(τ_j) and vol(τ_j)/m (hoisted out of the
+/// fixed-point iteration — they are loop-invariant).
+Time inter_task_interference(Time svol, Time svolm, Time period, Time rj,
+                             Time window, std::size_t m, InterferenceBound bound) {
   // Worst-case release pattern: first job's workload is pushed as late as
   // possible; vol/m is the shortest time in which it can complete on m
   // threads, hence the jitter-like term R_j − vol/m ([14]).
-  const Time shifted = window + rj - vol / static_cast<double>(m);
+  const Time shifted = window + rj - svolm;
   if (shifted <= 0.0) return 0.0;
   switch (bound) {
     case InterferenceBound::kPaperCeil:
-      return util::ceil_div(shifted, tj.period()) * vol;
+      return util::ceil_div(shifted, period) * svol;
     case InterferenceBound::kMelaniCarryIn: {
-      const double jobs = std::floor(shifted / tj.period() * (1.0 + util::kTimeEps));
-      const Time remainder = shifted - jobs * tj.period();
+      const double jobs = std::floor(shifted / period * (1.0 + util::kTimeEps));
+      const Time remainder = shifted - jobs * period;
       const Time carry =
-          std::min(vol, static_cast<double>(m) * std::max(remainder, 0.0));
-      return jobs * vol + carry;
+          std::min(svol, static_cast<double>(m) * std::max(remainder, 0.0));
+      return jobs * svol + carry;
     }
   }
   throw std::invalid_argument("inter_task_interference: bad bound");
@@ -39,18 +42,48 @@ Time inter_task_interference(const model::DagTask& tj, Time rj, Time window,
 }  // namespace
 
 GlobalRtaResult analyze_global(const model::TaskSet& ts,
-                               const GlobalRtaOptions& options) {
+                               const GlobalRtaOptions& options, RtaContext* ctx) {
   if (!ts.priorities_distinct())
     throw model::ModelError("analyze_global: task priorities must be distinct");
+  if (!(options.wcet_scale > 0.0))
+    throw model::ModelError("analyze_global: wcet_scale must be > 0");
+
+  std::optional<RtaContext> local_ctx;
+  if (ctx == nullptr) {
+    local_ctx.emplace(ts);
+    ctx = &*local_ctx;
+  } else if (&ctx->task_set() != &ts) {
+    throw model::ModelError("analyze_global: context bound to another task set");
+  }
 
   const std::size_t m = ts.core_count();
+  const double scale = options.wcet_scale;
   GlobalRtaResult result;
   result.per_task.resize(ts.size());
   result.schedulable = true;
 
+  // Hoisted per-task constants: pre-scaled volume, volume/m and the period.
+  // The fixed-point loop below reads these instead of re-deriving them from
+  // the DagTask on every iteration.
+  std::vector<Time>& svol = ctx->weights_scratch();
+  std::vector<Time>& svolm = ctx->dp_scratch();
+  std::vector<Time>& period = ctx->time_scratch();
+  svol.resize(ts.size());
+  svolm.resize(ts.size());
+  period.resize(ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    svol[i] = scale * ts.task(i).volume();
+    svolm[i] = svol[i] / static_cast<double>(m);
+    period[i] = ts.task(i).period();
+  }
+
+  RtaContext::WarmGlobal& warm = ctx->warm_global();
+  const bool use_warm = ctx->warm_start_enabled() && warm.valid &&
+                        same_analysis(warm.options, options) && warm.scale <= scale;
+
   std::vector<Time> response(ts.size(), util::kTimeInfinity);
 
-  for (std::size_t idx : ts.priority_order()) {
+  for (std::size_t idx : ctx->priority_order()) {
     const model::DagTask& task = ts.task(idx);
     TaskRta& rta = result.per_task[idx];
     rta.concurrency_bound =
@@ -70,9 +103,9 @@ GlobalRtaResult analyze_global(const model::TaskSet& ts,
       denominator = static_cast<double>(rta.concurrency_bound);
     }
 
-    const Time len = task.critical_path_length();
-    const Time self_interference = task.volume() - len;  // I_{i,i} ([9,14])
-    const auto hp = ts.higher_priority_of(idx);
+    const Time len = scale * task.critical_path_length();
+    const Time self_interference = svol[idx] - len;  // I_{i,i} ([9,14])
+    const auto& hp = ctx->higher_priority(idx);
 
     // If any higher-priority task already diverged, so does this one.
     const bool hp_diverged = std::any_of(hp.begin(), hp.end(), [&](std::size_t j) {
@@ -85,30 +118,59 @@ GlobalRtaResult analyze_global(const model::TaskSet& ts,
       continue;
     }
 
-    Time r = len;
-    bool converged = false;
-    for (int iter = 0; iter < options.max_iterations; ++iter) {
-      Time interference = self_interference;
-      for (std::size_t j : hp) {
-        interference +=
-            inter_task_interference(ts.task(j), response[j], r, m, options.bound);
+    const Time deadline = task.deadline();
+    const auto iterate = [&](Time start, Time& r_out) {
+      Time r = start;
+      bool converged = false;
+      for (int iter = 0; iter < options.max_iterations; ++iter) {
+        Time interference = self_interference;
+        for (std::size_t j : hp) {
+          interference += inter_task_interference(svol[j], svolm[j], period[j],
+                                                  response[j], r, m, options.bound);
+        }
+        const Time next = len + interference / denominator;
+        if (util::time_le(next, r)) {
+          converged = true;
+          break;
+        }
+        r = next;
+        if (util::time_lt(deadline, r)) break;  // already missed
       }
-      const Time next = len + interference / denominator;
-      if (util::time_le(next, r)) {
-        converged = true;
-        break;
-      }
-      r = next;
-      if (util::time_lt(task.deadline(), r)) break;  // already missed
+      r_out = r;
+      return converged;
+    };
+
+    Time start = len;
+    const bool warm_used = use_warm && warm.response[idx] > start;
+    if (warm_used) start = warm.response[idx];
+    Time r;
+    bool converged = iterate(start, r);
+    if (warm_used && !(converged && util::time_le(r, deadline))) {
+      // A diverging iteration stops at the first iterate past the deadline,
+      // and that partial value depends on the starting point. Rerun cold so
+      // the reported bookkeeping matches a cold run bit-for-bit; divergence
+      // is detected within a handful of iterations, so this stays cheap.
+      converged = iterate(len, r);
+    } else if (warm_used) {
+      ctx->note_warm_hit();
     }
 
     rta.response_time = r;
-    rta.schedulable = converged && util::time_le(r, task.deadline());
+    rta.schedulable = converged && util::time_le(r, deadline);
     response[idx] = rta.response_time;
     if (!rta.schedulable) {
       result.schedulable = false;
       if (!converged) response[idx] = util::kTimeInfinity;
     }
+  }
+
+  // Warm state is only trustworthy after a fully schedulable run: every
+  // recorded value is then a converged least fixed point.
+  if (ctx->warm_start_enabled() && result.schedulable) {
+    warm.valid = true;
+    warm.scale = scale;
+    warm.options = options;
+    warm.response = response;
   }
   return result;
 }

@@ -51,6 +51,12 @@ struct GlobalRtaOptions {
   ConcurrencyBound concurrency = ConcurrencyBound::kMaxAffectingForks;
   /// Safety valve for the fixed-point iteration.
   int max_iterations = 100000;
+  /// Analyze the task set as if every WCET were multiplied by this factor
+  /// (must be > 0), without materializing a scaled copy: all WCET-derived
+  /// quantities (volumes, critical-path lengths) are scaled on the fly from
+  /// the cached unit-scale values. 1.0 is bit-identical to the unscaled
+  /// analysis. Used by the sensitivity fast path (see sensitivity.h).
+  double wcet_scale = 1.0;
 };
 
 /// Per-task analysis outcome.
@@ -65,10 +71,19 @@ struct GlobalRtaResult {
   std::vector<TaskRta> per_task;     ///< Indexed like TaskSet::tasks().
 };
 
+class RtaContext;
+
 /// Run the analysis over the whole task set. Priorities must be pairwise
 /// distinct (throws ModelError otherwise); tasks are processed from highest
 /// to lowest priority so that hp response times are available.
+///
+/// `ctx` (optional) must have been built for `ts`; it caches the priority
+/// orders and hoisted per-task constants across calls and carries the
+/// warm-start state for repeated scaled runs (see rta_context.h). Without a
+/// context the call derives the same state locally — results are identical
+/// either way.
 GlobalRtaResult analyze_global(const model::TaskSet& ts,
-                               const GlobalRtaOptions& options = {});
+                               const GlobalRtaOptions& options = {},
+                               RtaContext* ctx = nullptr);
 
 }  // namespace rtpool::analysis

@@ -36,6 +36,8 @@ using ThreadId = std::uint32_t;
 /// Node-to-thread map for one task: `thread_of[v]` is T(v).
 struct NodeAssignment {
   std::vector<ThreadId> thread_of;
+
+  friend bool operator==(const NodeAssignment&, const NodeAssignment&) = default;
 };
 
 /// Partitioning of a whole task set.

@@ -57,6 +57,11 @@ struct PartitionedRtaOptions {
   /// that ignores reduced concurrency ([10] as used in Section 5).
   bool require_deadlock_free = true;
   PartitionedBound bound = PartitionedBound::kSplitPerSegment;
+  /// Analyze as if every WCET were multiplied by this factor (> 0) without
+  /// materializing a scaled task set: per-core workloads and blocking
+  /// vectors are scaled on the fly from the cached unit-scale vectors.
+  /// 1.0 is bit-identical to the unscaled analysis (sensitivity fast path).
+  double wcet_scale = 1.0;
 };
 
 struct PartitionedTaskRta {
@@ -70,10 +75,39 @@ struct PartitionedRtaResult {
   std::vector<PartitionedTaskRta> per_task;
 };
 
+class RtaContext;
+
+/// Per-node FIFO work-queue blocking vector B_v for one task under a
+/// node-to-thread assignment: B_v = Σ C_u over same-core nodes u that are
+/// precedence-unordered with v (each can sit in the FIFO queue ahead of v
+/// at most once per job); BJ nodes take B_v = 0 (a join resumes the
+/// suspended function directly, it never passes through the queue).
+///
+/// Computed word-parallel from `Reachability::unordered_mask`: O(|V|²/64)
+/// per (task, assignment) instead of the former O(|V|²) pointer-chasing
+/// double loop per analyze call. The summation visits qualifying nodes in
+/// ascending id order, so the result is bit-identical to the naive double
+/// loop (property-tested in tests/test_rta_context.cpp).
+std::vector<util::Time> fifo_blocking_vector(const model::DagTask& task,
+                                             const NodeAssignment& assignment);
+
+/// Per-core WCET footprint W_{i,p} of one task under an assignment
+/// (length = `cores`). Thread ids must be < cores (throws ModelError).
+std::vector<util::Time> per_core_workload_vector(const model::DagTask& task,
+                                                 const NodeAssignment& assignment,
+                                                 std::size_t cores);
+
 /// Analyze `ts` under the node-to-thread `partition`. Priorities must be
-/// distinct. Throws ModelError on malformed inputs (size mismatches).
+/// distinct. Throws ModelError on malformed inputs (size mismatches,
+/// out-of-range thread ids).
+///
+/// `ctx` (optional) must have been built for `ts`; it caches the blocking
+/// vectors, per-core workloads and Lemma-3 verdicts per (task, partition)
+/// binding and carries warm-start state across scaled re-runs (see
+/// rta_context.h). Results are identical with or without a context.
 PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
                                          const TaskSetPartition& partition,
-                                         const PartitionedRtaOptions& options = {});
+                                         const PartitionedRtaOptions& options = {},
+                                         RtaContext* ctx = nullptr);
 
 }  // namespace rtpool::analysis

@@ -1,0 +1,84 @@
+#include "analysis/rta_context.h"
+
+#include "analysis/deadlock.h"
+#include "graph/algorithms.h"
+
+namespace rtpool::analysis {
+
+bool same_analysis(const GlobalRtaOptions& a, const GlobalRtaOptions& b) {
+  return a.limited_concurrency == b.limited_concurrency && a.bound == b.bound &&
+         a.concurrency == b.concurrency && a.max_iterations == b.max_iterations;
+}
+
+bool same_analysis(const PartitionedRtaOptions& a, const PartitionedRtaOptions& b) {
+  return a.max_iterations == b.max_iterations &&
+         a.require_deadlock_free == b.require_deadlock_free && a.bound == b.bound;
+}
+
+RtaContext::RtaContext(const model::TaskSet& ts) : ts_(&ts) {
+  const std::size_t n = ts.size();
+  higher_priority_.resize(n);
+  higher_priority_built_.assign(n, 0);
+  topo_.resize(n);
+  topo_built_.assign(n, 0);
+}
+
+const std::vector<std::size_t>& RtaContext::priority_order() {
+  if (!priority_order_built_) {
+    priority_order_ = ts_->priority_order();
+    priority_order_built_ = true;
+  }
+  return priority_order_;
+}
+
+const std::vector<std::size_t>& RtaContext::higher_priority(std::size_t i) {
+  if (!higher_priority_built_.at(i)) {
+    higher_priority_[i] = ts_->higher_priority_of(i);
+    higher_priority_built_[i] = 1;
+  }
+  return higher_priority_[i];
+}
+
+const std::vector<graph::NodeId>& RtaContext::topo_order(std::size_t i) {
+  if (!topo_built_.at(i)) {
+    topo_[i] = graph::topological_order(ts_->task(i).dag());
+    topo_built_[i] = 1;
+  }
+  return topo_[i];
+}
+
+void RtaContext::bind_partition(const TaskSetPartition& partition) {
+  if (partition.per_task.size() != ts_->size())
+    throw model::ModelError("RtaContext::bind_partition: partition size mismatch");
+  if (binding_ != 0 && bound_.per_task == partition.per_task) return;  // no-op
+
+  const std::size_t m = ts_->core_count();
+  const std::size_t n = ts_->size();
+  core_workload_.resize(n);
+  fifo_blocking_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // per_core_workload_vector validates sizes and thread-id ranges.
+    core_workload_[i] =
+        per_core_workload_vector(ts_->task(i), partition.per_task[i], m);
+    fifo_blocking_[i] = fifo_blocking_vector(ts_->task(i), partition.per_task[i]);
+  }
+  bound_ = partition;
+  deadlock_free_.assign(n, -1);
+  ++binding_;
+}
+
+bool RtaContext::deadlock_free(std::size_t i) {
+  if (binding_ == 0)
+    throw model::ModelError("RtaContext::deadlock_free: no partition bound");
+  if (deadlock_free_.at(i) < 0) {
+    deadlock_free_[i] =
+        check_deadlock_free_partitioned(ts_->task(i), ts_->core_count(),
+                                        bound_.per_task[i])
+                .deadlock_free
+            ? 1
+            : 0;
+  }
+  return deadlock_free_[i] == 1;
+}
+
+}  // namespace rtpool::analysis

@@ -1,0 +1,172 @@
+// Cross-layer cache and warm-start state for repeated response-time
+// analyses.
+//
+// One schedulability probe is never alone: `exp::evaluate_task_set` runs
+// four analyses on the same task set per trial, and the sensitivity binary
+// search (sensitivity.h) runs the same analysis at dozens of WCET scales.
+// Before this class every call re-derived identical state — priority
+// orders, per-core workloads W_{j,p}, FIFO blocking vectors B_v, Lemma-3
+// verdicts, topological orders, longest-path DP tables. An RtaContext owns
+// all of it, computed lazily once per task set. The structural state is
+// WCET-scale-invariant; analyses scale it on the fly through
+// `options.wcet_scale` (multiplying by 1.0 is exact, so scale 1 stays
+// bit-identical to the pre-context code paths).
+//
+// Warm-started fixed points: with `set_warm_start(true)`, analyses record
+// their converged per-task (and, for the SPLIT partitioned bound,
+// per-segment) response times after a fully schedulable run at scale s;
+// later runs at scale s' >= s with the same options (and, for the
+// partitioned RTA, the same bound partition) start each fixed-point
+// iteration from max(base, recorded value) instead of from the base. The
+// RTA recurrences are monotone in the iteration start below the least
+// fixed point and responses are monotone in the WCET scale (the clamped
+// suspension-as-jitter terms preserve this), so warm-started results are
+// BIT-IDENTICAL to cold starts — the iteration merely skips the prefix of
+// the climb. Asserted over full scale sweeps in tests/test_rta_context.cpp.
+// Runs that end unschedulable never update the warm state, and runs at a
+// smaller scale than the recorded one fall back to cold starts.
+//
+// Ownership rules:
+//  * The context borrows the TaskSet: the set must outlive the context and
+//    analyses must be invoked with the same set object the context was
+//    built for (checked; ModelError otherwise).
+//  * NOT thread-safe: use one context per thread. The experiment engine
+//    creates one per trial on the evaluating worker, which keeps results
+//    thread-count-invariant.
+//  * bind_partition() copies the assignment; re-binding a partition with
+//    identical content is a no-op that preserves caches and warm state,
+//    while binding a different partition invalidates the partitioned
+//    warm state (generation counter).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/federated.h"
+#include "analysis/global_rta.h"
+#include "analysis/partition.h"
+#include "analysis/partitioned_rta.h"
+#include "model/task_set.h"
+#include "util/time.h"
+
+namespace rtpool::analysis {
+
+/// True if the two option sets describe the same analysis up to the WCET
+/// scale — the warm-start fingerprint test.
+bool same_analysis(const GlobalRtaOptions& a, const GlobalRtaOptions& b);
+bool same_analysis(const PartitionedRtaOptions& a, const PartitionedRtaOptions& b);
+
+class RtaContext {
+ public:
+  explicit RtaContext(const model::TaskSet& ts);
+
+  const model::TaskSet& task_set() const { return *ts_; }
+
+  // ---- structural caches (lazy, WCET-scale-invariant) ----
+
+  /// Task indices from highest to lowest priority (== ts.priority_order()).
+  const std::vector<std::size_t>& priority_order();
+
+  /// Higher-priority task indices of task i (== ts.higher_priority_of(i)).
+  const std::vector<std::size_t>& higher_priority(std::size_t i);
+
+  /// Cached topological order of task i's DAG.
+  const std::vector<graph::NodeId>& topo_order(std::size_t i);
+
+  // ---- partition binding ----
+
+  /// Bind `partition`: computes (once) every task's per-core workload
+  /// W_{i,p} and FIFO blocking vector B_v at unit scale, using the
+  /// word-parallel `Reachability::unordered_mask` kernel. Re-binding an
+  /// identical partition (by content) is a no-op. Throws ModelError on
+  /// size mismatches or out-of-range thread ids.
+  void bind_partition(const TaskSetPartition& partition);
+
+  bool has_partition() const { return binding_ != 0; }
+
+  /// Monotone generation counter of the current binding (0 = none); bumped
+  /// whenever bind_partition() installs different content.
+  std::uint64_t binding_generation() const { return binding_; }
+
+  /// W_{i,p} at unit scale; valid after bind_partition().
+  const std::vector<util::Time>& core_workload(std::size_t i) const {
+    return core_workload_.at(i);
+  }
+
+  /// B_v at unit scale; valid after bind_partition().
+  const std::vector<util::Time>& fifo_blocking(std::size_t i) const {
+    return fifo_blocking_.at(i);
+  }
+
+  /// Lemma-3 verdict (check_deadlock_free_partitioned) of task i under the
+  /// bound partition; computed on first query, cached per binding — the
+  /// verdict is structural, hence WCET-scale-invariant.
+  bool deadlock_free(std::size_t i);
+
+  // ---- reusable scratch (contents undefined between uses) ----
+  std::vector<util::Time>& weights_scratch() { return weights_scratch_; }
+  std::vector<util::Time>& dp_scratch() { return dp_scratch_; }
+  std::vector<util::Time>& time_scratch() { return time_scratch_; }
+  std::vector<std::size_t>& index_scratch() { return index_scratch_; }
+
+  // ---- warm-started fixed points ----
+
+  void set_warm_start(bool enabled) { warm_enabled_ = enabled; }
+  bool warm_start_enabled() const { return warm_enabled_; }
+
+  /// Number of fixed-point iterations that started from recorded warm
+  /// state (telemetry for benches/tests).
+  std::size_t warm_hits() const { return warm_hits_; }
+  void note_warm_hit() { ++warm_hits_; }
+
+  /// Warm state recorded by analyze_global (read/written by the analysis;
+  /// exposed because the analyses are free functions, not friends).
+  struct WarmGlobal {
+    bool valid = false;
+    double scale = 0.0;               ///< wcet_scale the values were recorded at.
+    GlobalRtaOptions options;         ///< Fingerprint (wcet_scale ignored).
+    std::vector<util::Time> response; ///< Converged R_i at `scale`.
+  };
+
+  /// Warm state recorded by analyze_partitioned.
+  struct WarmPartitioned {
+    bool valid = false;
+    double scale = 0.0;
+    std::uint64_t binding = 0;        ///< binding_generation() at record time.
+    PartitionedRtaOptions options;    ///< Fingerprint (wcet_scale ignored).
+    std::vector<util::Time> response;
+    /// Per-task per-node converged segment responses (SPLIT bound only).
+    std::vector<std::vector<util::Time>> segments;
+  };
+
+  WarmGlobal& warm_global() { return warm_global_; }
+  WarmPartitioned& warm_partitioned() { return warm_partitioned_; }
+
+ private:
+  const model::TaskSet* ts_;
+
+  std::vector<std::size_t> priority_order_;
+  bool priority_order_built_ = false;
+  std::vector<std::vector<std::size_t>> higher_priority_;
+  std::vector<char> higher_priority_built_;
+  std::vector<std::vector<graph::NodeId>> topo_;
+  std::vector<char> topo_built_;
+
+  TaskSetPartition bound_;
+  std::uint64_t binding_ = 0;
+  std::vector<std::vector<util::Time>> core_workload_;
+  std::vector<std::vector<util::Time>> fifo_blocking_;
+  std::vector<signed char> deadlock_free_;  ///< -1 unknown, else 0/1.
+
+  std::vector<util::Time> weights_scratch_;
+  std::vector<util::Time> dp_scratch_;
+  std::vector<util::Time> time_scratch_;
+  std::vector<std::size_t> index_scratch_;
+
+  bool warm_enabled_ = false;
+  std::size_t warm_hits_ = 0;
+  WarmGlobal warm_global_;
+  WarmPartitioned warm_partitioned_;
+};
+
+}  // namespace rtpool::analysis

@@ -3,7 +3,57 @@
 #include <stdexcept>
 #include <vector>
 
+#include "analysis/rta_context.h"
+#include "util/time.h"
+
 namespace rtpool::analysis {
+
+namespace {
+
+/// Shared bisection driver. `probe(s)` returns the schedulability verdict
+/// at scale s; the probe sequence (lo + tol, hi, then midpoints) is shared
+/// by the generic and fast paths so their searches are comparable
+/// probe-for-probe.
+double bisect_scaling_factor(const std::function<bool(double)>& probe,
+                             const SensitivityOptions& options) {
+  if (!(options.hi > options.lo) || !(options.tolerance > 0.0))
+    throw std::invalid_argument("critical_scaling_factor: bad bracket");
+
+  double lo = options.lo;
+  double hi = options.hi;
+
+  // The bracket must start from a passing point: probe just above lo.
+  const double first = lo + options.tolerance;
+  if (!probe(first)) return 0.0;
+  if (probe(hi)) return hi;
+
+  double best = first;
+  for (int iter = 0; iter < options.max_iterations && hi - lo > options.tolerance;
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(mid)) {
+      best = mid;
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return best;
+}
+
+/// Verdict-safe probe cutoff: every analysis in this library lower-bounds
+/// a task's response time by s·len (global: the fixed point starts there;
+/// partitioned: segment bases dominate s·C_v and compose along the longest
+/// path; federated: dedicated allocation requires D > s·len and serialized
+/// tasks have C = s·vol >= s·len). So if any scaled critical path exceeds
+/// its deadline the analysis is guaranteed to fail — skip it.
+bool critical_path_exceeds_deadline(const model::TaskSet& ts, double s) {
+  for (const model::DagTask& t : ts.tasks())
+    if (util::time_lt(t.deadline(), s * t.critical_path_length())) return true;
+  return false;
+}
+
+}  // namespace
 
 model::TaskSet scale_wcets(const model::TaskSet& ts, double factor) {
   if (!(factor > 0.0))
@@ -24,29 +74,75 @@ model::TaskSet scale_wcets(const model::TaskSet& ts, double factor) {
 double critical_scaling_factor(const model::TaskSet& ts,
                                const SchedulabilityTest& test,
                                const SensitivityOptions& options) {
-  if (!(options.hi > options.lo) || !(options.tolerance > 0.0))
-    throw std::invalid_argument("critical_scaling_factor: bad bracket");
+  return bisect_scaling_factor(
+      [&](double s) { return test(scale_wcets(ts, s)); }, options);
+}
 
-  double lo = options.lo;
-  double hi = options.hi;
+SensitivityResult critical_scaling_factor_global(
+    const model::TaskSet& ts, const GlobalRtaOptions& rta,
+    const SensitivityOptions& options) {
+  SensitivityResult result;
+  RtaContext ctx(ts);
+  ctx.set_warm_start(options.warm_start);
+  GlobalRtaOptions probe_options = rta;
+  result.factor = bisect_scaling_factor(
+      [&](double s) {
+        ++result.probes;
+        if (options.critical_path_cutoff && critical_path_exceeds_deadline(ts, s)) {
+          ++result.cutoff_probes;
+          return false;
+        }
+        probe_options.wcet_scale = s;
+        return analyze_global(ts, probe_options, &ctx).schedulable;
+      },
+      options);
+  result.warm_hits = ctx.warm_hits();
+  return result;
+}
 
-  // The bracket must start from a passing point: probe just above lo.
-  const double probe = lo + options.tolerance;
-  if (!test(scale_wcets(ts, probe))) return 0.0;
-  if (test(scale_wcets(ts, hi))) return hi;
+SensitivityResult critical_scaling_factor_partitioned(
+    const model::TaskSet& ts, const TaskSetPartition& partition,
+    const PartitionedRtaOptions& rta, const SensitivityOptions& options) {
+  SensitivityResult result;
+  RtaContext ctx(ts);
+  ctx.set_warm_start(options.warm_start);
+  // Bind once: blocking vectors, per-core workloads and Lemma-3 verdicts
+  // are computed a single time for the entire search.
+  ctx.bind_partition(partition);
+  PartitionedRtaOptions probe_options = rta;
+  result.factor = bisect_scaling_factor(
+      [&](double s) {
+        ++result.probes;
+        if (options.critical_path_cutoff && critical_path_exceeds_deadline(ts, s)) {
+          ++result.cutoff_probes;
+          return false;
+        }
+        probe_options.wcet_scale = s;
+        return analyze_partitioned(ts, partition, probe_options, &ctx).schedulable;
+      },
+      options);
+  result.warm_hits = ctx.warm_hits();
+  return result;
+}
 
-  double best = probe;
-  for (int iter = 0; iter < options.max_iterations && hi - lo > options.tolerance;
-       ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    if (test(scale_wcets(ts, mid))) {
-      best = mid;
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return best;
+SensitivityResult critical_scaling_factor_federated(
+    const model::TaskSet& ts, const FederatedOptions& fed,
+    const SensitivityOptions& options) {
+  SensitivityResult result;
+  RtaContext ctx(ts);
+  FederatedOptions probe_options = fed;
+  result.factor = bisect_scaling_factor(
+      [&](double s) {
+        ++result.probes;
+        if (options.critical_path_cutoff && critical_path_exceeds_deadline(ts, s)) {
+          ++result.cutoff_probes;
+          return false;
+        }
+        probe_options.wcet_scale = s;
+        return analyze_federated(ts, probe_options, &ctx).schedulable;
+      },
+      options);
+  return result;
 }
 
 }  // namespace rtpool::analysis

@@ -9,10 +9,29 @@
 // Found by binary search, valid because all tests in this library are
 // sustainable in the WCETs (scaling all C's down never turns a schedulable
 // verdict unschedulable; see tests/test_global_rta.cpp).
+//
+// Two entry points:
+//  * `critical_scaling_factor` — generic, takes an arbitrary predicate and
+//    materializes a scaled TaskSet copy per probe (full revalidation,
+//    reachability closure, cache rebuild). Kept as the reference
+//    implementation; any test expressible as a predicate works.
+//  * `critical_scaling_factor_global/partitioned/federated` — the fast
+//    path for this library's own analyses. One RtaContext carries the
+//    structural caches and warm-start state across probes, each probe runs
+//    the analysis with `options.wcet_scale = s` on the *original* set (no
+//    copies), and probes where some task's scaled critical path alone
+//    already exceeds its deadline are cut off without running the analysis
+//    at all (verdict-safe: every analysis lower-bounds a task's response
+//    by s·len, so such probes always fail). The probe *sequence* is
+//    identical to the generic path.
 #pragma once
 
 #include <functional>
 
+#include "analysis/federated.h"
+#include "analysis/global_rta.h"
+#include "analysis/partition.h"
+#include "analysis/partitioned_rta.h"
 #include "model/task_set.h"
 
 namespace rtpool::analysis {
@@ -23,6 +42,21 @@ struct SensitivityOptions {
   double hi = 8.0;        ///< Upper bracket; results are clamped below it.
   double tolerance = 1e-3;///< Absolute tolerance on s.
   int max_iterations = 64;
+  /// Fast paths only: reuse converged fixed points from earlier passing
+  /// probes as iteration starts (bit-identical results; see rta_context.h).
+  /// Exposed so tests can assert warm ≡ cold.
+  bool warm_start = true;
+  /// Fast paths only: fail probes whose scaled critical path already
+  /// exceeds some deadline without running the analysis (verdict-safe).
+  bool critical_path_cutoff = true;
+};
+
+/// Telemetry-carrying result of the fast sensitivity paths.
+struct SensitivityResult {
+  double factor = 0.0;        ///< The critical scaling factor (0.0 = infeasible).
+  int probes = 0;             ///< Schedulability probes issued (incl. cutoffs).
+  int cutoff_probes = 0;      ///< Probes decided by the critical-path cutoff.
+  std::size_t warm_hits = 0;  ///< Fixed points started from warm state.
 };
 
 /// A schedulability test as a predicate over task sets.
@@ -34,9 +68,31 @@ model::TaskSet scale_wcets(const model::TaskSet& ts, double factor);
 
 /// Largest s in (options.lo, options.hi] with test(scale_wcets(ts, s))
 /// true, up to the tolerance; returns 0.0 if even the smallest probed
-/// scale fails (the bracket's low end is rejected).
+/// scale fails (the bracket's low end is rejected). Generic reference
+/// path: one scaled TaskSet copy per probe.
 double critical_scaling_factor(const model::TaskSet& ts,
                                const SchedulabilityTest& test,
                                const SensitivityOptions& options = {});
+
+/// Fast path: critical scaling factor of `analyze_global(ts, rta)` (the
+/// `rta.wcet_scale` field is overwritten per probe). Same probe sequence
+/// as the generic path; factors agree up to float association (s·ΣC vs
+/// Σ s·C), i.e. within a few ULP-scaled epsilons of each other.
+SensitivityResult critical_scaling_factor_global(
+    const model::TaskSet& ts, const GlobalRtaOptions& rta,
+    const SensitivityOptions& options = {});
+
+/// Fast path: critical scaling factor of
+/// `analyze_partitioned(ts, partition, rta)`. The partition is bound once
+/// into the probe context; blocking vectors and per-core workloads are
+/// computed once for the whole search.
+SensitivityResult critical_scaling_factor_partitioned(
+    const model::TaskSet& ts, const TaskSetPartition& partition,
+    const PartitionedRtaOptions& rta, const SensitivityOptions& options = {});
+
+/// Fast path: critical scaling factor of `analyze_federated(ts, fed)`.
+SensitivityResult critical_scaling_factor_federated(
+    const model::TaskSet& ts, const FederatedOptions& fed,
+    const SensitivityOptions& options = {});
 
 }  // namespace rtpool::analysis

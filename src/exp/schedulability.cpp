@@ -5,22 +5,29 @@
 #include "analysis/global_rta.h"
 #include "analysis/partition.h"
 #include "analysis/partitioned_rta.h"
+#include "analysis/rta_context.h"
 #include "exec/thread_pool.h"
 #include "util/thread_annotations.h"
 
 namespace rtpool::exp {
 
-SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts) {
+SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts,
+                             analysis::RtaContext* ctx) {
+  std::optional<analysis::RtaContext> local_ctx;
+  if (ctx == nullptr) {
+    local_ctx.emplace(ts);
+    ctx = &*local_ctx;
+  }
   SetVerdict verdict;
   switch (scheduler) {
     case Scheduler::kGlobal: {
       analysis::GlobalRtaOptions baseline;
       baseline.limited_concurrency = false;
-      verdict.baseline = analysis::analyze_global(ts, baseline).schedulable;
+      verdict.baseline = analysis::analyze_global(ts, baseline, ctx).schedulable;
 
       analysis::GlobalRtaOptions limited;
       limited.limited_concurrency = true;
-      verdict.proposed = analysis::analyze_global(ts, limited).schedulable;
+      verdict.proposed = analysis::analyze_global(ts, limited, ctx).schedulable;
       break;
     }
     case Scheduler::kPartitioned: {
@@ -30,7 +37,7 @@ SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts) {
         analysis::PartitionedRtaOptions opts;
         opts.require_deadlock_free = false;
         verdict.baseline =
-            analysis::analyze_partitioned(ts, *wf.partition, opts).schedulable;
+            analysis::analyze_partitioned(ts, *wf.partition, opts, ctx).schedulable;
       }
 
       // Proposed: Algorithm 1 + the same RTA + Lemma 3 deadlock freedom.
@@ -39,7 +46,8 @@ SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts) {
         analysis::PartitionedRtaOptions opts;
         opts.require_deadlock_free = true;
         verdict.proposed =
-            analysis::analyze_partitioned(ts, *alg1.partition, opts).schedulable;
+            analysis::analyze_partitioned(ts, *alg1.partition, opts, ctx)
+                .schedulable;
       }
       break;
     }
@@ -116,7 +124,11 @@ PointResult ExperimentEngine::evaluate_point(Scheduler scheduler,
         try {
           const model::TaskSet ts = gen::generate_task_set(config.gen, arng);
           outcome.generated = true;
-          outcome.verdict = evaluate_task_set(scheduler, ts);
+          // One context per trial: the four analyses of this attempt share
+          // caches; nothing is shared across attempts/threads, so the
+          // attempt-order determinism guarantee is untouched.
+          analysis::RtaContext ctx(ts);
+          outcome.verdict = evaluate_task_set(scheduler, ts, &ctx);
         } catch (const gen::GenerationError&) {
           outcome.generated = false;
         }

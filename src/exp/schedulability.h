@@ -39,6 +39,10 @@ namespace rtpool::exec {
 class ThreadPool;
 }
 
+namespace rtpool::analysis {
+class RtaContext;
+}
+
 namespace rtpool::exp {
 
 enum class Scheduler { kGlobal, kPartitioned };
@@ -85,7 +89,13 @@ struct PointResult {
   friend bool operator==(const PointResult&, const PointResult&) = default;
 };
 
-SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts);
+/// Run both tests (baseline + proposed) on one task set. `ctx` (optional)
+/// must have been built for `ts`; the four analyses of a trial then share
+/// one set of structural caches (priority orders, per-core workloads,
+/// blocking vectors) instead of each deriving its own. Verdicts are
+/// identical with or without a context.
+SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts,
+                             analysis::RtaContext* ctx = nullptr);
 
 /// Bookkeeping of one deterministic attempt loop.
 struct AttemptLoopStats {

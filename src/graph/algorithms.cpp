@@ -59,6 +59,26 @@ LongestPathResult longest_path(const Dag& dag, const std::vector<util::Time>& we
   return result;
 }
 
+util::Time longest_path_length(const Dag& dag, const std::vector<NodeId>& order,
+                               const std::vector<util::Time>& weights,
+                               std::vector<util::Time>& scratch) {
+  if (weights.size() != dag.size() || order.size() != dag.size())
+    throw std::invalid_argument("longest_path_length: size mismatch");
+  if (dag.size() == 0) return 0.0;
+
+  scratch.assign(dag.size(), 0.0);
+  for (NodeId v : order) {
+    scratch[v] = weights[v];
+    for (NodeId u : dag.predecessors(v)) {
+      if (scratch[u] + weights[v] > scratch[v]) scratch[v] = scratch[u] + weights[v];
+    }
+  }
+  util::Time best = scratch[0];
+  for (NodeId v = 1; v < dag.size(); ++v)
+    if (scratch[v] > best) best = scratch[v];
+  return best;
+}
+
 std::vector<util::Time> longest_path_to(const Dag& dag,
                                         const std::vector<util::Time>& weights) {
   if (weights.size() != dag.size())

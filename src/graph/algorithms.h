@@ -23,6 +23,16 @@ struct LongestPathResult {
 /// Throws std::invalid_argument if weights.size() != dag.size().
 LongestPathResult longest_path(const Dag& dag, const std::vector<util::Time>& weights);
 
+/// Length of the longest path only, over a caller-supplied topological
+/// order of `dag` and a reusable DP buffer (`scratch` is resized as
+/// needed). Bit-identical to `longest_path(dag, weights).length` but skips
+/// the Kahn pass, the path reconstruction, and all allocations — the
+/// fixed-point hot loops (partitioned RTA, RtaContext) call this with the
+/// cached per-task order. Throws std::invalid_argument on size mismatch.
+util::Time longest_path_length(const Dag& dag, const std::vector<NodeId>& order,
+                               const std::vector<util::Time>& weights,
+                               std::vector<util::Time>& scratch);
+
 /// Per-node earliest-finish values of the weighted longest path ending AT
 /// each node (inclusive of the node's own weight). Used by analyses that
 /// need the full DP table rather than just the critical path.

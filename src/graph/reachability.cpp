@@ -24,6 +24,15 @@ Reachability::Reachability(const Dag& dag) {
       descendants_[v].or_assign(descendants_[w]);
     }
   }
+
+}
+
+void Reachability::unordered_mask(NodeId v, util::DynamicBitset& out) const {
+  if (out.size() != size()) out = util::DynamicBitset(size());
+  out.set_all();
+  out.and_not_assign(ancestors_.at(v));
+  out.and_not_assign(descendants_[v]);
+  out.reset(v);
 }
 
 bool Reachability::reaches(NodeId from, NodeId to) const {

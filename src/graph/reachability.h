@@ -35,6 +35,17 @@ class Reachability {
   /// Transitive successors of v (the paper's succ(v)).
   const util::DynamicBitset& descendants(NodeId v) const { return descendants_.at(v); }
 
+  /// Writes into `out` the mask of nodes precedence-unordered with v:
+  /// ~(ancestors(v) | descendants(v) | {v}). Exactly the nodes that may
+  /// execute concurrently with v, as one word-parallel mask — the kernel
+  /// behind the partitioned analysis' FIFO blocking vector (B_v) and any
+  /// other "who can race v" query. Computed on demand in O(|V|/64) from the
+  /// stored closures into the caller's reusable scratch (resized if needed);
+  /// nothing extra is materialized at construction, which keeps task
+  /// generation — where most Reachability objects are built and discarded —
+  /// free of the table's cost.
+  void unordered_mask(NodeId v, util::DynamicBitset& out) const;
+
  private:
   std::vector<util::DynamicBitset> ancestors_;
   std::vector<util::DynamicBitset> descendants_;

@@ -182,6 +182,51 @@ TEST(ReachabilityTest, MatchesBruteForceOnRandomDags) {
   }
 }
 
+TEST(ReachabilityTest, UnorderedMaskMatchesDefinition) {
+  // unordered_mask(v) = all u != v with neither u ⤳ v nor v ⤳ u — i.e.
+  // exactly the nodes `concurrent` with v.
+  util::Rng rng(4047);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 40;
+    Dag d(n);
+    for (NodeId i = 0; i < n; ++i)
+      for (NodeId j = i + 1; j < n; ++j)
+        if (rng.bernoulli(0.1)) d.add_edge(i, j);
+    const Reachability r(d);
+    util::DynamicBitset mask;  // scratch, resized by the first call
+    for (NodeId v = 0; v < n; ++v) {
+      r.unordered_mask(v, mask);
+      ASSERT_EQ(mask.size(), n);
+      for (NodeId u = 0; u < n; ++u) {
+        const bool expected = u != v && !r.reaches(u, v) && !r.reaches(v, u);
+        EXPECT_EQ(mask.test(u), expected) << "v=" << v << " u=" << u;
+        EXPECT_EQ(mask.test(u), r.concurrent(u, v)) << "v=" << v << " u=" << u;
+      }
+    }
+  }
+}
+
+TEST(LongestPathTest, LengthOnlyKernelMatchesFullDp) {
+  // longest_path_length (cached-order, scratch-buffer variant) must be
+  // bit-identical to longest_path().length on random weighted DAGs.
+  util::Rng rng(555);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 25;
+    Dag d(n);
+    std::vector<double> w(n);
+    for (NodeId i = 0; i < n; ++i) {
+      w[i] = rng.uniform(0.5, 7.0);
+      for (NodeId j = i + 1; j < n; ++j)
+        if (rng.bernoulli(0.15)) d.add_edge(i, j);
+    }
+    const std::vector<NodeId> order = topological_order(d);
+    std::vector<double> scratch;
+    EXPECT_EQ(longest_path_length(d, order, w, scratch),
+              longest_path(d, w).length)
+        << "trial=" << trial;
+  }
+}
+
 TEST(LongestPathTest, MatchesBruteForceOnRandomDags) {
   // Exhaustive path enumeration on small random DAGs must agree with the
   // DP longest-path (both length and that the returned path is realizable).

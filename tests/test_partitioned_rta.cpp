@@ -156,6 +156,45 @@ TEST(PartitionedRtaTest, InputValidation) {
   TaskSetPartition short_assignment;
   short_assignment.per_task.push_back({std::vector<ThreadId>{0}});
   EXPECT_THROW(analyze_partitioned(ts, short_assignment), model::ModelError);
+
+  // Thread ids beyond the core count are rejected up front (the hot loops
+  // index raw vectors afterwards).
+  TaskSetPartition out_of_range;
+  out_of_range.per_task.push_back(
+      {std::vector<ThreadId>(ts.task(0).node_count(), 2)});  // m = 2 -> max 1
+  EXPECT_THROW(analyze_partitioned(ts, out_of_range), model::ModelError);
+}
+
+TEST(PartitionedRtaTest, PublicKernelsMatchHandComputedValues) {
+  // Fork-join (fork=0, join=1, children=2,3, all C=1), children on core 1,
+  // fork/join on core 0, m = 2.
+  TaskSet ts(2);
+  ts.add(model::make_fork_join_task("t", 2, 1.0, 50.0, false));
+  NodeAssignment a;
+  a.thread_of = {0, 0, 1, 1};
+
+  const auto w = per_core_workload_vector(ts.task(0), a, 2);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_NEAR(w[0], 2.0, 1e-12);  // fork + join
+  EXPECT_NEAR(w[1], 2.0, 1e-12);  // both children
+
+  const auto b = fifo_blocking_vector(ts.task(0), a);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_NEAR(b[0], 0.0, 1e-12);  // fork: ordered with everything
+  EXPECT_NEAR(b[1], 0.0, 1e-12);  // join: ordered with everything
+  EXPECT_NEAR(b[2], 1.0, 1e-12);  // child blocked by its sibling
+  EXPECT_NEAR(b[3], 1.0, 1e-12);
+
+  // Siblings on different cores never block each other.
+  a.thread_of = {0, 0, 0, 1};
+  const auto b2 = fifo_blocking_vector(ts.task(0), a);
+  EXPECT_NEAR(b2[2], 0.0, 1e-12);
+  EXPECT_NEAR(b2[3], 0.0, 1e-12);
+
+  EXPECT_THROW(per_core_workload_vector(ts.task(0), a, 1), model::ModelError);
+  NodeAssignment bad;
+  bad.thread_of = {0};
+  EXPECT_THROW(fifo_blocking_vector(ts.task(0), bad), model::ModelError);
 }
 
 TEST(PartitionedRtaTest, HolisticBoundNoHpMatchesSplitBase) {

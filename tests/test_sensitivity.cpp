@@ -90,6 +90,68 @@ TEST(CriticalScalingTest, TighterTestsHaveSmallerMargins) {
   }
 }
 
+TEST(CriticalScalingTest, FastPathClosedFormSingleTask) {
+  // Fast-path mirror of ClosedFormSingleTask: same bracket, same closed
+  // form s* = 12.5.
+  TaskSet ts(2);
+  ts.add(model::make_fork_join_task("t", 3, 2.0, 100.0, false));
+  SensitivityOptions options;
+  options.hi = 20.0;
+  const SensitivityResult r =
+      critical_scaling_factor_global(ts, GlobalRtaOptions{}, options);
+  EXPECT_NEAR(r.factor, 12.5, 0.01);
+  EXPECT_GT(r.probes, 0);
+}
+
+TEST(CriticalScalingTest, FastPathBracketClamping) {
+  TaskSet ts(2);
+  ts.add(model::make_fork_join_task("t", 3, 2.0, 100.0, false));
+  SensitivityOptions options;
+  options.hi = 4.0;  // true s* = 12.5 is beyond the bracket
+  EXPECT_DOUBLE_EQ(
+      critical_scaling_factor_global(ts, GlobalRtaOptions{}, options).factor,
+      4.0);
+}
+
+TEST(CriticalScalingTest, FastPathInfeasibleReturnsZero) {
+  TaskSet ts(1);
+  DagTaskBuilder b("blocky");
+  b.add_blocking_fork_join(1.0, 1.0, {1.0});
+  b.period(100.0);
+  ts.add(b.build());
+  GlobalRtaOptions opts;
+  opts.limited_concurrency = true;
+  EXPECT_DOUBLE_EQ(critical_scaling_factor_global(ts, opts).factor, 0.0);
+}
+
+TEST(CriticalScalingTest, FastPathBadBracketThrows) {
+  TaskSet ts(2);
+  ts.add(model::make_fork_join_task("t", 2, 1.0, 50.0, false));
+  SensitivityOptions bad;
+  bad.lo = 2.0;
+  bad.hi = 1.0;
+  EXPECT_THROW(critical_scaling_factor_global(ts, GlobalRtaOptions{}, bad),
+               std::invalid_argument);
+}
+
+TEST(CriticalScalingTest, CutoffProbesAreVerdictSafe) {
+  // With a huge critical path relative to the deadline the cutoff decides
+  // most failing probes; factor must match the cutoff-free search exactly.
+  TaskSet ts(2);
+  ts.add(model::make_fork_join_task("t", 3, 2.0, 100.0, false));
+  SensitivityOptions with_cutoff;
+  with_cutoff.hi = 20.0;
+  SensitivityOptions without_cutoff = with_cutoff;
+  without_cutoff.critical_path_cutoff = false;
+  const SensitivityResult a =
+      critical_scaling_factor_global(ts, GlobalRtaOptions{}, with_cutoff);
+  const SensitivityResult b =
+      critical_scaling_factor_global(ts, GlobalRtaOptions{}, without_cutoff);
+  EXPECT_EQ(a.factor, b.factor);
+  EXPECT_EQ(a.probes, b.probes);
+  EXPECT_EQ(b.cutoff_probes, 0);
+}
+
 TEST(CriticalScalingTest, BadBracketThrows) {
   TaskSet ts(2);
   ts.add(model::make_fork_join_task("t", 2, 1.0, 50.0, false));
