@@ -15,28 +15,39 @@
 // Sweeps n at m = 8 with the Figure 2(e) style generation.
 #include <cstdio>
 
-#include "analysis/federated.h"
-#include "analysis/global_rta.h"
+#include "analysis/analyzer.h"
 #include "analysis/priority_assignment.h"
-#include "analysis/partition.h"
-#include "analysis/partitioned_rta.h"
+#include "analysis/rta_context.h"
+#include "bench_common.h"
 #include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
-#include "util/args.h"
 #include "util/csv.h"
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv,
-                        {"m", "n", "u-global", "u-part", "trials", "seed", "csv",
-                         "threads"});
+  const util::Args args =
+      bench::parse_args(argc, argv, {"m", "n", "u-global", "u-part", "csv"});
+  const bench::CommonFlags flags = bench::common_flags(args, 300);
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const auto ns = args.get_int_list("n", {2, 4, 6, 8, 10, 12, 14, 16});
   const double u_global = args.get_double("u-global", 0.3 * static_cast<double>(m));
   const double u_part = args.get_double("u-part", 0.15 * static_cast<double>(m));
-  const int trials = static_cast<int>(args.get_int("trials", 300));
-  const std::uint64_t seed = args.get_uint64("seed", 1);
-  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const int trials = flags.trials;
+  const std::uint64_t seed = flags.seed;
+  const int threads = flags.threads;
+
+  // Every extension variant is a registered analyzer (the OPA column keeps
+  // its free-function priority-assignment step: priority search is not an
+  // analysis, its verification is).
+  const analysis::Analyzer& lim_bbar_a = analysis::get_analyzer("global-limited");
+  const analysis::Analyzer& lim_anti_a =
+      analysis::get_analyzer("global-limited-antichain");
+  const analysis::Analyzer& fed_a = analysis::get_analyzer("federated");
+  const analysis::Analyzer& fed_lim_a = analysis::get_analyzer("federated-limited");
+  const analysis::Analyzer& part_split_a =
+      analysis::get_analyzer("partitioned-baseline");
+  const analysis::Analyzer& part_hol_a =
+      analysis::get_analyzer("partitioned-baseline-holistic");
 
   std::printf("Ablation C: extension variants [m=%zu U_glob=%.2f U_part=%.2f "
               "trials=%d threads=%d]\n",
@@ -79,38 +90,31 @@ int main(int argc, char** argv) {
           p.total_utilization = u_global;
           const model::TaskSet ts = gen::generate_task_set(p, arng);
 
-          analysis::GlobalRtaOptions lim;
-          lim.limited_concurrency = true;
-          out.lim_bbar = analysis::analyze_global(ts, lim).schedulable;
-          lim.concurrency = analysis::ConcurrencyBound::kMaxAntichain;
-          out.lim_anti = analysis::analyze_global(ts, lim).schedulable;
+          // One context per generated set; the global and federated
+          // variants share its structural caches.
+          analysis::RtaContext ctx(ts);
+          out.lim_bbar = lim_bbar_a.analyze(ts, ctx).schedulable;
+          out.lim_anti = lim_anti_a.analyze(ts, ctx).schedulable;
 
           // OPA over the deadline-jitter variant of the b̄-based limited
           // test, verified with the original response-jitter analysis.
           analysis::AudsleyOptions audsley;
           audsley.base.limited_concurrency = true;
-          if (const auto opa = analysis::assign_priorities_audsley(ts, audsley)) {
-            analysis::GlobalRtaOptions verify;
-            verify.limited_concurrency = true;
-            out.lim_opa = analysis::analyze_global(*opa, verify).schedulable;
-          }
+          if (const auto opa = analysis::assign_priorities_audsley(ts, audsley))
+            out.lim_opa = lim_bbar_a.analyze(*opa).schedulable;
 
-          out.fed = analysis::analyze_federated(ts).schedulable;
-          analysis::FederatedOptions fopt;
-          fopt.limited_concurrency = true;
-          out.fed_lim = analysis::analyze_federated(ts, fopt).schedulable;
+          out.fed = fed_a.analyze(ts, ctx).schedulable;
+          out.fed_lim = fed_lim_a.analyze(ts, ctx).schedulable;
 
           p.total_utilization = u_part;
           const model::TaskSet tsp = gen::generate_task_set(p, arng);
-          const auto wf = analysis::partition_worst_fit(tsp);
+          const auto wf = part_split_a.make_partition(tsp);
           if (wf.success()) {
-            analysis::PartitionedRtaOptions opts;
-            opts.require_deadlock_free = false;
-            out.part_split =
-                analysis::analyze_partitioned(tsp, *wf.partition, opts).schedulable;
-            opts.bound = analysis::PartitionedBound::kHolisticPath;
-            out.part_hol =
-                analysis::analyze_partitioned(tsp, *wf.partition, opts).schedulable;
+            analysis::RtaContext pctx(tsp);
+            analysis::AnalyzerOptions opts;
+            opts.partition = &*wf.partition;
+            out.part_split = part_split_a.analyze(tsp, pctx, opts).schedulable;
+            out.part_hol = part_hol_a.analyze(tsp, pctx, opts).schedulable;
           }
           return out;
         },

@@ -8,22 +8,32 @@
 #include <cmath>
 #include <cstdio>
 
-#include "analysis/global_rta.h"
+#include "analysis/analyzer.h"
+#include "analysis/rta_context.h"
+#include "bench_common.h"
 #include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
-#include "util/args.h"
 #include "util/csv.h"
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv,
-                        {"m", "n", "u", "trials", "seed", "csv", "threads"});
+  const util::Args args = bench::parse_args(argc, argv, {"m", "n", "u", "csv"});
+  const bench::CommonFlags flags = bench::common_flags(args, 300);
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const auto ns = args.get_int_list("n", {2, 4, 6, 8, 10, 12, 14, 16});
   const double u = args.get_double("u", 0.4 * static_cast<double>(m));
-  const int trials = static_cast<int>(args.get_int("trials", 300));
-  const std::uint64_t seed = args.get_uint64("seed", 1);
-  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const int trials = flags.trials;
+  const std::uint64_t seed = flags.seed;
+  const int threads = flags.threads;
+
+  // The {baseline, limited} × {ceil, carry-in} cross product, straight from
+  // the analyzer registry (order matches the legacy option loops).
+  const analysis::Analyzer* variants[4] = {
+      &analysis::get_analyzer("global-baseline"),
+      &analysis::get_analyzer("global-baseline-carryin"),
+      &analysis::get_analyzer("global-limited"),
+      &analysis::get_analyzer("global-limited-carryin"),
+  };
 
   std::printf("Ablation A: paper ceil bound vs Melani carry-in bound "
               "[m=%zu U=%.2f trials=%d threads=%d]\n",
@@ -56,18 +66,13 @@ int main(int argc, char** argv) {
         [&](std::size_t /*trial*/, util::Rng& arng) {
           const model::TaskSet ts = gen::generate_task_set(params, arng);
           TrialOutcome out;
-          int k = 0;
-          analysis::GlobalRtaResult results[4];
-          for (bool limited : {false, true}) {
-            for (auto bound : {analysis::InterferenceBound::kPaperCeil,
-                               analysis::InterferenceBound::kMelaniCarryIn}) {
-              analysis::GlobalRtaOptions opts;
-              opts.limited_concurrency = limited;
-              opts.bound = bound;
-              results[k] = analysis::analyze_global(ts, opts);
-              out.schedulable[k] = results[k].schedulable;
-              ++k;
-            }
+          // One context per trial: the four variants share the structural
+          // caches (verdicts are identical with or without sharing).
+          analysis::RtaContext ctx(ts);
+          analysis::Report results[4];
+          for (int k = 0; k < 4; ++k) {
+            results[k] = variants[k]->analyze(ts, ctx);
+            out.schedulable[k] = results[k].schedulable;
           }
           // Mean per-task response-time improvement of the refined bound
           // (baseline test, finite responses only).

@@ -9,23 +9,28 @@
 // the Figure 2(b) configuration without the baseline filter.
 #include <cstdio>
 
+#include "analysis/analyzer.h"
 #include "analysis/partition.h"
-#include "analysis/partitioned_rta.h"
+#include "analysis/rta_context.h"
+#include "bench_common.h"
 #include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
-#include "util/args.h"
 #include "util/csv.h"
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv,
-                        {"m", "n", "u", "trials", "seed", "csv", "threads"});
+  const util::Args args = bench::parse_args(argc, argv, {"m", "n", "u", "csv"});
+  const bench::CommonFlags flags = bench::common_flags(args, 300);
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const auto n = static_cast<std::size_t>(args.get_int("n", 6));
   const double u = args.get_double("u", 0.15 * static_cast<double>(m));
-  const int trials = static_cast<int>(args.get_int("trials", 300));
-  const std::uint64_t seed = args.get_uint64("seed", 1);
-  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const int trials = flags.trials;
+  const std::uint64_t seed = flags.seed;
+  const int threads = flags.threads;
+  // All candidate partitions are judged by the registry's proposed
+  // configuration (segment RTA + Lemma 3); only the partitioner varies.
+  const analysis::Analyzer& proposed =
+      analysis::get_analyzer("partitioned-proposed");
 
   std::printf("Ablation B: Algorithm 1 tie-break & failure modes "
               "[m=%zu n=%zu U=%.2f trials=%d threads=%d]\n",
@@ -71,25 +76,28 @@ int main(int argc, char** argv) {
             return out;
           }
           out.generated = true;
+          // One context per trial; each candidate partition is analyzed by
+          // the registry's proposed analyzer under an explicit partition.
+          analysis::RtaContext ctx(ts);
+          const auto judge = [&](const analysis::PartitionResult& pr) {
+            if (!pr.success()) return false;
+            analysis::AnalyzerOptions opts;
+            opts.partition = &*pr.partition;
+            return proposed.analyze(ts, ctx, opts).schedulable;
+          };
           const auto wf =
               analysis::partition_algorithm1(ts, analysis::TieBreak::kWorstFit);
           const auto ff =
               analysis::partition_algorithm1(ts, analysis::TieBreak::kFirstFit);
           out.wf_success = wf.success();
-          if (wf.success())
-            out.wf_sched =
-                analysis::analyze_partitioned(ts, *wf.partition).schedulable;
-          out.ff_sched =
-              ff.success() &&
-              analysis::analyze_partitioned(ts, *ff.partition).schedulable;
+          out.wf_sched = judge(wf);
+          out.ff_sched = judge(ff);
           // The restart stream forks off this attempt's own RNG, so the
           // randomized column is as thread-count-invariant as the rest.
           util::Rng restart_rng = arng.fork();
           const auto rnd =
               analysis::partition_algorithm1_randomized(ts, restart_rng, 16);
-          out.rand_sched =
-              rnd.success() &&
-              analysis::analyze_partitioned(ts, *rnd.partition).schedulable;
+          out.rand_sched = judge(rnd);
           return out;
         },
         [&](std::size_t /*attempt*/, const AttemptOutcome& out) {

@@ -17,10 +17,10 @@
 #include <cstdio>
 
 #include "analysis/partition.h"
+#include "bench_common.h"
 #include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
 #include "sim/engine.h"
-#include "util/args.h"
 #include "util/csv.h"
 
 namespace {
@@ -55,14 +55,14 @@ struct Rates {
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv,
-                        {"m", "n", "u", "trials", "seed", "csv", "threads"});
+  const util::Args args = bench::parse_args(argc, argv, {"m", "n", "u", "csv"});
+  const bench::CommonFlags flags = bench::common_flags(args, 200);
   const auto m = static_cast<std::size_t>(args.get_int("m", 4));
   const auto n = static_cast<std::size_t>(args.get_int("n", 3));
   const double u = args.get_double("u", 0.3 * static_cast<double>(m));
-  const int trials = static_cast<int>(args.get_int("trials", 200));
-  const std::uint64_t seed = args.get_uint64("seed", 1);
-  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const int trials = flags.trials;
+  const std::uint64_t seed = flags.seed;
+  const int threads = flags.threads;
 
   std::printf("Ablation D: simulated dispatching policies [m=%zu n=%zu U=%.2f "
               "trials=%d threads=%d]\n",

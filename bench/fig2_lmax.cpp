@@ -8,30 +8,34 @@
 // schedulability lost to reduced concurrency:
 //   (a) global:      Melani et al. [14]  vs  Section 4.1,
 //   (b) partitioned: worst-fit + [10]    vs  Algorithm 1 + [10] + Lemma 3.
+//
+// The compared tests come from the analyzer registry; override either arm
+// with --global-pair/--part-pair "baseline,proposed" registry names (see
+// --list-analyzers).
 #include <cstdio>
 
+#include "bench_common.h"
 #include "exp/report.h"
 #include "exp/schedulability.h"
-#include "util/args.h"
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv,
-                        {"m", "n", "u-global", "u-part", "trials", "seed",
-                         "lmax", "csv", "branches-min", "branches-max", "threads"});
+  const util::Args args = bench::parse_args(
+      argc, argv,
+      {"m", "n", "u-global", "u-part", "lmax", "csv", "branches-min",
+       "branches-max", "global-pair", "part-pair"});
+  const bench::CommonFlags flags = bench::common_flags(args);
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const auto n = static_cast<std::size_t>(args.get_int("n", 6));
-  // --threads: worker count of the experiment engine (0 = all hardware
-  // threads). Results are bit-identical for every value; only wall time
-  // changes.
-  const int threads = static_cast<int>(args.get_int("threads", 1));
   // The two arms run at different target utilizations: the partitioned
   // segment-based RTA saturates earlier than the global bound (see
   // EXPERIMENTS.md), so each arm is exercised in its sensitive region.
   const double u_global = args.get_double("u-global", 0.45 * static_cast<double>(m));
   const double u_part = args.get_double("u-part", 0.175 * static_cast<double>(m));
-  const int trials = static_cast<int>(args.get_int("trials", 500));
-  const std::uint64_t seed = args.get_uint64("seed", 1);
+  const exp::AnalyzerPair global_pair = bench::parse_pair(
+      args.get_string("global-pair", ""), exp::Scheduler::kGlobal);
+  const exp::AnalyzerPair part_pair = bench::parse_pair(
+      args.get_string("part-pair", ""), exp::Scheduler::kPartitioned);
   std::vector<std::int64_t> lmax_default;
   for (std::int64_t l = 1; l <= static_cast<std::int64_t>(m); ++l)
     lmax_default.push_back(l);
@@ -39,10 +43,15 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 2 (a)/(b): schedulability vs l_max  [m=%zu n=%zu "
               "U_glob=%.2f U_part=%.2f trials=%d seed=%llu threads=%d]\n",
-              m, n, u_global, u_part, trials,
-              static_cast<unsigned long long>(seed), threads);
+              m, n, u_global, u_part, flags.trials,
+              static_cast<unsigned long long>(flags.seed), flags.threads);
+  std::printf("  global: %s vs %s   partitioned: %s vs %s\n",
+              std::string(global_pair.baseline->name()).c_str(),
+              std::string(global_pair.proposed->name()).c_str(),
+              std::string(part_pair.baseline->name()).c_str(),
+              std::string(part_pair.proposed->name()).c_str());
 
-  exp::ExperimentEngine engine(threads);
+  exp::ExperimentEngine engine(flags.threads);
   std::vector<exp::SweepRow> rows;
   for (std::int64_t lmax : lmax_values) {
     exp::PointConfig config;
@@ -55,21 +64,20 @@ int main(int argc, char** argv) {
     const auto bf = static_cast<std::size_t>(static_cast<std::int64_t>(m) - lmax);
     config.gen.blocking_window = gen::BlockingWindow{bf, bf};
     config.filter_baseline = true;
-    config.trials = trials;
-    config.max_attempts = trials * 400;
+    config.trials = flags.trials;
+    config.max_attempts = flags.trials * 400;
 
     exp::SweepRow row;
     row.x = static_cast<double>(lmax);
     {
       config.gen.total_utilization = u_global;
-      const util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(lmax));
-      row.global = engine.evaluate_point(exp::Scheduler::kGlobal, config, rng);
+      const util::Rng rng(flags.seed * 1000003 + static_cast<std::uint64_t>(lmax));
+      row.global = engine.evaluate_point(global_pair, config, rng);
     }
     {
       config.gen.total_utilization = u_part;
-      const util::Rng rng(seed * 2000003 + static_cast<std::uint64_t>(lmax));
-      row.partitioned =
-          engine.evaluate_point(exp::Scheduler::kPartitioned, config, rng);
+      const util::Rng rng(flags.seed * 2000003 + static_cast<std::uint64_t>(lmax));
+      row.partitioned = engine.evaluate_point(part_pair, config, rng);
     }
     rows.push_back(row);
     std::printf("  l_max=%-3lld global=%.3f partitioned=%.3f\n",

@@ -4,35 +4,45 @@
 // Both tests are shown per scheduler: the reduced-concurrency gap is wide
 // for small m — where a few suspended threads exhaust the pool — and nearly
 // closes for m >= 8, as the paper reports.
+//
+// The compared tests come from the analyzer registry; override either arm
+// with --global-pair/--part-pair "baseline,proposed" registry names (see
+// --list-analyzers).
 #include <cstdio>
 
+#include "bench_common.h"
 #include "exp/report.h"
 #include "exp/schedulability.h"
-#include "util/args.h"
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv,
-                        {"m", "n", "u-frac-global", "u-frac-part", "trials",
-                         "seed", "csv", "threads"});
+  const util::Args args = bench::parse_args(
+      argc, argv,
+      {"m", "n", "u-frac-global", "u-frac-part", "csv", "global-pair",
+       "part-pair"});
+  const bench::CommonFlags flags = bench::common_flags(args);
   const auto ms = args.get_int_list("m", {2, 4, 6, 8, 12, 16});
   const auto n = static_cast<std::size_t>(args.get_int("n", 6));
   // Target utilization scales with the platform: U = u_frac * m; each arm
   // runs in its own sensitive region (see EXPERIMENTS.md).
   const double u_frac_global = args.get_double("u-frac-global", 0.3);
   const double u_frac_part = args.get_double("u-frac-part", 0.175);
-  const int trials = static_cast<int>(args.get_int("trials", 500));
-  const std::uint64_t seed = args.get_uint64("seed", 1);
-  // Engine workers (0 = all hardware threads); results are thread-count
-  // invariant.
-  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const exp::AnalyzerPair global_pair = bench::parse_pair(
+      args.get_string("global-pair", ""), exp::Scheduler::kGlobal);
+  const exp::AnalyzerPair part_pair = bench::parse_pair(
+      args.get_string("part-pair", ""), exp::Scheduler::kPartitioned);
 
   std::printf("Figure 2 (c)/(d): schedulability vs m  [n=%zu U_glob=%.2f*m "
               "U_part=%.2f*m trials=%d seed=%llu threads=%d]\n",
-              n, u_frac_global, u_frac_part, trials,
-              static_cast<unsigned long long>(seed), threads);
+              n, u_frac_global, u_frac_part, flags.trials,
+              static_cast<unsigned long long>(flags.seed), flags.threads);
+  std::printf("  global: %s vs %s   partitioned: %s vs %s\n",
+              std::string(global_pair.baseline->name()).c_str(),
+              std::string(global_pair.proposed->name()).c_str(),
+              std::string(part_pair.baseline->name()).c_str(),
+              std::string(part_pair.proposed->name()).c_str());
 
-  exp::ExperimentEngine engine(threads);
+  exp::ExperimentEngine engine(flags.threads);
   std::vector<exp::SweepRow> rows;
   for (std::int64_t m : ms) {
     exp::PointConfig config;
@@ -43,21 +53,20 @@ int main(int argc, char** argv) {
     config.gen.nfj.min_branches = 3;
     config.gen.nfj.max_branches = 5;
     config.filter_baseline = false;
-    config.trials = trials;
-    config.max_attempts = trials * 100;
+    config.trials = flags.trials;
+    config.max_attempts = flags.trials * 100;
 
     exp::SweepRow row;
     row.x = static_cast<double>(m);
     {
       config.gen.total_utilization = u_frac_global * static_cast<double>(m);
-      const util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(m));
-      row.global = engine.evaluate_point(exp::Scheduler::kGlobal, config, rng);
+      const util::Rng rng(flags.seed * 1000003 + static_cast<std::uint64_t>(m));
+      row.global = engine.evaluate_point(global_pair, config, rng);
     }
     {
       config.gen.total_utilization = u_frac_part * static_cast<double>(m);
-      const util::Rng rng(seed * 2000003 + static_cast<std::uint64_t>(m));
-      row.partitioned =
-          engine.evaluate_point(exp::Scheduler::kPartitioned, config, rng);
+      const util::Rng rng(flags.seed * 2000003 + static_cast<std::uint64_t>(m));
+      row.partitioned = engine.evaluate_point(part_pair, config, rng);
     }
     rows.push_back(row);
     std::printf("  m=%-3lld global %.3f/%.3f  partitioned %.3f/%.3f\n",

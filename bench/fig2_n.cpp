@@ -4,33 +4,43 @@
 // More tasks make it likelier that at least one of them has a severely
 // reduced available concurrency, so the proposed tests fall further below
 // the baselines as n grows — the trend reported in the paper.
+//
+// The compared tests come from the analyzer registry; override either arm
+// with --global-pair/--part-pair "baseline,proposed" registry names (see
+// --list-analyzers).
 #include <cstdio>
 
+#include "bench_common.h"
 #include "exp/report.h"
 #include "exp/schedulability.h"
-#include "util/args.h"
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv,
-                        {"m", "n", "u-global", "u-part", "trials", "seed", "csv",
-                         "branches-min", "branches-max", "threads"});
+  const util::Args args = bench::parse_args(
+      argc, argv,
+      {"m", "n", "u-global", "u-part", "csv", "branches-min", "branches-max",
+       "global-pair", "part-pair"});
+  const bench::CommonFlags flags = bench::common_flags(args);
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const auto ns = args.get_int_list("n", {2, 4, 6, 8, 10, 12, 14, 16});
   const double u_global = args.get_double("u-global", 0.3 * static_cast<double>(m));
   const double u_part = args.get_double("u-part", 0.15 * static_cast<double>(m));
-  const int trials = static_cast<int>(args.get_int("trials", 500));
-  const std::uint64_t seed = args.get_uint64("seed", 1);
-  // Engine workers (0 = all hardware threads); results are thread-count
-  // invariant.
-  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const exp::AnalyzerPair global_pair = bench::parse_pair(
+      args.get_string("global-pair", ""), exp::Scheduler::kGlobal);
+  const exp::AnalyzerPair part_pair = bench::parse_pair(
+      args.get_string("part-pair", ""), exp::Scheduler::kPartitioned);
 
   std::printf("Figure 2 (e)/(f): schedulability vs n  [m=%zu U_glob=%.2f "
               "U_part=%.2f trials=%d seed=%llu threads=%d]\n",
-              m, u_global, u_part, trials,
-              static_cast<unsigned long long>(seed), threads);
+              m, u_global, u_part, flags.trials,
+              static_cast<unsigned long long>(flags.seed), flags.threads);
+  std::printf("  global: %s vs %s   partitioned: %s vs %s\n",
+              std::string(global_pair.baseline->name()).c_str(),
+              std::string(global_pair.proposed->name()).c_str(),
+              std::string(part_pair.baseline->name()).c_str(),
+              std::string(part_pair.proposed->name()).c_str());
 
-  exp::ExperimentEngine engine(threads);
+  exp::ExperimentEngine engine(flags.threads);
   std::vector<exp::SweepRow> rows;
   for (std::int64_t n : ns) {
     exp::PointConfig config;
@@ -43,21 +53,20 @@ int main(int argc, char** argv) {
     config.gen.nfj.max_branches =
         static_cast<int>(args.get_int("branches-max", 7));
     config.filter_baseline = false;
-    config.trials = trials;
-    config.max_attempts = trials * 100;
+    config.trials = flags.trials;
+    config.max_attempts = flags.trials * 100;
 
     exp::SweepRow row;
     row.x = static_cast<double>(n);
     {
       config.gen.total_utilization = u_global;
-      const util::Rng rng(seed * 1000003 + static_cast<std::uint64_t>(n));
-      row.global = engine.evaluate_point(exp::Scheduler::kGlobal, config, rng);
+      const util::Rng rng(flags.seed * 1000003 + static_cast<std::uint64_t>(n));
+      row.global = engine.evaluate_point(global_pair, config, rng);
     }
     {
       config.gen.total_utilization = u_part;
-      const util::Rng rng(seed * 2000003 + static_cast<std::uint64_t>(n));
-      row.partitioned =
-          engine.evaluate_point(exp::Scheduler::kPartitioned, config, rng);
+      const util::Rng rng(flags.seed * 2000003 + static_cast<std::uint64_t>(n));
+      row.partitioned = engine.evaluate_point(part_pair, config, rng);
     }
     rows.push_back(row);
     std::printf("  n=%-3lld global %.3f/%.3f  partitioned %.3f/%.3f\n",

@@ -9,25 +9,30 @@
 // the simulated synchronous scenario is necessary but not exact).
 #include <cstdio>
 
-#include "analysis/global_rta.h"
-#include "analysis/partition.h"
-#include "analysis/partitioned_rta.h"
+#include "analysis/analyzer.h"
+#include "analysis/rta_context.h"
+#include "bench_common.h"
 #include "exp/necessity.h"
 #include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
-#include "util/args.h"
 #include "util/csv.h"
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv,
-                        {"m", "n", "u-list", "trials", "seed", "csv", "threads"});
+  const util::Args args = bench::parse_args(
+      argc, argv, {"m", "n", "u-list", "csv", "global-analyzer", "part-analyzer"});
+  const bench::CommonFlags flags = bench::common_flags(args, 200);
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
   const auto n = static_cast<std::size_t>(args.get_int("n", 4));
   const auto u_percent = args.get_int_list("u-list", {10, 20, 30, 40, 50, 60});
-  const int trials = static_cast<int>(args.get_int("trials", 200));
-  const std::uint64_t seed = args.get_uint64("seed", 1);
-  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const int trials = flags.trials;
+  const std::uint64_t seed = flags.seed;
+  const int threads = flags.threads;
+  // The sufficient tests under study, selectable by registry name.
+  const analysis::Analyzer& global_a = analysis::get_analyzer(
+      args.get_string("global-analyzer", "global-limited"));
+  const analysis::Analyzer& part_a = analysis::get_analyzer(
+      args.get_string("part-analyzer", "partitioned-proposed"));
 
   std::printf("Pessimism gap: analysis (sufficient) vs simulation (necessary) "
               "[m=%zu n=%zu trials=%d threads=%d]\n",
@@ -62,16 +67,16 @@ int main(int argc, char** argv) {
           const model::TaskSet ts = gen::generate_task_set(params, arng);
           TrialVerdicts v;
 
-          analysis::GlobalRtaOptions limited;
-          limited.limited_concurrency = true;
-          v.glob_analysis = analysis::analyze_global(ts, limited).schedulable;
+          analysis::RtaContext ctx(ts);
+          v.glob_analysis = global_a.analyze(ts, ctx).schedulable;
           v.glob_sim =
               exp::passes_simulation(ts, exp::SimPolicy::kGlobal, std::nullopt);
 
-          const auto alg1 = analysis::partition_algorithm1(ts);
+          const auto alg1 = part_a.make_partition(ts);
           if (alg1.success()) {
-            v.part_analysis =
-                analysis::analyze_partitioned(ts, *alg1.partition).schedulable;
+            analysis::AnalyzerOptions opts;
+            opts.partition = &*alg1.partition;
+            v.part_analysis = part_a.analyze(ts, ctx, opts).schedulable;
             v.part_sim = exp::passes_simulation(ts, exp::SimPolicy::kPartitioned,
                                                 *alg1.partition);
           }

@@ -19,11 +19,11 @@
 #include <string>
 #include <vector>
 
-#include "analysis/partition.h"
+#include "analysis/analyzer.h"
 #include "analysis/sensitivity.h"
+#include "bench_common.h"
 #include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
-#include "util/args.h"
 #include "util/json.h"
 
 namespace {
@@ -78,7 +78,10 @@ std::vector<CanonicalPoint> canonical_points(int trials) {
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv, {"threads", "trials", "seed", "out"});
+  // --threads is a *list* here (the sweep dimension), so the common
+  // single-value accessor is skipped; parse_args still registers the
+  // common keys and serves --list-analyzers.
+  const util::Args args = bench::parse_args(argc, argv, {"out"});
   const auto thread_list = args.get_int_list("threads", {1, 2, 4});
   const int trials = static_cast<int>(args.get_int("trials", 200));
   const std::uint64_t seed = args.get_uint64("seed", 1);
@@ -101,20 +104,20 @@ int main(int argc, char** argv) {
 
   for (const CanonicalPoint& point : canonical_points(trials)) {
     const util::Rng rng(seed * point.seed_salt + 17);
+    const exp::AnalyzerPair pair = exp::analyzers_for(point.scheduler);
     std::optional<exp::PointResult> reference;
     bool deterministic = true;
 
     json.begin_object();
     json.kv("name", point.name);
-    json.kv("scheduler",
-            point.scheduler == exp::Scheduler::kGlobal ? "global" : "partitioned");
+    json.kv("scheduler", std::string(exp::scheduler_name(point.scheduler)));
     json.key("runs");
     json.begin_array();
     for (std::int64_t t : thread_list) {
       exp::ExperimentEngine engine(static_cast<int>(t));
       const auto start = std::chrono::steady_clock::now();
       const exp::PointResult result =
-          engine.evaluate_point(point.scheduler, point.config, rng);
+          engine.evaluate_point(pair, point.config, rng);
       const double wall_s =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
               .count();
@@ -155,7 +158,7 @@ int main(int argc, char** argv) {
   json.end_array();
 
   // Sensitivity search timings: the legacy generic path (scaled TaskSet
-  // copy per probe) vs the fast scaled-options path (one RtaContext, warm
+  // copy per probe) vs the fast analyzer-driven path (one RtaContext, warm
   // starts, critical-path cutoffs) on a small fixed suite. The *factors*
   // must agree within the bisection tolerance — that check is folded into
   // the exit gate (a value-agreement gate, never a wall-time one).
@@ -170,6 +173,9 @@ int main(int argc, char** argv) {
 
     analysis::GlobalRtaOptions gopts;
     gopts.limited_concurrency = true;
+    const analysis::Analyzer& global_a = analysis::get_analyzer("global-limited");
+    const analysis::Analyzer& part_a =
+        analysis::get_analyzer("partitioned-baseline");
     for (int k = 0; k < sens_sets; ++k) {
       gen::TaskSetParams params;
       params.cores = 8;
@@ -187,7 +193,7 @@ int main(int argc, char** argv) {
           });
       auto t1 = std::chrono::steady_clock::now();
       const analysis::SensitivityResult fast =
-          analysis::critical_scaling_factor_global(ts, gopts);
+          analysis::critical_scaling_factor(ts, global_a);
       auto t2 = std::chrono::steady_clock::now();
       legacy_wall += std::chrono::duration<double>(t1 - t0).count();
       fast_wall += std::chrono::duration<double>(t2 - t1).count();
@@ -197,14 +203,13 @@ int main(int argc, char** argv) {
       max_delta = std::max(max_delta, delta);
       if (delta > 3.0 * tol) agree = false;
 
-      const auto wf = analysis::partition_worst_fit(ts);
+      const auto wf = part_a.make_partition(ts);
       if (wf.success()) {
-        analysis::PartitionedRtaOptions popts;
-        popts.require_deadlock_free = false;
+        analysis::AnalyzerOptions popts;
+        popts.partition = &*wf.partition;
         auto t3 = std::chrono::steady_clock::now();
         const analysis::SensitivityResult pfast =
-            analysis::critical_scaling_factor_partitioned(ts, *wf.partition,
-                                                          popts);
+            analysis::critical_scaling_factor(ts, part_a, popts);
         part_wall += std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - t3)
                          .count();

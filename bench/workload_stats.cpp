@@ -10,19 +10,20 @@
 
 #include "analysis/antichain.h"
 #include "analysis/concurrency.h"
+#include "bench_common.h"
 #include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
-#include "util/args.h"
 #include "util/csv.h"
 #include "util/stats.h"
 
 int main(int argc, char** argv) {
   using namespace rtpool;
-  const util::Args args(argc, argv, {"m", "trials", "seed", "csv", "threads"});
+  const util::Args args = bench::parse_args(argc, argv, {"m", "csv"});
+  const bench::CommonFlags flags = bench::common_flags(args, 2000);
   const auto m = static_cast<std::size_t>(args.get_int("m", 8));
-  const int trials = static_cast<int>(args.get_int("trials", 2000));
-  const std::uint64_t seed = args.get_uint64("seed", 1);
-  const int threads = static_cast<int>(args.get_int("threads", 1));
+  const int trials = flags.trials;
+  const std::uint64_t seed = flags.seed;
+  const int threads = flags.threads;
 
   std::printf("Generator characterization  [m=%zu, %d tasks per row]\n", m, trials);
   std::printf("%-14s | %-14s %-8s %-10s %-10s %-10s %-10s\n", "branches/depth",

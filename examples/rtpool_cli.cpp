@@ -1,23 +1,27 @@
 // rtpool_cli: analyze a .taskset file from the command line.
 //
 //   rtpool_cli --file data/fig1.taskset [--scheduler global|partitioned]
+//              [--analyzer NAME[,NAME...]|all] [--list-analyzers]
 //              [--simulate] [--dot] [--generate N] [--seed S] ...
 //
 // Without --file, a random task set is generated (handy for exploration)
-// and can be saved with --save.
+// and can be saved with --save. Every analysis runs through the
+// analysis::Analyzer registry (see --list-analyzers for the names).
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "analysis/analyzer.h"
 #include "analysis/antichain.h"
 #include "analysis/concurrency.h"
 #include "analysis/deadlock.h"
-#include "analysis/global_rta.h"
-#include "analysis/partition.h"
-#include "analysis/partitioned_rta.h"
+#include "analysis/rta_context.h"
 #include "analysis/sensitivity.h"
 #include "gen/taskset_generator.h"
 #include "graph/dot.h"
 #include "exp/report_json.h"
+#include "exp/schedulability.h"
+#include "lint/render.h"
 #include "model/io.h"
 #include "sim/engine.h"
 #include "sim/trace_json.h"
@@ -27,12 +31,45 @@ namespace {
 
 using namespace rtpool;
 
+void list_analyzers_cli() {
+  std::printf("registered analyzers:\n");
+  for (const analysis::Analyzer* a : analysis::registered_analyzers())
+    std::printf("  %-34s %s\n", std::string(a->name()).c_str(),
+                std::string(a->description()).c_str());
+}
+
+/// Run an explicit analyzer selection ("name,name,..." or "all") over the
+/// task set: one shared RtaContext, verdicts rendered with the lint
+/// renderer, witness notes on.
+void run_analyzers_cli(const model::TaskSet& ts, const std::string& spec) {
+  std::vector<const analysis::Analyzer*> selected;
+  if (spec == "all") {
+    selected = analysis::registered_analyzers();
+  } else {
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      const std::size_t comma = spec.find(',', start);
+      const std::string name =
+          spec.substr(start, comma == std::string::npos ? comma : comma - start);
+      if (!name.empty()) selected.push_back(&analysis::get_analyzer(name));
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  analysis::RtaContext ctx(ts);
+  analysis::AnalyzerOptions opts;
+  opts.diagnostics = true;
+  std::printf("\nANALYZERS (registry pass, shared context)\n");
+  for (const analysis::Analyzer* a : selected)
+    std::printf("%s", lint::render_text(a->analyze(ts, ctx, opts), ts).c_str());
+}
+
 void analyze_global_cli(const model::TaskSet& ts) {
-  analysis::GlobalRtaOptions baseline;
-  analysis::GlobalRtaOptions limited;
-  limited.limited_concurrency = true;
-  const auto base = analysis::analyze_global(ts, baseline);
-  const auto lim = analysis::analyze_global(ts, limited);
+  analysis::RtaContext ctx(ts);
+  const analysis::Report base =
+      analysis::get_analyzer("global-baseline").analyze(ts, ctx);
+  const analysis::Report lim =
+      analysis::get_analyzer("global-limited").analyze(ts, ctx);
 
   std::printf("\nGLOBAL scheduling  (baseline [14] vs limited-concurrency Sec. 4.1)\n");
   std::printf("%-10s %6s %6s %10s %10s %8s\n", "task", "b̄", "l̄", "R[14]",
@@ -52,13 +89,18 @@ void analyze_global_cli(const model::TaskSet& ts) {
 
 void analyze_partitioned_cli(const model::TaskSet& ts) {
   std::printf("\nPARTITIONED scheduling\n");
-  const auto wf = analysis::partition_worst_fit(ts);
-  const auto a1 = analysis::partition_algorithm1(ts);
+  const analysis::Analyzer& proposed =
+      analysis::get_analyzer("partitioned-proposed");
+  const auto wf =
+      analysis::get_analyzer("partitioned-baseline").make_partition(ts);
+  const auto a1 = proposed.make_partition(ts);
   std::printf("worst-fit: %s   Algorithm 1: %s\n",
               wf.success() ? "ok" : wf.failure.c_str(),
               a1.success() ? "ok" : a1.failure.c_str());
   if (a1.success()) {
-    const auto rta = analysis::analyze_partitioned(ts, *a1.partition);
+    analysis::AnalyzerOptions opts;
+    opts.partition = &*a1.partition;
+    const analysis::Report rta = proposed.analyze(ts, opts);
     std::printf("%-10s %10s %10s %10s\n", "task", "R", "D", "verdict");
     for (std::size_t i = 0; i < ts.size(); ++i)
       std::printf("%-10s %10.1f %10.1f %10s\n", ts.task(i).name().c_str(),
@@ -93,7 +135,11 @@ int main(int argc, char** argv) {
     const util::Args args(argc, argv,
                           {"file", "save", "simulate", "dot", "generate", "seed",
                            "m", "u", "scheduler", "json", "trace",
-                           "sensitivity"});
+                           "sensitivity", "analyzer", "list-analyzers"});
+    if (args.get_bool("list-analyzers", false)) {
+      list_analyzers_cli();
+      return 0;
+    }
     model::TaskSet ts(1);
     const std::string file = args.get_string("file", "");
     if (!file.empty()) {
@@ -118,45 +164,44 @@ int main(int argc, char** argv) {
                   t.critical_path_length(), t.period(), t.priority(),
                   t.blocking_fork_count());
 
-    const std::string scheduler = args.get_string("scheduler", "both");
-    if (scheduler == "global" || scheduler == "both") analyze_global_cli(ts);
-    if (scheduler == "partitioned" || scheduler == "both")
-      analyze_partitioned_cli(ts);
+    const std::string analyzer_spec = args.get_string("analyzer", "");
+    if (!analyzer_spec.empty()) {
+      run_analyzers_cli(ts, analyzer_spec);
+    } else {
+      // Default sections, keyed by the legacy scheduler names (a thin view
+      // over the registry pairs; see exp::parse_scheduler).
+      const std::string scheduler = args.get_string("scheduler", "both");
+      const bool both = scheduler == "both";
+      if (both || exp::parse_scheduler(scheduler) == exp::Scheduler::kGlobal)
+        analyze_global_cli(ts);
+      if (both ||
+          exp::parse_scheduler(scheduler) == exp::Scheduler::kPartitioned)
+        analyze_partitioned_cli(ts);
+    }
 
     if (args.get_bool("simulate", false)) simulate_cli(ts);
 
     if (args.get_bool("sensitivity", false)) {
       // Critical WCET scaling per analysis: how much execution-time margin
-      // (or overload) the set has under each test. Uses the fast scaled-
-      // options search (one RtaContext per search, warm-started probes).
-      const auto run = [&](const char* label, bool limited, bool antichain) {
-        analysis::GlobalRtaOptions opts;
-        opts.limited_concurrency = limited;
-        if (antichain)
-          opts.concurrency = analysis::ConcurrencyBound::kMaxAntichain;
+      // (or overload) the set has under each test. One analyzer-generic
+      // fast search per row (one RtaContext per search, warm-started
+      // probes, partition-based analyzers partition once).
+      const auto run = [&](const char* label, const char* analyzer_name) {
+        const analysis::Analyzer& a = analysis::get_analyzer(analyzer_name);
+        if (a.capabilities().uses_partition && !a.make_partition(ts).success()) {
+          std::printf("  %-28s (no feasible partition)\n", label);
+          return;
+        }
         const analysis::SensitivityResult r =
-            analysis::critical_scaling_factor_global(ts, opts);
+            analysis::critical_scaling_factor(ts, a);
         std::printf("  %-28s s* = %.3f  (%d probes, %d cut off, %zu warm)\n",
                     label, r.factor, r.probes, r.cutoff_probes, r.warm_hits);
       };
-      std::printf("\nSENSITIVITY (critical WCET scaling, global tests)\n");
-      run("baseline [14]", false, false);
-      run("limited (b̄, Sec. 4.1)", true, false);
-      run("limited (antichain)", true, true);
-
-      // Partitioned headroom under the proposed (Algorithm 1 + Lemma 3)
-      // configuration, when a deadlock-free partition exists.
-      const auto alg1 = analysis::partition_algorithm1(ts);
-      if (alg1.success()) {
-        analysis::PartitionedRtaOptions popts;
-        popts.require_deadlock_free = true;
-        const analysis::SensitivityResult r =
-            analysis::critical_scaling_factor_partitioned(ts, *alg1.partition,
-                                                          popts);
-        std::printf("  %-28s s* = %.3f  (%d probes, %d cut off, %zu warm)\n",
-                    "partitioned (Alg. 1)", r.factor, r.probes, r.cutoff_probes,
-                    r.warm_hits);
-      }
+      std::printf("\nSENSITIVITY (critical WCET scaling)\n");
+      run("baseline [14]", "global-baseline");
+      run("limited (b̄, Sec. 4.1)", "global-limited");
+      run("limited (antichain)", "global-limited-antichain");
+      run("partitioned (Alg. 1)", "partitioned-proposed");
     }
 
     if (args.get_bool("dot", false)) {

@@ -78,13 +78,30 @@ double critical_scaling_factor(const model::TaskSet& ts,
       [&](double s) { return test(scale_wcets(ts, s)); }, options);
 }
 
-SensitivityResult critical_scaling_factor_global(
-    const model::TaskSet& ts, const GlobalRtaOptions& rta,
-    const SensitivityOptions& options) {
+SensitivityResult critical_scaling_factor(const model::TaskSet& ts,
+                                          const Analyzer& analyzer,
+                                          const AnalyzerOptions& base,
+                                          const SensitivityOptions& options) {
   SensitivityResult result;
   RtaContext ctx(ts);
   ctx.set_warm_start(options.warm_start);
-  GlobalRtaOptions probe_options = rta;
+
+  AnalyzerOptions probe_options = base;
+  PartitionResult owned_partition;
+  if (analyzer.capabilities().uses_partition && probe_options.partition == nullptr) {
+    owned_partition = analyzer.make_partition(ts);
+    // An unpartitionable set fails every probe: the factor is 0.0
+    // (infeasible), reported without throwing — matching the analyzer's
+    // own clean-Report behaviour on partition failure.
+    if (!owned_partition.success()) return result;
+    probe_options.partition = &*owned_partition.partition;
+  }
+  // Bind once: blocking vectors, per-core workloads and Lemma-3 verdicts
+  // are computed a single time for the entire search (the per-probe rebind
+  // inside the kernel is a content-compare no-op).
+  if (probe_options.partition != nullptr)
+    ctx.bind_partition(*probe_options.partition);
+
   result.factor = bisect_scaling_factor(
       [&](double s) {
         ++result.probes;
@@ -93,56 +110,34 @@ SensitivityResult critical_scaling_factor_global(
           return false;
         }
         probe_options.wcet_scale = s;
-        return analyze_global(ts, probe_options, &ctx).schedulable;
+        return analyzer.analyze(ts, ctx, probe_options).schedulable;
       },
       options);
   result.warm_hits = ctx.warm_hits();
   return result;
+}
+
+SensitivityResult critical_scaling_factor_global(
+    const model::TaskSet& ts, const GlobalRtaOptions& rta,
+    const SensitivityOptions& options) {
+  AnalyzerOptions base;
+  base.max_iterations = rta.max_iterations;
+  return critical_scaling_factor(ts, analyzer_for(rta), base, options);
 }
 
 SensitivityResult critical_scaling_factor_partitioned(
     const model::TaskSet& ts, const TaskSetPartition& partition,
     const PartitionedRtaOptions& rta, const SensitivityOptions& options) {
-  SensitivityResult result;
-  RtaContext ctx(ts);
-  ctx.set_warm_start(options.warm_start);
-  // Bind once: blocking vectors, per-core workloads and Lemma-3 verdicts
-  // are computed a single time for the entire search.
-  ctx.bind_partition(partition);
-  PartitionedRtaOptions probe_options = rta;
-  result.factor = bisect_scaling_factor(
-      [&](double s) {
-        ++result.probes;
-        if (options.critical_path_cutoff && critical_path_exceeds_deadline(ts, s)) {
-          ++result.cutoff_probes;
-          return false;
-        }
-        probe_options.wcet_scale = s;
-        return analyze_partitioned(ts, partition, probe_options, &ctx).schedulable;
-      },
-      options);
-  result.warm_hits = ctx.warm_hits();
-  return result;
+  AnalyzerOptions base;
+  base.max_iterations = rta.max_iterations;
+  base.partition = &partition;
+  return critical_scaling_factor(ts, analyzer_for(rta), base, options);
 }
 
 SensitivityResult critical_scaling_factor_federated(
     const model::TaskSet& ts, const FederatedOptions& fed,
     const SensitivityOptions& options) {
-  SensitivityResult result;
-  RtaContext ctx(ts);
-  FederatedOptions probe_options = fed;
-  result.factor = bisect_scaling_factor(
-      [&](double s) {
-        ++result.probes;
-        if (options.critical_path_cutoff && critical_path_exceeds_deadline(ts, s)) {
-          ++result.cutoff_probes;
-          return false;
-        }
-        probe_options.wcet_scale = s;
-        return analyze_federated(ts, probe_options, &ctx).schedulable;
-      },
-      options);
-  return result;
+  return critical_scaling_factor(ts, analyzer_for(fed), {}, options);
 }
 
 }  // namespace rtpool::analysis

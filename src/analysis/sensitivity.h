@@ -11,23 +11,31 @@
 // verdict unschedulable; see tests/test_global_rta.cpp).
 //
 // Two entry points:
-//  * `critical_scaling_factor` — generic, takes an arbitrary predicate and
-//    materializes a scaled TaskSet copy per probe (full revalidation,
-//    reachability closure, cache rebuild). Kept as the reference
-//    implementation; any test expressible as a predicate works.
-//  * `critical_scaling_factor_global/partitioned/federated` — the fast
-//    path for this library's own analyses. One RtaContext carries the
-//    structural caches and warm-start state across probes, each probe runs
-//    the analysis with `options.wcet_scale = s` on the *original* set (no
-//    copies), and probes where some task's scaled critical path alone
-//    already exceeds its deadline are cut off without running the analysis
-//    at all (verdict-safe: every analysis lower-bounds a task's response
-//    by s·len, so such probes always fail). The probe *sequence* is
-//    identical to the generic path.
+//  * `critical_scaling_factor` over a predicate — generic reference path,
+//    takes an arbitrary test and materializes a scaled TaskSet copy per
+//    probe (full revalidation, reachability closure, cache rebuild). Any
+//    test expressible as a predicate works.
+//  * `critical_scaling_factor` over a registered `Analyzer` — the fast
+//    path, one driver for every analysis behind the spine (analyzer.h).
+//    One RtaContext carries the structural caches and warm-start state
+//    across probes, partition-based analyzers partition once for the whole
+//    search, each probe runs the analysis with `wcet_scale = s` on the
+//    *original* set (no copies), and probes where some task's scaled
+//    critical path alone already exceeds its deadline are cut off without
+//    running the analysis at all (verdict-safe: every analysis
+//    lower-bounds a task's response by s·len, so such probes always
+//    fail). The probe *sequence* is identical to the generic path.
+//
+// The former per-family fast paths
+// `critical_scaling_factor_{global,partitioned,federated}` survive as thin
+// wrappers that resolve their options struct to the registered analyzer
+// (`analyzer_for`) and delegate — bit-identical to both their pre-spine
+// implementations and the analyzer-generic driver.
 #pragma once
 
 #include <functional>
 
+#include "analysis/analyzer.h"
 #include "analysis/federated.h"
 #include "analysis/global_rta.h"
 #include "analysis/partition.h"
@@ -74,10 +82,23 @@ double critical_scaling_factor(const model::TaskSet& ts,
                                const SchedulabilityTest& test,
                                const SensitivityOptions& options = {});
 
-/// Fast path: critical scaling factor of `analyze_global(ts, rta)` (the
-/// `rta.wcet_scale` field is overwritten per probe). Same probe sequence
-/// as the generic path; factors agree up to float association (s·ΣC vs
+/// Fast path, analyzer-generic: critical scaling factor of
+/// `analyzer.analyze(ts, ctx, base)` with `base.wcet_scale` overwritten per
+/// probe. One RtaContext (warm starts per `options.warm_start`, honoured
+/// only by analyzers with supports_warm_start) serves the whole search.
+/// Partition-based analyzers partition once: `base.partition` if supplied,
+/// otherwise `analyzer.make_partition(ts)` — whose failure makes every
+/// probe fail, i.e. factor 0.0, without throwing. Same probe sequence as
+/// the predicate path; factors agree up to float association (s·ΣC vs
 /// Σ s·C), i.e. within a few ULP-scaled epsilons of each other.
+SensitivityResult critical_scaling_factor(const model::TaskSet& ts,
+                                          const Analyzer& analyzer,
+                                          const AnalyzerOptions& base = {},
+                                          const SensitivityOptions& options = {});
+
+/// Fast path: critical scaling factor of `analyze_global(ts, rta)` (the
+/// `rta.wcet_scale` field is overwritten per probe). Thin wrapper over the
+/// analyzer-generic driver via `analyzer_for(rta)`.
 SensitivityResult critical_scaling_factor_global(
     const model::TaskSet& ts, const GlobalRtaOptions& rta,
     const SensitivityOptions& options = {});
@@ -85,12 +106,14 @@ SensitivityResult critical_scaling_factor_global(
 /// Fast path: critical scaling factor of
 /// `analyze_partitioned(ts, partition, rta)`. The partition is bound once
 /// into the probe context; blocking vectors and per-core workloads are
-/// computed once for the whole search.
+/// computed once for the whole search. Thin wrapper over the
+/// analyzer-generic driver via `analyzer_for(rta)`.
 SensitivityResult critical_scaling_factor_partitioned(
     const model::TaskSet& ts, const TaskSetPartition& partition,
     const PartitionedRtaOptions& rta, const SensitivityOptions& options = {});
 
 /// Fast path: critical scaling factor of `analyze_federated(ts, fed)`.
+/// Thin wrapper over the analyzer-generic driver via `analyzer_for(fed)`.
 SensitivityResult critical_scaling_factor_federated(
     const model::TaskSet& ts, const FederatedOptions& fed,
     const SensitivityOptions& options = {});

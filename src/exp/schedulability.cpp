@@ -1,17 +1,40 @@
 #include "exp/schedulability.h"
 
+#include <stdexcept>
+#include <string>
 #include <thread>
 
-#include "analysis/global_rta.h"
-#include "analysis/partition.h"
-#include "analysis/partitioned_rta.h"
+#include "analysis/analyzer.h"
 #include "analysis/rta_context.h"
 #include "exec/thread_pool.h"
 #include "util/thread_annotations.h"
 
 namespace rtpool::exp {
 
-SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts,
+AnalyzerPair analyzers_for(Scheduler scheduler) {
+  switch (scheduler) {
+    case Scheduler::kGlobal:
+      return {&analysis::get_analyzer("global-baseline"),
+              &analysis::get_analyzer("global-limited")};
+    case Scheduler::kPartitioned:
+      return {&analysis::get_analyzer("partitioned-baseline"),
+              &analysis::get_analyzer("partitioned-proposed")};
+  }
+  throw std::invalid_argument("analyzers_for: bad Scheduler value");
+}
+
+Scheduler parse_scheduler(std::string_view name) {
+  if (name == "global") return Scheduler::kGlobal;
+  if (name == "partitioned") return Scheduler::kPartitioned;
+  throw std::invalid_argument("unknown scheduler '" + std::string(name) +
+                              "' (valid: global, partitioned)");
+}
+
+std::string_view scheduler_name(Scheduler scheduler) {
+  return scheduler == Scheduler::kGlobal ? "global" : "partitioned";
+}
+
+SetVerdict evaluate_task_set(const AnalyzerPair& pair, const model::TaskSet& ts,
                              analysis::RtaContext* ctx) {
   std::optional<analysis::RtaContext> local_ctx;
   if (ctx == nullptr) {
@@ -19,40 +42,14 @@ SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts,
     ctx = &*local_ctx;
   }
   SetVerdict verdict;
-  switch (scheduler) {
-    case Scheduler::kGlobal: {
-      analysis::GlobalRtaOptions baseline;
-      baseline.limited_concurrency = false;
-      verdict.baseline = analysis::analyze_global(ts, baseline, ctx).schedulable;
-
-      analysis::GlobalRtaOptions limited;
-      limited.limited_concurrency = true;
-      verdict.proposed = analysis::analyze_global(ts, limited, ctx).schedulable;
-      break;
-    }
-    case Scheduler::kPartitioned: {
-      // Baseline: worst-fit + RTA oblivious to reduced concurrency ([10]).
-      const auto wf = analysis::partition_worst_fit(ts);
-      if (wf.success()) {
-        analysis::PartitionedRtaOptions opts;
-        opts.require_deadlock_free = false;
-        verdict.baseline =
-            analysis::analyze_partitioned(ts, *wf.partition, opts, ctx).schedulable;
-      }
-
-      // Proposed: Algorithm 1 + the same RTA + Lemma 3 deadlock freedom.
-      const auto alg1 = analysis::partition_algorithm1(ts);
-      if (alg1.success()) {
-        analysis::PartitionedRtaOptions opts;
-        opts.require_deadlock_free = true;
-        verdict.proposed =
-            analysis::analyze_partitioned(ts, *alg1.partition, opts, ctx)
-                .schedulable;
-      }
-      break;
-    }
-  }
+  verdict.baseline = pair.baseline->analyze(ts, *ctx).schedulable;
+  verdict.proposed = pair.proposed->analyze(ts, *ctx).schedulable;
   return verdict;
+}
+
+SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts,
+                             analysis::RtaContext* ctx) {
+  return evaluate_task_set(analyzers_for(scheduler), ts, ctx);
 }
 
 ExperimentEngine::ExperimentEngine(int threads) {
@@ -110,7 +107,7 @@ struct AttemptOutcome {
 
 }  // namespace
 
-PointResult ExperimentEngine::evaluate_point(Scheduler scheduler,
+PointResult ExperimentEngine::evaluate_point(const AnalyzerPair& pair,
                                              const PointConfig& config,
                                              const util::Rng& rng) {
   PointResult result;
@@ -128,7 +125,7 @@ PointResult ExperimentEngine::evaluate_point(Scheduler scheduler,
           // caches; nothing is shared across attempts/threads, so the
           // attempt-order determinism guarantee is untouched.
           analysis::RtaContext ctx(ts);
-          outcome.verdict = evaluate_task_set(scheduler, ts, &ctx);
+          outcome.verdict = evaluate_task_set(pair, ts, &ctx);
         } catch (const gen::GenerationError&) {
           outcome.generated = false;
         }
@@ -151,6 +148,18 @@ PointResult ExperimentEngine::evaluate_point(Scheduler scheduler,
       });
   result.attempts_exhausted = stats.exhausted;
   return result;
+}
+
+PointResult ExperimentEngine::evaluate_point(Scheduler scheduler,
+                                             const PointConfig& config,
+                                             const util::Rng& rng) {
+  return evaluate_point(analyzers_for(scheduler), config, rng);
+}
+
+PointResult evaluate_point(const AnalyzerPair& pair, const PointConfig& config,
+                           util::Rng& rng) {
+  ExperimentEngine engine(1);
+  return engine.evaluate_point(pair, config, rng);
 }
 
 PointResult evaluate_point(Scheduler scheduler, const PointConfig& config,

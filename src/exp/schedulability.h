@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -40,12 +41,39 @@ class ThreadPool;
 }
 
 namespace rtpool::analysis {
+class Analyzer;
 class RtaContext;
 }
 
 namespace rtpool::exp {
 
+/// Legacy two-test selector, kept as a thin alias over the analyzer
+/// registry (analysis/analyzer.h) for CSV/report compatibility: every
+/// experiment entry point resolves it through `analyzers_for` and runs on
+/// the spine.
 enum class Scheduler { kGlobal, kPartitioned };
+
+/// The baseline/proposed analyzer pair a Figure-2-style experiment
+/// compares. Pointers into the registry (process lifetime, never null in a
+/// pair returned by `analyzers_for`/built from registry names).
+struct AnalyzerPair {
+  const analysis::Analyzer* baseline = nullptr;
+  const analysis::Analyzer* proposed = nullptr;
+};
+
+/// Registry resolution of the legacy enum:
+///   kGlobal      → { "global-baseline",      "global-limited" }
+///   kPartitioned → { "partitioned-baseline", "partitioned-proposed" }
+AnalyzerPair analyzers_for(Scheduler scheduler);
+
+/// Single source of truth for the scheduler-name ↔ enum mapping used by
+/// the CLI and the bench drivers. Throws std::invalid_argument listing the
+/// valid names on an unknown name.
+Scheduler parse_scheduler(std::string_view name);
+
+/// Canonical name of a scheduler ("global" / "partitioned"), as printed in
+/// CSV headers and perf reports.
+std::string_view scheduler_name(Scheduler scheduler);
 
 struct PointConfig {
   gen::TaskSetParams gen;      ///< Generator parameters (m, n, U, NFJ, window).
@@ -89,11 +117,15 @@ struct PointResult {
   friend bool operator==(const PointResult&, const PointResult&) = default;
 };
 
-/// Run both tests (baseline + proposed) on one task set. `ctx` (optional)
-/// must have been built for `ts`; the four analyses of a trial then share
-/// one set of structural caches (priority orders, per-core workloads,
-/// blocking vectors) instead of each deriving its own. Verdicts are
-/// identical with or without a context.
+/// Run both analyzers of the pair on one task set (baseline first). `ctx`
+/// (optional) must have been built for `ts`; the analyses of a trial then
+/// share one set of structural caches (priority orders, per-core
+/// workloads, blocking vectors) instead of each deriving its own. Verdicts
+/// are identical with or without a context.
+SetVerdict evaluate_task_set(const AnalyzerPair& pair, const model::TaskSet& ts,
+                             analysis::RtaContext* ctx = nullptr);
+
+/// Legacy-enum wrapper: `evaluate_task_set(analyzers_for(scheduler), …)`.
 SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts,
                              analysis::RtaContext* ctx = nullptr);
 
@@ -122,8 +154,13 @@ class ExperimentEngine {
 
   int threads() const { return threads_; }
 
-  /// Evaluate one point: generate task sets and apply both tests. `rng` is
-  /// only read as a seed root (fork_with per attempt), never advanced.
+  /// Evaluate one point: generate task sets and apply the pair's two
+  /// analyzers. `rng` is only read as a seed root (fork_with per attempt),
+  /// never advanced.
+  PointResult evaluate_point(const AnalyzerPair& pair, const PointConfig& config,
+                             const util::Rng& rng);
+
+  /// Legacy-enum wrapper: `evaluate_point(analyzers_for(scheduler), …)`.
   PointResult evaluate_point(Scheduler scheduler, const PointConfig& config,
                              const util::Rng& rng);
 
@@ -246,6 +283,8 @@ class ExperimentEngine {
 /// advanced (per-attempt seeding is what makes results thread-count
 /// invariant — and is the one-time break from the pre-engine stream-draw
 /// numbers; see EXPERIMENTS.md).
+PointResult evaluate_point(const AnalyzerPair& pair, const PointConfig& config,
+                           util::Rng& rng);
 PointResult evaluate_point(Scheduler scheduler, const PointConfig& config,
                            util::Rng& rng);
 

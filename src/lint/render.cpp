@@ -1,5 +1,6 @@
 #include "lint/render.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "util/json.h"
@@ -62,6 +63,94 @@ std::string render_text(const LintReport& report) {
 std::string render_json(const LintReport& report) {
   std::ostringstream os;
   render_json(report, os);
+  return os.str();
+}
+
+void render_text(const analysis::Report& report, const model::TaskSet& ts,
+                 std::ostream& os) {
+  os << "analyzer '" << report.analyzer << "': "
+     << (report.schedulable ? "schedulable" : "unschedulable");
+  if (report.limiting_task.has_value()) {
+    os << " (limiting task '" << ts.task(*report.limiting_task).name()
+       << "', R/D = " << report.limiting_ratio << ")";
+  }
+  if (report.dedicated_cores > 0)
+    os << " [" << report.dedicated_cores << " dedicated cores]";
+  os << "\n";
+  for (std::size_t i = 0; i < report.per_task.size(); ++i) {
+    const analysis::TaskVerdict& tv = report.per_task[i];
+    os << "  " << ts.task(i).name() << ": " << (tv.schedulable ? "OK  " : "MISS")
+       << "  R = " << tv.response_time << ", D = " << ts.task(i).deadline();
+    if (tv.concurrency_bound != 0) os << " (lbar = " << tv.concurrency_bound << ")";
+    if (!tv.deadlock_free) os << " (deadlock risk: Eq.3 violated)";
+    if (tv.dedicated) os << " (dedicated, " << tv.dedicated_cores << " cores)";
+    os << "\n";
+  }
+  for (const analysis::AnalyzerNote& n : report.notes) {
+    os << "  note[" << n.code << "]";
+    if (!n.task.empty()) os << " task '" << n.task << "'";
+    os << ": " << n.message << "\n";
+  }
+}
+
+void render_json(const analysis::Report& report, const model::TaskSet& ts,
+                 std::ostream& os) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("tool", "rtpool-analysis");
+  w.kv("version", 1);
+  w.kv("analyzer", report.analyzer);
+  w.kv("schedulable", report.schedulable);
+  w.key("limiting_task");
+  if (report.limiting_task.has_value())
+    w.value(ts.task(*report.limiting_task).name());
+  else
+    w.null();
+  w.kv("limiting_ratio", report.limiting_ratio);
+  w.kv("dedicated_cores", static_cast<std::uint64_t>(report.dedicated_cores));
+  w.key("per_task").begin_array();
+  for (std::size_t i = 0; i < report.per_task.size(); ++i) {
+    const analysis::TaskVerdict& tv = report.per_task[i];
+    w.begin_object();
+    w.kv("task", ts.task(i).name());
+    w.kv("schedulable", tv.schedulable);
+    w.key("response_time");
+    // JSON has no Infinity literal; an unbounded response renders as null.
+    if (std::isfinite(tv.response_time))
+      w.value(tv.response_time);
+    else
+      w.null();
+    w.kv("deadline", ts.task(i).deadline());
+    if (tv.concurrency_bound != 0)
+      w.kv("concurrency_bound", static_cast<std::int64_t>(tv.concurrency_bound));
+    if (!tv.deadlock_free) w.kv("deadlock_free", false);
+    if (tv.dedicated)
+      w.kv("dedicated_cores", static_cast<std::uint64_t>(tv.dedicated_cores));
+    w.end_object();
+  }
+  w.end_array();
+  w.key("notes").begin_array();
+  for (const analysis::AnalyzerNote& n : report.notes) {
+    w.begin_object();
+    w.kv("code", n.code);
+    w.kv("task", n.task);
+    w.kv("message", n.message);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+}
+
+std::string render_text(const analysis::Report& report, const model::TaskSet& ts) {
+  std::ostringstream os;
+  render_text(report, ts, os);
+  return os.str();
+}
+
+std::string render_json(const analysis::Report& report, const model::TaskSet& ts) {
+  std::ostringstream os;
+  render_json(report, ts, os);
   return os.str();
 }
 
