@@ -23,7 +23,8 @@ namespace rtpool::bench {
 
 /// Keys every driver understands (parse_args appends them).
 inline std::vector<std::string> with_common_keys(std::vector<std::string> keys) {
-  for (const char* key : {"threads", "seed", "trials", "list-analyzers"})
+  for (const char* key :
+       {"threads", "seed", "trials", "certify-sample", "list-analyzers"})
     keys.emplace_back(key);
   return keys;
 }
@@ -54,6 +55,8 @@ struct CommonFlags {
   int threads = 1;           ///< Engine workers (0 = all hardware threads).
   std::uint64_t seed = 1;    ///< Root seed (forked per attempt).
   int trials = 500;          ///< Accepted task sets per point.
+  /// Certificate spot-checks per point (PointConfig::certify_sample; 0 = off).
+  int certify_sample = 0;
 };
 
 inline CommonFlags common_flags(const util::Args& args, int default_trials = 500) {
@@ -61,6 +64,7 @@ inline CommonFlags common_flags(const util::Args& args, int default_trials = 500
   flags.threads = static_cast<int>(args.get_int("threads", 1));
   flags.seed = args.get_uint64("seed", 1);
   flags.trials = static_cast<int>(args.get_int("trials", default_trials));
+  flags.certify_sample = static_cast<int>(args.get_int("certify-sample", 0));
   return flags;
 }
 

@@ -37,7 +37,7 @@ struct CanonicalPoint {
   std::uint64_t seed_salt;
 };
 
-std::vector<CanonicalPoint> canonical_points(int trials) {
+std::vector<CanonicalPoint> canonical_points(int trials, int certify_sample) {
   std::vector<CanonicalPoint> points;
 
   // Figure 2(a)/(b) style: m = 8, l_max = 4 (blocking window pinned to
@@ -51,6 +51,7 @@ std::vector<CanonicalPoint> canonical_points(int trials) {
   lmax.filter_baseline = true;
   lmax.trials = trials;
   lmax.max_attempts = trials * 400;
+  lmax.certify_sample = certify_sample;
   lmax.gen.total_utilization = 0.45 * 8.0;
   points.push_back({"fig2_lmax4_global", exp::Scheduler::kGlobal, lmax, 1000003});
   lmax.gen.total_utilization = 0.175 * 8.0;
@@ -67,6 +68,7 @@ std::vector<CanonicalPoint> canonical_points(int trials) {
   m8.filter_baseline = false;
   m8.trials = trials;
   m8.max_attempts = trials * 100;
+  m8.certify_sample = certify_sample;
   points.push_back({"fig2_m8_global", exp::Scheduler::kGlobal, m8, 3000017});
   points.push_back(
       {"fig2_m8_partitioned", exp::Scheduler::kPartitioned, m8, 4000037});
@@ -85,24 +87,29 @@ int main(int argc, char** argv) {
   const auto thread_list = args.get_int_list("threads", {1, 2, 4});
   const int trials = static_cast<int>(args.get_int("trials", 200));
   const std::uint64_t seed = args.get_uint64("seed", 1);
+  const int certify_sample = static_cast<int>(args.get_int("certify-sample", 0));
   const std::string out_path = args.get_string("out", "BENCH_analysis.json");
 
-  std::printf("perf_sweep: %d trials/point, seed %llu, thread counts:",
-              trials, static_cast<unsigned long long>(seed));
+  std::printf("perf_sweep: %d trials/point, seed %llu, certify-sample %d, "
+              "thread counts:",
+              trials, static_cast<unsigned long long>(seed), certify_sample);
   for (std::int64_t t : thread_list) std::printf(" %lld", static_cast<long long>(t));
   std::printf("\n");
 
   bool all_deterministic = true;
+  std::size_t total_certified = 0;
+  std::size_t total_cert_failures = 0;
   std::ofstream out(out_path);
   util::JsonWriter json(out);
   json.begin_object();
   json.kv("schema", "rtpool-bench-analysis-v1");
   json.kv("trials", trials);
   json.kv("seed", seed);
+  json.kv("certify_sample", certify_sample);
   json.key("points");
   json.begin_array();
 
-  for (const CanonicalPoint& point : canonical_points(trials)) {
+  for (const CanonicalPoint& point : canonical_points(trials, certify_sample)) {
     const util::Rng rng(seed * point.seed_salt + 17);
     const exp::AnalyzerPair pair = exp::analyzers_for(point.scheduler);
     std::optional<exp::PointResult> reference;
@@ -132,12 +139,17 @@ int main(int argc, char** argv) {
         deterministic = deterministic && matches;
       }
 
+      total_certified += result.certified;
+      total_cert_failures += result.cert_failures;
+
       json.begin_object();
       json.kv("threads", t);
       json.kv("wall_s", wall_s);
       json.kv("trials_per_s", trials_per_s);
       json.kv("accepted", static_cast<std::uint64_t>(result.accepted));
       json.kv("discarded", static_cast<std::uint64_t>(result.discarded));
+      json.kv("certified", static_cast<std::uint64_t>(result.certified));
+      json.kv("cert_failures", static_cast<std::uint64_t>(result.cert_failures));
       json.kv("matches_reference", matches);
       json.end_object();
 
@@ -240,15 +252,28 @@ int main(int argc, char** argv) {
   }
 
   json.kv("deterministic_all", all_deterministic);
+  json.kv("certified_total", static_cast<std::uint64_t>(total_certified));
+  json.kv("cert_failures_total",
+          static_cast<std::uint64_t>(total_cert_failures));
   json.end_object();
   out << "\n";
   out.close();
 
+  if (certify_sample > 0)
+    std::printf("  certify: %zu certificates checked, %zu rejected\n",
+                total_certified, total_cert_failures);
   std::printf("wrote %s\n", out_path.c_str());
   if (!all_deterministic) {
     std::fprintf(stderr,
                  "perf_sweep: DETERMINISM FAILURE — results differ across "
                  "thread counts\n");
+    return 1;
+  }
+  if (total_cert_failures > 0) {
+    std::fprintf(stderr,
+                 "perf_sweep: CERTIFICATION FAILURE — %zu certificate(s) "
+                 "rejected by the independent checker\n",
+                 total_cert_failures);
     return 1;
   }
   return 0;

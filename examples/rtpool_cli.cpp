@@ -2,7 +2,11 @@
 //
 //   rtpool_cli --file data/fig1.taskset [--scheduler global|partitioned]
 //              [--analyzer NAME[,NAME...]|all] [--list-analyzers]
-//              [--simulate] [--dot] [--generate N] [--seed S] ...
+//              [--certify] [--simulate] [--dot] [--generate N] [--seed S] ...
+//
+// --certify runs every selected analyzer with certificate emission on and
+// validates each verdict with the independent checker (analysis/cert_check.h);
+// any rejected certificate makes the process exit with status 2.
 //
 // Without --file, a random task set is generated (handy for exploration)
 // and can be saved with --save. Every analysis runs through the
@@ -13,6 +17,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/antichain.h"
+#include "analysis/cert_check.h"
 #include "analysis/concurrency.h"
 #include "analysis/deadlock.h"
 #include "analysis/rta_context.h"
@@ -38,30 +43,73 @@ void list_analyzers_cli() {
                 std::string(a->description()).c_str());
 }
 
-/// Run an explicit analyzer selection ("name,name,..." or "all") over the
-/// task set: one shared RtaContext, verdicts rendered with the lint
-/// renderer, witness notes on.
-void run_analyzers_cli(const model::TaskSet& ts, const std::string& spec) {
+/// Parse an analyzer selection: "name,name,..." or "all".
+std::vector<const analysis::Analyzer*> select_analyzers(const std::string& spec) {
+  if (spec == "all") return analysis::registered_analyzers();
   std::vector<const analysis::Analyzer*> selected;
-  if (spec == "all") {
-    selected = analysis::registered_analyzers();
-  } else {
-    std::size_t start = 0;
-    while (start <= spec.size()) {
-      const std::size_t comma = spec.find(',', start);
-      const std::string name =
-          spec.substr(start, comma == std::string::npos ? comma : comma - start);
-      if (!name.empty()) selected.push_back(&analysis::get_analyzer(name));
-      if (comma == std::string::npos) break;
-      start = comma + 1;
-    }
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string name =
+        spec.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (!name.empty()) selected.push_back(&analysis::get_analyzer(name));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
   }
+  return selected;
+}
+
+/// Run an explicit analyzer selection over the task set: one shared
+/// RtaContext, verdicts rendered with the lint renderer, witness notes on.
+void run_analyzers_cli(const model::TaskSet& ts, const std::string& spec) {
+  const std::vector<const analysis::Analyzer*> selected = select_analyzers(spec);
   analysis::RtaContext ctx(ts);
   analysis::AnalyzerOptions opts;
   opts.diagnostics = true;
   std::printf("\nANALYZERS (registry pass, shared context)\n");
   for (const analysis::Analyzer* a : selected)
     std::printf("%s", lint::render_text(a->analyze(ts, ctx, opts), ts).c_str());
+}
+
+/// Certify every selected analyzer's verdict: run with diagnostics on (one
+/// shared RtaContext), hand each Report's certificate to the independent
+/// checker, and report OK/FAIL per analyzer. Returns the failure count.
+int certify_cli(const model::TaskSet& ts, const std::string& spec) {
+  analysis::RtaContext ctx(ts);
+  analysis::AnalyzerOptions opts;
+  opts.diagnostics = true;
+  int failures = 0;
+  std::printf("\nCERTIFY (independent checker over every verdict)\n");
+  for (const analysis::Analyzer* a : select_analyzers(spec)) {
+    const std::string name(a->name());
+    const analysis::Report rep = a->analyze(ts, ctx, opts);
+    if (rep.certificate == nullptr) {
+      std::printf("certify '%s': FAIL — analyzer attached no certificate\n",
+                  name.c_str());
+      ++failures;
+      continue;
+    }
+    const analysis::cert::CheckResult result =
+        analysis::cert::check_certificate(ts, *rep.certificate);
+    if (result.ok()) {
+      std::printf("certify '%s': OK — %s, %zu claims checked\n", name.c_str(),
+                  rep.schedulable ? "schedulable" : "unschedulable",
+                  result.claims_checked);
+    } else {
+      const analysis::cert::CheckFailure& f = *result.failure;
+      std::printf("certify '%s': FAIL [%s]", name.c_str(),
+                  analysis::cert::to_string(f.kind));
+      if (f.task != analysis::cert::kNoIndex && f.task < ts.size())
+        std::printf(" task '%s'", ts.task(f.task).name().c_str());
+      std::printf(" — %s (%zu claims checked)\n", f.detail.c_str(),
+                  result.claims_checked);
+      ++failures;
+    }
+  }
+  if (failures > 0)
+    std::printf("certification FAILED for %d analyzer%s\n", failures,
+                failures == 1 ? "" : "s");
+  return failures;
 }
 
 void analyze_global_cli(const model::TaskSet& ts) {
@@ -135,7 +183,8 @@ int main(int argc, char** argv) {
     const util::Args args(argc, argv,
                           {"file", "save", "simulate", "dot", "generate", "seed",
                            "m", "u", "scheduler", "json", "trace",
-                           "sensitivity", "analyzer", "list-analyzers"});
+                           "sensitivity", "analyzer", "list-analyzers",
+                           "certify"});
     if (args.get_bool("list-analyzers", false)) {
       list_analyzers_cli();
       return 0;
@@ -165,7 +214,13 @@ int main(int argc, char** argv) {
                   t.blocking_fork_count());
 
     const std::string analyzer_spec = args.get_string("analyzer", "");
-    if (!analyzer_spec.empty()) {
+    if (args.get_bool("certify", false)) {
+      // --certify replaces the analysis sections: every selected analyzer
+      // (default: all) must produce a certificate the independent checker
+      // accepts; any rejection exits non-zero.
+      if (certify_cli(ts, analyzer_spec.empty() ? "all" : analyzer_spec) > 0)
+        return 2;
+    } else if (!analyzer_spec.empty()) {
       run_analyzers_cli(ts, analyzer_spec);
     } else {
       // Default sections, keyed by the legacy scheduler names (a thin view

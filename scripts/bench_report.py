@@ -139,8 +139,17 @@ def main():
         print("bench_report: determinism failure recorded in sweep input",
               file=sys.stderr)
         return 1
+    cert_failures = report.get("cert_failures_total", 0)
+    if cert_failures:
+        print(f"bench_report: {cert_failures} certificate(s) rejected by the "
+              "independent checker", file=sys.stderr)
+        return 1
+    certify_note = ""
+    if report.get("certified_total"):
+        certify_note = f", {report['certified_total']} certificates checked"
     print(f"bench_report: wrote {args.out} "
-          f"({len(points)} points, {len(report.get('kernels', []))} kernels)")
+          f"({len(points)} points, {len(report.get('kernels', []))} kernels"
+          f"{certify_note})")
     return 0
 
 

@@ -51,6 +51,25 @@ std::string miss_message(const model::TaskSet& ts, std::size_t i, Time response)
   return buf;
 }
 
+/// Wrap a family payload into the Report's certificate envelope.
+template <typename FamilyCert>
+std::shared_ptr<const cert::Certificate> seal_certificate(
+    cert::Family family, const std::string& analyzer, double wcet_scale,
+    bool schedulable, FamilyCert&& payload) {
+  auto c = std::make_shared<cert::Certificate>();
+  c->family = family;
+  c->analyzer = analyzer;
+  c->wcet_scale = wcet_scale;
+  c->schedulable = schedulable;
+  if constexpr (std::is_same_v<std::decay_t<FamilyCert>, cert::GlobalCert>)
+    c->global = std::forward<FamilyCert>(payload);
+  else if constexpr (std::is_same_v<std::decay_t<FamilyCert>, cert::PartitionedCert>)
+    c->partitioned = std::forward<FamilyCert>(payload);
+  else
+    c->federated = std::forward<FamilyCert>(payload);
+  return c;
+}
+
 // ---- global family ----
 
 class GlobalAnalyzer final : public Analyzer {
@@ -72,7 +91,9 @@ class GlobalAnalyzer final : public Analyzer {
     GlobalRtaOptions opts = base_;
     opts.wcet_scale = options.wcet_scale;
     opts.max_iterations = options.max_iterations;
-    const GlobalRtaResult r = analyze_global(ts, opts, &ctx);
+    cert::GlobalCert gcert;
+    const GlobalRtaResult r =
+        analyze_global(ts, opts, &ctx, options.diagnostics ? &gcert : nullptr);
 
     Report rep;
     rep.analyzer = name_;
@@ -99,6 +120,9 @@ class GlobalAnalyzer final : public Analyzer {
                                miss_message(ts, i, tv.response_time)});
         }
       }
+      rep.certificate =
+          seal_certificate(cert::Family::kGlobal, name_, options.wcet_scale,
+                           rep.schedulable, std::move(gcert));
     }
     return rep;
   }
@@ -146,8 +170,21 @@ class PartitionedAnalyzer final : public Analyzer {
         // reported unschedulable; the note carries the partitioner witness.
         rep.schedulable = false;
         rep.per_task.assign(ts.size(), TaskVerdict{});
-        if (options.diagnostics)
+        if (options.diagnostics) {
           rep.notes.push_back({"partition-failure", "", computed.failure});
+          cert::PartitionedCert pcert;
+          pcert.split = base_.bound == PartitionedBound::kSplitPerSegment;
+          pcert.require_deadlock_free = base_.require_deadlock_free;
+          pcert.max_iterations = options.max_iterations;
+          pcert.partition_failure =
+              computed.failure.empty() ? "partitioner failed" : computed.failure;
+          cert::PartitionedTaskCert failed;
+          failed.claim = cert::TaskClaim::kPartitionFailure;
+          pcert.per_task.assign(ts.size(), failed);
+          rep.certificate =
+              seal_certificate(cert::Family::kPartitioned, name_,
+                               options.wcet_scale, false, std::move(pcert));
+        }
         return rep;
       }
       part = &*computed.partition;
@@ -156,7 +193,9 @@ class PartitionedAnalyzer final : public Analyzer {
     PartitionedRtaOptions opts = base_;
     opts.wcet_scale = options.wcet_scale;
     opts.max_iterations = options.max_iterations;
-    const PartitionedRtaResult r = analyze_partitioned(ts, *part, opts, &ctx);
+    cert::PartitionedCert pcert;
+    const PartitionedRtaResult r = analyze_partitioned(
+        ts, *part, opts, &ctx, options.diagnostics ? &pcert : nullptr);
 
     rep.schedulable = r.schedulable;
     rep.per_task.resize(ts.size());
@@ -181,6 +220,9 @@ class PartitionedAnalyzer final : public Analyzer {
                                miss_message(ts, i, tv.response_time)});
         }
       }
+      rep.certificate =
+          seal_certificate(cert::Family::kPartitioned, name_,
+                           options.wcet_scale, rep.schedulable, std::move(pcert));
     }
     return rep;
   }
@@ -212,7 +254,9 @@ class FederatedAnalyzer final : public Analyzer {
                  const AnalyzerOptions& options) const override {
     FederatedOptions opts = base_;
     opts.wcet_scale = options.wcet_scale;
-    const FederatedResult r = analyze_federated(ts, opts, &ctx);
+    cert::FederatedCert fcert;
+    const FederatedResult r =
+        analyze_federated(ts, opts, &ctx, options.diagnostics ? &fcert : nullptr);
 
     Report rep;
     rep.analyzer = name_;
@@ -238,6 +282,9 @@ class FederatedAnalyzer final : public Analyzer {
                    "exceeds the deadline or too few cores remain)"
                  : "serialized task fails the uniprocessor RTA on its core"});
       }
+      rep.certificate =
+          seal_certificate(cert::Family::kFederated, name_, options.wcet_scale,
+                           rep.schedulable, std::move(fcert));
     }
     return rep;
   }

@@ -40,6 +40,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/cert.h"
 #include "analysis/federated.h"
 #include "analysis/global_rta.h"
 #include "analysis/partition.h"
@@ -126,8 +127,25 @@ struct Report {
   std::size_t dedicated_cores = 0;
   /// Witness diagnostics (see AnalyzerOptions::diagnostics).
   std::vector<AnalyzerNote> notes;
+  /// Machine-checkable proof of the verdict, attached when
+  /// AnalyzerOptions::diagnostics is set (see cert.h); validate with
+  /// cert::check_certificate. Shared (not copied) when Reports are copied.
+  std::shared_ptr<const cert::Certificate> certificate;
 
-  friend bool operator==(const Report&, const Report&) = default;
+  /// Value equality; certificates compare by value (both absent, or both
+  /// present and equal), not by pointer identity, so a warm-started Report
+  /// equals its cold twin.
+  friend bool operator==(const Report& a, const Report& b) {
+    const bool certs_equal =
+        a.certificate == b.certificate ||
+        (a.certificate != nullptr && b.certificate != nullptr &&
+         *a.certificate == *b.certificate);
+    return certs_equal && a.analyzer == b.analyzer &&
+           a.schedulable == b.schedulable && a.per_task == b.per_task &&
+           a.limiting_task == b.limiting_task &&
+           a.limiting_ratio == b.limiting_ratio &&
+           a.dedicated_cores == b.dedicated_cores && a.notes == b.notes;
+  }
 };
 
 /// A registered schedulability analysis. Implementations are stateless and

@@ -1,0 +1,64 @@
+#include "analysis/cert.h"
+
+#include "analysis/antichain.h"
+#include "analysis/concurrency.h"
+
+namespace rtpool::analysis::cert {
+
+const char* to_string(Family family) {
+  switch (family) {
+    case Family::kGlobal: return "global";
+    case Family::kPartitioned: return "partitioned";
+    case Family::kFederated: return "federated";
+  }
+  return "?";
+}
+
+const char* to_string(TaskClaim claim) {
+  switch (claim) {
+    case TaskClaim::kConverged: return "converged";
+    case TaskClaim::kDeadlineMiss: return "deadline-miss";
+    case TaskClaim::kIterationBudget: return "iteration-budget";
+    case TaskClaim::kConcurrencyZero: return "concurrency-zero";
+    case TaskClaim::kEq3Violation: return "eq3-violation";
+    case TaskClaim::kHpDiverged: return "hp-diverged";
+    case TaskClaim::kPartitionFailure: return "partition-failure";
+    case TaskClaim::kDedicated: return "dedicated";
+    case TaskClaim::kAllocationFailure: return "allocation-failure";
+    case TaskClaim::kSharedCoreFailure: return "shared-core-failure";
+    case TaskClaim::kNoSharedCores: return "no-shared-cores";
+  }
+  return "?";
+}
+
+ConcurrencyWitness make_concurrency_witness(const model::DagTask& task,
+                                            bool antichain) {
+  ConcurrencyWitness w;
+  w.antichain = antichain;
+  if (antichain) {
+    w.forks = max_simultaneous_suspension_set(task);
+    w.bbar = w.forks.size();
+    return w;
+  }
+  // Affecting-forks form: the first node achieving b̄ = max_v |X(v)|.
+  std::size_t best = 0;
+  std::size_t pivot = 0;
+  for (model::NodeId v = 0; v < task.node_count(); ++v) {
+    const std::size_t count = affecting_blocking_forks(task, v).count();
+    if (count > best) {
+      best = count;
+      pivot = v;
+    }
+  }
+  w.bbar = best;
+  w.pivot = pivot;
+  if (best > 0) {
+    affecting_blocking_forks(task, static_cast<model::NodeId>(pivot))
+        .for_each([&](std::size_t f) {
+          w.forks.push_back(static_cast<model::NodeId>(f));
+        });
+  }
+  return w;
+}
+
+}  // namespace rtpool::analysis::cert

@@ -1,0 +1,1111 @@
+#include "analysis/cert_check.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "graph/dag.h"
+#include "graph/reachability.h"
+#include "model/dag_task.h"
+#include "util/time.h"
+
+namespace rtpool::analysis::cert {
+
+const char* to_string(CheckFailureKind kind) {
+  switch (kind) {
+    case CheckFailureKind::kMalformed: return "malformed";
+    case CheckFailureKind::kOperandMismatch: return "operand-mismatch";
+    case CheckFailureKind::kFixedPointInconsistent: return "fixed-point-inconsistent";
+    case CheckFailureKind::kDeadlineCheckFailed: return "deadline-check-failed";
+    case CheckFailureKind::kReplayMismatch: return "replay-mismatch";
+    case CheckFailureKind::kWitnessInvalid: return "witness-invalid";
+    case CheckFailureKind::kConcurrencyMismatch: return "concurrency-mismatch";
+    case CheckFailureKind::kDeadlockClaimWrong: return "deadlock-claim-wrong";
+    case CheckFailureKind::kPartitionInvalid: return "partition-invalid";
+    case CheckFailureKind::kAllocationInvalid: return "allocation-invalid";
+  }
+  return "?";
+}
+
+namespace {
+
+using model::DagTask;
+using model::NodeId;
+using model::NodeType;
+using model::TaskSet;
+using util::Time;
+
+/// Internal control flow: the per-claim helpers throw, check_certificate
+/// catches and converts to CheckResult::failure.
+struct CheckError {
+  CheckFailure failure;
+};
+
+[[noreturn]] void fail(CheckFailureKind kind, std::size_t task, std::string detail) {
+  throw CheckError{CheckFailure{kind, task, std::move(detail)}};
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Independent primitives. These are deliberate textual mirrors of the
+// paper's formulas as the kernels implement them (same summation orders, so
+// converged kernel values reproduce bit-for-bit); they call only the model
+// accessors and the Reachability closure, never kernel code.
+// ---------------------------------------------------------------------------
+
+/// f ∈ X(v): the fork's suspension can affect node v (Section 3.1).
+/// X(v) = C(v) ∪ {F(v)}: BF nodes precedence-unordered with v, plus the
+/// delimiting fork of a BC node.
+bool in_affecting_set(const DagTask& task, NodeId v, NodeId f) {
+  if (f == v) return false;
+  if (task.type(v) == NodeType::BC && task.blocking_fork_of(v) == f) return true;
+  if (task.type(f) != NodeType::BF) return false;
+  const graph::Reachability& reach = task.reachability();
+  return !reach.reaches(f, v) && !reach.reaches(v, f);
+}
+
+std::size_t own_affecting_count(const DagTask& task, NodeId v) {
+  std::size_t count = 0;
+  for (NodeId f = 0; f < task.node_count(); ++f)
+    if (in_affecting_set(task, v, f)) ++count;
+  return count;
+}
+
+/// b̄(τ) = max_v |X(v)|.
+std::size_t own_max_affecting(const DagTask& task) {
+  std::size_t best = 0;
+  for (NodeId v = 0; v < task.node_count(); ++v)
+    best = std::max(best, own_affecting_count(task, v));
+  return best;
+}
+
+/// Kuhn augmenting-path matching over the BF comparability relation:
+/// max antichain = |BF| − max matching (Dilworth via Fulkerson's reduction).
+struct Kuhn {
+  const std::vector<std::vector<std::size_t>>& adj;
+  std::vector<std::size_t>& match_of;  // right vertex -> matched left vertex
+  std::vector<char>& visited;
+
+  bool augment(std::size_t i) {
+    for (std::size_t j : adj[i]) {
+      if (visited[j]) continue;
+      visited[j] = 1;
+      if (match_of[j] == kNoIndex || augment(match_of[j])) {
+        match_of[j] = i;
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+std::size_t own_max_antichain(const DagTask& task) {
+  std::vector<NodeId> bf;
+  for (NodeId v = 0; v < task.node_count(); ++v)
+    if (task.type(v) == NodeType::BF) bf.push_back(v);
+  const std::size_t k = bf.size();
+  if (k <= 1) return k;
+  const graph::Reachability& reach = task.reachability();
+  std::vector<std::vector<std::size_t>> adj(k);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < k; ++j)
+      if (i != j && reach.reaches(bf[i], bf[j])) adj[i].push_back(j);
+  std::vector<std::size_t> match_of(k, kNoIndex);
+  std::vector<char> visited(k, 0);
+  std::size_t matching = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::fill(visited.begin(), visited.end(), 0);
+    if (Kuhn{adj, match_of, visited}.augment(i)) ++matching;
+  }
+  return k - matching;
+}
+
+/// Kahn topological order (the DagTask constructor already guarantees
+/// acyclicity, so the order always covers every node).
+std::vector<NodeId> own_topo_order(const graph::Dag& dag) {
+  std::vector<std::size_t> indeg(dag.size());
+  std::vector<NodeId> order;
+  order.reserve(dag.size());
+  for (NodeId v = 0; v < dag.size(); ++v) {
+    indeg[v] = dag.in_degree(v);
+    if (indeg[v] == 0) order.push_back(v);
+  }
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (NodeId w : dag.successors(order[head]))
+      if (--indeg[w] == 0) order.push_back(w);
+  return order;
+}
+
+/// Longest node-weighted path: dp[v] = w[v] + max(0, max_pred dp[u]). The
+/// per-node expression matches graph::longest_path_length, so the value is
+/// bit-identical for any valid topological order.
+Time own_longest_path(const DagTask& task, const std::vector<Time>& weights) {
+  const graph::Dag& dag = task.dag();
+  std::vector<Time> dp(dag.size(), 0.0);
+  for (NodeId v : own_topo_order(dag)) {
+    dp[v] = weights[v];
+    for (NodeId u : dag.predecessors(v))
+      if (dp[u] + weights[v] > dp[v]) dp[v] = dp[u] + weights[v];
+  }
+  Time best = dp[0];
+  for (NodeId v = 1; v < dag.size(); ++v)
+    if (dp[v] > best) best = dp[v];
+  return best;
+}
+
+/// vol(τ): ascending-id sum, mirroring graph::total_weight.
+Time own_volume(const DagTask& task) {
+  Time vol = 0.0;
+  for (NodeId v = 0; v < task.node_count(); ++v) vol += task.wcet(v);
+  return vol;
+}
+
+/// FIFO work-queue blocking B_v (unit scale): WCETs of same-core nodes
+/// precedence-unordered with v, ascending by id; 0 for BJ nodes.
+Time own_fifo_blocking(const DagTask& task,
+                       const std::vector<std::uint32_t>& thread_of, NodeId v) {
+  if (task.type(v) == NodeType::BJ) return 0.0;
+  const graph::Reachability& reach = task.reachability();
+  Time b = 0.0;
+  for (NodeId u = 0; u < task.node_count(); ++u) {
+    if (u == v || thread_of[u] != thread_of[v]) continue;
+    if (reach.reaches(u, v) || reach.reaches(v, u)) continue;
+    b += task.wcet(u);
+  }
+  return b;
+}
+
+/// Per-core WCET footprint W_{i,p} (unit scale), ascending-node order.
+std::vector<Time> own_workload(const DagTask& task,
+                               const std::vector<std::uint32_t>& thread_of,
+                               std::size_t cores) {
+  std::vector<Time> w(cores, 0.0);
+  for (NodeId v = 0; v < task.node_count(); ++v) w[thread_of[v]] += task.wcet(v);
+  return w;
+}
+
+/// Does Eq. (3) fail: some BC node co-located with a fork in X(v)?
+bool own_eq3_violation_exists(const DagTask& task,
+                              const std::vector<std::uint32_t>& thread_of) {
+  for (NodeId v = 0; v < task.node_count(); ++v) {
+    if (task.type(v) != NodeType::BC) continue;
+    for (NodeId f = 0; f < task.node_count(); ++f)
+      if (task.type(f) == NodeType::BF && thread_of[f] == thread_of[v] &&
+          in_affecting_set(task, v, f))
+        return true;
+  }
+  return false;
+}
+
+/// Global inter-task interference I_{j,i}(L) — mirror of the kernel's
+/// closed form (both bounds).
+Time own_interference(Time svol, Time svolm, Time period, Time rj, Time window,
+                      std::size_t m, bool carry_in) {
+  const Time shifted = window + rj - svolm;
+  if (shifted <= 0.0) return 0.0;
+  if (!carry_in) return util::ceil_div(shifted, period) * svol;
+  const double jobs = std::floor(shifted / period * (1.0 + util::kTimeEps));
+  const Time remainder = shifted - jobs * period;
+  const Time carry =
+      std::min(svol, static_cast<double>(m) * std::max(remainder, 0.0));
+  return jobs * svol + carry;
+}
+
+/// Uniprocessor fixed-priority RTA replay for the federated shared cores.
+/// The iteration budget is the kernel's fixed constant (100000, independent
+/// of AnalyzerOptions::max_iterations — see federated.cpp).
+struct UniReplay {
+  std::vector<Time> response;
+  std::size_t first_fail = kNoIndex;
+};
+
+UniReplay own_uniprocessor_rta(const std::vector<std::array<Time, 3>>& tasks) {
+  UniReplay out;
+  out.response.assign(tasks.size(), util::kTimeInfinity);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Time c = tasks[i][0];
+    const Time d = tasks[i][2];
+    Time r = c;
+    bool missed = false;
+    for (int iter = 0; iter < 100000; ++iter) {
+      Time demand = c;
+      for (std::size_t j = 0; j < i; ++j)
+        demand += util::ceil_div(r, tasks[j][1]) * tasks[j][0];
+      if (util::time_le(demand, r)) break;
+      r = demand;
+      if (util::time_lt(d, r)) {
+        missed = true;
+        break;
+      }
+    }
+    if (util::time_lt(d, r)) missed = true;
+    out.response[i] = r;
+    if (missed) {
+      out.first_fail = i;
+      return out;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The checker proper.
+// ---------------------------------------------------------------------------
+
+class Checker {
+ public:
+  Checker(const TaskSet& ts, const Certificate& c) : ts_(ts), c_(c) {}
+
+  std::size_t claims() const { return claims_; }
+
+  void run() {
+    const int engaged = static_cast<int>(c_.global.has_value()) +
+                        static_cast<int>(c_.partitioned.has_value()) +
+                        static_cast<int>(c_.federated.has_value());
+    if (engaged != 1)
+      fail(CheckFailureKind::kMalformed, kNoIndex,
+           "exactly one family payload must be engaged");
+    if (!(c_.wcet_scale > 0.0) || !std::isfinite(c_.wcet_scale))
+      fail(CheckFailureKind::kMalformed, kNoIndex,
+           "wcet_scale must be positive and finite");
+    switch (c_.family) {
+      case Family::kGlobal:
+        if (!c_.global.has_value())
+          fail(CheckFailureKind::kMalformed, kNoIndex, "family/payload mismatch");
+        check_global();
+        return;
+      case Family::kPartitioned:
+        if (!c_.partitioned.has_value())
+          fail(CheckFailureKind::kMalformed, kNoIndex, "family/payload mismatch");
+        check_partitioned();
+        return;
+      case Family::kFederated:
+        if (!c_.federated.has_value())
+          fail(CheckFailureKind::kMalformed, kNoIndex, "family/payload mismatch");
+        check_federated();
+        return;
+    }
+    fail(CheckFailureKind::kMalformed, kNoIndex, "unknown family");
+  }
+
+ private:
+  const TaskSet& ts_;
+  const Certificate& c_;
+  std::size_t claims_ = 0;
+
+  void note() { ++claims_; }
+
+  /// Validate a b̄ witness: the fork set proves the claimed bound AND the
+  /// bound matches the checker's own evaluation of the same definition.
+  void verify_witness(std::size_t idx, const DagTask& task,
+                      const ConcurrencyWitness& w, bool antichain_form) {
+    if (w.antichain != antichain_form)
+      fail(CheckFailureKind::kMalformed, idx,
+           "witness form does not match the analyzer options");
+    const std::size_t n = task.node_count();
+    std::vector<char> seen(n, 0);
+    for (NodeId f : w.forks) {
+      if (f >= n)
+        fail(CheckFailureKind::kWitnessInvalid, idx, "witness fork out of range");
+      if (seen[f])
+        fail(CheckFailureKind::kWitnessInvalid, idx, "duplicate witness fork");
+      seen[f] = 1;
+    }
+    if (w.forks.size() != w.bbar)
+      fail(CheckFailureKind::kWitnessInvalid, idx,
+           "witness fork set size != claimed b-bar");
+    if (antichain_form) {
+      const graph::Reachability& reach = task.reachability();
+      for (NodeId f : w.forks)
+        if (task.type(f) != NodeType::BF)
+          fail(CheckFailureKind::kWitnessInvalid, idx,
+               "antichain member is not a blocking fork");
+      for (std::size_t a = 0; a < w.forks.size(); ++a)
+        for (std::size_t b = a + 1; b < w.forks.size(); ++b)
+          if (reach.reaches(w.forks[a], w.forks[b]) ||
+              reach.reaches(w.forks[b], w.forks[a]))
+            fail(CheckFailureKind::kWitnessInvalid, idx,
+                 "antichain members " + std::to_string(w.forks[a]) + " and " +
+                     std::to_string(w.forks[b]) + " are precedence-ordered");
+      if (own_max_antichain(task) != w.bbar)
+        fail(CheckFailureKind::kConcurrencyMismatch, idx,
+             "claimed antichain bound " + std::to_string(w.bbar) +
+                 " != recomputed " + std::to_string(own_max_antichain(task)));
+    } else {
+      if (w.bbar > 0) {
+        if (w.pivot >= n)
+          fail(CheckFailureKind::kWitnessInvalid, idx, "witness pivot out of range");
+        for (NodeId f : w.forks)
+          if (!in_affecting_set(task, static_cast<NodeId>(w.pivot), f))
+            fail(CheckFailureKind::kWitnessInvalid, idx,
+                 "fork " + std::to_string(f) + " cannot affect pivot node " +
+                     std::to_string(w.pivot));
+      }
+      if (own_max_affecting(task) != w.bbar)
+        fail(CheckFailureKind::kConcurrencyMismatch, idx,
+             "claimed b-bar " + std::to_string(w.bbar) + " != recomputed " +
+                 std::to_string(own_max_affecting(task)));
+    }
+    note();
+  }
+
+  void require_unschedulable(std::size_t idx, bool schedulable) {
+    if (schedulable)
+      fail(CheckFailureKind::kDeadlineCheckFailed, idx,
+           "failing claim marked schedulable");
+  }
+
+  void check_set_verdict(bool per_task_and) {
+    if (per_task_and != c_.schedulable)
+      fail(CheckFailureKind::kMalformed, kNoIndex,
+           "set-level verdict does not match the per-task claims");
+    note();
+  }
+
+  // ---- global family ----
+
+  void check_global() {
+    const GlobalCert& g = *c_.global;
+    if (!ts_.priorities_distinct())
+      fail(CheckFailureKind::kMalformed, kNoIndex,
+           "task priorities are not distinct");
+    if (g.per_task.size() != ts_.size())
+      fail(CheckFailureKind::kMalformed, kNoIndex,
+           "per-task certificate count mismatch");
+    const std::size_t m = ts_.core_count();
+    const double scale = c_.wcet_scale;
+
+    // Hoisted per-task constants, mirroring the kernel's precomputation.
+    std::vector<Time> svol(ts_.size()), svolm(ts_.size()), period(ts_.size());
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      svol[i] = scale * own_volume(ts_.task(i));
+      svolm[i] = svol[i] / static_cast<double>(m);
+      period[i] = ts_.task(i).period();
+    }
+
+    // used[j]: the response a lower-priority task's recurrence reads for
+    // τ_j. The global kernel keeps converged responses finite even past the
+    // deadline and only infs true divergence.
+    std::vector<Time> used(ts_.size(), util::kTimeInfinity);
+
+    for (std::size_t idx : ts_.priority_order()) {
+      const DagTask& task = ts_.task(idx);
+      const GlobalTaskCert& tc = g.per_task[idx];
+      const std::vector<std::size_t> hp = ts_.higher_priority_of(idx);
+
+      std::size_t bbar = 0;
+      if (g.limited) {
+        if (!tc.concurrency.has_value())
+          fail(CheckFailureKind::kMalformed, idx,
+               "limited-concurrency analysis without a witness");
+        verify_witness(idx, task, *tc.concurrency, g.antichain_bound);
+        bbar = tc.concurrency->bbar;
+      } else if (tc.concurrency.has_value()) {
+        fail(CheckFailureKind::kMalformed, idx, "unexpected concurrency witness");
+      }
+
+      switch (tc.claim) {
+        case TaskClaim::kConcurrencyZero: {
+          if (!g.limited)
+            fail(CheckFailureKind::kMalformed, idx,
+                 "concurrency-zero claim without limited concurrency");
+          if (bbar < m)
+            fail(CheckFailureKind::kConcurrencyMismatch, idx,
+                 "claimed stall but l-bar = " +
+                     std::to_string(static_cast<long>(m) -
+                                    static_cast<long>(bbar)) +
+                     " > 0");
+          require_unschedulable(idx, tc.schedulable);
+          if (std::isfinite(tc.response))
+            fail(CheckFailureKind::kMalformed, idx,
+                 "stalled task with finite response");
+          note();
+          break;
+        }
+        case TaskClaim::kHpDiverged:
+          check_hp_diverged(idx, tc.blocker, tc.schedulable, hp, used);
+          break;
+        case TaskClaim::kConverged:
+        case TaskClaim::kDeadlineMiss:
+        case TaskClaim::kIterationBudget:
+          check_global_rta(idx, task, tc, g, hp, svol, svolm, period, used, bbar);
+          break;
+        default:
+          fail(CheckFailureKind::kMalformed, idx,
+               std::string("claim '") + to_string(tc.claim) +
+                   "' is not a global-analysis outcome");
+      }
+    }
+
+    bool all = true;
+    for (const GlobalTaskCert& tc : g.per_task) all = all && tc.schedulable;
+    check_set_verdict(all);
+  }
+
+  void check_hp_diverged(std::size_t idx, std::size_t blocker, bool schedulable,
+                         const std::vector<std::size_t>& hp,
+                         const std::vector<Time>& used) {
+    if (blocker == kNoIndex ||
+        std::find(hp.begin(), hp.end(), blocker) == hp.end())
+      fail(CheckFailureKind::kMalformed, idx,
+           "hp-diverged blocker is not a higher-priority task");
+    if (std::isfinite(used[blocker]))
+      fail(CheckFailureKind::kReplayMismatch, idx,
+           "named blocker (task " + std::to_string(blocker) +
+               ") has a finite response");
+    require_unschedulable(idx, schedulable);
+    note();
+  }
+
+  void check_global_rta(std::size_t idx, const DagTask& task,
+                        const GlobalTaskCert& tc, const GlobalCert& g,
+                        const std::vector<std::size_t>& hp,
+                        const std::vector<Time>& svol,
+                        const std::vector<Time>& svolm,
+                        const std::vector<Time>& period, std::vector<Time>& used,
+                        std::size_t bbar) {
+    const std::size_t m = ts_.core_count();
+    const double scale = c_.wcet_scale;
+    for (std::size_t j : hp)
+      if (!std::isfinite(used[j]))
+        fail(CheckFailureKind::kMalformed, idx,
+             "higher-priority task " + std::to_string(j) +
+                 " diverged but claim is not hp-diverged");
+
+    const Time len = scale * own_longest_path(task, task.wcets());
+    if (!util::time_eq(tc.critical_path, len))
+      fail(CheckFailureKind::kOperandMismatch, idx,
+           "critical path: recorded " + num(tc.critical_path) +
+               ", recomputed " + num(len));
+    const Time self = svol[idx] - len;
+    if (!util::time_eq(tc.self_interference, self))
+      fail(CheckFailureKind::kOperandMismatch, idx,
+           "self-interference: recorded " + num(tc.self_interference) +
+               ", recomputed " + num(self));
+    const double expected_den =
+        g.limited ? static_cast<double>(m) - static_cast<double>(bbar)
+                  : static_cast<double>(m);
+    if (tc.denominator != expected_den)
+      fail(CheckFailureKind::kOperandMismatch, idx,
+           "interference denominator: recorded " + num(tc.denominator) +
+               ", expected " + num(expected_den));
+    if (!(expected_den > 0.0))
+      fail(CheckFailureKind::kMalformed, idx,
+           "non-positive denominator for an RTA claim");
+    if (!std::isfinite(tc.response))
+      fail(CheckFailureKind::kMalformed, idx, "RTA claim with infinite response");
+
+    const Time deadline = task.deadline();
+    if (tc.claim == TaskClaim::kConverged) {
+      if (tc.hp_interference.size() != hp.size())
+        fail(CheckFailureKind::kMalformed, idx,
+             "hp interference breakdown size mismatch");
+      Time interference = self;
+      for (std::size_t k = 0; k < hp.size(); ++k) {
+        const std::size_t j = hp[k];
+        const Time term = own_interference(svol[j], svolm[j], period[j], used[j],
+                                           tc.response, m, g.carry_in);
+        if (!util::time_eq(term, tc.hp_interference[k]))
+          fail(CheckFailureKind::kOperandMismatch, idx,
+               "interference of hp task " + std::to_string(j) + ": recorded " +
+                   num(tc.hp_interference[k]) + ", recomputed " + num(term));
+        interference += term;
+        note();
+      }
+      const Time next = len + interference / tc.denominator;
+      if (!util::time_eq(next, tc.response))
+        fail(CheckFailureKind::kFixedPointInconsistent, idx,
+             "F(R) = " + num(next) + " but R = " + num(tc.response));
+      if (util::time_le(tc.response, deadline) != tc.schedulable)
+        fail(CheckFailureKind::kDeadlineCheckFailed, idx,
+             "schedulable flag contradicts R = " + num(tc.response) +
+                 " vs D = " + num(deadline));
+      used[idx] = tc.response;
+      note();
+    } else {
+      require_unschedulable(idx, tc.schedulable);
+      // Cold replay of the diverging iteration, mirroring the kernel loop.
+      Time r = len;
+      bool converged = false;
+      for (int iter = 0; iter < g.max_iterations; ++iter) {
+        Time interference = self;
+        for (std::size_t j : hp)
+          interference += own_interference(svol[j], svolm[j], period[j], used[j],
+                                           r, m, g.carry_in);
+        const Time next = len + interference / tc.denominator;
+        if (util::time_le(next, r)) {
+          converged = true;
+          break;
+        }
+        r = next;
+        if (util::time_lt(deadline, r)) break;
+      }
+      if (converged)
+        fail(CheckFailureKind::kReplayMismatch, idx,
+             "replayed iteration converges at " + num(r));
+      const TaskClaim kind = util::time_lt(deadline, r)
+                                 ? TaskClaim::kDeadlineMiss
+                                 : TaskClaim::kIterationBudget;
+      if (kind != tc.claim)
+        fail(CheckFailureKind::kReplayMismatch, idx,
+             std::string("divergence kind: replay says ") + to_string(kind));
+      if (!util::time_eq(r, tc.response))
+        fail(CheckFailureKind::kReplayMismatch, idx,
+             "replayed final iterate " + num(r) + " != recorded " +
+                 num(tc.response));
+      note();
+    }
+  }
+
+  // ---- partitioned family ----
+
+  void check_partitioned() {
+    const PartitionedCert& pc = *c_.partitioned;
+    if (!ts_.priorities_distinct())
+      fail(CheckFailureKind::kMalformed, kNoIndex,
+           "task priorities are not distinct");
+    if (pc.per_task.size() != ts_.size())
+      fail(CheckFailureKind::kMalformed, kNoIndex,
+           "per-task certificate count mismatch");
+
+    if (!pc.partition_failure.empty()) {
+      for (std::size_t i = 0; i < ts_.size(); ++i) {
+        const PartitionedTaskCert& tc = pc.per_task[i];
+        if (tc.claim != TaskClaim::kPartitionFailure || tc.schedulable ||
+            std::isfinite(tc.response))
+          fail(CheckFailureKind::kMalformed, i,
+               "partitioner failed but task carries an analysis claim");
+        note();
+      }
+      if (c_.schedulable)
+        fail(CheckFailureKind::kMalformed, kNoIndex,
+             "partitioner failed but the set is claimed schedulable");
+      note();
+      return;
+    }
+
+    const std::size_t m = ts_.core_count();
+    const double scale = c_.wcet_scale;
+    if (pc.thread_of.size() != ts_.size())
+      fail(CheckFailureKind::kPartitionInvalid, kNoIndex,
+           "partition echo size mismatch");
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      if (pc.thread_of[i].size() != ts_.task(i).node_count())
+        fail(CheckFailureKind::kPartitionInvalid, i,
+             "node assignment size mismatch");
+      for (std::uint32_t t : pc.thread_of[i])
+        if (t >= m)
+          fail(CheckFailureKind::kPartitionInvalid, i, "thread id out of range");
+    }
+    // Core loads: ascending tasks, ascending nodes (the partitioner's own
+    // accumulation order). Note: the checker does NOT assert load <= 1 —
+    // overloads are legal inputs that the RTA itself rejects.
+    if (pc.core_load.size() != m)
+      fail(CheckFailureKind::kPartitionInvalid, kNoIndex,
+           "core load vector size mismatch");
+    std::vector<double> load(m, 0.0);
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      const DagTask& task = ts_.task(i);
+      for (NodeId v = 0; v < task.node_count(); ++v)
+        load[pc.thread_of[i][v]] += task.wcet(v) / task.period();
+    }
+    for (std::size_t p = 0; p < m; ++p)
+      if (!util::time_eq(load[p], pc.core_load[p]))
+        fail(CheckFailureKind::kPartitionInvalid, kNoIndex,
+             "core " + std::to_string(p) + " load: recorded " +
+                 num(pc.core_load[p]) + ", recomputed " + num(load[p]));
+    note();
+
+    // Per-core unit-scale workloads of every task, used by the recurrences.
+    std::vector<std::vector<Time>> W(ts_.size());
+    for (std::size_t i = 0; i < ts_.size(); ++i)
+      W[i] = own_workload(ts_.task(i), pc.thread_of[i], m);
+
+    std::vector<Time> used(ts_.size(), util::kTimeInfinity);
+    for (std::size_t idx : ts_.priority_order()) {
+      const DagTask& task = ts_.task(idx);
+      const PartitionedTaskCert& tc = pc.per_task[idx];
+      const std::vector<std::uint32_t>& thread_of = pc.thread_of[idx];
+      const std::vector<std::size_t> hp = ts_.higher_priority_of(idx);
+
+      const std::size_t bbar = own_max_affecting(task);
+      const bool own_df = bbar < m && !own_eq3_violation_exists(task, thread_of);
+      if (own_df != tc.deadlock_free)
+        fail(CheckFailureKind::kDeadlockClaimWrong, idx,
+             tc.deadlock_free ? "partition is not deadlock-free as claimed"
+                              : "partition is deadlock-free, claim says not");
+      note();
+
+      switch (tc.claim) {
+        case TaskClaim::kConcurrencyZero: {
+          if (!pc.require_deadlock_free)
+            fail(CheckFailureKind::kMalformed, idx,
+                 "deadlock claim with the deadlock gate disabled");
+          if (bbar < m)
+            fail(CheckFailureKind::kConcurrencyMismatch, idx,
+                 "claimed blocking chain but b-bar = " + std::to_string(bbar) +
+                     " < m = " + std::to_string(m));
+          if (!tc.concurrency.has_value())
+            fail(CheckFailureKind::kMalformed, idx,
+                 "missing blocking-chain witness");
+          verify_witness(idx, task, *tc.concurrency, /*antichain_form=*/false);
+          require_unschedulable(idx, tc.schedulable);
+          note();
+          break;
+        }
+        case TaskClaim::kEq3Violation: {
+          if (!pc.require_deadlock_free)
+            fail(CheckFailureKind::kMalformed, idx,
+                 "deadlock claim with the deadlock gate disabled");
+          if (bbar >= m)
+            fail(CheckFailureKind::kDeadlockClaimWrong, idx,
+                 "b-bar >= m: the claim should be a blocking chain");
+          if (!tc.eq3.has_value())
+            fail(CheckFailureKind::kMalformed, idx, "missing Eq. (3) witness");
+          const Eq3WitnessCert& wz = *tc.eq3;
+          const std::size_t n = task.node_count();
+          if (wz.bc_node >= n || wz.fork >= n)
+            fail(CheckFailureKind::kWitnessInvalid, idx,
+                 "witness node out of range");
+          if (task.type(wz.bc_node) != NodeType::BC ||
+              task.type(wz.fork) != NodeType::BF)
+            fail(CheckFailureKind::kWitnessInvalid, idx,
+                 "witness node types are not BC/BF");
+          if (!in_affecting_set(task, wz.bc_node, wz.fork))
+            fail(CheckFailureKind::kWitnessInvalid, idx,
+                 "fork " + std::to_string(wz.fork) + " cannot affect BC node " +
+                     std::to_string(wz.bc_node));
+          if (thread_of[wz.bc_node] != wz.thread || thread_of[wz.fork] != wz.thread)
+            fail(CheckFailureKind::kWitnessInvalid, idx,
+                 "witness nodes are not co-located on thread " +
+                     std::to_string(wz.thread));
+          require_unschedulable(idx, tc.schedulable);
+          note();
+          break;
+        }
+        case TaskClaim::kHpDiverged:
+          check_hp_diverged(idx, tc.blocker, tc.schedulable, hp, used);
+          break;
+        case TaskClaim::kConverged:
+        case TaskClaim::kDeadlineMiss:
+        case TaskClaim::kIterationBudget: {
+          if (pc.require_deadlock_free && !tc.deadlock_free)
+            fail(CheckFailureKind::kDeadlockClaimWrong, idx,
+                 "RTA claim on a task gated by deadlock-freedom");
+          for (std::size_t j : hp)
+            if (!std::isfinite(used[j]))
+              fail(CheckFailureKind::kMalformed, idx,
+                   "higher-priority task " + std::to_string(j) +
+                       " failed but claim is not hp-diverged");
+          if (pc.split)
+            check_split(idx, task, tc, pc, hp, W, used, scale);
+          else
+            check_holistic(idx, task, tc, pc, hp, W, used, scale);
+          break;
+        }
+        default:
+          fail(CheckFailureKind::kMalformed, idx,
+               std::string("claim '") + to_string(tc.claim) +
+                   "' is not a partitioned-analysis outcome");
+      }
+    }
+
+    bool all = true;
+    for (const PartitionedTaskCert& tc : pc.per_task) all = all && tc.schedulable;
+    check_set_verdict(all);
+  }
+
+  void check_holistic(std::size_t idx, const DagTask& task,
+                      const PartitionedTaskCert& tc, const PartitionedCert& pc,
+                      const std::vector<std::size_t>& hp,
+                      const std::vector<std::vector<Time>>& W,
+                      std::vector<Time>& used, double scale) {
+    const std::size_t m = ts_.core_count();
+    const std::size_t n = task.node_count();
+    const std::vector<std::uint32_t>& thread_of = pc.thread_of[idx];
+    std::vector<Time> weights(n);
+    for (NodeId v = 0; v < n; ++v)
+      weights[v] = scale * (task.wcet(v) + own_fifo_blocking(task, thread_of, v));
+    const Time base = own_longest_path(task, weights);
+    if (!util::time_eq(base, tc.holistic_base))
+      fail(CheckFailureKind::kOperandMismatch, idx,
+           "holistic base: recorded " + num(tc.holistic_base) +
+               ", recomputed " + num(base));
+
+    const Time deadline = task.deadline();
+    const auto demand_at = [&](Time r) {
+      Time demand = base;
+      for (std::size_t j : hp) {
+        const Time period_j = ts_.task(j).period();
+        for (std::size_t p = 0; p < m; ++p) {
+          if (W[idx][p] <= 0.0) continue;
+          const Time wjp = scale * W[j][p];
+          if (wjp <= 0.0) continue;
+          const Time jitter = std::max(used[j] - wjp, 0.0);
+          demand += util::ceil_div(r + jitter, period_j) * wjp;
+        }
+      }
+      return demand;
+    };
+
+    if (tc.claim == TaskClaim::kConverged) {
+      if (!std::isfinite(tc.response))
+        fail(CheckFailureKind::kMalformed, idx,
+             "converged claim with infinite response");
+      const Time fr = demand_at(tc.response);
+      if (!util::time_eq(fr, tc.response))
+        fail(CheckFailureKind::kFixedPointInconsistent, idx,
+             "F(R) = " + num(fr) + " but R = " + num(tc.response));
+      if (util::time_le(tc.response, deadline) != tc.schedulable)
+        fail(CheckFailureKind::kDeadlineCheckFailed, idx,
+             "schedulable flag contradicts R = " + num(tc.response) +
+                 " vs D = " + num(deadline));
+      used[idx] = tc.schedulable ? tc.response : util::kTimeInfinity;
+      note();
+    } else {
+      require_unschedulable(idx, tc.schedulable);
+      if (std::isfinite(tc.response))
+        fail(CheckFailureKind::kMalformed, idx,
+             "diverged task with finite response");
+      Time r = base;
+      bool converged = false;
+      for (int iter = 0; iter < pc.max_iterations; ++iter) {
+        const Time d = demand_at(r);
+        if (util::time_le(d, r)) {
+          converged = true;
+          break;
+        }
+        r = d;
+        if (util::time_lt(deadline, r)) break;
+      }
+      if (converged)
+        fail(CheckFailureKind::kReplayMismatch, idx,
+             "replayed iteration converges at " + num(r));
+      const TaskClaim kind = util::time_lt(deadline, r)
+                                 ? TaskClaim::kDeadlineMiss
+                                 : TaskClaim::kIterationBudget;
+      if (kind != tc.claim)
+        fail(CheckFailureKind::kReplayMismatch, idx,
+             std::string("divergence kind: replay says ") + to_string(kind));
+      if (!util::time_eq(r, tc.miss_value))
+        fail(CheckFailureKind::kReplayMismatch, idx,
+             "replayed final iterate " + num(r) + " != recorded " +
+                 num(tc.miss_value));
+      note();
+    }
+  }
+
+  void check_split(std::size_t idx, const DagTask& task,
+                   const PartitionedTaskCert& tc, const PartitionedCert& pc,
+                   const std::vector<std::size_t>& hp,
+                   const std::vector<std::vector<Time>>& W,
+                   std::vector<Time>& used, double scale) {
+    const std::size_t n = task.node_count();
+    const std::vector<std::uint32_t>& thread_of = pc.thread_of[idx];
+    if (tc.segments.size() != n)
+      fail(CheckFailureKind::kMalformed, idx, "segment count mismatch");
+    std::vector<Time> bl(n);
+    for (NodeId v = 0; v < n; ++v) {
+      bl[v] = own_fifo_blocking(task, thread_of, v);
+      if (!util::time_eq(bl[v], tc.segments[v].blocking))
+        fail(CheckFailureKind::kOperandMismatch, idx,
+             "FIFO blocking of node " + std::to_string(v) + ": recorded " +
+                 num(tc.segments[v].blocking) + ", recomputed " + num(bl[v]));
+    }
+    note();
+
+    const Time deadline = task.deadline();
+    const auto demand_at = [&](NodeId v, Time x) {
+      Time demand = scale * (task.wcet(v) + bl[v]);
+      const std::uint32_t core = thread_of[v];
+      for (std::size_t j : hp) {
+        const Time wjp = scale * W[j][core];
+        if (wjp <= 0.0) continue;
+        const Time jitter = std::max(used[j] - wjp, 0.0);
+        demand += util::ceil_div(x + jitter, ts_.task(j).period()) * wjp;
+      }
+      return demand;
+    };
+
+    if (tc.claim == TaskClaim::kConverged) {
+      for (NodeId v = 0; v < n; ++v) {
+        const Time x = tc.segments[v].response;
+        if (!std::isfinite(x))
+          fail(CheckFailureKind::kMalformed, idx,
+               "segment " + std::to_string(v) + " has an infinite response");
+        const Time fx = demand_at(v, x);
+        if (!util::time_eq(fx, x))
+          fail(CheckFailureKind::kFixedPointInconsistent, idx,
+               "segment " + std::to_string(v) + ": F(x) = " + num(fx) +
+                   " but x = " + num(x));
+        if (util::time_lt(deadline, x))
+          fail(CheckFailureKind::kDeadlineCheckFailed, idx,
+               "segment " + std::to_string(v) +
+                   " exceeds the deadline yet the task claims convergence");
+        note();
+      }
+      std::vector<Time> seg(n);
+      for (NodeId v = 0; v < n; ++v) seg[v] = tc.segments[v].response;
+      const Time r = own_longest_path(task, seg);
+      if (!util::time_eq(r, tc.response))
+        fail(CheckFailureKind::kOperandMismatch, idx,
+             "composed response: recorded " + num(tc.response) +
+                 ", recomputed " + num(r));
+      if (util::time_le(tc.response, deadline) != tc.schedulable)
+        fail(CheckFailureKind::kDeadlineCheckFailed, idx,
+             "schedulable flag contradicts R = " + num(tc.response) +
+                 " vs D = " + num(deadline));
+      used[idx] = tc.schedulable ? tc.response : util::kTimeInfinity;
+      note();
+    } else {
+      require_unschedulable(idx, tc.schedulable);
+      if (std::isfinite(tc.response))
+        fail(CheckFailureKind::kMalformed, idx,
+             "diverged task with finite response");
+      if (tc.miss_node == kNoIndex || tc.miss_node >= n)
+        fail(CheckFailureKind::kMalformed, idx, "missing or bad miss node");
+      const NodeId miss = static_cast<NodeId>(tc.miss_node);
+      // Segments before the miss node converged within the deadline.
+      for (NodeId v = 0; v < miss; ++v) {
+        const Time x = tc.segments[v].response;
+        const Time fx = demand_at(v, x);
+        if (!util::time_eq(fx, x))
+          fail(CheckFailureKind::kFixedPointInconsistent, idx,
+               "segment " + std::to_string(v) + ": F(x) = " + num(fx) +
+                   " but x = " + num(x));
+        if (util::time_lt(deadline, x))
+          fail(CheckFailureKind::kReplayMismatch, idx,
+               "segment " + std::to_string(v) +
+                   " already diverges before the claimed miss node");
+        note();
+      }
+      // Cold replay of the diverging segment.
+      Time x = scale * (task.wcet(miss) + bl[miss]);
+      bool converged = false;
+      for (int iter = 0; iter < pc.max_iterations; ++iter) {
+        const Time d = demand_at(miss, x);
+        if (util::time_le(d, x)) {
+          converged = true;
+          break;
+        }
+        x = d;
+        if (util::time_lt(deadline, x)) break;
+      }
+      const bool diverges = (!converged && util::time_le(x, deadline)) ||
+                            util::time_lt(deadline, x);
+      if (!diverges)
+        fail(CheckFailureKind::kReplayMismatch, idx,
+             "replayed segment converges within the deadline at " + num(x));
+      const TaskClaim kind = util::time_lt(deadline, x)
+                                 ? TaskClaim::kDeadlineMiss
+                                 : TaskClaim::kIterationBudget;
+      if (kind != tc.claim)
+        fail(CheckFailureKind::kReplayMismatch, idx,
+             std::string("divergence kind: replay says ") + to_string(kind));
+      if (!util::time_eq(x, tc.miss_value) ||
+          !util::time_eq(x, tc.segments[miss].response))
+        fail(CheckFailureKind::kReplayMismatch, idx,
+             "replayed failing iterate " + num(x) + " != recorded " +
+                 num(tc.miss_value));
+      for (NodeId v = miss + 1; v < n; ++v)
+        if (tc.segments[v].response != 0.0)
+          fail(CheckFailureKind::kMalformed, idx,
+               "segment after the miss node is populated");
+      note();
+    }
+  }
+
+  // ---- federated family ----
+
+  void check_federated() {
+    const FederatedCert& f = *c_.federated;
+    if (f.per_task.size() != ts_.size())
+      fail(CheckFailureKind::kMalformed, kNoIndex,
+           "per-task certificate count mismatch");
+    const std::size_t m = ts_.core_count();
+    const double scale = c_.wcet_scale;
+
+    std::vector<Time> sutil(ts_.size());
+    for (std::size_t i = 0; i < ts_.size(); ++i)
+      sutil[i] = scale * (own_volume(ts_.task(i)) / ts_.task(i).period());
+
+    // Replay of the dedicated-allocation pass.
+    std::size_t cores_left = m;
+    std::size_t dedicated_total = 0;
+    std::vector<std::size_t> shared;
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      const DagTask& task = ts_.task(i);
+      const FederatedTaskCert& tc = f.per_task[i];
+      const std::size_t bbar = f.limited ? own_max_affecting(task) : 0;
+      if (tc.bbar != bbar)
+        fail(CheckFailureKind::kConcurrencyMismatch, i,
+             "recorded b-bar " + std::to_string(tc.bbar) + " != recomputed " +
+                 std::to_string(bbar));
+      const bool heavy = sutil[i] > 1.0;
+      const bool promoted = f.limited && bbar > 0;
+      if ((heavy || promoted) != tc.dedicated)
+        fail(CheckFailureKind::kMalformed, i,
+             tc.dedicated ? "task does not qualify for a dedicated allocation"
+                          : "heavy/promoted task recorded as shared");
+      if (!tc.dedicated) {
+        if (tc.cores != 0 || tc.concurrency.has_value())
+          fail(CheckFailureKind::kMalformed, i,
+               "shared task with dedicated-allocation fields");
+        shared.push_back(i);
+        continue;
+      }
+      if (promoted) {
+        if (!tc.concurrency.has_value())
+          fail(CheckFailureKind::kMalformed, i,
+               "promoted task without a b-bar witness");
+        verify_witness(i, task, *tc.concurrency, /*antichain_form=*/false);
+      } else if (tc.concurrency.has_value()) {
+        fail(CheckFailureKind::kMalformed, i, "unexpected concurrency witness");
+      }
+      if (std::isfinite(tc.response))
+        fail(CheckFailureKind::kMalformed, i,
+             "dedicated task with a shared-core response");
+
+      const Time len = scale * own_longest_path(task, task.wcets());
+      const Time vol = scale * own_volume(task);
+      const Time d = task.deadline();
+      const std::size_t base =
+          (d > len) ? static_cast<std::size_t>(
+                          std::max(1.0, util::ceil_div(vol - len, d - len)))
+                    : 0;
+      if (base == 0) {
+        if (tc.claim != TaskClaim::kAllocationFailure || tc.schedulable ||
+            tc.cores != 0)
+          fail(CheckFailureKind::kAllocationInvalid, i,
+               "critical path misses the deadline; allocation is impossible");
+        note();
+        continue;
+      }
+      const std::size_t cores = base + bbar;
+      if (tc.cores != cores)
+        fail(CheckFailureKind::kAllocationInvalid, i,
+             "recorded allocation " + std::to_string(tc.cores) +
+                 " cores != recomputed " + std::to_string(cores));
+      if (cores > cores_left) {
+        if (tc.claim != TaskClaim::kAllocationFailure || tc.schedulable)
+          fail(CheckFailureKind::kAllocationInvalid, i,
+               "allocation exceeds the remaining cores yet is not a failure");
+        note();
+        continue;
+      }
+      cores_left -= cores;
+      dedicated_total += cores;
+      if (tc.claim != TaskClaim::kDedicated || !tc.schedulable)
+        fail(CheckFailureKind::kAllocationInvalid, i,
+             "satisfiable dedicated allocation not claimed as such");
+      note();
+    }
+    if (f.dedicated_cores != dedicated_total)
+      fail(CheckFailureKind::kAllocationInvalid, kNoIndex,
+           "total dedicated cores: recorded " +
+               std::to_string(f.dedicated_cores) + ", recomputed " +
+               std::to_string(dedicated_total));
+
+    // Replay of the shared-core worst-fit placement.
+    std::stable_sort(shared.begin(), shared.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return sutil[a] > sutil[b];
+                     });
+    std::vector<std::vector<std::size_t>> per_core(cores_left);
+    std::vector<double> load(cores_left, 0.0);
+    for (std::size_t i : shared) {
+      const FederatedTaskCert& tc = f.per_task[i];
+      if (cores_left == 0) {
+        if (tc.claim != TaskClaim::kNoSharedCores || tc.schedulable ||
+            tc.core != kNoIndex)
+          fail(CheckFailureKind::kMalformed, i,
+               "no shared cores remain yet the task claims placement");
+        note();
+        continue;
+      }
+      const auto core = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      if (tc.core != core)
+        fail(CheckFailureKind::kReplayMismatch, i,
+             "worst-fit places the task on core " + std::to_string(core) +
+                 ", certificate says " + std::to_string(tc.core));
+      per_core[core].push_back(i);
+      load[core] += sutil[i];
+    }
+
+    // Per-core deadline-monotonic order and uniprocessor RTA replay.
+    if (f.shared_order.size() != per_core.size())
+      fail(CheckFailureKind::kReplayMismatch, kNoIndex,
+           "shared-core order count mismatch");
+    for (std::size_t core = 0; core < per_core.size(); ++core) {
+      std::vector<std::size_t>& tasks = per_core[core];
+      std::stable_sort(tasks.begin(), tasks.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return ts_.task(a).deadline() < ts_.task(b).deadline();
+                       });
+      if (f.shared_order[core] != tasks)
+        fail(CheckFailureKind::kReplayMismatch, kNoIndex,
+             "deadline-monotonic order on shared core " + std::to_string(core) +
+                 " does not replay");
+      std::vector<std::array<Time, 3>> triples;
+      triples.reserve(tasks.size());
+      for (std::size_t i : tasks)
+        triples.push_back({scale * own_volume(ts_.task(i)),
+                           ts_.task(i).period(), ts_.task(i).deadline()});
+      const UniReplay uni = own_uniprocessor_rta(triples);
+      const bool core_ok = uni.first_fail == kNoIndex;
+      for (std::size_t k = 0; k < tasks.size(); ++k) {
+        const FederatedTaskCert& tc = f.per_task[tasks[k]];
+        if (tc.schedulable != core_ok)
+          fail(CheckFailureKind::kDeadlineCheckFailed, tasks[k],
+               "schedulable flag contradicts the core's RTA outcome");
+        if (!util::time_eq(tc.response, uni.response[k]) &&
+            tc.response != uni.response[k])  // both may be infinite
+          fail(CheckFailureKind::kReplayMismatch, tasks[k],
+               "uniprocessor iterate " + num(uni.response[k]) +
+                   " != recorded " + num(tc.response));
+        TaskClaim kind = TaskClaim::kConverged;
+        if (!core_ok)
+          kind = (k == uni.first_fail) ? TaskClaim::kDeadlineMiss
+                                       : TaskClaim::kSharedCoreFailure;
+        if (tc.claim != kind)
+          fail(CheckFailureKind::kReplayMismatch, tasks[k],
+               std::string("shared-core claim: replay says ") + to_string(kind));
+        if (kind == TaskClaim::kSharedCoreFailure &&
+            tc.blocker != tasks[uni.first_fail])
+          fail(CheckFailureKind::kReplayMismatch, tasks[k],
+               "blamed peer is not the task that failed the core's RTA");
+        note();
+      }
+    }
+
+    bool all = true;
+    for (const FederatedTaskCert& tc : f.per_task) all = all && tc.schedulable;
+    check_set_verdict(all);
+  }
+};
+
+}  // namespace
+
+CheckResult check_certificate(const TaskSet& ts, const Certificate& certificate) {
+  CheckResult result;
+  Checker checker(ts, certificate);
+  try {
+    checker.run();
+  } catch (const CheckError& e) {
+    result.failure = e.failure;
+  }
+  result.claims_checked = checker.claims();
+  return result;
+}
+
+}  // namespace rtpool::analysis::cert

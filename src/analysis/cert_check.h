@@ -1,0 +1,71 @@
+// Independent certificate checker (the validation half of the translation
+// validation loop — see cert.h for the emission half).
+//
+// `check_certificate` re-validates every claim of a Certificate against the
+// task set alone. INDEPENDENCE RULE: this module depends only on the model
+// layer (task structure, WCETs, deadlines, priorities), the cached
+// graph::Reachability closure, and util/time.h. It shares NO code with the
+// analysis kernels: no RtaContext, no concurrency.h/antichain.h/deadlock.h,
+// no partitioners. Where a formula of the paper must be re-evaluated (the
+// interference bound, the FIFO blocking sum, b̄, the longest path), the
+// checker carries its own deliberate textual mirror, so a kernel bug cannot
+// silently certify itself.
+//
+// The checker runs one pass over the certificate in priority order and
+// stops at the FIRST violated claim, reporting it as a structured
+// CheckFailure. Verification is exact where the kernel is exact (integral
+// core counts, allocation arithmetic) and tolerance-based (util::time_eq)
+// where the kernel iterates over doubles.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "analysis/cert.h"
+#include "model/task_set.h"
+
+namespace rtpool::analysis::cert {
+
+/// Which class of claim was violated. Ordered roughly from "the certificate
+/// is not even well-formed" to "a specific analytical claim is false".
+enum class CheckFailureKind : unsigned char {
+  kMalformed,              ///< Structure/claim inconsistent with the options.
+  kOperandMismatch,        ///< A recorded operand disagrees with the model.
+  kFixedPointInconsistent, ///< F(R) != R for a claimed fixed point.
+  kDeadlineCheckFailed,    ///< schedulable flag contradicts R vs D.
+  kReplayMismatch,         ///< A divergence/allocation replay disagrees.
+  kWitnessInvalid,         ///< A witness set does not prove what it claims.
+  kConcurrencyMismatch,    ///< Claimed b̄ / antichain bound is wrong.
+  kDeadlockClaimWrong,     ///< Lemma-3 verdict contradicts the partition.
+  kPartitionInvalid,       ///< Partition echo malformed or loads wrong.
+  kAllocationInvalid,      ///< Federated core accounting is wrong.
+};
+
+const char* to_string(CheckFailureKind kind);
+
+/// First violated claim. `task` is the task index the claim belongs to, or
+/// cert::kNoIndex for set-level claims (envelope, partition echo, verdict).
+struct CheckFailure {
+  CheckFailureKind kind = CheckFailureKind::kMalformed;
+  std::size_t task = kNoIndex;
+  std::string detail;
+};
+
+struct CheckResult {
+  std::optional<CheckFailure> failure;
+  /// Number of individual claims validated before success/failure (reported
+  /// by `rtpool_cli --certify` so a pass is visibly non-vacuous).
+  std::size_t claims_checked = 0;
+
+  bool ok() const { return !failure.has_value(); }
+};
+
+/// Validate `certificate` against `ts`. Never throws on a bad certificate —
+/// all violations come back as CheckResult::failure; ModelError from a
+/// malformed task set still propagates (the certificate cannot be checked
+/// against a set the model layer rejects).
+CheckResult check_certificate(const model::TaskSet& ts,
+                              const Certificate& certificate);
+
+}  // namespace rtpool::analysis::cert

@@ -6,6 +6,7 @@
 #include <numeric>
 #include <optional>
 
+#include "analysis/cert.h"
 #include "analysis/concurrency.h"
 #include "analysis/rta_context.h"
 #include "util/time.h"
@@ -27,22 +28,45 @@ std::size_t dedicated_core_demand(const model::DagTask& task, double scale) {
   return static_cast<std::size_t>(std::max(1.0, util::ceil_div(vol - len, d - len)));
 }
 
+/// Per-task bookkeeping of one core's RTA, recorded for certificates:
+/// final iterates and the index of the first failing task (if any).
+struct UniRta {
+  std::vector<Time> response;
+  std::size_t first_fail = cert::kNoIndex;
+};
+
 /// Uniprocessor fixed-priority RTA for serialized light tasks on one core.
-/// `tasks` are (C, T, D) triples sorted by priority (DM order).
-bool uniprocessor_schedulable(const std::vector<std::array<Time, 3>>& tasks) {
+/// `tasks` are (C, T, D) triples sorted by priority (DM order). The
+/// iteration budget is a fixed constant (not options.max_iterations); the
+/// certificate checker mirrors the same constant.
+bool uniprocessor_schedulable(const std::vector<std::array<Time, 3>>& tasks,
+                              UniRta* out = nullptr) {
+  if (out != nullptr) {
+    out->response.assign(tasks.size(), util::kTimeInfinity);
+    out->first_fail = cert::kNoIndex;
+  }
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const Time c = tasks[i][0];
     const Time d = tasks[i][2];
     Time r = c;
+    bool missed = false;
     for (int iter = 0; iter < 100000; ++iter) {
       Time demand = c;
       for (std::size_t j = 0; j < i; ++j)
         demand += util::ceil_div(r, tasks[j][1]) * tasks[j][0];
       if (util::time_le(demand, r)) break;
       r = demand;
-      if (util::time_lt(d, r)) return false;
+      if (util::time_lt(d, r)) {
+        missed = true;
+        break;
+      }
     }
-    if (util::time_lt(d, r)) return false;
+    if (util::time_lt(d, r)) missed = true;
+    if (out != nullptr) out->response[i] = r;
+    if (missed) {
+      if (out != nullptr) out->first_fail = i;
+      return false;
+    }
   }
   return true;
 }
@@ -50,7 +74,8 @@ bool uniprocessor_schedulable(const std::vector<std::array<Time, 3>>& tasks) {
 }  // namespace
 
 FederatedResult analyze_federated(const model::TaskSet& ts,
-                                  const FederatedOptions& options, RtaContext* ctx) {
+                                  const FederatedOptions& options, RtaContext* ctx,
+                                  cert::FederatedCert* certificate) {
   if (!(options.wcet_scale > 0.0))
     throw model::ModelError("analyze_federated: wcet_scale must be > 0");
   std::optional<RtaContext> local_ctx;
@@ -64,6 +89,12 @@ FederatedResult analyze_federated(const model::TaskSet& ts,
   FederatedResult result;
   result.per_task.resize(ts.size());
   result.schedulable = true;
+  if (certificate != nullptr) {
+    certificate->limited = options.limited_concurrency;
+    certificate->dedicated_cores = 0;
+    certificate->shared_order.clear();
+    certificate->per_task.assign(ts.size(), cert::FederatedTaskCert{});
+  }
 
   const std::size_t m = ts.core_count();
   const double scale = options.wcet_scale;
@@ -81,30 +112,46 @@ FederatedResult analyze_federated(const model::TaskSet& ts,
   for (std::size_t i = 0; i < ts.size(); ++i) {
     const model::DagTask& task = ts.task(i);
     FederatedTaskResult& tr = result.per_task[i];
+    cert::FederatedTaskCert* tcert =
+        certificate != nullptr ? &certificate->per_task[i] : nullptr;
 
     const std::size_t bbar =
         options.limited_concurrency ? max_affecting_forks(task) : 0;
     const bool heavy = sutil[i] > 1.0;
     const bool promoted = options.limited_concurrency && bbar > 0;
+    if (tcert != nullptr) tcert->bbar = bbar;
 
     if (heavy || promoted) {
+      if (tcert != nullptr) {
+        tcert->dedicated = true;
+        if (options.limited_concurrency && bbar > 0)
+          tcert->concurrency =
+              cert::make_concurrency_witness(task, /*antichain=*/false);
+      }
       const std::size_t base = dedicated_core_demand(task, scale);
       if (base == 0) {
         tr.dedicated = true;
         tr.schedulable = false;
         result.schedulable = false;
+        if (tcert != nullptr) tcert->claim = cert::TaskClaim::kAllocationFailure;
         continue;
       }
       tr.dedicated = true;
       tr.cores = base + bbar;  // b̄ extra threads absorb the suspensions
+      if (tcert != nullptr) tcert->cores = tr.cores;
       if (tr.cores > cores_left) {
         tr.schedulable = false;
         result.schedulable = false;
+        if (tcert != nullptr) tcert->claim = cert::TaskClaim::kAllocationFailure;
         continue;
       }
       cores_left -= tr.cores;
       result.dedicated_cores += tr.cores;
       tr.schedulable = true;
+      if (tcert != nullptr) {
+        tcert->claim = cert::TaskClaim::kDedicated;
+        tcert->schedulable = true;
+      }
     } else {
       shared.push_back(i);
     }
@@ -122,6 +169,8 @@ FederatedResult analyze_federated(const model::TaskSet& ts,
     if (cores_left == 0) {
       tr.schedulable = false;
       result.schedulable = false;
+      if (certificate != nullptr)
+        certificate->per_task[i].claim = cert::TaskClaim::kNoSharedCores;
       continue;
     }
     const auto core = static_cast<std::size_t>(
@@ -129,6 +178,7 @@ FederatedResult analyze_federated(const model::TaskSet& ts,
     per_core[core].push_back(i);
     load[core] += sutil[i];
     tr.schedulable = true;  // provisional; the per-core RTA below decides
+    if (certificate != nullptr) certificate->per_task[i].core = core;
   }
 
   for (std::size_t core = 0; core < per_core.size(); ++core) {
@@ -141,11 +191,32 @@ FederatedResult analyze_federated(const model::TaskSet& ts,
     for (std::size_t i : tasks)
       triples.push_back({scale * ts.task(i).volume(), ts.task(i).period(),
                          ts.task(i).deadline()});
-    if (!uniprocessor_schedulable(triples)) {
+    UniRta uni;
+    const bool core_ok =
+        uniprocessor_schedulable(triples, certificate != nullptr ? &uni : nullptr);
+    if (!core_ok) {
       for (std::size_t i : tasks) result.per_task[i].schedulable = false;
       result.schedulable = false;
     }
+    if (certificate != nullptr) {
+      certificate->shared_order.push_back(tasks);
+      for (std::size_t k = 0; k < tasks.size(); ++k) {
+        cert::FederatedTaskCert& tc = certificate->per_task[tasks[k]];
+        tc.schedulable = core_ok;
+        tc.response = uni.response[k];
+        if (core_ok) {
+          tc.claim = cert::TaskClaim::kConverged;
+        } else if (k == uni.first_fail) {
+          tc.claim = cert::TaskClaim::kDeadlineMiss;
+        } else {
+          tc.claim = cert::TaskClaim::kSharedCoreFailure;
+          tc.blocker = tasks[uni.first_fail];
+        }
+      }
+    }
   }
+  if (certificate != nullptr)
+    certificate->dedicated_cores = result.dedicated_cores;
   return result;
 }
 

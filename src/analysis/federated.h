@@ -28,6 +28,10 @@
 
 namespace rtpool::analysis {
 
+namespace cert {
+struct FederatedCert;
+}  // namespace cert
+
 struct FederatedOptions {
   /// false = classic federated scheduling (blocking ignored, may deadlock);
   /// true = the limited-concurrency adaptation described above.
@@ -57,8 +61,14 @@ class RtaContext;
 ///
 /// `ctx` (optional, see rta_context.h) must have been built for `ts`; it
 /// provides reusable scratch so repeated scaled probes allocate nothing.
+///
+/// `certificate` (optional): when non-null, filled with a machine-checkable
+/// proof of the result (see cert.h) — the dedicated-core allocations with
+/// their b̄ witnesses, the shared-core placement in its analyzed
+/// (deadline-monotonic) order, and the per-task uniprocessor-RTA iterates.
 FederatedResult analyze_federated(const model::TaskSet& ts,
                                   const FederatedOptions& options = {},
-                                  RtaContext* ctx = nullptr);
+                                  RtaContext* ctx = nullptr,
+                                  cert::FederatedCert* certificate = nullptr);
 
 }  // namespace rtpool::analysis

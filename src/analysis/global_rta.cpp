@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "analysis/antichain.h"
+#include "analysis/cert.h"
 #include "analysis/concurrency.h"
 #include "analysis/rta_context.h"
 
@@ -42,7 +43,8 @@ Time inter_task_interference(Time svol, Time svolm, Time period, Time rj,
 }  // namespace
 
 GlobalRtaResult analyze_global(const model::TaskSet& ts,
-                               const GlobalRtaOptions& options, RtaContext* ctx) {
+                               const GlobalRtaOptions& options, RtaContext* ctx,
+                               cert::GlobalCert* certificate) {
   if (!ts.priorities_distinct())
     throw model::ModelError("analyze_global: task priorities must be distinct");
   if (!(options.wcet_scale > 0.0))
@@ -58,6 +60,14 @@ GlobalRtaResult analyze_global(const model::TaskSet& ts,
 
   const std::size_t m = ts.core_count();
   const double scale = options.wcet_scale;
+  if (certificate != nullptr) {
+    certificate->limited = options.limited_concurrency;
+    certificate->antichain_bound =
+        options.concurrency == ConcurrencyBound::kMaxAntichain;
+    certificate->carry_in = options.bound == InterferenceBound::kMelaniCarryIn;
+    certificate->max_iterations = options.max_iterations;
+    certificate->per_task.assign(ts.size(), cert::GlobalTaskCert{});
+  }
   GlobalRtaResult result;
   result.per_task.resize(ts.size());
   result.schedulable = true;
@@ -86,6 +96,11 @@ GlobalRtaResult analyze_global(const model::TaskSet& ts,
   for (std::size_t idx : ctx->priority_order()) {
     const model::DagTask& task = ts.task(idx);
     TaskRta& rta = result.per_task[idx];
+    cert::GlobalTaskCert* tcert =
+        certificate != nullptr ? &certificate->per_task[idx] : nullptr;
+    if (tcert != nullptr && options.limited_concurrency)
+      tcert->concurrency = cert::make_concurrency_witness(
+          task, options.concurrency == ConcurrencyBound::kMaxAntichain);
     rta.concurrency_bound =
         options.concurrency == ConcurrencyBound::kMaxAntichain
             ? available_concurrency_lower_bound_antichain(task, m)
@@ -98,6 +113,7 @@ GlobalRtaResult analyze_global(const model::TaskSet& ts,
         rta.schedulable = false;
         rta.response_time = util::kTimeInfinity;
         result.schedulable = false;
+        if (tcert != nullptr) tcert->claim = cert::TaskClaim::kConcurrencyZero;
         continue;
       }
       denominator = static_cast<double>(rta.concurrency_bound);
@@ -115,6 +131,15 @@ GlobalRtaResult analyze_global(const model::TaskSet& ts,
       rta.schedulable = false;
       rta.response_time = util::kTimeInfinity;
       result.schedulable = false;
+      if (tcert != nullptr) {
+        tcert->claim = cert::TaskClaim::kHpDiverged;
+        for (std::size_t j : hp) {
+          if (!std::isfinite(response[j])) {
+            tcert->blocker = j;
+            break;
+          }
+        }
+      }
       continue;
     }
 
@@ -161,6 +186,27 @@ GlobalRtaResult analyze_global(const model::TaskSet& ts,
     if (!rta.schedulable) {
       result.schedulable = false;
       if (!converged) response[idx] = util::kTimeInfinity;
+    }
+    if (tcert != nullptr) {
+      tcert->schedulable = rta.schedulable;
+      tcert->response = r;
+      tcert->denominator = denominator;
+      tcert->critical_path = len;
+      tcert->self_interference = self_interference;
+      if (converged) {
+        // The interference breakdown is re-evaluated at the final iterate:
+        // the recorded operands are a function of (r, hp responses) only,
+        // so warm-started and cold runs record identical certificates.
+        tcert->claim = cert::TaskClaim::kConverged;
+        tcert->hp_interference.reserve(hp.size());
+        for (std::size_t j : hp)
+          tcert->hp_interference.push_back(inter_task_interference(
+              svol[j], svolm[j], period[j], response[j], r, m, options.bound));
+      } else {
+        tcert->claim = util::time_lt(deadline, r)
+                           ? cert::TaskClaim::kDeadlineMiss
+                           : cert::TaskClaim::kIterationBudget;
+      }
     }
   }
 

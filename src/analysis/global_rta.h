@@ -30,6 +30,10 @@
 
 namespace rtpool::analysis {
 
+namespace cert {
+struct GlobalCert;
+}  // namespace cert
+
 /// Inter-task interference bound flavor.
 enum class InterferenceBound {
   kPaperCeil,      ///< ceil-based bound as printed in the DAC'19 paper.
@@ -82,8 +86,17 @@ class RtaContext;
 /// warm-start state for repeated scaled runs (see rta_context.h). Without a
 /// context the call derives the same state locally — results are identical
 /// either way.
+///
+/// `certificate` (optional): when non-null, filled with a machine-checkable
+/// proof of the result (see cert.h) — per-task claims, the final iterates
+/// with their interference breakdown, and the b̄ witnesses. Certificates
+/// are identical for warm-started and cold runs: converged fixed points are
+/// bit-identical by the warm-start invariant, diverging warm runs are rerun
+/// cold, and the breakdown is recorded by re-evaluating the recurrence at
+/// the final iterate.
 GlobalRtaResult analyze_global(const model::TaskSet& ts,
                                const GlobalRtaOptions& options = {},
-                               RtaContext* ctx = nullptr);
+                               RtaContext* ctx = nullptr,
+                               cert::GlobalCert* certificate = nullptr);
 
 }  // namespace rtpool::analysis

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <optional>
 
+#include "analysis/cert.h"
+#include "analysis/concurrency.h"
+#include "analysis/deadlock.h"
 #include "analysis/rta_context.h"
 #include "graph/algorithms.h"
 #include "util/bitset.h"
@@ -83,7 +86,8 @@ std::vector<Time> fifo_blocking_vector(const model::DagTask& task,
 PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
                                          const TaskSetPartition& partition,
                                          const PartitionedRtaOptions& options,
-                                         RtaContext* ctx) {
+                                         RtaContext* ctx,
+                                         cert::PartitionedCert* certificate) {
   if (!ts.priorities_distinct())
     throw model::ModelError("analyze_partitioned: task priorities must be distinct");
   if (!(options.wcet_scale > 0.0))
@@ -107,6 +111,18 @@ PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
 
   const std::size_t m = ts.core_count();
   const double scale = options.wcet_scale;
+  if (certificate != nullptr) {
+    certificate->split = options.bound == PartitionedBound::kSplitPerSegment;
+    certificate->require_deadlock_free = options.require_deadlock_free;
+    certificate->max_iterations = options.max_iterations;
+    certificate->thread_of.clear();
+    certificate->thread_of.reserve(ts.size());
+    for (const NodeAssignment& a : partition.per_task)
+      certificate->thread_of.push_back(a.thread_of);
+    certificate->core_load = partition.core_utilization(ts);
+    certificate->partition_failure.clear();
+    certificate->per_task.assign(ts.size(), cert::PartitionedTaskCert{});
+  }
   PartitionedRtaResult result;
   result.per_task.resize(ts.size());
   result.schedulable = true;
@@ -129,11 +145,30 @@ PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
     const model::DagTask& task = ts.task(idx);
     const std::size_t n = task.node_count();
     PartitionedTaskRta& rta = result.per_task[idx];
+    cert::PartitionedTaskCert* tcert =
+        certificate != nullptr ? &certificate->per_task[idx] : nullptr;
 
     rta.deadlock_free = ctx->deadlock_free(idx);
+    if (tcert != nullptr) tcert->deadlock_free = rta.deadlock_free;
     if (options.require_deadlock_free && !rta.deadlock_free) {
       rta.schedulable = false;
       result.schedulable = false;
+      if (tcert != nullptr) {
+        // Which half of Lemma 3 failed: b̄ ≥ m (blocking chain) or Eq. (3)
+        // (a BC node co-located with a dangerous fork).
+        if (max_affecting_forks(task) >= m) {
+          tcert->claim = cert::TaskClaim::kConcurrencyZero;
+          tcert->concurrency =
+              cert::make_concurrency_witness(task, /*antichain=*/false);
+        } else {
+          tcert->claim = cert::TaskClaim::kEq3Violation;
+          const auto violation =
+              find_eq3_violation(task, partition.per_task[idx]);
+          if (violation.has_value())
+            tcert->eq3 = cert::Eq3WitnessCert{violation->bc_node,
+                                              violation->fork, violation->thread};
+        }
+      }
       continue;
     }
 
@@ -144,6 +179,15 @@ PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
     if (hp_diverged) {
       rta.schedulable = false;
       result.schedulable = false;
+      if (tcert != nullptr) {
+        tcert->claim = cert::TaskClaim::kHpDiverged;
+        for (std::size_t j : hp) {
+          if (!std::isfinite(response[j])) {
+            tcert->blocker = j;
+            break;
+          }
+        }
+      }
       continue;
     }
 
@@ -162,31 +206,45 @@ PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
       const Time base = graph::longest_path_length(task.dag(), ctx->topo_order(idx),
                                                    weights, ctx->dp_scratch());
 
-      Time r = base;
-      if (use_warm && warm.response[idx] > r) {
-        r = warm.response[idx];
-        ctx->note_warm_hit();
-      }
-      bool converged = false;
-      for (int iter = 0; iter < options.max_iterations; ++iter) {
-        Time demand = base;
-        for (std::size_t j : hp) {
-          const std::vector<Time>& wj = ctx->core_workload(j);
-          const Time period_j = ts.task(j).period();
-          for (std::size_t p = 0; p < m; ++p) {
-            if (my_workload[p] <= 0.0) continue;  // τ_i never runs there
-            const Time wjp = scale * wj[p];
-            if (wjp <= 0.0) continue;
-            const Time jitter = std::max(response[j] - wjp, 0.0);
-            demand += util::ceil_div(r + jitter, period_j) * wjp;
+      const auto iterate = [&](Time start, Time& r_out) {
+        Time r = start;
+        bool converged = false;
+        for (int iter = 0; iter < options.max_iterations; ++iter) {
+          Time demand = base;
+          for (std::size_t j : hp) {
+            const std::vector<Time>& wj = ctx->core_workload(j);
+            const Time period_j = ts.task(j).period();
+            for (std::size_t p = 0; p < m; ++p) {
+              if (my_workload[p] <= 0.0) continue;  // τ_i never runs there
+              const Time wjp = scale * wj[p];
+              if (wjp <= 0.0) continue;
+              const Time jitter = std::max(response[j] - wjp, 0.0);
+              demand += util::ceil_div(r + jitter, period_j) * wjp;
+            }
           }
+          if (util::time_le(demand, r)) {
+            converged = true;
+            break;
+          }
+          r = demand;
+          if (util::time_lt(deadline, r)) break;
         }
-        if (util::time_le(demand, r)) {
-          converged = true;
-          break;
-        }
-        r = demand;
-        if (util::time_lt(deadline, r)) break;
+        r_out = r;
+        return converged;
+      };
+
+      Time start = base;
+      const bool warm_used = use_warm && warm.response[idx] > start;
+      if (warm_used) start = warm.response[idx];
+      Time r;
+      bool converged = iterate(start, r);
+      if (warm_used && !(converged && util::time_le(r, deadline))) {
+        // A diverging iteration stops at a start-dependent partial value;
+        // rerun cold so the bookkeeping (and any emitted certificate)
+        // matches a cold run bit-for-bit, exactly as analyze_global does.
+        converged = iterate(base, r);
+      } else if (warm_used) {
+        ctx->note_warm_hit();
       }
       rta.response_time = converged ? r : util::kTimeInfinity;
       rta.schedulable = converged && util::time_le(r, deadline);
@@ -195,40 +253,85 @@ PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
         result.schedulable = false;
         response[idx] = util::kTimeInfinity;
       }
+      if (tcert != nullptr) {
+        tcert->schedulable = rta.schedulable;
+        tcert->response = rta.response_time;
+        tcert->holistic_base = base;
+        if (converged) {
+          tcert->claim = cert::TaskClaim::kConverged;
+        } else {
+          tcert->claim = util::time_lt(deadline, r)
+                             ? cert::TaskClaim::kDeadlineMiss
+                             : cert::TaskClaim::kIterationBudget;
+          tcert->miss_value = r;
+        }
+      }
       continue;
     }
 
     // SPLIT: per-segment response times, composed along the longest path.
+    if (tcert != nullptr) {
+      tcert->segments.assign(n, cert::SegmentCert{});
+      for (model::NodeId v = 0; v < n; ++v)
+        tcert->segments[v].blocking = blocking[v];
+    }
     bool task_diverged = false;
     std::vector<Time>& segment = ctx->weights_scratch();
     segment.assign(n, 0.0);
     for (model::NodeId v = 0; v < n && !task_diverged; ++v) {
       const ThreadId core = thread_of[v];
       const Time base = scale * (task.wcet(v) + blocking[v]);
-      Time x = base;
-      if (use_warm && warm.segments[idx][v] > x) {
-        x = warm.segments[idx][v];
+      const auto iterate = [&](Time start, Time& x_out) {
+        Time x = start;
+        bool converged = false;
+        for (int iter = 0; iter < options.max_iterations; ++iter) {
+          Time demand = base;
+          for (std::size_t j : hp) {
+            const Time wjp = scale * ctx->core_workload(j)[core];
+            if (wjp <= 0.0) continue;
+            const Time jitter = std::max(response[j] - wjp, 0.0);
+            demand += util::ceil_div(x + jitter, ts.task(j).period()) * wjp;
+          }
+          if (util::time_le(demand, x)) {
+            converged = true;
+            break;
+          }
+          x = demand;
+          if (util::time_lt(deadline, x)) break;  // segment alone misses D
+        }
+        x_out = x;
+        return converged;
+      };
+      const auto diverges = [&](bool converged, Time x) {
+        return (!converged && util::time_le(x, deadline)) ||
+               util::time_lt(deadline, x);
+      };
+
+      Time start = base;
+      const bool warm_used = use_warm && warm.segments[idx][v] > start;
+      if (warm_used) start = warm.segments[idx][v];
+      Time x;
+      bool converged = iterate(start, x);
+      if (warm_used && diverges(converged, x)) {
+        // Divergence stops at a start-dependent iterate; rerun cold so the
+        // bookkeeping (and any emitted certificate) matches a cold run
+        // bit-for-bit, exactly as analyze_global does.
+        converged = iterate(base, x);
+      } else if (warm_used) {
         ctx->note_warm_hit();
       }
-      bool converged = false;
-      for (int iter = 0; iter < options.max_iterations; ++iter) {
-        Time demand = base;
-        for (std::size_t j : hp) {
-          const Time wjp = scale * ctx->core_workload(j)[core];
-          if (wjp <= 0.0) continue;
-          const Time jitter = std::max(response[j] - wjp, 0.0);
-          demand += util::ceil_div(x + jitter, ts.task(j).period()) * wjp;
-        }
-        if (util::time_le(demand, x)) {
-          converged = true;
-          break;
-        }
-        x = demand;
-        if (util::time_lt(deadline, x)) break;  // segment alone misses D
-      }
       segment[v] = x;
-      if (!converged && util::time_le(x, deadline)) task_diverged = true;
-      if (util::time_lt(deadline, x)) task_diverged = true;
+      if (tcert != nullptr) tcert->segments[v].response = x;
+      if (diverges(converged, x)) {
+        task_diverged = true;
+        if (tcert != nullptr) {
+          tcert->claim = util::time_lt(deadline, x)
+                             ? cert::TaskClaim::kDeadlineMiss
+                             : cert::TaskClaim::kIterationBudget;
+          tcert->miss_node = v;
+          tcert->miss_value = x;
+        }
+      }
     }
 
     if (task_diverged) {
@@ -248,6 +351,11 @@ PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
       response[idx] = util::kTimeInfinity;
     }
     if (rta.schedulable && !segments_out.empty()) segments_out[idx] = segment;
+    if (tcert != nullptr) {
+      tcert->claim = cert::TaskClaim::kConverged;
+      tcert->schedulable = rta.schedulable;
+      tcert->response = rta.response_time;
+    }
   }
 
   // Record warm state only from fully schedulable runs: every fixed point

@@ -35,6 +35,10 @@
 
 namespace rtpool::analysis {
 
+namespace cert {
+struct PartitionedCert;
+}  // namespace cert
+
 /// Composition rule for the per-core interference.
 enum class PartitionedBound {
   /// SPLIT-style: interference charged once per *segment* (node); the task
@@ -105,9 +109,16 @@ std::vector<util::Time> per_core_workload_vector(const model::DagTask& task,
 /// vectors, per-core workloads and Lemma-3 verdicts per (task, partition)
 /// binding and carries warm-start state across scaled re-runs (see
 /// rta_context.h). Results are identical with or without a context.
+///
+/// `certificate` (optional): when non-null, filled with a machine-checkable
+/// proof of the result (see cert.h) — the partition echo with core loads,
+/// per-segment blocking/response operands, deadline-miss iterates, and the
+/// Lemma-3 witnesses. Warm-started runs whose fixed point diverges are
+/// rerun cold, so warm certificates are bit-identical to cold ones.
 PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
                                          const TaskSetPartition& partition,
                                          const PartitionedRtaOptions& options = {},
-                                         RtaContext* ctx = nullptr);
+                                         RtaContext* ctx = nullptr,
+                                         cert::PartitionedCert* certificate = nullptr);
 
 }  // namespace rtpool::analysis

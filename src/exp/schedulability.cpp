@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "analysis/analyzer.h"
+#include "analysis/cert_check.h"
 #include "analysis/rta_context.h"
 #include "exec/thread_pool.h"
 #include "util/thread_annotations.h"
@@ -103,7 +104,24 @@ namespace {
 struct AttemptOutcome {
   bool generated = false;  ///< false → gen::GenerationError.
   SetVerdict verdict;
+  bool certified = false;       ///< Attempt was sampled for certification.
+  std::size_t cert_failures = 0;///< Certificates the checker rejected (0–2).
 };
+
+/// Salt for the certify-sampling stream: decorrelates the sample decision
+/// from every draw the generator makes without advancing the attempt RNG.
+constexpr std::uint64_t kCertifySalt = 0x9e3779b97f4a7c15ULL;
+
+/// Run one analyzer with certificate emission on and count a failure when
+/// the certificate is missing or the independent checker rejects it.
+std::size_t certify_one(const analysis::Analyzer& analyzer,
+                        const model::TaskSet& ts, analysis::RtaContext& ctx) {
+  analysis::AnalyzerOptions opts;
+  opts.diagnostics = true;
+  const analysis::Report rep = analyzer.analyze(ts, ctx, opts);
+  if (rep.certificate == nullptr) return 1;
+  return analysis::cert::check_certificate(ts, *rep.certificate).ok() ? 0 : 1;
+}
 
 }  // namespace
 
@@ -126,6 +144,21 @@ PointResult ExperimentEngine::evaluate_point(const AnalyzerPair& pair,
           // attempt-order determinism guarantee is untouched.
           analysis::RtaContext ctx(ts);
           outcome.verdict = evaluate_task_set(pair, ts, &ctx);
+          if (config.certify_sample > 0) {
+            // Sample decision from a salted fork of the attempt stream:
+            // independent of the generator's draws, so the sampled subset is
+            // a pure function of (root seed, attempt index) — identical for
+            // every thread count.
+            const double p =
+                std::min(1.0, static_cast<double>(config.certify_sample) /
+                                  static_cast<double>(config.trials));
+            util::Rng crng = arng.fork_with(kCertifySalt);
+            if (crng.bernoulli(p)) {
+              outcome.certified = true;
+              outcome.cert_failures = certify_one(*pair.baseline, ts, ctx) +
+                                      certify_one(*pair.proposed, ts, ctx);
+            }
+          }
         } catch (const gen::GenerationError&) {
           outcome.generated = false;
         }
@@ -143,6 +176,10 @@ PointResult ExperimentEngine::evaluate_point(const AnalyzerPair& pair,
         ++result.accepted;
         if (outcome.verdict.baseline) ++result.baseline_schedulable;
         if (outcome.verdict.proposed) ++result.proposed_schedulable;
+        if (outcome.certified) {
+          ++result.certified;
+          result.cert_failures += outcome.cert_failures;
+        }
         result.verdicts.push_back(outcome.verdict);
         return true;
       });

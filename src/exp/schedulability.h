@@ -82,6 +82,13 @@ struct PointConfig {
   /// Upper bound on generation attempts (incl. discarded sets) per point;
   /// prevents infinite loops when the filter is too strict.
   int max_attempts = 100000;
+  /// Certificate spot-checking: re-run both analyzers with certificate
+  /// emission on for roughly this many accepted sets per point (0 = off)
+  /// and validate each certificate with the independent checker
+  /// (analysis/cert_check.h). Each attempt decides from its own forked RNG
+  /// whether it is sampled, so the sampled subset — and every count — is
+  /// bit-identical for any engine thread count.
+  int certify_sample = 0;
 };
 
 /// Per-set verdicts, exposed for tests and custom sweeps.
@@ -99,6 +106,11 @@ struct PointResult {
   std::size_t discarded = 0;        ///< Sets rejected by the baseline filter.
   std::size_t generation_errors = 0;///< Blocking-window resampling failures.
   bool attempts_exhausted = false;  ///< Point is incomplete (filter too strict).
+  /// Accepted sets whose certificates were spot-checked (certify_sample).
+  std::size_t certified = 0;
+  /// Certificates the independent checker rejected (two per certified set
+  /// are checked: baseline and proposed). Always 0 for a sound build.
+  std::size_t cert_failures = 0;
   /// Verdicts of the accepted sets, committed in attempt order (identical
   /// for every thread count; used by the determinism tests).
   std::vector<SetVerdict> verdicts;

@@ -154,4 +154,366 @@ std::string render_json(const analysis::Report& report, const model::TaskSet& ts
   return os.str();
 }
 
+// ---- certificate renderers ----
+
+namespace {
+
+namespace cert = analysis::cert;
+
+std::string task_label(const model::TaskSet& ts, std::size_t index) {
+  if (index < ts.size()) return ts.task(index).name();
+  return "task#" + std::to_string(index);
+}
+
+void write_time_or_null(util::JsonWriter& w, util::Time t) {
+  if (std::isfinite(t))
+    w.value(t);
+  else
+    w.null();
+}
+
+void write_index_or_null(util::JsonWriter& w, std::size_t index) {
+  if (index == cert::kNoIndex)
+    w.null();
+  else
+    w.value(static_cast<std::uint64_t>(index));
+}
+
+void write_witness(util::JsonWriter& w, const cert::ConcurrencyWitness& cw) {
+  w.begin_object();
+  w.kv("bbar", static_cast<std::uint64_t>(cw.bbar));
+  w.kv("antichain", cw.antichain);
+  w.key("pivot");
+  write_index_or_null(w, cw.pivot);
+  w.key("forks").begin_array();
+  for (model::NodeId fork : cw.forks) w.value(static_cast<std::uint64_t>(fork));
+  w.end_array();
+  w.end_object();
+}
+
+void print_witness(std::ostream& os, const cert::ConcurrencyWitness& cw) {
+  os << "b-bar = " << cw.bbar << " via ";
+  if (cw.antichain)
+    os << "antichain {";
+  else
+    os << "X(" << cw.pivot << ") = {";
+  for (std::size_t i = 0; i < cw.forks.size(); ++i)
+    os << (i == 0 ? "" : ", ") << cw.forks[i];
+  os << "}";
+}
+
+void print_global(const cert::GlobalCert& g, const model::TaskSet& ts,
+                  std::ostream& os) {
+  os << "  bounds:" << (g.limited ? " limited-concurrency" : " baseline")
+     << (g.antichain_bound ? " antichain" : "")
+     << (g.carry_in ? " carry-in" : "")
+     << ", max iterations = " << g.max_iterations << "\n";
+  for (std::size_t i = 0; i < g.per_task.size(); ++i) {
+    const cert::GlobalTaskCert& tc = g.per_task[i];
+    os << "  " << task_label(ts, i) << ": " << cert::to_string(tc.claim);
+    switch (tc.claim) {
+      case cert::TaskClaim::kConverged:
+        os << "  R = " << tc.response << " (len = " << tc.critical_path
+           << ", self = " << tc.self_interference
+           << ", denom = " << tc.denominator << ")";
+        break;
+      case cert::TaskClaim::kDeadlineMiss:
+      case cert::TaskClaim::kIterationBudget:
+        os << "  final iterate " << tc.response;
+        if (i < ts.size()) os << ", D = " << ts.task(i).deadline();
+        break;
+      case cert::TaskClaim::kHpDiverged:
+        os << "  blocker '" << task_label(ts, tc.blocker) << "'";
+        break;
+      default:
+        break;
+    }
+    if (tc.concurrency.has_value()) {
+      os << " [";
+      print_witness(os, *tc.concurrency);
+      os << "]";
+    }
+    os << "\n";
+  }
+}
+
+void print_partitioned(const cert::PartitionedCert& p, const model::TaskSet& ts,
+                       std::ostream& os) {
+  os << "  bounds: " << (p.split ? "split" : "holistic")
+     << (p.require_deadlock_free ? ", require-deadlock-free" : "")
+     << ", max iterations = " << p.max_iterations << "\n";
+  if (!p.partition_failure.empty())
+    os << "  partition failure: " << p.partition_failure << "\n";
+  if (!p.core_load.empty()) {
+    os << "  core loads:";
+    for (double load : p.core_load) os << " " << load;
+    os << "\n";
+  }
+  for (std::size_t i = 0; i < p.per_task.size(); ++i) {
+    const cert::PartitionedTaskCert& tc = p.per_task[i];
+    os << "  " << task_label(ts, i) << ": " << cert::to_string(tc.claim);
+    switch (tc.claim) {
+      case cert::TaskClaim::kConverged:
+        os << "  R = " << tc.response;
+        if (p.split)
+          os << " (" << tc.segments.size() << " segments)";
+        else
+          os << " (base = " << tc.holistic_base << ")";
+        break;
+      case cert::TaskClaim::kDeadlineMiss:
+      case cert::TaskClaim::kIterationBudget:
+        os << "  iterate " << tc.miss_value;
+        if (tc.miss_node != cert::kNoIndex) os << " at node " << tc.miss_node;
+        if (i < ts.size()) os << ", D = " << ts.task(i).deadline();
+        break;
+      case cert::TaskClaim::kEq3Violation:
+        if (tc.eq3.has_value())
+          os << "  BC node " << tc.eq3->bc_node << " and fork " << tc.eq3->fork
+             << " share thread " << tc.eq3->thread;
+        break;
+      case cert::TaskClaim::kHpDiverged:
+        os << "  blocker '" << task_label(ts, tc.blocker) << "'";
+        break;
+      default:
+        break;
+    }
+    if (tc.concurrency.has_value()) {
+      os << " [";
+      print_witness(os, *tc.concurrency);
+      os << "]";
+    }
+    if (tc.deadlock_free && tc.claim != cert::TaskClaim::kPartitionFailure)
+      os << " (deadlock-free)";
+    os << "\n";
+  }
+}
+
+void print_federated(const cert::FederatedCert& f, const model::TaskSet& ts,
+                     std::ostream& os) {
+  os << "  bounds: " << (f.limited ? "limited-concurrency" : "baseline")
+     << ", dedicated cores = " << f.dedicated_cores << "\n";
+  for (std::size_t i = 0; i < f.per_task.size(); ++i) {
+    const cert::FederatedTaskCert& tc = f.per_task[i];
+    os << "  " << task_label(ts, i) << ": " << cert::to_string(tc.claim);
+    switch (tc.claim) {
+      case cert::TaskClaim::kDedicated:
+        os << "  " << tc.cores << " cores";
+        if (f.limited) os << " (b-bar = " << tc.bbar << ")";
+        break;
+      case cert::TaskClaim::kConverged:
+      case cert::TaskClaim::kDeadlineMiss:
+        os << "  R = " << tc.response << " on shared core " << tc.core;
+        if (i < ts.size()) os << ", D = " << ts.task(i).deadline();
+        break;
+      case cert::TaskClaim::kAllocationFailure:
+        os << "  demand " << tc.cores << " cores";
+        break;
+      case cert::TaskClaim::kSharedCoreFailure:
+        os << "  blocker '" << task_label(ts, tc.blocker) << "'";
+        break;
+      default:
+        break;
+    }
+    if (tc.concurrency.has_value()) {
+      os << " [";
+      print_witness(os, *tc.concurrency);
+      os << "]";
+    }
+    os << "\n";
+  }
+}
+
+void write_global(util::JsonWriter& w, const cert::GlobalCert& g,
+                  const model::TaskSet& ts) {
+  w.begin_object();
+  w.kv("limited", g.limited);
+  w.kv("antichain_bound", g.antichain_bound);
+  w.kv("carry_in", g.carry_in);
+  w.kv("max_iterations", g.max_iterations);
+  w.key("per_task").begin_array();
+  for (std::size_t i = 0; i < g.per_task.size(); ++i) {
+    const cert::GlobalTaskCert& tc = g.per_task[i];
+    w.begin_object();
+    w.kv("task", task_label(ts, i));
+    w.kv("claim", cert::to_string(tc.claim));
+    w.kv("schedulable", tc.schedulable);
+    w.key("response");
+    write_time_or_null(w, tc.response);
+    w.kv("denominator", tc.denominator);
+    w.kv("critical_path", tc.critical_path);
+    w.kv("self_interference", tc.self_interference);
+    w.key("hp_interference").begin_array();
+    for (util::Time interference : tc.hp_interference) w.value(interference);
+    w.end_array();
+    w.key("concurrency");
+    if (tc.concurrency.has_value())
+      write_witness(w, *tc.concurrency);
+    else
+      w.null();
+    w.key("blocker");
+    write_index_or_null(w, tc.blocker);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_partitioned(util::JsonWriter& w, const cert::PartitionedCert& p,
+                       const model::TaskSet& ts) {
+  w.begin_object();
+  w.kv("split", p.split);
+  w.kv("require_deadlock_free", p.require_deadlock_free);
+  w.kv("max_iterations", p.max_iterations);
+  w.kv("partition_failure", p.partition_failure);
+  w.key("thread_of").begin_array();
+  for (const std::vector<std::uint32_t>& threads : p.thread_of) {
+    w.begin_array();
+    for (std::uint32_t thread : threads)
+      w.value(static_cast<std::uint64_t>(thread));
+    w.end_array();
+  }
+  w.end_array();
+  w.key("core_load").begin_array();
+  for (double load : p.core_load) w.value(load);
+  w.end_array();
+  w.key("per_task").begin_array();
+  for (std::size_t i = 0; i < p.per_task.size(); ++i) {
+    const cert::PartitionedTaskCert& tc = p.per_task[i];
+    w.begin_object();
+    w.kv("task", task_label(ts, i));
+    w.kv("claim", cert::to_string(tc.claim));
+    w.kv("schedulable", tc.schedulable);
+    w.kv("deadlock_free", tc.deadlock_free);
+    w.key("response");
+    write_time_or_null(w, tc.response);
+    w.kv("holistic_base", tc.holistic_base);
+    w.key("segments").begin_array();
+    for (const cert::SegmentCert& seg : tc.segments) {
+      w.begin_object();
+      w.kv("blocking", seg.blocking);
+      w.kv("response", seg.response);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("miss_node");
+    write_index_or_null(w, tc.miss_node);
+    w.key("miss_value");
+    write_time_or_null(w, tc.miss_value);
+    w.key("concurrency");
+    if (tc.concurrency.has_value())
+      write_witness(w, *tc.concurrency);
+    else
+      w.null();
+    w.key("eq3");
+    if (tc.eq3.has_value()) {
+      w.begin_object();
+      w.kv("bc_node", static_cast<std::uint64_t>(tc.eq3->bc_node));
+      w.kv("fork", static_cast<std::uint64_t>(tc.eq3->fork));
+      w.kv("thread", static_cast<std::uint64_t>(tc.eq3->thread));
+      w.end_object();
+    } else {
+      w.null();
+    }
+    w.key("blocker");
+    write_index_or_null(w, tc.blocker);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_federated(util::JsonWriter& w, const cert::FederatedCert& f,
+                     const model::TaskSet& ts) {
+  w.begin_object();
+  w.kv("limited", f.limited);
+  w.kv("dedicated_cores", static_cast<std::uint64_t>(f.dedicated_cores));
+  w.key("shared_order").begin_array();
+  for (const std::vector<std::size_t>& core : f.shared_order) {
+    w.begin_array();
+    for (std::size_t task : core) w.value(static_cast<std::uint64_t>(task));
+    w.end_array();
+  }
+  w.end_array();
+  w.key("per_task").begin_array();
+  for (std::size_t i = 0; i < f.per_task.size(); ++i) {
+    const cert::FederatedTaskCert& tc = f.per_task[i];
+    w.begin_object();
+    w.kv("task", task_label(ts, i));
+    w.kv("claim", cert::to_string(tc.claim));
+    w.kv("schedulable", tc.schedulable);
+    w.kv("dedicated", tc.dedicated);
+    w.kv("cores", static_cast<std::uint64_t>(tc.cores));
+    w.kv("bbar", static_cast<std::uint64_t>(tc.bbar));
+    w.key("concurrency");
+    if (tc.concurrency.has_value())
+      write_witness(w, *tc.concurrency);
+    else
+      w.null();
+    w.key("core");
+    write_index_or_null(w, tc.core);
+    w.key("response");
+    write_time_or_null(w, tc.response);
+    w.key("blocker");
+    write_index_or_null(w, tc.blocker);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+void render_text(const cert::Certificate& certificate, const model::TaskSet& ts,
+                 std::ostream& os) {
+  os << "certificate '" << certificate.analyzer << "' ("
+     << cert::to_string(certificate.family)
+     << " family, scale = " << certificate.wcet_scale << "): "
+     << (certificate.schedulable ? "schedulable" : "unschedulable") << "\n";
+  if (certificate.global.has_value()) print_global(*certificate.global, ts, os);
+  if (certificate.partitioned.has_value())
+    print_partitioned(*certificate.partitioned, ts, os);
+  if (certificate.federated.has_value())
+    print_federated(*certificate.federated, ts, os);
+}
+
+void render_json(const cert::Certificate& certificate, const model::TaskSet& ts,
+                 std::ostream& os) {
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("tool", "rtpool-certificate");
+  w.kv("version", 1);
+  w.kv("analyzer", certificate.analyzer);
+  w.kv("family", cert::to_string(certificate.family));
+  w.kv("wcet_scale", certificate.wcet_scale);
+  w.kv("schedulable", certificate.schedulable);
+  if (certificate.global.has_value()) {
+    w.key("global");
+    write_global(w, *certificate.global, ts);
+  }
+  if (certificate.partitioned.has_value()) {
+    w.key("partitioned");
+    write_partitioned(w, *certificate.partitioned, ts);
+  }
+  if (certificate.federated.has_value()) {
+    w.key("federated");
+    write_federated(w, *certificate.federated, ts);
+  }
+  w.end_object();
+  os << "\n";
+}
+
+std::string render_text(const cert::Certificate& certificate,
+                        const model::TaskSet& ts) {
+  std::ostringstream os;
+  render_text(certificate, ts, os);
+  return os.str();
+}
+
+std::string render_json(const cert::Certificate& certificate,
+                        const model::TaskSet& ts) {
+  std::ostringstream os;
+  render_json(certificate, ts, os);
+  return os.str();
+}
+
 }  // namespace rtpool::lint

@@ -21,23 +21,70 @@ void JsonWriter::before_value() {
 }
 
 void JsonWriter::write_string(const std::string& s) {
+  // RFC 8259 strings must be valid UTF-8. ASCII control characters are
+  // escaped; multi-byte sequences are validated against RFC 3629 (length,
+  // continuation bytes, overlongs, surrogate range, <= U+10FFFF) and passed
+  // through verbatim when well-formed. Each ill-formed byte is replaced by
+  // one U+FFFD so the output is always parseable JSON.
+  static const char kReplacement[] = "\xEF\xBF\xBD";  // U+FFFD in UTF-8.
+  const auto* bytes = reinterpret_cast<const unsigned char*>(s.data());
+  const std::size_t n = s.size();
   out_ << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out_ << "\\\""; break;
-      case '\\': out_ << "\\\\"; break;
-      case '\n': out_ << "\\n"; break;
-      case '\r': out_ << "\\r"; break;
-      case '\t': out_ << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out_ << buf;
-        } else {
-          out_ << c;
-        }
+  std::size_t i = 0;
+  while (i < n) {
+    const unsigned char c = bytes[i];
+    if (c < 0x80) {
+      switch (c) {
+        case '"': out_ << "\\\""; break;
+        case '\\': out_ << "\\\\"; break;
+        case '\n': out_ << "\\n"; break;
+        case '\r': out_ << "\\r"; break;
+        case '\t': out_ << "\\t"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ << buf;
+          } else {
+            out_ << static_cast<char>(c);
+          }
+      }
+      ++i;
+      continue;
     }
+    std::size_t length = 0;
+    unsigned code = 0;
+    unsigned min_code = 0;
+    if ((c & 0xE0) == 0xC0) {
+      length = 2; code = c & 0x1Fu; min_code = 0x80;
+    } else if ((c & 0xF0) == 0xE0) {
+      length = 3; code = c & 0x0Fu; min_code = 0x800;
+    } else if ((c & 0xF8) == 0xF0) {
+      length = 4; code = c & 0x07u; min_code = 0x10000;
+    } else {
+      // Stray continuation byte or 0xF8–0xFF lead byte.
+      out_ << kReplacement;
+      ++i;
+      continue;
+    }
+    bool valid = i + length <= n;
+    for (std::size_t k = 1; valid && k < length; ++k) {
+      if ((bytes[i + k] & 0xC0) != 0x80) {
+        valid = false;
+      } else {
+        code = (code << 6) | (bytes[i + k] & 0x3Fu);
+      }
+    }
+    valid = valid && code >= min_code && code <= 0x10FFFF &&
+            (code < 0xD800 || code > 0xDFFF);
+    if (!valid) {
+      out_ << kReplacement;
+      ++i;  // Resynchronize on the next byte, one U+FFFD per bad byte.
+      continue;
+    }
+    out_.write(s.data() + static_cast<std::ptrdiff_t>(i),
+               static_cast<std::streamsize>(length));
+    i += length;
   }
   out_ << '"';
 }
@@ -313,7 +360,7 @@ class JsonParser {
     }
   }
 
-  void append_unicode_escape(std::string& out) {
+  unsigned parse_hex4() {
     if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
     unsigned code = 0;
     for (int i = 0; i < 4; ++i) {
@@ -324,15 +371,45 @@ class JsonParser {
       else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
       else fail("bad hex digit in \\u escape");
     }
-    // UTF-8 encode the code point (surrogate pairs are not combined: the
-    // writer only emits \u00XX control escapes, which never need them).
+    return code;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned code = parse_hex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: combine with an immediately following \uDC00–\uDFFF
+      // into one supplementary-plane code point (RFC 8259 §7). An unpaired
+      // high surrogate decodes to U+FFFD and the next escape is re-parsed
+      // on its own.
+      if (pos_ + 2 <= text_.size() && text_[pos_] == '\\' &&
+          text_[pos_ + 1] == 'u') {
+        const std::size_t saved = pos_;
+        pos_ += 2;
+        const unsigned low = parse_hex4();
+        if (low >= 0xDC00 && low <= 0xDFFF) {
+          code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+        } else {
+          pos_ = saved;
+          code = 0xFFFD;
+        }
+      } else {
+        code = 0xFFFD;
+      }
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      code = 0xFFFD;  // Lone low surrogate.
+    }
     if (code < 0x80) {
       out.push_back(static_cast<char>(code));
     } else if (code < 0x800) {
       out.push_back(static_cast<char>(0xC0 | (code >> 6)));
       out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
+    } else if (code < 0x10000) {
       out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
     }

@@ -4,12 +4,17 @@
 // The writer supports the subset needed by the trace/report exporters:
 // nested objects and arrays, string escaping, finite numbers (non-finite
 // doubles are emitted as strings "inf"/"-inf"/"nan" to stay valid JSON),
-// booleans and null. Usage errors (value without a pending key inside an
+// booleans and null. Strings are treated as UTF-8: control characters are
+// \u-escaped, well-formed multi-byte sequences pass through verbatim, and
+// each ill-formed byte (stray continuation, overlong, surrogate half,
+// > U+10FFFF, truncated sequence) is replaced by U+FFFD so the output is
+// always valid JSON. Usage errors (value without a pending key inside an
 // object, mismatched end_*) throw std::logic_error.
 //
 // The parser (`parse_json`) accepts everything the writer can emit — used
 // by tests to round-trip exported reports/diagnostics — plus standard JSON
-// it never produces (\uXXXX escapes, exponents, whitespace). Malformed
+// it never produces (\uXXXX escapes incl. surrogate pairs, exponents,
+// whitespace). Unpaired surrogate escapes decode to U+FFFD; malformed
 // input throws JsonParseError with the offending byte offset.
 #pragma once
 

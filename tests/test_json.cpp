@@ -178,5 +178,57 @@ TEST(JsonParserTest, KindMismatchThrows) {
   EXPECT_THROW(parse_json("{}").at("k"), std::out_of_range);
 }
 
+namespace {
+std::string write_string_value(const std::string& s) {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.value(s);
+  return os.str();
+}
+}  // namespace
+
+TEST(JsonWriterTest, PassesWellFormedUtf8Through) {
+  // 2-byte (é), 3-byte (€), 4-byte (𝄞) sequences survive verbatim.
+  const std::string s = "caf\xC3\xA9 \xE2\x82\xAC \xF0\x9D\x84\x9E";
+  EXPECT_EQ(write_string_value(s), "\"" + s + "\"");
+  EXPECT_EQ(parse_json(write_string_value(s)).as_string(), s);
+}
+
+TEST(JsonWriterTest, ReplacesIllFormedUtf8) {
+  const std::string fffd = "\xEF\xBF\xBD";
+  // Stray continuation byte.
+  EXPECT_EQ(write_string_value("a\x80z"), "\"a" + fffd + "z\"");
+  // Truncated 2-byte sequence at end of string.
+  EXPECT_EQ(write_string_value("a\xC3"), "\"a" + fffd + "\"");
+  // Overlong encoding of '/' (0xC0 0xAF) — both bytes replaced.
+  EXPECT_EQ(write_string_value("\xC0\xAF"), "\"" + fffd + fffd + "\"");
+  // CESU-8-style encoded surrogate half (0xED 0xA0 0x80 = U+D800).
+  EXPECT_EQ(write_string_value("\xED\xA0\x80"), "\"" + fffd + fffd + fffd + "\"");
+  // 0xF8/0xFF can never start a sequence.
+  EXPECT_EQ(write_string_value("\xFF"), "\"" + fffd + "\"");
+  // Lead byte followed by a non-continuation byte: the follower is kept.
+  EXPECT_EQ(write_string_value("\xC3(z"), "\"" + fffd + "(z\"");
+  // Everything above still parses as valid JSON.
+  EXPECT_EQ(parse_json(write_string_value("a\x80z")).as_string(), "a" + fffd + "z");
+}
+
+TEST(JsonParserTest, CombinesSurrogatePairs) {
+  // U+1D11E (musical G clef) as the \uD834\uDD1E pair.
+  EXPECT_EQ(parse_json("\"\\uD834\\uDD1E\"").as_string(), "\xF0\x9D\x84\x9E");
+  // BMP escapes are unaffected (U+20AC, euro sign).
+  EXPECT_EQ(parse_json("\"\\u20AC\"").as_string(), "\xE2\x82\xAC");
+}
+
+TEST(JsonParserTest, LoneSurrogatesDecodeToReplacement) {
+  const std::string fffd = "\xEF\xBF\xBD";
+  EXPECT_EQ(parse_json(R"("\uD800")").as_string(), fffd);          // lone high
+  EXPECT_EQ(parse_json(R"("\uDC00")").as_string(), fffd);          // lone low
+  // High surrogate followed by a non-surrogate escape: U+FFFD, then the
+  // second escape decodes on its own.
+  EXPECT_EQ(parse_json(R"("\uD800A")").as_string(), fffd + "A");
+  // High surrogate followed by plain text.
+  EXPECT_EQ(parse_json(R"("\uD800z")").as_string(), fffd + "z");
+}
+
 }  // namespace
 }  // namespace rtpool::util
