@@ -22,6 +22,7 @@
 #include "analysis/analyzer.h"
 #include "analysis/sensitivity.h"
 #include "bench_common.h"
+#include "exp/elastic_scenarios.h"
 #include "exp/schedulability.h"
 #include "gen/taskset_generator.h"
 #include "util/json.h"
@@ -248,6 +249,63 @@ int main(int argc, char** argv) {
                 legacy_wall, fast_wall,
                 fast_wall > 0.0 ? legacy_wall / fast_wall : 0.0, part_wall,
                 max_delta, agree ? "" : "  DISAGREE");
+    all_deterministic = all_deterministic && agree;
+  }
+
+  // Admission latency: request-to-verdict time of the online mode-change
+  // controller over seeded admit/evict/resize streams, warm-started vs the
+  // independent cold re-analysis of every proposal. The wall times are
+  // informational; `verdicts_agree` (warm must be bit-identical to cold)
+  // is folded into the exit gate — again a value gate, never a time gate.
+  {
+    const int admission_streams = 3;
+    const int admission_steps = 12;
+    double warm_wall = 0.0, cold_wall = 0.0;
+    std::size_t requests = 0, committed = 0, rejected = 0;
+    std::size_t warm_seeded = 0, warm_hits = 0, verified = 0;
+    bool agree = true;
+
+    exec::ModeChangeConfig config;
+    config.analyzer = "global-limited";
+    config.cores = 8;
+    for (int k = 0; k < admission_streams; ++k) {
+      exp::ElasticScenarioParams params;
+      params.steps = admission_steps;
+      const auto stream = exp::make_elastic_scenario(
+          params, seed * 7000003 + static_cast<std::uint64_t>(k));
+      const exp::ElasticReplay replay = exp::replay_elastic(
+          stream, config, /*pool=*/nullptr, /*verify_cold=*/true);
+      requests += stream.size();
+      committed += replay.committed;
+      rejected += replay.rejected;
+      warm_seeded += replay.warm_seeded;
+      warm_hits += replay.warm_hits;
+      verified += replay.verified;
+      warm_wall += replay.warm_wall_s;
+      cold_wall += replay.cold_wall_s;
+      agree = agree && replay.verdicts_agree;
+    }
+
+    json.key("admission");
+    json.begin_object();
+    json.kv("streams", static_cast<std::uint64_t>(admission_streams));
+    json.kv("requests", static_cast<std::uint64_t>(requests));
+    json.kv("committed", static_cast<std::uint64_t>(committed));
+    json.kv("rejected", static_cast<std::uint64_t>(rejected));
+    json.kv("warm_seeded", static_cast<std::uint64_t>(warm_seeded));
+    json.kv("warm_hits", static_cast<std::uint64_t>(warm_hits));
+    json.kv("verified", static_cast<std::uint64_t>(verified));
+    json.kv("warm_wall_s", warm_wall);
+    json.kv("cold_wall_s", cold_wall);
+    json.kv("warm_speedup", warm_wall > 0.0 ? cold_wall / warm_wall : 0.0);
+    json.kv("verdicts_agree", agree);
+    json.end_object();
+
+    std::printf("  admission: %zu requests (%zu committed, %zu rejected), "
+                "warm %.3fs vs cold %.3fs (%.1fx), %zu warm-seeded%s\n",
+                requests, committed, rejected, warm_wall, cold_wall,
+                warm_wall > 0.0 ? cold_wall / warm_wall : 0.0, warm_seeded,
+                agree ? "" : "  DISAGREE");
     all_deterministic = all_deterministic && agree;
   }
 

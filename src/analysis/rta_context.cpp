@@ -47,6 +47,30 @@ const std::vector<graph::NodeId>& RtaContext::topo_order(std::size_t i) {
   return topo_[i];
 }
 
+bool RtaContext::seed_warm_from(
+    const RtaContext& prior,
+    const std::vector<std::optional<std::size_t>>& task_map) {
+  if (task_map.size() != ts_->size())
+    throw model::ModelError("RtaContext::seed_warm_from: task_map size mismatch");
+  const WarmGlobal& src = prior.warm_global_;
+  if (!src.valid) return false;
+  WarmGlobal& dst = warm_global_;
+  dst.valid = true;
+  dst.scale = src.scale;
+  dst.options = src.options;
+  // Unmapped (new) tasks get 0: below any base value, so the fixed point
+  // effectively cold-starts for them while surviving tasks resume from
+  // their prior converged response.
+  dst.response.assign(ts_->size(), 0.0);
+  for (std::size_t i = 0; i < task_map.size(); ++i) {
+    if (!task_map[i].has_value()) continue;
+    if (*task_map[i] >= src.response.size())
+      throw model::ModelError("RtaContext::seed_warm_from: task_map out of range");
+    dst.response[i] = src.response[*task_map[i]];
+  }
+  return true;
+}
+
 void RtaContext::bind_partition(const TaskSetPartition& partition) {
   if (partition.per_task.size() != ts_->size())
     throw model::ModelError("RtaContext::bind_partition: partition size mismatch");

@@ -40,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "analysis/federated.h"
@@ -141,6 +142,30 @@ class RtaContext {
 
   WarmGlobal& warm_global() { return warm_global_; }
   WarmPartitioned& warm_partitioned() { return warm_partitioned_; }
+
+  /// Incremental re-admission entry point: seed this context's GLOBAL warm
+  /// state from `prior` (a context for a previous task set), remapping task
+  /// indices through `task_map` — task_map[i] is the prior index of this
+  /// set's task i, or nullopt for a task with no prior incarnation (it
+  /// cold-starts from the base value).
+  ///
+  /// SOUNDNESS CONTRACT (caller's responsibility): only valid when this
+  /// set's workload is a SUPERSET of the prior one per mapped task — i.e.
+  /// an admit transition at the same core count, where every surviving task
+  /// keeps its WCETs, period, deadline and relative priority order, and new
+  /// tasks only ADD interference. Under that premise the prior converged
+  /// response of a mapped task is <= its new least fixed point, so the
+  /// monotone warm-start machinery keeps results BIT-IDENTICAL to a cold
+  /// run (a warm start above the new lfp cannot happen; a diverging warm
+  /// run re-runs cold anyway). Evict and resize transitions must NOT seed
+  /// (interference shrinks / m changes): analyze cold instead.
+  ///
+  /// Returns false (and seeds nothing) when `prior` has no valid global
+  /// warm state. Throws ModelError when task_map's size differs from this
+  /// context's task count or maps out of range. Partitioned warm state is
+  /// never seeded (binding generations are per-context).
+  bool seed_warm_from(const RtaContext& prior,
+                      const std::vector<std::optional<std::size_t>>& task_map);
 
  private:
   const model::TaskSet* ts_;

@@ -14,6 +14,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kStall: return "stall";
     case FaultKind::kThrow: return "throw";
     case FaultKind::kDropNotify: return "drop-notify";
+    case FaultKind::kWorkerDeath: return "worker-death";
+    case FaultKind::kWorkerHang: return "worker-hang";
   }
   return "?";
 }
@@ -46,8 +48,16 @@ FaultPlan make_random_fault_plan(const model::DagTask& task,
   for (model::NodeId v = 0; v < task.node_count(); ++v) {
     util::Rng rng = base.fork_with(v);
     NodeFault fault;
+    const bool plain = task.type(v) == model::NodeType::NB ||
+                       task.type(v) == model::NodeType::BC;
     if (task.type(v) == model::NodeType::BJ && rng.bernoulli(params.p_drop_notify)) {
       fault.kind = FaultKind::kDropNotify;
+    } else if (plain && rng.bernoulli(params.p_worker_death)) {
+      // Lethal faults stay on plain nodes: re-running a BF/BJ closure would
+      // replay fork/join side effects and break exactly-once recovery.
+      fault.kind = FaultKind::kWorkerDeath;
+    } else if (plain && rng.bernoulli(params.p_worker_hang)) {
+      fault.kind = FaultKind::kWorkerHang;
     } else if (rng.bernoulli(params.p_throw)) {
       fault.kind = FaultKind::kThrow;
       std::ostringstream msg;

@@ -12,7 +12,21 @@
 //                  worker path (failed_nodes in ExecReport, no terminate);
 //   kDropNotify  — the notify that would open this BJ node's barrier is
 //                  dropped once: a lost wakeup the watchdog must detect
-//                  (satisfied-but-sleeping barrier) and heal by re-notify.
+//                  (satisfied-but-sleeping barrier) and heal by re-notify;
+//   kWorkerDeath — the worker executing this node crashes (the closure is
+//                  handed back to its queue first, so the node is re-run
+//                  exactly once by the recovery path): exercises dead-worker
+//                  detection, requeue and respawn-with-backoff;
+//   kWorkerHang  — the worker executing this node wedges forever (parked
+//                  until pool shutdown): the watchdog must read the stale
+//                  heartbeat as a LIVENESS failure — never as a deadlock —
+//                  condemn the worker and re-dispatch the node.
+//
+// Lethal kinds (death/hang) are only ever assigned to NB/BC nodes, which
+// run as dedicated plain closures in both execution modes: killing a BF/BJ
+// closure mid-barrier could replay fork/join side effects. (The executor
+// injects lethal faults before ANY node side effect, so the re-run executes
+// the node exactly once.)
 //
 // Plans are either hand-built or drawn by make_random_fault_plan(), which
 // derives every per-node decision from (seed, node id) via Rng::fork_with —
@@ -35,6 +49,8 @@ enum class FaultKind : std::uint8_t {
   kStall,
   kThrow,
   kDropNotify,
+  kWorkerDeath,
+  kWorkerHang,
 };
 
 const char* to_string(FaultKind kind);
@@ -69,12 +85,15 @@ class FaultPlan {
 };
 
 /// Per-kind injection probabilities (independent rolls, first hit wins in
-/// the order drop-notify, throw, stall, overrun) and magnitude caps.
+/// the order drop-notify, worker-death, worker-hang, throw, stall,
+/// overrun) and magnitude caps.
 struct FaultPlanParams {
   double p_overrun = 0.0;
   double p_stall = 0.0;
   double p_throw = 0.0;
-  double p_drop_notify = 0.0;  ///< Only ever applied to BJ nodes.
+  double p_drop_notify = 0.0;   ///< Only ever applied to BJ nodes.
+  double p_worker_death = 0.0;  ///< Only ever applied to NB/BC nodes.
+  double p_worker_hang = 0.0;   ///< Only ever applied to NB/BC nodes.
   double max_overrun_factor = 8.0;
   std::chrono::milliseconds max_stall{30};
 };

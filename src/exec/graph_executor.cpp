@@ -25,7 +25,10 @@ void spin_for(double microseconds) {
                                         std::chrono::duration<double, std::micro>(
                                             microseconds));
   while (Clock::now() < until) {
-    // busy-wait: models CPU-bound node execution
+    // Busy-wait models CPU-bound node execution; the heartbeat keeps the
+    // guard's liveness check from mistaking a long legitimate node for a
+    // hung worker.
+    ThreadPool::heartbeat();
   }
 }
 
@@ -85,6 +88,14 @@ struct RunState : std::enable_shared_from_this<RunState> {
   // Injected drop-notify faults already consumed (each drops one notify).
   std::set<NodeId> notify_dropped RTPOOL_GUARDED_BY(mutex);
 
+  // Lethal faults (worker death/hang) already consumed: the re-run of a
+  // killed node's closure finds its id here and executes cleanly — the
+  // exactly-once half of the recovery guarantee.
+  std::set<NodeId> lethal_consumed RTPOOL_GUARDED_BY(mutex);
+  // Nodes wedged under a hung worker (slot -> node), re-dispatched by the
+  // guard's resubmit hook after the worker is condemned.
+  std::map<std::size_t, NodeId> hung_nodes RTPOOL_GUARDED_BY(mutex);
+
   bool is_cancelled() RTPOOL_EXCLUDES(mutex) {
     util::MutexLock lock(mutex);
     return cancelled;
@@ -135,6 +146,49 @@ struct RunState : std::enable_shared_from_this<RunState> {
     const NodeFault* fault = options.faults.find(w);
     if (fault == nullptr || fault->kind != FaultKind::kDropNotify) return false;
     return notify_dropped.insert(w).second;
+  }
+
+  /// Lethal fault injection, called at the very top of a plain closure —
+  /// BEFORE pending.erase and before any node side effect, so the re-run
+  /// executes the node exactly once. Throws WorkerDeathSignal (the pool
+  /// hands the closure back to its queue) or parks the worker forever (the
+  /// guard re-dispatches the node via resubmit_for). Consumed once per
+  /// node; returns normally on the re-run, on cancelled runs, and on
+  /// threads that are not regular pool workers.
+  void maybe_lethal(NodeId v) RTPOOL_EXCLUDES(mutex) {
+    const NodeFault* fault = options.faults.find(v);
+    if (fault == nullptr || (fault->kind != FaultKind::kWorkerDeath &&
+                             fault->kind != FaultKind::kWorkerHang))
+      return;
+    const std::optional<std::size_t> worker = ThreadPool::current_worker();
+    if (!worker.has_value() || *worker >= ThreadPool::kEmergencyIndexBase)
+      return;  // emergency/off-pool threads don't crash or hang
+    {
+      util::MutexLock lock(mutex);
+      if (cancelled) return;
+      if (!lethal_consumed.insert(v).second) return;  // re-run: clean
+      if (fault->kind == FaultKind::kWorkerHang) hung_nodes[*worker] = v;
+      // `pending[v]` intentionally stays registered: for a death the
+      // closure is handed back to a queue, for a hang it is awaiting
+      // re-dispatch — either way "submitted but not started" is true.
+    }
+    if (fault->kind == FaultKind::kWorkerDeath) throw WorkerDeathSignal{};
+    pool.park_current_worker();  // returns only off-pool (excluded above)
+  }
+
+  /// Guard resubmit hook: re-dispatch the node `worker` was wedged on.
+  bool resubmit_for(std::size_t worker) RTPOOL_EXCLUDES(mutex) {
+    NodeId v;
+    {
+      util::MutexLock lock(mutex);
+      const auto it = hung_nodes.find(worker);
+      if (it == hung_nodes.end()) return false;
+      v = it->second;
+      hung_nodes.erase(it);
+      if (cancelled || done) return false;
+    }
+    submit_node(v);
+    return true;
   }
 
   /// Mark v complete; release/submit its successors.
@@ -229,6 +283,7 @@ struct RunState : std::enable_shared_from_this<RunState> {
     }
 
     return [self, v] {
+      self->maybe_lethal(v);  // may throw WorkerDeathSignal / park forever
       {
         util::MutexLock lock(self->mutex);
         if (self->cancelled) return;
@@ -315,7 +370,7 @@ ExecReport run_graph(ThreadPool& pool, const DagTask& task, const ExecOptions& o
     if (options.assignment->thread_of.size() != task.node_count())
       throw std::invalid_argument("GraphExecutor: assignment size mismatch");
     for (analysis::ThreadId w : options.assignment->thread_of)
-      if (w >= pool.worker_count())
+      if (w >= pool.slot_count())
         throw std::invalid_argument("GraphExecutor: worker index out of range");
   }
 
@@ -341,11 +396,24 @@ ExecReport run_graph(ThreadPool& pool, const DagTask& task, const ExecOptions& o
   guard_options.poll = options.guard_poll;
   guard_options.budget = options.watchdog;
   guard_options.max_emergency_workers = options.max_emergency_workers;
+  guard_options.liveness = options.worker_liveness;
+  guard_options.max_respawns = options.max_worker_respawns;
+  guard_options.respawn_backoff = options.respawn_backoff;
   GuardHooks hooks;
   hooks.sample = [state] { return state->sample(); };
   hooks.renotify = [state] { state->renotify(); };
   hooks.inject_worker = [&pool] { return pool.spawn_emergency_worker(); };
   hooks.cancel = [state] { state->cancel(); };
+  hooks.worker_status = [&pool] { return pool.worker_status(); };
+  hooks.condemn = [&pool](std::size_t worker, bool redistribute) {
+    return pool.condemn_worker(worker, redistribute);
+  };
+  hooks.respawn = [&pool](std::size_t worker) {
+    return pool.respawn_worker(worker);
+  };
+  hooks.resubmit = [state](std::size_t worker) {
+    return state->resubmit_for(worker);
+  };
 
   const auto start = Clock::now();
   std::optional<StallReport> stall;
@@ -372,6 +440,9 @@ ExecReport run_graph(ThreadPool& pool, const DagTask& task, const ExecOptions& o
     stall = watchdog.stall();
     report.emergency_workers = watchdog.emergency_workers_injected();
     report.lost_wakeups_recovered = watchdog.lost_wakeups_recovered();
+    report.worker_recoveries = watchdog.recoveries();
+    report.workers_respawned = watchdog.respawns_used();
+    report.degraded = watchdog.degraded();
   }
   report.elapsed =
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);

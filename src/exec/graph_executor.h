@@ -64,6 +64,15 @@ struct ExecOptions {
   /// Permit work stealing during a run with an assignment; sets
   /// ExecReport::stealing_bypassed_assignment instead of suppressing.
   bool allow_stealing_with_assignment = false;
+
+  /// Liveness: stale-heartbeat budget before a busy worker counts as hung
+  /// (see GuardOptions::liveness).
+  std::chrono::milliseconds worker_liveness{400};
+  /// Replacement workers spawned per run before degrading to a smaller
+  /// pool (see GuardOptions::max_respawns).
+  std::size_t max_worker_respawns = 4;
+  /// Backoff before the second respawn; doubles per use.
+  std::chrono::milliseconds respawn_backoff{20};
 };
 
 struct ExecReport {
@@ -87,8 +96,21 @@ struct ExecReport {
   /// assignment (Eq. (3) placement not enforced at runtime).
   bool stealing_bypassed_assignment = false;
 
-  /// Clean success: completed, no failed nodes, no stall diagnosis.
-  bool ok() const { return completed && failed_nodes.empty() && !stall.has_value(); }
+  /// Dead/hung workers the guard detected and recovered during the run
+  /// (each killed worker's work was requeued and executed exactly once).
+  std::vector<WorkerRecovery> worker_recoveries;
+  /// Replacement workers spawned by the guard.
+  std::size_t workers_respawned = 0;
+  /// Present when the respawn budget ran out and the pool degraded to a
+  /// smaller size than the analysis admitted.
+  std::optional<DegradedReport> degraded;
+
+  /// Clean success: completed, no failed nodes, no stall diagnosis, no
+  /// worker lost (a recovered run completed, but not cleanly).
+  bool ok() const {
+    return completed && failed_nodes.empty() && !stall.has_value() &&
+           worker_recoveries.empty() && !degraded.has_value();
+  }
 };
 
 /// One-shot executor (create per run).

@@ -47,6 +47,24 @@ std::string StallReport::describe() const {
   return out.str();
 }
 
+std::string WorkerRecovery::describe() const {
+  std::ostringstream out;
+  out << "worker " << worker << (crashed ? " crashed" : " hung") << " after "
+      << detected_after.count() << " ms";
+  if (requeued > 0) out << "; " << requeued << " queued closure(s) redistributed";
+  if (node_resubmitted) out << "; in-flight node re-dispatched";
+  out << (respawned ? "; replacement spawned" : "; NOT replaced");
+  return out.str();
+}
+
+std::string DegradedReport::describe() const {
+  std::ostringstream out;
+  out << "pool degraded: " << workers_lost << " worker(s) lost after "
+      << respawns_used << " respawn(s); running on " << pool_workers_left
+      << " worker(s) — below the size the analysis admitted";
+  return out.str();
+}
+
 StallError::StallError(StallReport report)
     : std::runtime_error(report.describe()), report_(std::move(report)) {}
 
@@ -73,6 +91,17 @@ void Watchdog::loop() {
   std::uint64_t last_progress = ~std::uint64_t{0};
   int confirmed = 0;
 
+  // Liveness tracking: per slot, the last heartbeat epoch seen and when it
+  // last changed. Slots pending a (backed-off) respawn.
+  struct EpochTrack {
+    std::uint64_t epoch = 0;
+    Clock::time_point since{};
+    bool init = false;
+  };
+  std::map<std::size_t, EpochTrack> epochs;
+  std::deque<std::size_t> pending_respawns;
+  auto next_respawn_time = start;  // first respawn is immediate
+
   for (;;) {
     {
       util::MutexLock lock(mutex_);
@@ -92,6 +121,103 @@ void Watchdog::loop() {
       last_progress = s.progress;
       last_progress_time = now;
       confirmed = 0;
+    }
+
+    // ---- liveness: dead and hung workers ----
+    if (hooks_.worker_status && hooks_.condemn) {
+      bool acted = false;
+      for (const ThreadPool::WorkerStatus& ws : hooks_.worker_status()) {
+        if (ws.condemned) continue;
+        EpochTrack& tr = epochs[ws.worker];
+        if (!tr.init || tr.epoch != ws.epoch) {
+          tr.epoch = ws.epoch;
+          tr.since = now;
+          tr.init = true;
+        }
+        // Crash: the thread exited outside the drain protocol (kDead, not
+        // kRetired). Hang: busy but NOT legitimately suspended at a
+        // barrier, heartbeat stale past the liveness budget. A worker
+        // blocked in a BlockedScope is exempt — suspension is the
+        // stall/quiescence detector's jurisdiction, not liveness'.
+        const bool crashed =
+            ws.exited && ws.state == ThreadPool::WorkerState::kDead;
+        const bool hung = !ws.exited && ws.busy && !ws.blocked &&
+                          (ws.state == ThreadPool::WorkerState::kLive ||
+                           ws.state == ThreadPool::WorkerState::kRetiring) &&
+                          now - tr.since >= options_.liveness;
+        if (!crashed && !hung) continue;
+
+        const bool budget_left = respawns_used_ + pending_respawns.size() <
+                                 options_.max_respawns;
+        // Without a respawn coming, the slot's queue must be redistributed
+        // now; with one, the replacement inherits it (placement preserved).
+        const ThreadPool::CondemnOutcome out =
+            hooks_.condemn(ws.worker, /*redistribute=*/!budget_left);
+        if (!out.condemned) continue;  // raced with another recovery path
+        WorkerRecovery rec;
+        rec.worker = ws.worker;
+        rec.crashed = crashed;
+        rec.detected_after =
+            std::chrono::duration_cast<std::chrono::milliseconds>(now - start);
+        rec.requeued = out.requeued;
+        if (budget_left && hooks_.respawn) {
+          pending_respawns.push_back(ws.worker);
+        } else if (!degraded_.has_value()) {
+          DegradedReport deg;
+          deg.respawns_used = respawns_used_;
+          deg.pool_workers_left = out.live_left;
+          degraded_ = deg;
+        }
+        if (degraded_.has_value()) {
+          ++degraded_->workers_lost;
+          degraded_->pool_workers_left = out.live_left;
+        }
+        if (hooks_.resubmit) rec.node_resubmitted = hooks_.resubmit(ws.worker);
+        recoveries_.push_back(rec);
+        acted = true;
+      }
+      if (!pending_respawns.empty() && hooks_.respawn && now >= next_respawn_time) {
+        const std::size_t worker = pending_respawns.front();
+        pending_respawns.pop_front();
+        if (hooks_.respawn(worker)) {
+          ++respawns_used_;
+          epochs.erase(worker);  // the replacement starts a fresh epoch clock
+          for (WorkerRecovery& rec : recoveries_)
+            if (rec.worker == worker) rec.respawned = true;
+          // Exponential backoff: repeated losses slow the replacement rate
+          // so a crash-looping workload cannot hot-spin thread creation.
+          next_respawn_time =
+              now + options_.respawn_backoff *
+                        (std::int64_t{1} << std::min<std::size_t>(
+                             respawns_used_ - 1, 6));
+          acted = true;
+        } else if (!degraded_.has_value()) {
+          // Replacement failed (pool shutting down / slot raced back to
+          // life): degrade loudly rather than retry-loop.
+          DegradedReport deg;
+          deg.workers_lost = 1;
+          deg.respawns_used = respawns_used_;
+          degraded_ = deg;
+          acted = true;
+        }
+      }
+      if (acted) {
+        // Recovery IS progress: give the repaired pool a fresh budget and
+        // drop any half-confirmed quiescence streak.
+        last_progress_time = now;
+        confirmed = 0;
+        continue;
+      }
+      if (!pending_respawns.empty()) {
+        // A replacement is due but backing off: the pool is transiently
+        // below the size the analysis admitted, so neither quiescence nor
+        // the progress budget is a verdict about the committed
+        // configuration. A blocking chain that closes in this window is
+        // healed by the replacement adopting the dead slot's queue.
+        last_progress_time = now;
+        confirmed = 0;
+        continue;
+      }
     }
     if (s.lost_wakeup) {
       // A barrier whose condition already holds is asleep on a lost notify:

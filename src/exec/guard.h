@@ -29,17 +29,31 @@
 //                      (TensorFlow-style), recording that the pool size m
 //                      assumed by the analysis was exceeded;
 //   kFailFast        — cancel and make the executor throw StallError.
+//
+// Independently of stall detection, the watchdog runs a LIVENESS check over
+// the pool's per-worker heartbeat epochs: a worker that exited outside the
+// drain protocol (crash) or whose epoch goes stale while busy-but-unblocked
+// (hang) is condemned, its in-flight node re-dispatched, and a replacement
+// spawned under a bounded respawn-with-backoff policy. A hung worker thus
+// yields a liveness verdict (WorkerRecovery), never a spurious deadlock
+// report — a parked worker keeps active() above blocked_workers() until it
+// is condemned, so the quiescence proof cannot fire on it. When the respawn
+// budget runs out the pool degrades to its surviving size and the run
+// carries a DegradedReport.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "model/dag_task.h"
 #include "util/thread_annotations.h"
 
@@ -86,6 +100,32 @@ struct StallReport {
   std::string describe() const;
 };
 
+/// One dead or hung worker detected and handled by the liveness check.
+struct WorkerRecovery {
+  std::size_t worker = 0;
+  std::chrono::milliseconds detected_after{0};  ///< Since run start.
+  /// True: the thread exited (worker crash, in-flight closure handed back
+  /// by the pool). False: stale heartbeat while busy (hang); the executor
+  /// re-dispatched the node the worker was wedged on.
+  bool crashed = false;
+  bool respawned = false;          ///< A replacement adopted the slot.
+  std::size_t requeued = 0;        ///< Queued closures redistributed.
+  bool node_resubmitted = false;   ///< In-flight node re-dispatched.
+
+  std::string describe() const;
+};
+
+/// Emitted when the respawn budget is exhausted: further lost workers are
+/// not replaced and the pool runs on at a smaller size than the analysis
+/// admitted — graceful degradation, loudly reported.
+struct DegradedReport {
+  std::size_t workers_lost = 0;      ///< Condemned without replacement.
+  std::size_t respawns_used = 0;     ///< Budget consumed before degrading.
+  std::size_t pool_workers_left = 0; ///< Live workers after the last loss.
+
+  std::string describe() const;
+};
+
 /// Thrown by the executor under RecoveryPolicy::kFailFast.
 class StallError : public std::runtime_error {
  public:
@@ -123,6 +163,19 @@ struct GuardHooks {
   std::function<void()> renotify;       ///< Wake satisfied-but-sleeping waits.
   std::function<bool()> inject_worker;  ///< Add a temp worker; false = refused.
   std::function<void()> cancel;         ///< Cancel the run, release all waits.
+
+  // Liveness hooks (all optional; absent = liveness check disabled).
+  /// Per-slot heartbeat/lifecycle snapshot (ThreadPool::worker_status).
+  std::function<std::vector<ThreadPool::WorkerStatus>()> worker_status;
+  /// Condemn a dead/hung slot; `redistribute` hands its queue to live
+  /// workers (used when no respawn will follow).
+  std::function<ThreadPool::CondemnOutcome(std::size_t worker, bool redistribute)>
+      condemn;
+  /// Spawn a replacement adopting the slot; false = refused.
+  std::function<bool(std::size_t worker)> respawn;
+  /// Re-dispatch the node the worker was wedged on (executor-side);
+  /// returns true when a node was actually resubmitted.
+  std::function<bool(std::size_t worker)> resubmit;
 };
 
 struct GuardOptions {
@@ -135,6 +188,16 @@ struct GuardOptions {
   /// Confirm the quiescence criterion on this many consecutive samples
   /// before declaring a stall (filters transient pop/submit windows).
   int confirm_samples = 2;
+
+  /// Liveness: a busy, unblocked worker whose heartbeat epoch has not moved
+  /// for this long is presumed hung. Must exceed the longest legitimate
+  /// un-heartbeated stretch (injected kStall sleeps included).
+  std::chrono::milliseconds liveness{400};
+  /// Replacement workers spawned per run before degrading.
+  std::size_t max_respawns = 4;
+  /// Delay before the SECOND respawn; doubles per use (the first respawn is
+  /// immediate — a single crash should not cost latency).
+  std::chrono::milliseconds respawn_backoff{20};
 };
 
 /// Monitor thread guarding one graph run. Start at run begin, stop() (or
@@ -157,6 +220,12 @@ class Watchdog {
   std::size_t emergency_workers_injected() const { return injected_; }
   std::size_t lost_wakeups_recovered() const { return lost_wakeups_; }
 
+  /// Dead/hung workers detected and handled, in detection order.
+  const std::vector<WorkerRecovery>& recoveries() const { return recoveries_; }
+  /// Present when the respawn budget ran out and workers stayed lost.
+  const std::optional<DegradedReport>& degraded() const { return degraded_; }
+  std::size_t respawns_used() const { return respawns_used_; }
+
  private:
   void loop();
 
@@ -171,6 +240,9 @@ class Watchdog {
   std::optional<StallReport> stall_;
   std::size_t injected_ = 0;
   std::size_t lost_wakeups_ = 0;
+  std::vector<WorkerRecovery> recoveries_;
+  std::optional<DegradedReport> degraded_;
+  std::size_t respawns_used_ = 0;
 
   std::thread thread_;
 };

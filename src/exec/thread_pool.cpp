@@ -1,5 +1,6 @@
 #include "exec/thread_pool.h"
 
+#include <algorithm>
 #include <exception>
 #include <stdexcept>
 
@@ -9,39 +10,87 @@ namespace {
 thread_local std::optional<std::size_t> t_worker_index;
 }  // namespace
 
+// The calling worker's slot, cached so BlockedScope / heartbeat() stay
+// lock-free. Null on emergency workers and off-pool threads. The worker
+// loop keeps a shared_ptr to the same Slot alive for the thread's whole
+// lifetime, so the raw pointer never dangles — even after a respawn has
+// replaced slots_[i] with a fresh generation.
+static thread_local void* t_worker_slot = nullptr;
+
 ThreadPool::ThreadPool(std::size_t workers, QueueMode mode, bool steal)
-    : mode_(mode), steal_(steal), base_workers_(workers) {
+    : mode_(mode), steal_(steal) {
   if (workers == 0) throw std::invalid_argument("ThreadPool: need at least one worker");
-  if (mode_ == QueueMode::kPerWorker) {
-    util::MutexLock lock(mutex_);  // workers don't exist yet; TSA discipline
-    worker_queues_.resize(workers);
-  }
-  worker_blocked_ = std::make_unique<std::atomic<bool>[]>(workers);
-  for (std::size_t i = 0; i < workers; ++i) worker_blocked_[i].store(false);
+  util::MutexLock lock(mutex_);  // workers don't exist yet; TSA discipline
+  if (mode_ == QueueMode::kPerWorker) worker_queues_.resize(workers);
+  slots_.reserve(workers);
+  live_slots_.reserve(workers);
   workers_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i)
+  for (std::size_t i = 0; i < workers; ++i) {
+    slots_.push_back(std::make_shared<Slot>(i));
+    live_slots_.push_back(i);
     workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+  live_count_.store(workers, std::memory_order_relaxed);
+  slot_count_.store(workers, std::memory_order_relaxed);
 }
 
 ThreadPool::~ThreadPool() {
   std::vector<std::thread> emergencies;
+  std::vector<std::thread> extras;
   {
     util::MutexLock lock(mutex_);
     shutting_down_ = true;
     emergencies.swap(emergency_workers_);
+    extras.swap(extra_workers_);
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
   for (std::thread& t : emergencies) t.join();
+  for (std::thread& t : extras) t.join();
+}
+
+std::optional<std::size_t> ThreadPool::next_live_slot() {
+  if (live_slots_.empty()) return std::nullopt;
+  const std::size_t k = rr_next_.fetch_add(1, std::memory_order_relaxed);
+  return live_slots_[k % live_slots_.size()];
+}
+
+std::size_t ThreadPool::route_target(std::size_t worker) {
+  if (worker < slots_.size() &&
+      slots_[worker]->state.load(std::memory_order_relaxed) == WorkerState::kLive)
+    return worker;
+  // A dead-but-not-abandoned slot is awaiting its replacement, which
+  // adopts the queue: the closure must stay put, or a placement-
+  // constrained (Eq. (3)) node could land on a worker that is blocked
+  // waiting for it — the exact deadlock the placement rules out.
+  if (worker < slots_.size() &&
+      !slots_[worker]->abandoned.load(std::memory_order_relaxed))
+    return worker;
+  // Degraded routing: the placement target is gone and no replacement is
+  // coming — any live worker is better than a stranded queue. When nothing
+  // is live the closure stays on the original queue; an emergency worker
+  // or a respawn can still drain it.
+  const std::optional<std::size_t> live = next_live_slot();
+  if (!live.has_value()) return worker;
+  redirected_.fetch_add(1, std::memory_order_relaxed);
+  return *live;
 }
 
 void ThreadPool::submit(std::function<void()> fn, std::optional<std::size_t> target) {
   if (mode_ == QueueMode::kPerWorker) {
-    const std::size_t worker =
-        target.has_value()
-            ? *target
-            : rr_next_.fetch_add(1, std::memory_order_relaxed) % base_workers_;
-    submit_to(worker, std::move(fn));
+    {
+      util::MutexLock lock(mutex_);
+      std::size_t worker;
+      if (target.has_value()) {
+        if (*target >= slots_.size())
+          throw std::out_of_range("ThreadPool::submit: bad worker index");
+        worker = route_target(*target);
+      } else {
+        worker = next_live_slot().value_or(0);
+      }
+      worker_queues_[worker].push_back(std::move(fn));
+    }
+    cv_.notify_all();  // the target worker must wake even if others are idle
     return;
   }
   if (target.has_value())
@@ -58,11 +107,11 @@ void ThreadPool::submit_batch(std::vector<std::function<void()>> fns) {
   {
     util::MutexLock lock(mutex_);
     if (mode_ == QueueMode::kPerWorker) {
-      // Spread round-robin under the single lock hold: the batch stays
-      // atomic and no single worker silently collects the whole release.
+      // Spread round-robin over LIVE workers under the single lock hold:
+      // the batch stays atomic and no single worker silently collects the
+      // whole release.
       for (auto& fn : fns) {
-        const std::size_t worker =
-            rr_next_.fetch_add(1, std::memory_order_relaxed) % base_workers_;
+        const std::size_t worker = next_live_slot().value_or(0);
         worker_queues_[worker].push_back(std::move(fn));
       }
     } else {
@@ -76,14 +125,14 @@ void ThreadPool::submit_batch_to(
     std::vector<std::pair<std::size_t, std::function<void()>>> items) {
   if (mode_ != QueueMode::kPerWorker)
     throw std::logic_error("ThreadPool::submit_batch_to requires kPerWorker mode");
-  for (const auto& [worker, fn] : items)
-    if (worker >= base_workers_)
-      throw std::out_of_range("ThreadPool::submit_batch_to: bad worker index");
   if (items.empty()) return;
   {
     util::MutexLock lock(mutex_);
-    for (auto& [worker, fn] : items)
-      worker_queues_[worker].push_back(std::move(fn));
+    for (auto& [worker, fn] : items) {
+      if (worker >= slots_.size())
+        throw std::out_of_range("ThreadPool::submit_batch_to: bad worker index");
+      worker_queues_[route_target(worker)].push_back(std::move(fn));
+    }
   }
   cv_.notify_all();
 }
@@ -91,19 +140,189 @@ void ThreadPool::submit_batch_to(
 void ThreadPool::submit_to(std::size_t worker, std::function<void()> fn) {
   if (mode_ != QueueMode::kPerWorker)
     throw std::logic_error("ThreadPool::submit_to requires kPerWorker mode");
-  if (worker >= base_workers_)
-    throw std::out_of_range("ThreadPool::submit_to: bad worker index");
   {
     util::MutexLock lock(mutex_);
-    worker_queues_[worker].push_back(std::move(fn));
+    if (worker >= slots_.size())
+      throw std::out_of_range("ThreadPool::submit_to: bad worker index");
+    worker_queues_[route_target(worker)].push_back(std::move(fn));
   }
   cv_.notify_all();  // the target worker must wake even if others are idle
 }
 
 std::optional<std::size_t> ThreadPool::current_worker() { return t_worker_index; }
 
+void ThreadPool::heartbeat() {
+  if (auto* slot = static_cast<Slot*>(t_worker_slot))
+    slot->epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool ThreadPool::worker_blocked(std::size_t i) const {
-  return i < base_workers_ && worker_blocked_[i].load(std::memory_order_relaxed);
+  util::MutexLock lock(mutex_);
+  return i < slots_.size() && slots_[i]->blocked.load(std::memory_order_relaxed);
+}
+
+bool ThreadPool::worker_live(std::size_t i) const {
+  util::MutexLock lock(mutex_);
+  return i < slots_.size() &&
+         slots_[i]->state.load(std::memory_order_relaxed) == WorkerState::kLive;
+}
+
+std::vector<ThreadPool::WorkerStatus> ThreadPool::worker_status() const {
+  util::MutexLock lock(mutex_);
+  std::vector<WorkerStatus> out;
+  out.reserve(slots_.size());
+  for (const auto& slot : slots_) {
+    WorkerStatus ws;
+    ws.worker = slot->index;
+    ws.state = slot->state.load(std::memory_order_relaxed);
+    ws.epoch = slot->epoch.load(std::memory_order_relaxed);
+    ws.busy = slot->busy.load(std::memory_order_relaxed);
+    ws.blocked = slot->blocked.load(std::memory_order_relaxed);
+    ws.exited = slot->exited.load(std::memory_order_relaxed);
+    ws.condemned = slot->condemned.load(std::memory_order_relaxed);
+    out.push_back(ws);
+  }
+  return out;
+}
+
+void ThreadPool::remove_live_slot(std::size_t index) {
+  const auto it = std::find(live_slots_.begin(), live_slots_.end(), index);
+  if (it == live_slots_.end()) return;
+  live_slots_.erase(it);
+  live_count_.store(live_slots_.size(), std::memory_order_relaxed);
+}
+
+std::size_t ThreadPool::hand_back_queue(std::size_t index) {
+  if (mode_ != QueueMode::kPerWorker || index >= worker_queues_.size()) return 0;
+  std::deque<std::function<void()>> orphans;
+  orphans.swap(worker_queues_[index]);
+  std::size_t moved = 0;
+  for (auto& fn : orphans) {
+    // Round-robin to the survivors; with nobody live, leave the closure on
+    // the original queue for an emergency worker or a later respawn.
+    const std::optional<std::size_t> live = next_live_slot();
+    worker_queues_[live.value_or(index)].push_back(std::move(fn));
+    if (live.has_value()) ++moved;
+  }
+  handed_back_.fetch_add(moved, std::memory_order_relaxed);
+  return moved;
+}
+
+void ThreadPool::spawn_slot_thread(std::size_t index) {
+  extra_workers_.emplace_back([this, index] { worker_loop(index); });
+}
+
+std::size_t ThreadPool::add_workers(std::size_t n) {
+  bool added = false;
+  {
+    util::MutexLock lock(mutex_);
+    if (!shutting_down_) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t index = slots_.size();
+        slots_.push_back(std::make_shared<Slot>(index));
+        if (mode_ == QueueMode::kPerWorker) worker_queues_.emplace_back();
+        live_slots_.push_back(index);
+        spawn_slot_thread(index);
+        added = true;
+      }
+      live_count_.store(live_slots_.size(), std::memory_order_relaxed);
+      slot_count_.store(slots_.size(), std::memory_order_relaxed);
+    }
+  }
+  if (added) cv_.notify_all();
+  return worker_count();
+}
+
+std::size_t ThreadPool::retire_workers(std::size_t n) {
+  {
+    util::MutexLock lock(mutex_);
+    if (n >= live_slots_.size())
+      throw std::invalid_argument(
+          "ThreadPool::retire_workers: must keep at least one live worker");
+    // Highest-index live slots retire first, so a grow/shrink cycle
+    // returns the pool to its original shape.
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t victim = live_slots_.back();
+      live_slots_.pop_back();
+      slots_[victim]->state.store(WorkerState::kRetiring, std::memory_order_relaxed);
+      slots_[victim]->abandoned.store(true, std::memory_order_relaxed);
+    }
+    live_count_.store(live_slots_.size(), std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  return worker_count();
+}
+
+ThreadPool::CondemnOutcome ThreadPool::condemn_worker(std::size_t worker,
+                                                      bool redistribute) {
+  CondemnOutcome out;
+  {
+    util::MutexLock lock(mutex_);
+    if (worker >= slots_.size()) return out;
+    const std::shared_ptr<Slot> slot = slots_[worker];
+    if (slot->condemned.exchange(true, std::memory_order_acq_rel)) return out;
+    out.condemned = true;
+    condemned_.fetch_add(1, std::memory_order_relaxed);
+    // Settle a parked (hung) worker's accounting: it will never return
+    // from its closure, so its active/busy contribution must not keep the
+    // guard from proving quiescence on the rest of the pool.
+    if (slot->parked.load(std::memory_order_relaxed) &&
+        !slot->park_settled.exchange(true, std::memory_order_acq_rel)) {
+      active_.fetch_sub(1, std::memory_order_relaxed);
+      slot->busy.store(false, std::memory_order_relaxed);
+      out.was_parked = true;
+    }
+    remove_live_slot(worker);
+    slot->state.store(WorkerState::kDead, std::memory_order_relaxed);
+    if (redistribute) {
+      slot->abandoned.store(true, std::memory_order_relaxed);
+      out.requeued = hand_back_queue(worker);
+    }
+    out.live_left = live_slots_.size();
+    live_count_.store(live_slots_.size(), std::memory_order_relaxed);
+  }
+  cv_.notify_all();
+  return out;
+}
+
+bool ThreadPool::respawn_worker(std::size_t worker) {
+  {
+    util::MutexLock lock(mutex_);
+    if (shutting_down_ || worker >= slots_.size()) return false;
+    if (slots_[worker]->state.load(std::memory_order_relaxed) == WorkerState::kLive)
+      return false;
+    // Fresh Slot generation: a parked thread may still hold the old one,
+    // and its eventual shutdown wakeup must not clobber the replacement's
+    // flags.
+    slots_[worker] = std::make_shared<Slot>(worker);
+    live_slots_.insert(
+        std::lower_bound(live_slots_.begin(), live_slots_.end(), worker), worker);
+    live_count_.store(live_slots_.size(), std::memory_order_relaxed);
+    respawned_.fetch_add(1, std::memory_order_relaxed);
+    spawn_slot_thread(worker);
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::park_current_worker() {
+  auto* slot = static_cast<Slot*>(t_worker_slot);
+  if (slot == nullptr) return;  // emergency / off-pool: hang faults don't apply
+  slot->parked.store(true, std::memory_order_relaxed);
+  parked_.fetch_add(1, std::memory_order_relaxed);
+  {
+    util::MutexLock lock(mutex_);
+    // Sleep until shutdown — the runtime image of a thread wedged in
+    // foreign code. busy stays true and active() stays elevated until
+    // condemn_worker() settles them (or we do, below, if the pool shuts
+    // down before the watchdog noticed).
+    while (!shutting_down_) cv_.wait(mutex_);
+  }
+  if (!slot->park_settled.exchange(true, std::memory_order_acq_rel)) {
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    slot->busy.store(false, std::memory_order_relaxed);
+  }
+  throw WorkerRetireSignal{};
 }
 
 bool ThreadPool::try_pop(std::size_t index, std::function<void()>& out) {
@@ -113,7 +332,7 @@ bool ThreadPool::try_pop(std::size_t index, std::function<void()>& out) {
     shared_queue_.pop_front();
     return true;
   }
-  const bool emergency = index >= base_workers_;
+  const bool emergency = index >= kEmergencyIndexBase;
   if (!emergency && !worker_queues_[index].empty()) {
     out = std::move(worker_queues_[index].front());
     worker_queues_[index].pop_front();
@@ -122,7 +341,9 @@ bool ThreadPool::try_pop(std::size_t index, std::function<void()>& out) {
   // Emergency workers always scan every queue: their purpose is to drain
   // work starved behind suspended workers, placement notwithstanding.
   // Regular workers steal only when configured and not suppressed by a
-  // partitioned run.
+  // partitioned run. Dead slots' queues are fair game for both — stealing
+  // off a crashed worker's queue is a rescue, not a placement violation
+  // the analysis didn't already account for losing.
   const bool may_steal =
       emergency ||
       (steal_ && steal_suppressed_.load(std::memory_order_relaxed) == 0);
@@ -163,34 +384,100 @@ bool ThreadPool::spawn_emergency_worker() {
   util::MutexLock lock(mutex_);
   if (shutting_down_) return false;
   const std::size_t index =
-      base_workers_ + emergency_count_.fetch_add(1, std::memory_order_relaxed);
+      kEmergencyIndexBase + emergency_count_.fetch_add(1, std::memory_order_relaxed);
   emergency_workers_.emplace_back([this, index] { worker_loop(index); });
   return true;
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
   t_worker_index = index;
+  const bool emergency = index >= kEmergencyIndexBase;
+  std::shared_ptr<Slot> slot;
+  if (!emergency) {
+    util::MutexLock lock(mutex_);
+    slot = slots_[index];
+  }
+  t_worker_slot = slot.get();
   for (;;) {
     std::function<void()> fn;
     {
       util::MutexLock lock(mutex_);
       // Explicit wait loop: a wait predicate lambda would escape the
       // thread-safety analysis context.
-      while (!shutting_down_ && !try_pop(index, fn)) cv_.wait(mutex_);
-      if (!fn) return;  // shutting down and nothing popped
+      for (;;) {
+        if (shutting_down_) break;
+        if (slot != nullptr) {
+          const WorkerState st = slot->state.load(std::memory_order_relaxed);
+          if (st == WorkerState::kRetiring) {
+            // Drain protocol: the current closure (if any) already
+            // finished — hand the queue back and leave.
+            hand_back_queue(index);
+            slot->state.store(WorkerState::kRetired, std::memory_order_relaxed);
+            break;
+          }
+          if (st == WorkerState::kDead || st == WorkerState::kRetired)
+            break;  // condemned while idle (or raced): just exit
+        }
+        if (try_pop(index, fn)) break;
+        cv_.wait(mutex_);
+      }
+      if (!fn) {
+        if (slot != nullptr) slot->exited.store(true, std::memory_order_relaxed);
+        cv_.notify_all();
+        return;
+      }
       // Count in-flight while still holding the lock: the guard's sampler
       // must never observe "queue drained but nothing active".
       active_.fetch_add(1, std::memory_order_relaxed);
+      if (slot != nullptr) {
+        slot->busy.store(true, std::memory_order_relaxed);
+        slot->epoch.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     // Contain anything a closure throws: a failing body degrades to a
     // recorded error, never std::terminate. Executor closures catch their
-    // own body exceptions; this protects foreign submissions.
+    // own body exceptions; this protects foreign submissions. The two
+    // signal types are the crash/hang simulation paths and terminate the
+    // worker instead.
+    bool died = false;
     try {
       fn();
+    } catch (const WorkerDeathSignal&) {
+      // Transactional pop: hand the in-flight closure back to the queue it
+      // came from before this worker disappears, so the node is re-run
+      // exactly once by whoever recovers the queue.
+      {
+        util::MutexLock lock(mutex_);
+        if (mode_ == QueueMode::kPerWorker && slot != nullptr)
+          worker_queues_[index].push_front(std::move(fn));
+        else
+          shared_queue_.push_front(std::move(fn));
+        if (slot != nullptr) {
+          remove_live_slot(index);
+          slot->state.store(WorkerState::kDead, std::memory_order_relaxed);
+        }
+        deaths_.fetch_add(1, std::memory_order_relaxed);
+      }
+      died = true;
+    } catch (const WorkerRetireSignal&) {
+      // Released from park_current_worker(): accounting already settled
+      // exactly once there (or by condemn_worker); just leave.
+      if (slot != nullptr) slot->exited.store(true, std::memory_order_relaxed);
+      cv_.notify_all();
+      return;
     } catch (...) {
       record_uncaught();
     }
     active_.fetch_sub(1, std::memory_order_relaxed);
+    if (slot != nullptr) {
+      slot->busy.store(false, std::memory_order_relaxed);
+      slot->epoch.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (died) {
+      if (slot != nullptr) slot->exited.store(true, std::memory_order_relaxed);
+      cv_.notify_all();  // the handed-back closure must be noticed
+      return;
+    }
     executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -201,16 +488,13 @@ ThreadPool::BlockedScope::BlockedScope(ThreadPool& pool) : pool_(pool) {
   while (seen < now &&
          !pool_.max_blocked_.compare_exchange_weak(seen, now, std::memory_order_relaxed)) {
   }
-  const std::optional<std::size_t> worker = current_worker();
-  if (worker.has_value() && *worker < pool_.base_workers_) {
-    flagged_worker_ = worker;
-    pool_.worker_blocked_[*worker].store(true, std::memory_order_relaxed);
-  }
+  if (auto* slot = static_cast<Slot*>(t_worker_slot))
+    slot->blocked.store(true, std::memory_order_relaxed);
 }
 
 ThreadPool::BlockedScope::~BlockedScope() {
-  if (flagged_worker_.has_value())
-    pool_.worker_blocked_[*flagged_worker_].store(false, std::memory_order_relaxed);
+  if (auto* slot = static_cast<Slot*>(t_worker_slot))
+    slot->blocked.store(false, std::memory_order_relaxed);
   pool_.blocked_.fetch_sub(1, std::memory_order_relaxed);
 }
 

@@ -16,6 +16,30 @@
 // `worker_blocked(i)` which ones — the runtime guard (exec/guard.h) samples
 // both to reconstruct the wait-for graph of a stalled run.
 //
+// The pool is ELASTIC: `add_workers()` / `retire_workers()` change the
+// live worker set at runtime. Each worker occupies a *slot* (a stable
+// index; per-worker queues are indexed by slot). Retiring follows a drain
+// protocol: the worker finishes its current closure, stops stealing, hands
+// its queued work back to the surviving workers and exits. Slots are never
+// reused by retirement; a slot is re-populated only by `respawn_worker()`,
+// which spawns a replacement serving the same queue.
+//
+// Fault tolerance (driven by the guard watchdog, exec/guard.h):
+//  * heartbeat epochs: every worker bumps a per-slot epoch counter as it
+//    pops, completes and (via `heartbeat()`) while executing closures. A
+//    busy, unblocked worker whose epoch goes stale is presumed hung.
+//  * crash simulation: a closure that throws WorkerDeathSignal terminates
+//    its worker; the worker hands the in-flight closure back to the queue
+//    it was popped from first (a transactional pop), so nothing is lost.
+//  * hang simulation: a closure that calls `park_current_worker()` leaves
+//    its worker asleep until pool shutdown — the runtime image of a thread
+//    stuck in foreign code. The watchdog detects the stale heartbeat.
+//  * recovery: `condemn_worker()` marks a dead/hung slot, settles its
+//    accounting and (optionally) redistributes its queue;
+//    `respawn_worker()` spawns a replacement adopting the slot. Submissions
+//    targeting a condemned slot without a replacement are redirected to a
+//    live worker (`redirected_submits()` counts them — the degraded path).
+//
 // Robustness features used by the guard:
 //  * emergency workers (spawn_emergency_worker): temporary extra threads
 //    injected to break a blocking-chain deadlock, TensorFlow-style. They
@@ -33,6 +57,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -46,9 +71,53 @@
 
 namespace rtpool::exec {
 
+/// Thrown by a pool closure to simulate its worker crashing mid-execution
+/// (the worker_death fault, exec/fault.h). The worker loop catches it,
+/// hands the in-flight closure back to the queue it was popped from and
+/// terminates the worker thread. Deliberately NOT derived from
+/// std::exception so generic handlers inside node bodies cannot swallow it.
+struct WorkerDeathSignal {};
+
+/// Internal: unwinds a parked (hung) worker out of its closure when the
+/// pool shuts down, so the thread can exit its loop and be joined.
+struct WorkerRetireSignal {};
+
 class ThreadPool {
  public:
   enum class QueueMode { kShared, kPerWorker };
+
+  /// Lifecycle of a worker slot.
+  enum class WorkerState : std::uint8_t {
+    kLive,      ///< Serving its queue.
+    kRetiring,  ///< Asked to drain: finishes the current closure, hands its
+                ///< queue back, then exits.
+    kRetired,   ///< Exited via the drain protocol.
+    kDead,      ///< Crashed/hung and condemned (or crashed on its own).
+  };
+
+  /// Emergency workers get indices at this offset so they can never collide
+  /// with a slot created later by add_workers().
+  static constexpr std::size_t kEmergencyIndexBase = std::size_t{1} << 32;
+
+  /// Point-in-time liveness snapshot of one slot, polled by the guard
+  /// watchdog to detect dead (exited) and hung (stale-heartbeat) workers.
+  struct WorkerStatus {
+    std::size_t worker = 0;
+    WorkerState state = WorkerState::kLive;
+    std::uint64_t epoch = 0;  ///< Heartbeat counter; stale while busy = hung.
+    bool busy = false;        ///< Executing a closure right now.
+    bool blocked = false;     ///< Suspended in a BlockedScope (legitimate).
+    bool exited = false;      ///< The thread left its loop.
+    bool condemned = false;   ///< Already recovered by condemn_worker().
+  };
+
+  /// Outcome of condemn_worker().
+  struct CondemnOutcome {
+    bool condemned = false;    ///< False: already condemned / bad index.
+    bool was_parked = false;   ///< The worker was asleep in park_current_worker().
+    std::size_t requeued = 0;  ///< Closures redistributed off its queue.
+    std::size_t live_left = 0; ///< Live workers remaining afterwards.
+  };
 
   /// Spawns `workers` threads. With kPerWorker and `steal` set, an idle
   /// worker scans other queues before sleeping.
@@ -57,21 +126,87 @@ class ThreadPool {
 
   /// Drains nothing: pending closures are abandoned; blocked closures must
   /// have been cancelled by their owner before destruction (GraphExecutor
-  /// guarantees this). Emergency workers are joined here too.
+  /// guarantees this). Emergency, added, respawned and parked workers are
+  /// all released and joined here too.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Base pool size m; excludes emergency workers.
-  std::size_t worker_count() const { return base_workers_; }
+  /// Live regular workers — the pool size m the analyses reason about.
+  /// Excludes emergency workers, retired/dead slots and parked (hung)
+  /// workers that were condemned.
+  std::size_t worker_count() const { return live_count_.load(std::memory_order_relaxed); }
+
+  /// Total slots ever created (live or not); per-worker queue indices and
+  /// placement ThreadIds range over [0, slot_count()).
+  std::size_t slot_count() const { return slot_count_.load(std::memory_order_relaxed); }
+
   QueueMode mode() const { return mode_; }
   bool stealing_configured() const { return steal_; }
 
+  /// True while any SuppressStealing scope is alive.
+  bool stealing_suppressed() const {
+    return steal_suppressed_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // ---- elasticity ----
+
+  /// Spawn `n` additional live workers (new slots, new queues under
+  /// kPerWorker). Returns the new worker_count(). No-op when shutting down.
+  std::size_t add_workers(std::size_t n);
+
+  /// Retire the `n` highest-index live workers under the drain protocol:
+  /// each finishes its current closure, stops stealing, hands its queued
+  /// closures back to the surviving workers (round-robin) and exits.
+  /// Throws std::invalid_argument when fewer than one live worker would
+  /// remain. Returns the new worker_count().
+  std::size_t retire_workers(std::size_t n);
+
+  /// Mark slot `worker` dead and settle its accounting: a parked (hung)
+  /// worker stops counting as active, and — when `redistribute` is set —
+  /// its queued closures are handed to live workers (use redistribute =
+  /// false when a respawn_worker() call will follow, so the replacement
+  /// inherits the queue and the placement survives). Idempotent per slot.
+  CondemnOutcome condemn_worker(std::size_t worker, bool redistribute);
+
+  /// Spawn a replacement worker adopting slot `worker` (same queue, same
+  /// placement ThreadId). Returns false when the slot is still live or the
+  /// pool is shutting down.
+  bool respawn_worker(std::size_t worker);
+
+  /// Liveness snapshot of every slot (guard watchdog input).
+  std::vector<WorkerStatus> worker_status() const;
+
+  /// True when slot i exists and is live.
+  bool worker_live(std::size_t i) const;
+
+  /// Bump the calling pool worker's heartbeat epoch (no-op off-pool).
+  /// Long-running closures call this periodically so a busy worker is
+  /// never mistaken for a hung one.
+  static void heartbeat();
+
+  /// Crash/hang telemetry.
+  std::size_t worker_deaths() const { return deaths_.load(std::memory_order_relaxed); }
+  std::size_t condemned_workers() const { return condemned_.load(std::memory_order_relaxed); }
+  std::size_t respawned_workers() const { return respawned_.load(std::memory_order_relaxed); }
+  std::size_t parked_workers() const { return parked_.load(std::memory_order_relaxed); }
+  std::size_t handed_back() const { return handed_back_.load(std::memory_order_relaxed); }
+  std::size_t redirected_submits() const { return redirected_.load(std::memory_order_relaxed); }
+
+  /// Hang simulation (the worker_hang fault): the calling pool worker goes
+  /// to sleep until the pool shuts down, then unwinds via
+  /// WorkerRetireSignal. Its accounting (active, busy) is settled by the
+  /// first of condemn_worker() or the wakeup. Returns immediately when the
+  /// caller is not a regular pool worker.
+  void park_current_worker();
+
+  // ---- submission ----
+
   /// Enqueue a closure. kShared: into the shared queue. kPerWorker: into
-  /// `target`'s queue when given, else round-robin across workers (the old
-  /// behaviour silently funnelled everything to worker 0, violating any
-  /// partitioned placement). `target` with kShared throws std::logic_error.
+  /// `target`'s queue when given, else round-robin across LIVE workers.
+  /// A target slot that is condemned without a replacement is redirected
+  /// to a live worker. `target` with kShared throws std::logic_error.
   void submit(std::function<void()> fn,
               std::optional<std::size_t> target = std::nullopt);
 
@@ -79,8 +214,8 @@ class ThreadPool {
   /// observe a state where only a prefix of the batch is queued. Used by
   /// GraphExecutor to release all successors of a completed node at once,
   /// the way a precedence constraint opens in the paper's model.
-  /// kPerWorker: items are spread round-robin; use submit_batch_to() to
-  /// honor a placement.
+  /// kPerWorker: items are spread round-robin over live workers; use
+  /// submit_batch_to() to honor a placement.
   void submit_batch(std::vector<std::function<void()>> fns);
 
   /// Atomic targeted batch (kPerWorker only): each closure goes to its
@@ -93,7 +228,7 @@ class ThreadPool {
   void submit_to(std::size_t worker, std::function<void()> fn);
 
   /// Index of the pool worker executing the calling thread, if any.
-  /// Emergency workers report indices >= worker_count().
+  /// Emergency workers report indices >= kEmergencyIndexBase.
   static std::optional<std::size_t> current_worker();
 
   /// Number of workers currently blocked inside a BlockedScope (suspended
@@ -101,7 +236,7 @@ class ThreadPool {
   /// the pool's available concurrency l(t, τ).
   std::size_t blocked_workers() const { return blocked_.load(std::memory_order_relaxed); }
 
-  /// Whether base worker i is currently suspended in a BlockedScope.
+  /// Whether worker slot i is currently suspended in a BlockedScope.
   bool worker_blocked(std::size_t i) const;
 
   /// Highest number of simultaneously blocked workers observed.
@@ -109,7 +244,8 @@ class ThreadPool {
 
   /// Closures currently in flight (popped and running OR suspended at a
   /// barrier). active() == blocked_workers() means every busy worker is
-  /// suspended — the guard's quiescence signal.
+  /// suspended — the guard's quiescence signal. Workers condemned while
+  /// parked are settled out of this count.
   std::size_t active() const { return active_.load(std::memory_order_relaxed); }
 
   /// Total closures executed (diagnostics).
@@ -149,7 +285,6 @@ class ThreadPool {
 
    private:
     ThreadPool& pool_;
-    std::optional<std::size_t> flagged_worker_;
   };
 
   /// RAII: regular workers stop stealing while any suppression is alive
@@ -170,23 +305,61 @@ class ThreadPool {
   };
 
  private:
+  /// Per-slot worker bookkeeping. Heap-allocated and shared so a parked
+  /// (hung) thread can keep its OWN generation of the slot after a
+  /// respawn replaced slots_[i] with a fresh one.
+  struct Slot {
+    explicit Slot(std::size_t i) : index(i) {}
+    const std::size_t index;
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<WorkerState> state{WorkerState::kLive};
+    std::atomic<bool> busy{false};
+    std::atomic<bool> blocked{false};
+    std::atomic<bool> exited{false};
+    std::atomic<bool> condemned{false};
+    /// No replacement is coming for this slot (condemned with
+    /// redistribution, or retiring): submits targeting it may be
+    /// redirected to a live slot. While false on a non-live slot, a
+    /// respawned replacement will adopt the queue, so placement-
+    /// constrained closures must stay put (Eq. (3) preservation).
+    std::atomic<bool> abandoned{false};
+    std::atomic<bool> parked{false};
+    /// Exactly-once settlement of a parked worker's active/busy counts
+    /// (first of condemn_worker() or the shutdown wakeup wins).
+    std::atomic<bool> park_settled{false};
+  };
+
   void worker_loop(std::size_t index);
   bool try_pop(std::size_t index, std::function<void()>& out) RTPOOL_REQUIRES(mutex_);
   void record_uncaught();
+  /// Round-robin pick among live slots; nullopt when none are live.
+  std::optional<std::size_t> next_live_slot() RTPOOL_REQUIRES(mutex_);
+  /// Redirect `worker` to a live slot when it is not live (degraded path).
+  std::size_t route_target(std::size_t worker) RTPOOL_REQUIRES(mutex_);
+  /// Move slot `index`'s queued closures to live workers; returns count.
+  std::size_t hand_back_queue(std::size_t index) RTPOOL_REQUIRES(mutex_);
+  void remove_live_slot(std::size_t index) RTPOOL_REQUIRES(mutex_);
+  void spawn_slot_thread(std::size_t index) RTPOOL_REQUIRES(mutex_);
 
   QueueMode mode_;
   bool steal_;
-  std::size_t base_workers_;
 
   mutable util::Mutex mutex_;
   util::CondVar cv_;
   std::deque<std::function<void()>> shared_queue_ RTPOOL_GUARDED_BY(mutex_);
   std::vector<std::deque<std::function<void()>>> worker_queues_
       RTPOOL_GUARDED_BY(mutex_);
+  std::vector<std::shared_ptr<Slot>> slots_ RTPOOL_GUARDED_BY(mutex_);
+  /// Live slot indices, ascending (round-robin submission domain).
+  std::vector<std::size_t> live_slots_ RTPOOL_GUARDED_BY(mutex_);
   bool shutting_down_ RTPOOL_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> emergency_workers_ RTPOOL_GUARDED_BY(mutex_);
+  /// Threads spawned after construction (add_workers / respawn_worker).
+  std::vector<std::thread> extra_workers_ RTPOOL_GUARDED_BY(mutex_);
   std::string first_uncaught_ RTPOOL_GUARDED_BY(mutex_);
 
+  std::atomic<std::size_t> live_count_{0};
+  std::atomic<std::size_t> slot_count_{0};
   std::atomic<std::size_t> blocked_{0};
   std::atomic<std::size_t> max_blocked_{0};
   std::atomic<std::size_t> active_{0};
@@ -194,12 +367,14 @@ class ThreadPool {
   std::atomic<std::size_t> steals_{0};
   std::atomic<std::size_t> uncaught_{0};
   std::atomic<std::size_t> emergency_count_{0};
+  std::atomic<std::size_t> deaths_{0};
+  std::atomic<std::size_t> condemned_{0};
+  std::atomic<std::size_t> respawned_{0};
+  std::atomic<std::size_t> parked_{0};
+  std::atomic<std::size_t> handed_back_{0};
+  std::atomic<std::size_t> redirected_{0};
   std::atomic<std::size_t> rr_next_{0};
   std::atomic<int> steal_suppressed_{0};
-
-  /// Per base-worker blocked flag (fixed size; emergency workers are only
-  /// counted in blocked_).
-  std::unique_ptr<std::atomic<bool>[]> worker_blocked_;
 
   std::vector<std::thread> workers_;
 };

@@ -4,8 +4,11 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <set>
+#include <thread>
 
 #include "analysis/concurrency.h"
 #include "exec/graph_executor.h"
@@ -608,6 +611,271 @@ TEST(ThreadPoolTest, EmergencyWorkerDrainsTargetedQueues) {
   ASSERT_TRUE(
       cv.wait_for(lock, std::chrono::seconds(5), [&] { return release; }));
   EXPECT_TRUE(emergency_ran.load());
+}
+
+// ---------------------------------------------------------------------------
+// Elastic pool: dynamic workers, dead-worker recovery, accounting.
+
+TEST(ThreadPoolElasticTest, AddWorkersGrowsThePool) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.worker_count(), 2u);
+  EXPECT_EQ(pool.add_workers(2), 4u);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  EXPECT_EQ(pool.slot_count(), 4u);
+
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 200; ++i)
+    pool.submit([&] {
+      if (count.fetch_add(1) + 1 == 200) {
+        std::lock_guard lock(mu);
+        cv.notify_all();
+      }
+    });
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return count.load() == 200; }));
+}
+
+TEST(ThreadPoolElasticTest, AddedWorkersServeTargetedQueues) {
+  ThreadPool pool(1, ThreadPool::QueueMode::kPerWorker);
+  ASSERT_EQ(pool.add_workers(1), 2u);
+  std::atomic<int> on_new{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  pool.submit_to(1, [&] {
+    if (ThreadPool::current_worker() == std::optional<std::size_t>(1)) ++on_new;
+    std::lock_guard lock(mu);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return done; }));
+  EXPECT_EQ(on_new.load(), 1);
+}
+
+TEST(ThreadPoolElasticTest, RetireWorkersDrainsQueuedWork) {
+  ThreadPool pool(3, ThreadPool::QueueMode::kPerWorker);
+  // Park worker 2 behind a gate so its queue backs up, then retire it: the
+  // drain protocol must hand the queued closures to the survivors.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> done{0};
+  pool.submit_to(2, [&] {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  for (int i = 0; i < 8; ++i)
+    pool.submit_to(2, [&] {
+      ++done;
+      std::lock_guard lock(mu);
+      cv.notify_all();
+    });
+  EXPECT_EQ(pool.retire_workers(1), 2u);
+  EXPECT_FALSE(pool.worker_live(2));
+  {
+    // Only now let the retiring worker finish its closure: the drain
+    // protocol hands its backed-up queue to the survivors.
+    std::lock_guard lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return done.load() == 8; }));
+  EXPECT_EQ(pool.worker_count(), 2u);
+  EXPECT_GE(pool.handed_back(), 8u);
+}
+
+TEST(ThreadPoolElasticTest, RetireRefusesToEmptyThePool) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.retire_workers(2), std::invalid_argument);
+  EXPECT_EQ(pool.retire_workers(1), 1u);
+  EXPECT_THROW(pool.retire_workers(1), std::invalid_argument);
+}
+
+TEST(ThreadPoolElasticTest, GrowShrinkCycleRestoresShape) {
+  ThreadPool pool(2, ThreadPool::QueueMode::kPerWorker);
+  EXPECT_EQ(pool.add_workers(2), 4u);
+  EXPECT_EQ(pool.retire_workers(2), 2u);
+  EXPECT_TRUE(pool.worker_live(0));
+  EXPECT_TRUE(pool.worker_live(1));
+  EXPECT_FALSE(pool.worker_live(2));
+  EXPECT_FALSE(pool.worker_live(3));
+}
+
+TEST(ThreadPoolElasticTest, DeathRequeuesInFlightClosureExactlyOnce) {
+  ThreadPool pool(2);
+  std::atomic<int> runs{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  pool.submit([&] {
+    // Transactional pop: the first attempt kills its worker BEFORE any
+    // side effect of the "real" work; the requeued closure runs clean.
+    if (runs.fetch_add(1) == 0) throw WorkerDeathSignal{};
+    std::lock_guard lock(mu);
+    done = true;
+    cv.notify_all();
+  });
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return done; }));
+  }
+  EXPECT_EQ(runs.load(), 2);
+  EXPECT_EQ(pool.worker_deaths(), 1u);
+  EXPECT_EQ(pool.worker_count(), 1u);
+
+  // The slot is recoverable: a respawned replacement restores the size.
+  std::size_t dead = 0;
+  bool found = false;
+  for (const ThreadPool::WorkerStatus& ws : pool.worker_status())
+    if (ws.state == ThreadPool::WorkerState::kDead) {
+      dead = ws.worker;
+      found = true;
+    }
+  ASSERT_TRUE(found);
+  EXPECT_TRUE(pool.respawn_worker(dead));
+  EXPECT_FALSE(pool.respawn_worker(dead));  // already live again
+  EXPECT_EQ(pool.worker_count(), 2u);
+  EXPECT_EQ(pool.respawned_workers(), 1u);
+}
+
+TEST(ThreadPoolElasticTest, CondemnRedistributesQueuedWork) {
+  // No stealing: only condemn's hand-back can move worker 0's queue.
+  ThreadPool pool(2, ThreadPool::QueueMode::kPerWorker, /*steal=*/false);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> done{0};
+  pool.submit_to(0, [&] {
+    std::unique_lock lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  // Wait until the gate closure is in flight so the rest stays queued.
+  while (pool.active() == 0) std::this_thread::yield();
+  for (int i = 0; i < 5; ++i)
+    pool.submit_to(0, [&] {
+      ++done;
+      std::lock_guard lock(mu);
+      cv.notify_all();
+    });
+
+  const ThreadPool::CondemnOutcome out = pool.condemn_worker(0, /*redistribute=*/true);
+  EXPECT_TRUE(out.condemned);
+  EXPECT_EQ(out.requeued, 5u);
+  EXPECT_EQ(out.live_left, 1u);
+  EXPECT_FALSE(pool.condemn_worker(0, true).condemned);  // idempotent
+
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return done.load() == 5; }));
+  release = true;  // let the condemned worker's in-flight closure finish
+  cv.notify_all();
+}
+
+TEST(ThreadPoolElasticTest, SubmitsRedirectOffAbandonedSlots) {
+  ThreadPool pool(2, ThreadPool::QueueMode::kPerWorker, /*steal=*/false);
+  ASSERT_TRUE(pool.condemn_worker(1, /*redistribute=*/true).condemned);
+  std::atomic<std::size_t> ran_on{99};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  // The placement target is gone for good: degraded routing must land the
+  // closure on the survivor instead of stranding it.
+  pool.submit_to(1, [&] {
+    ran_on = ThreadPool::current_worker().value_or(99);
+    std::lock_guard lock(mu);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return done; }));
+  EXPECT_EQ(ran_on.load(), 0u);
+  EXPECT_GE(pool.redirected_submits(), 1u);
+}
+
+TEST(ThreadPoolElasticTest, RespawnAdoptsDeadSlotsQueue) {
+  // No stealing and no redistribution: the closure queued behind the death
+  // can ONLY run if the replacement adopts the slot's queue.
+  ThreadPool pool(2, ThreadPool::QueueMode::kPerWorker, /*steal=*/false);
+  std::atomic<int> runs{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  pool.submit_to(0, [&] {
+    if (runs.fetch_add(1) == 0) throw WorkerDeathSignal{};
+    std::lock_guard lock(mu);
+    done = true;
+    cv.notify_all();
+  });
+  while (pool.worker_deaths() == 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.condemn_worker(0, /*redistribute=*/false).condemned);
+  ASSERT_TRUE(pool.respawn_worker(0));
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5), [&] { return done; }));
+  EXPECT_EQ(runs.load(), 2);
+  EXPECT_TRUE(pool.worker_live(0));
+}
+
+// ---------------------------------------------------------------------------
+// Satellite audit: active() accounting through the emergency-worker
+// handoff, and SuppressStealing release on the exception path.
+
+TEST(ThreadPoolTest, ActiveReturnsToZeroAfterEmergencyRescue) {
+  ThreadPool pool(2);
+  const DagTask task = two_region_task();
+  GraphExecutor exec(pool, task);
+  ExecOptions options;
+  options.watchdog = std::chrono::milliseconds(200);
+  options.recovery = RecoveryPolicy::kEmergencyWorker;
+  options.max_emergency_workers = 2;
+  const ExecReport report = exec.run_blocking(options);
+  ASSERT_TRUE(report.completed);
+  ASSERT_GE(report.emergency_workers, 1u);
+  // The rescued run's closures all finished: in-flight accounting must
+  // settle back to zero (the rescuing emergency worker included), or every
+  // later quiescence verdict on this pool is skewed.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (pool.active() != 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(pool.active(), 0u);
+  EXPECT_EQ(pool.blocked_workers(), 0u);
+}
+
+TEST(GraphExecutorTest, SuppressStealingReleasedAfterStallError) {
+  // kFailFast throws StallError out of run_blocking while a
+  // SuppressStealing scope for the partitioned assignment is alive: the
+  // RAII release must run during unwinding or the pool never steals again.
+  ThreadPool pool(2, ThreadPool::QueueMode::kPerWorker, /*steal=*/true);
+  const DagTask task = fig1_task();
+  ExecOptions options;
+  options.assignment = analysis::NodeAssignment{
+      std::vector<analysis::ThreadId>(task.node_count(), 0)};
+  options.watchdog = std::chrono::milliseconds(200);
+  options.recovery = RecoveryPolicy::kFailFast;
+  GraphExecutor exec(pool, task);
+  EXPECT_THROW(exec.run_blocking(options), StallError);
+  EXPECT_FALSE(pool.stealing_suppressed());
+
+  // And the pool still steals: queue work behind the (still live) blocked
+  // placement target and let another worker take it.
+  std::atomic<int> count{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  for (int i = 0; i < 4; ++i)
+    pool.submit_to(i % 2, [&] {
+      if (count.fetch_add(1) + 1 == 4) {
+        std::lock_guard lock(mu);
+        cv.notify_all();
+      }
+    });
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return count.load() == 4; }));
 }
 
 }  // namespace

@@ -332,6 +332,101 @@ TEST(GuardTest, DroppedNotifyHealedByGuard) {
 }
 
 // ---------------------------------------------------------------------------
+// Lethal faults: dead-worker detection, requeue, respawn, degradation.
+
+TEST(GuardTest, WorkerDeathDetectedRequeuedAndRespawned) {
+  const DagTask task = fig1_task();
+  ThreadPool pool(2);  // b̄(fig1) + 1: the size the analysis admits
+  GraphExecutor exec(pool, task);
+  ExecOptions options;
+  options.watchdog = std::chrono::milliseconds(5000);
+  options.worker_liveness = std::chrono::milliseconds(100);
+  options.respawn_backoff = std::chrono::milliseconds(5);
+  NodeFault death;
+  death.kind = FaultKind::kWorkerDeath;
+  const NodeId victim = first_member(task.blocking_regions()[0]);
+  options.faults.set(victim, death);
+
+  std::vector<std::atomic<int>> runs(task.node_count());
+  const ExecReport report =
+      exec.run_blocking(options, [&](NodeId v) { ++runs[v]; });
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.nodes_executed, task.node_count());
+  EXPECT_FALSE(report.stall.has_value());
+  ASSERT_EQ(report.worker_recoveries.size(), 1u);
+  EXPECT_TRUE(report.worker_recoveries[0].crashed);
+  EXPECT_TRUE(report.worker_recoveries[0].respawned);
+  EXPECT_EQ(report.workers_respawned, 1u);
+  EXPECT_FALSE(report.degraded.has_value());
+  EXPECT_EQ(pool.worker_deaths(), 1u);
+  EXPECT_EQ(pool.worker_count(), 2u);  // replacement restored the size
+  // The kill fires BEFORE the body (transactional pop): despite the retry,
+  // every node body ran exactly once — nothing lost, nothing duplicated.
+  for (NodeId v = 0; v < task.node_count(); ++v)
+    EXPECT_EQ(runs[v].load(), 1) << "node " << v;
+}
+
+TEST(GuardTest, HungWorkerGetsLivenessVerdictNotDeadlockReport) {
+  // Satellite acceptance: a wedged worker must surface as a WorkerRecovery
+  // (liveness failure, crashed=false) and the run must COMPLETE — never as
+  // a spurious StallReport claiming a Lemma 2 deadlock that isn't there.
+  const DagTask task = fig1_task();
+  ThreadPool pool(2);
+  GraphExecutor exec(pool, task);
+  ExecOptions options;
+  options.watchdog = std::chrono::milliseconds(8000);
+  options.worker_liveness = std::chrono::milliseconds(100);
+  options.respawn_backoff = std::chrono::milliseconds(5);
+  NodeFault hang;
+  hang.kind = FaultKind::kWorkerHang;
+  const NodeId victim = first_member(task.blocking_regions()[0]);
+  options.faults.set(victim, hang);
+
+  std::vector<std::atomic<int>> runs(task.node_count());
+  const ExecReport report =
+      exec.run_blocking(options, [&](NodeId v) { ++runs[v]; });
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.nodes_executed, task.node_count());
+  EXPECT_FALSE(report.stall.has_value())
+      << "hang misdiagnosed as a deadlock: " << report.stall->describe();
+  ASSERT_GE(report.worker_recoveries.size(), 1u);
+  for (const WorkerRecovery& rec : report.worker_recoveries) {
+    EXPECT_FALSE(rec.crashed);  // hung, detected via the stale heartbeat
+    EXPECT_TRUE(rec.respawned);
+  }
+  EXPECT_EQ(pool.parked_workers(), 1u);
+  for (NodeId v = 0; v < task.node_count(); ++v)
+    EXPECT_EQ(runs[v].load(), 1) << "node " << v;
+}
+
+TEST(GuardTest, RespawnBudgetExhaustedYieldsDegradedReport) {
+  // No respawn budget at all: losing a worker leaves the pool below the
+  // size the analysis admitted. The guard must say so loudly (a
+  // DegradedReport), never silently absorb the loss.
+  const DagTask task = fig1_task();
+  ThreadPool pool(2);
+  GraphExecutor exec(pool, task);
+  ExecOptions options;
+  options.watchdog = std::chrono::milliseconds(1500);
+  options.worker_liveness = std::chrono::milliseconds(100);
+  options.max_worker_respawns = 0;
+  NodeFault death;
+  death.kind = FaultKind::kWorkerDeath;
+  options.faults.set(first_member(task.blocking_regions()[0]), death);
+  const ExecReport report = exec.run_blocking(options);
+
+  ASSERT_TRUE(report.degraded.has_value());
+  EXPECT_GE(report.degraded->workers_lost, 1u);
+  EXPECT_EQ(report.degraded->respawns_used, 0u);
+  EXPECT_EQ(report.workers_respawned, 0u);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.degraded->describe().find("below the size"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Fault plans are deterministic in the seed.
 
 TEST(FaultPlanTest, SameSeedSamePlan) {
@@ -381,6 +476,26 @@ TEST(FaultPlanTest, DescribeAndAccessors) {
   f.kind = FaultKind::kNone;  // setting kNone clears the entry
   plan.set(3, f);
   EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanTest, LethalFaultsOnlyTargetComputeNodes) {
+  // worker_death / worker_hang fire at node start on a pool worker: only
+  // NB and BC nodes are eligible (forks/joins run barrier machinery whose
+  // loss the simulation does not model).
+  const DagTask task = fig1c_task();
+  FaultPlanParams params;
+  params.p_worker_death = 1.0;
+  const FaultPlan deaths = make_random_fault_plan(task, params, 11);
+  EXPECT_GT(deaths.count(FaultKind::kWorkerDeath), 0u);
+  params.p_worker_death = 0.0;
+  params.p_worker_hang = 1.0;
+  const FaultPlan hangs = make_random_fault_plan(task, params, 11);
+  EXPECT_GT(hangs.count(FaultKind::kWorkerHang), 0u);
+  for (const FaultPlan* plan : {&deaths, &hangs})
+    for (const auto& [v, f] : plan->faults())
+      EXPECT_TRUE(task.type(v) == model::NodeType::NB ||
+                  task.type(v) == model::NodeType::BC)
+          << "node " << v;
 }
 
 TEST(FaultPlanTest, ForkWithIsDrawOrderIndependent) {
