@@ -11,6 +11,12 @@ Inputs (both optional, at least one required):
              and recorded under `baseline_diff`, but never affect the exit
              status (wall-time asserts are meaningless on shared CI boxes).
 
+Thread-scaling gate: every sweep point is checked for multi-thread runs
+slower than the same point's threads=1 run; regressions are printed as
+warnings and recorded under `thread_scaling_regressions`. Report-only by
+default — pass --enforce-thread-scaling to turn regressions into exit 1
+(meant for dedicated perf boxes, not shared CI runners).
+
 Output (--out, default BENCH_analysis.json): the sweep report with a
 `kernels` section appended:
 
@@ -75,7 +81,8 @@ def diff_against_baseline(report, baseline):
     new_adm = report.get("admission")
     if old_adm and new_adm:
         row = {}
-        for key in ("warm_wall_s", "cold_wall_s", "warm_speedup"):
+        for key in ("incremental_wall_s", "warm_wall_s", "cold_wall_s",
+                    "warm_speedup", "incremental_speedup"):
             old = old_adm.get(key, 0.0)
             new = new_adm.get(key, 0.0)
             row[key] = new
@@ -107,6 +114,32 @@ def diff_against_baseline(report, baseline):
     return diff
 
 
+def check_thread_scaling(report):
+    """Rows for multi-thread runs slower than the point's threads=1 run."""
+    regressions = []
+    for point in report.get("points", []):
+        runs = point.get("runs", [])
+        base = next((r for r in runs if r.get("threads") == 1), None)
+        if base is None or base.get("wall_s", 0.0) <= 0.0:
+            continue
+        for run in runs:
+            threads = run.get("threads", 1)
+            if threads <= 1:
+                continue
+            wall = run.get("wall_s", 0.0)
+            if wall > base["wall_s"]:
+                regressions.append({
+                    "name": point.get("name", "?"),
+                    "threads": threads,
+                    "wall_s": wall,
+                    "threads1_wall_s": base["wall_s"],
+                })
+                print(f"bench_report: WARNING point {point.get('name', '?')} "
+                      f"threads={threads} wall {wall:.3f}s > threads=1 wall "
+                      f"{base['wall_s']:.3f}s", file=sys.stderr)
+    return regressions
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sweep", help="perf_sweep JSON report")
@@ -115,6 +148,10 @@ def main():
                         help="committed BENCH_analysis.json to diff against "
                              "(report-only, never affects exit status)")
     parser.add_argument("--out", default="BENCH_analysis.json")
+    parser.add_argument("--enforce-thread-scaling", action="store_true",
+                        help="exit 1 when a multi-thread run is slower than "
+                             "the same point's threads=1 run (default: "
+                             "report-only warning)")
     args = parser.parse_args()
 
     if not args.sweep and not args.kernels:
@@ -143,6 +180,9 @@ def main():
         else:
             report["baseline_diff"] = diff_against_baseline(report, baseline)
 
+    scaling_regressions = check_thread_scaling(report)
+    report["thread_scaling_regressions"] = scaling_regressions
+
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -156,6 +196,11 @@ def main():
     if admission and not admission.get("verdicts_agree", True):
         print("bench_report: admission warm/cold verdict disagreement "
               "recorded in sweep input", file=sys.stderr)
+        return 1
+    if scaling_regressions and args.enforce_thread_scaling:
+        print(f"bench_report: {len(scaling_regressions)} thread-scaling "
+              "regression(s) with --enforce-thread-scaling set",
+              file=sys.stderr)
         return 1
     cert_failures = report.get("cert_failures_total", 0)
     if cert_failures:

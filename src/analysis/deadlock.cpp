@@ -23,6 +23,14 @@ std::string join_node_list(const std::vector<model::NodeId>& nodes,
 
 std::optional<BlockingChainWitness> find_lemma1_witness(const model::DagTask& task,
                                                         std::size_t pool_size) {
+  // b̄(τ) = max_v |X(v)| is cached by DagTask at construction; when it is
+  // below the pool size no witness exists and the per-node sweep below —
+  // which would only rediscover the same maximum — is skipped entirely.
+  // This is the common case on every deadlock-free task set, and the sweep
+  // allocates three bitsets per node, so the early return matters on the
+  // experiment hot path.
+  if (task.max_affecting_forks() < pool_size) return std::nullopt;
+
   // Pivot = the node v* achieving b̄(τ) = max_v |X(v)|; the chain is X(v*).
   BlockingChainWitness witness{0, {}, pool_size};
   std::size_t best = 0;
@@ -75,11 +83,24 @@ std::vector<Eq3Violation> find_eq3_violations(const model::DagTask& task,
     throw std::invalid_argument("find_eq3_violations: assignment size mismatch");
 
   std::vector<Eq3Violation> violations;
+  if (task.blocking_regions().empty()) return violations;  // no BC nodes
+
+  // Same X(v) as affecting_blocking_forks, with the BF mask hoisted out of
+  // the loop and one reused bitset instead of three allocations per node.
+  util::DynamicBitset bf_mask(task.node_count());
+  for (const model::BlockingRegion& r : task.blocking_regions())
+    bf_mask.set(r.fork);
+  const graph::Reachability& reach = task.reachability();
+  util::DynamicBitset dangerous(task.node_count());
   for (model::NodeId v = 0; v < task.node_count(); ++v) {
     if (task.type(v) != model::NodeType::BC) continue;
     const ThreadId own = assignment.thread_of[v];
     // P(v): threads hosting a node of C(v) ∪ {F(v)}.
-    const util::DynamicBitset dangerous = affecting_blocking_forks(task, v);
+    dangerous = bf_mask;
+    dangerous.and_not_assign(reach.ancestors(v));
+    dangerous.and_not_assign(reach.descendants(v));
+    if (dangerous.test(v)) dangerous.reset(v);
+    dangerous.set(task.blocking_fork_of(v));
     bool hit = false;
     dangerous.for_each([&](std::size_t f) {
       if (!hit && assignment.thread_of[f] == own) {
@@ -128,6 +149,37 @@ DeadlockCheck check_deadlock_free_partitioned(const model::DagTask& task,
     check.witness = describe(*violation, task.name());
   }
   return check;
+}
+
+bool is_deadlock_free_partitioned(const model::DagTask& task,
+                                  std::size_t pool_size,
+                                  const NodeAssignment& assignment) {
+  if (assignment.thread_of.size() != task.node_count())
+    throw std::invalid_argument(
+        "is_deadlock_free_partitioned: assignment size mismatch");
+  // Lemma 1: the witness search maximizes |X(v)|, which is exactly the
+  // cached b̄(τ) — a witness exists iff b̄(τ) >= pool size.
+  if (task.max_affecting_forks() >= pool_size) return false;
+  const std::vector<model::BlockingRegion>& regions = task.blocking_regions();
+  if (regions.empty()) return true;
+
+  // Eq. (3): a BC node v may not share its thread with any BF of X(v) =
+  // (BF \ (pred(v) ∪ succ(v))) ∪ {F(v)}. Regions are few, so per-fork bit
+  // probes beat materializing the X(v) mask.
+  const graph::Reachability& reach = task.reachability();
+  for (model::NodeId v = 0; v < task.node_count(); ++v) {
+    if (task.type(v) != model::NodeType::BC) continue;
+    const ThreadId own = assignment.thread_of[v];
+    const model::NodeId fv = task.blocking_fork_of(v);
+    for (const model::BlockingRegion& r : regions) {
+      const model::NodeId f = r.fork;
+      if (assignment.thread_of[f] != own) continue;
+      if (f == fv) return false;
+      if (!reach.ancestors(v).test(f) && !reach.descendants(v).test(f))
+        return false;
+    }
+  }
+  return true;
 }
 
 bool task_set_deadlock_free_global(const model::TaskSet& ts) {

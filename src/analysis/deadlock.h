@@ -106,6 +106,17 @@ DeadlockCheck check_deadlock_free_partitioned(const model::DagTask& task,
                                               std::size_t pool_size,
                                               const NodeAssignment& assignment);
 
+/// Boolean-only fast path of `check_deadlock_free_partitioned`: identical
+/// verdict, no witness structures or description strings. The verdict
+/// reduces to the cached b̄(τ) (Lemma 1's witness exists iff
+/// b̄(τ) >= pool size) plus an early-exit Eq. (3) scan over
+/// (BC node, region) pairs — the per-attempt deadlock gate of the
+/// partitioned analysis reads only the boolean, thousands of times per
+/// experiment point.
+bool is_deadlock_free_partitioned(const model::DagTask& task,
+                                  std::size_t pool_size,
+                                  const NodeAssignment& assignment);
+
 /// Whole task set, global scheduling: the per-task checks applied ∀τ ∈ Γ.
 bool task_set_deadlock_free_global(const model::TaskSet& ts);
 

@@ -245,6 +245,13 @@ PartitionResult partition_worst_fit(const TaskSet& ts) {
   TaskSetPartition partition;
   partition.per_task.resize(ts.size());
 
+  // Hoisted out of the per-task loop: each vector is re-assigned per task,
+  // reusing its storage across the set (and across same-sized tasks this
+  // never reallocates).
+  std::vector<model::NodeId> unit_of;
+  std::vector<double> unit_util;
+  std::vector<model::NodeId> units;
+
   for (std::size_t i = 0; i < ts.size(); ++i) {
     const model::DagTask& task = ts.task(i);
     std::vector<ThreadId>& T = partition.per_task[i].thread_of;
@@ -252,20 +259,23 @@ PartitionResult partition_worst_fit(const TaskSet& ts) {
 
     // Fuse every BF with its BJ (two halves of one function, one thread);
     // represent each unit by its lowest node id.
-    std::vector<model::NodeId> unit_of(task.node_count());
+    unit_of.resize(task.node_count());
     std::iota(unit_of.begin(), unit_of.end(), model::NodeId{0});
     for (const model::BlockingRegion& r : task.blocking_regions())
       unit_of[r.join] = r.fork;
 
-    std::vector<double> unit_util(task.node_count(), 0.0);
+    unit_util.assign(task.node_count(), 0.0);
     for (model::NodeId v = 0; v < task.node_count(); ++v)
       unit_util[unit_of[v]] += task.wcet(v) / task.period();
 
-    std::vector<model::NodeId> units;
+    units.clear();
     for (model::NodeId v = 0; v < task.node_count(); ++v)
       if (unit_of[v] == v) units.push_back(v);
-    std::stable_sort(units.begin(), units.end(), [&](model::NodeId a, model::NodeId b) {
-      return unit_util[a] > unit_util[b];  // worst-fit decreasing
+    // Worst-fit decreasing; the id tie-break reproduces stable_sort's
+    // original-order guarantee (units were generated ascending by id)
+    // without its merge buffer.
+    std::sort(units.begin(), units.end(), [&](model::NodeId a, model::NodeId b) {
+      return unit_util[a] != unit_util[b] ? unit_util[a] > unit_util[b] : a < b;
     });
 
     const std::vector<char> no_banned;  // every core eligible

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <span>
 
 #include "analysis/cert.h"
 #include "analysis/concurrency.h"
@@ -139,14 +140,49 @@ PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
   std::vector<std::vector<Time>> segments_out;  // recorded on schedulable runs
   if (ctx->warm_start_enabled() && split) segments_out.resize(ts.size());
 
+  // Incremental re-analysis: verdicts of the structural prefix are copied
+  // from the prior run when the whole analysis fingerprint matches and the
+  // task keeps its node-to-thread row (the RTA of a prefix task is a pure
+  // function of inputs the prefix guard proves unchanged).
+  const RtaContext::PartitionedSnapshot* prior_snap = nullptr;
+  std::size_t inc_limit = 0;
+  if (ctx->incremental_active()) {
+    const RtaContext::PartitionedSnapshot& s = ctx->incremental_prior_partitioned();
+    if (s.valid && s.cores == m && s.scale == scale &&
+        same_analysis(s.options, options) &&
+        (certificate == nullptr || s.cert.has_value())) {
+      prior_snap = &s;
+      inc_limit = ctx->incremental_prefix();
+    }
+  }
+  std::size_t copied = 0;
+
   std::vector<Time> response(ts.size(), util::kTimeInfinity);
 
-  for (std::size_t idx : ctx->priority_order()) {
+  const std::vector<std::size_t>& order = ctx->priority_order();
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t idx = order[pos];
     const model::DagTask& task = ts.task(idx);
     const std::size_t n = task.node_count();
     PartitionedTaskRta& rta = result.per_task[idx];
     cert::PartitionedTaskCert* tcert =
         certificate != nullptr ? &certificate->per_task[idx] : nullptr;
+
+    if (pos < inc_limit) {
+      const std::size_t j = ctx->incremental_prior_index()[idx];
+      if (prior_snap->thread_of[j] == partition.per_task[idx].thread_of) {
+        rta = prior_snap->per_task[j];
+        response[idx] = prior_snap->committed[j];
+        if (!rta.schedulable) result.schedulable = false;
+        if (tcert != nullptr) *tcert = prior_snap->cert->per_task[j];
+        ctx->note_incremental_hit();
+        ++copied;
+        continue;
+      }
+      // A changed partition row changes this task's inputs, hence possibly
+      // its response — everything at lower priority must run live too.
+      inc_limit = pos;
+    }
 
     rta.deadlock_free = ctx->deadlock_free(idx);
     if (tcert != nullptr) tcert->deadlock_free = rta.deadlock_free;
@@ -192,8 +228,8 @@ PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
     }
 
     const auto& thread_of = partition.per_task[idx].thread_of;
-    const std::vector<Time>& blocking = ctx->fifo_blocking(idx);
-    const std::vector<Time>& my_workload = ctx->core_workload(idx);
+    const std::span<const Time> blocking = ctx->fifo_blocking(idx);
+    const std::span<const Time> my_workload = ctx->core_workload(idx);
     const Time deadline = task.deadline();
 
     if (!split) {
@@ -206,22 +242,31 @@ PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
       const Time base = graph::longest_path_length(task.dag(), ctx->topo_order(idx),
                                                    weights, ctx->dp_scratch());
 
+      // Hoist the interference terms out of the fixed point: every hp
+      // response is final here, so (wjp, jitter, period) per surviving
+      // (j, p) pair is loop-invariant. The table preserves the j-outer /
+      // p-inner accumulation order and both skip conditions, so the demand
+      // sum is bit-identical to the nested-loop form.
+      std::vector<RtaContext::InterferenceTerm>& terms = ctx->interference_scratch();
+      terms.clear();
+      for (std::size_t j : hp) {
+        const std::span<const Time> wj = ctx->core_workload(j);
+        const Time period_j = ts.task(j).period();
+        for (std::size_t p = 0; p < m; ++p) {
+          if (my_workload[p] <= 0.0) continue;  // τ_i never runs there
+          const Time wjp = scale * wj[p];
+          if (wjp <= 0.0) continue;
+          terms.push_back({wjp, std::max(response[j] - wjp, 0.0), period_j});
+        }
+      }
+
       const auto iterate = [&](Time start, Time& r_out) {
         Time r = start;
         bool converged = false;
         for (int iter = 0; iter < options.max_iterations; ++iter) {
           Time demand = base;
-          for (std::size_t j : hp) {
-            const std::vector<Time>& wj = ctx->core_workload(j);
-            const Time period_j = ts.task(j).period();
-            for (std::size_t p = 0; p < m; ++p) {
-              if (my_workload[p] <= 0.0) continue;  // τ_i never runs there
-              const Time wjp = scale * wj[p];
-              if (wjp <= 0.0) continue;
-              const Time jitter = std::max(response[j] - wjp, 0.0);
-              demand += util::ceil_div(r + jitter, period_j) * wjp;
-            }
-          }
+          for (const RtaContext::InterferenceTerm& t : terms)
+            demand += util::ceil_div(r + t.jitter, t.period) * t.wjp;
           if (util::time_le(demand, r)) {
             converged = true;
             break;
@@ -278,20 +323,40 @@ PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
     bool task_diverged = false;
     std::vector<Time>& segment = ctx->weights_scratch();
     segment.assign(n, 0.0);
+
+    // Hoist the per-core interference tables out of the per-node fixed
+    // points: all hp responses are final here, so the surviving (j, core)
+    // terms are invariant across this task's nodes. Core-major layout;
+    // node v streams terms[offs[core] .. offs[core+1]) in the original
+    // j order, so each demand sum is bit-identical to the nested form.
+    std::vector<RtaContext::InterferenceTerm>& terms = ctx->interference_scratch();
+    std::vector<std::size_t>& offs = ctx->interference_offset_scratch();
+    terms.clear();
+    offs.assign(m + 1, 0);
+    for (std::size_t p = 0; p < m; ++p) {
+      offs[p] = terms.size();
+      for (std::size_t j : hp) {
+        const Time wjp = scale * ctx->core_workload(j)[p];
+        if (wjp <= 0.0) continue;
+        terms.push_back(
+            {wjp, std::max(response[j] - wjp, 0.0), ts.task(j).period()});
+      }
+    }
+    offs[m] = terms.size();
+
     for (model::NodeId v = 0; v < n && !task_diverged; ++v) {
       const ThreadId core = thread_of[v];
       const Time base = scale * (task.wcet(v) + blocking[v]);
+      const std::size_t t_begin = offs[core];
+      const std::size_t t_end = offs[core + 1];
       const auto iterate = [&](Time start, Time& x_out) {
         Time x = start;
         bool converged = false;
         for (int iter = 0; iter < options.max_iterations; ++iter) {
           Time demand = base;
-          for (std::size_t j : hp) {
-            const Time wjp = scale * ctx->core_workload(j)[core];
-            if (wjp <= 0.0) continue;
-            const Time jitter = std::max(response[j] - wjp, 0.0);
-            demand += util::ceil_div(x + jitter, ts.task(j).period()) * wjp;
-          }
+          for (std::size_t t = t_begin; t < t_end; ++t)
+            demand += util::ceil_div(x + terms[t].jitter, terms[t].period) *
+                      terms[t].wjp;
           if (util::time_le(demand, x)) {
             converged = true;
             break;
@@ -360,14 +425,36 @@ PartitionedRtaResult analyze_partitioned(const model::TaskSet& ts,
 
   // Record warm state only from fully schedulable runs: every fixed point
   // converged and is finite, and any later run at scale' >= scale is
-  // guaranteed to sit at or above these values.
-  if (ctx->warm_start_enabled() && result.schedulable) {
+  // guaranteed to sit at or above these values. A SPLIT run that copied
+  // incremental verdicts never ran those tasks' per-segment fixed points,
+  // so it has no segment values to record — skip (the response vector
+  // alone would leave warm.segments rows empty and unusable).
+  if (ctx->warm_start_enabled() && result.schedulable &&
+      (!split || copied == 0)) {
     warm.valid = true;
     warm.scale = scale;
     warm.binding = ctx->binding_generation();
     warm.options = options;
     warm.response = response;
     if (split) warm.segments = std::move(segments_out);
+  }
+
+  if (ctx->snapshots_enabled()) {
+    RtaContext::PartitionedSnapshot& snap = ctx->partitioned_snapshot();
+    snap.valid = true;
+    snap.scale = scale;
+    snap.cores = m;
+    snap.options = options;
+    snap.per_task = result.per_task;
+    snap.committed = response;
+    snap.thread_of.clear();
+    snap.thread_of.reserve(ts.size());
+    for (const NodeAssignment& a : partition.per_task)
+      snap.thread_of.push_back(a.thread_of);
+    if (certificate != nullptr)
+      snap.cert = *certificate;
+    else
+      snap.cert.reset();
   }
   return result;
 }

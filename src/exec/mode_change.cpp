@@ -46,6 +46,7 @@ ModeChangeController::ModeChangeController(ModeChangeConfig config,
   util::MutexLock req(request_mutex_);
   ctx_ = std::make_unique<analysis::RtaContext>(*initial);
   ctx_->set_warm_start(true);
+  ctx_->set_snapshots(true);
 }
 
 ModeTransition ModeChangeController::admit(const model::DagTask& task) {
@@ -135,7 +136,7 @@ ModeTransition ModeChangeController::process(ModeRequestKind kind,
   std::size_t workers = cur->workers;
   std::shared_ptr<model::TaskSet> proposed;
   // task_map[i] = index of proposed task i in the PREVIOUS set (nullopt for
-  // the newly admitted task) — the warm-seed remap.
+  // the newly admitted task) — the warm-seed and incremental remap.
   std::vector<std::optional<std::size_t>> task_map;
   std::string build_error;
   try {
@@ -161,6 +162,7 @@ ModeTransition ModeChangeController::process(ModeRequestKind kind,
             continue;
           }
           proposed->add(cur->task_set->task(i));
+          task_map.emplace_back(i);
         }
         if (!found) build_error = "no task named '" + evict_name + "'";
         break;
@@ -174,8 +176,10 @@ ModeTransition ModeChangeController::process(ModeRequestKind kind,
         }
         workers = new_workers;
         proposed = std::make_shared<model::TaskSet>(new_workers);
-        for (std::size_t i = 0; i < cur->task_set->size(); ++i)
+        for (std::size_t i = 0; i < cur->task_set->size(); ++i) {
           proposed->add(cur->task_set->task(i));
+          task_map.emplace_back(i);
+        }
         break;
       }
     }
@@ -204,11 +208,22 @@ ModeTransition ModeChangeController::process(ModeRequestKind kind,
   opts.diagnostics = true;  // every verdict carries its certificate witness
   auto ctx = std::make_unique<analysis::RtaContext>(*proposed);
   ctx->set_warm_start(true);
+  // Record snapshots on this context too: if the proposal commits, the
+  // NEXT transition analyzes incrementally against this run's results.
+  ctx->set_snapshots(true);
   if (kind == ModeRequestKind::kAdmit && config_.warm_admission &&
       ctx_ != nullptr) {
     // Sound only here: an admission keeps m and every surviving task, so
     // the prior fixed points lower-bound the new ones (see seed_warm_from).
     tr.warm_seeded = ctx->seed_warm_from(*ctx_, task_map);
+  }
+  if (config_.incremental && ctx_ != nullptr) {
+    // Sound for every kind: begin_incremental's structural prefix plus the
+    // per-analyze guards (options fingerprint, scale, core count,
+    // partition rows) only copy verdicts whose inputs are provably
+    // unchanged — a resize to a new m, say, copies nothing.
+    tr.incremental_armed = true;
+    tr.incremental_prefix = ctx->begin_incremental(*ctx_, task_map);
   }
   try {
     tr.report = analyzer_->analyze(*proposed, *ctx, opts);
@@ -227,6 +242,7 @@ ModeTransition ModeChangeController::process(ModeRequestKind kind,
     tr.reject_reason = std::string("analysis error: ") + e.what();
   }
   tr.warm_hits = ctx->warm_hits();
+  tr.incremental_hits = ctx->incremental_hits();
 
   if (!tr.accepted) return finalize(tr);
 
@@ -322,6 +338,11 @@ std::string ModeChangeController::render_log_json(bool include_timings) const {
     json.kv("cross_check_ok", tr.cross_check_ok);
     json.kv("warm_seeded", tr.warm_seeded);
     json.kv("warm_hits", static_cast<std::uint64_t>(tr.warm_hits));
+    json.kv("incremental_armed", tr.incremental_armed);
+    json.kv("incremental_prefix",
+            static_cast<std::uint64_t>(tr.incremental_prefix));
+    json.kv("incremental_hits",
+            static_cast<std::uint64_t>(tr.incremental_hits));
     json.kv("reject_reason", tr.reject_reason);
     json.kv("schedulable", tr.report.schedulable);
     json.kv("has_certificate", tr.report.certificate != nullptr);

@@ -17,8 +17,14 @@
 //                  only adds interference, so warm verdicts stay
 //                  bit-identical to a cold full re-analysis while skipping
 //                  most of the fixed-point climb. Evictions and resizes
-//                  analyze cold (interference shrinks / m changes — the
-//                  superset premise fails).
+//                  skip the warm seed (interference shrinks / m changes —
+//                  the superset premise fails). Independently, EVERY
+//                  proposal is analyzed incrementally against the committed
+//                  mode's recorded snapshots (begin_incremental): the
+//                  longest priority-order prefix of surviving tasks with
+//                  provably unchanged inputs gets its verdicts (and
+//                  certificate payloads) copied instead of re-run — still
+//                  bit-identical by construction.
 //   3. DECIDE    — reject unless the analysis proves the proposal
 //                  schedulable. Rejections carry the analyzer Report with
 //                  its machine-checkable certificate (cert.h): the witness
@@ -73,6 +79,14 @@ struct ModeChangeConfig {
   std::size_t cores = 0;
   /// Warm-seed admission analyses from the committed mode's context.
   bool warm_admission = true;
+  /// Arm incremental re-analysis of every proposal against the committed
+  /// mode's recorded result snapshots (RtaContext::begin_incremental):
+  /// surviving tasks whose priority-order inputs are provably unchanged
+  /// get their verdicts copied instead of re-running their fixed points.
+  /// Sound for admit, evict AND resize — the per-analyze guards (equal
+  /// options, scale, core count, partition rows) reject any copy whose
+  /// inputs changed, so verdicts stay bit-identical to a cold run.
+  bool incremental = true;
   /// Run the runtime cross-check (step 5) on accepted transitions.
   bool cross_check = true;
   /// Roll back an accepted transition whose cross-check fails (off: commit
@@ -104,6 +118,9 @@ struct ModeTransition {
   bool cross_check_ok = true;   ///< Runtime re-validation verdict.
   bool warm_seeded = false;     ///< Admission reused prior warm state.
   std::size_t warm_hits = 0;    ///< Fixed-point iterations warm-started.
+  bool incremental_armed = false;      ///< Proposal analyzed incrementally.
+  std::size_t incremental_prefix = 0;  ///< Copyable priority-order prefix.
+  std::size_t incremental_hits = 0;    ///< Per-task fixed points copied.
   std::string reject_reason;    ///< Why not committed ("" when committed).
   /// Full analyzer verdict; `report.certificate` is the machine-checkable
   /// witness (always attached — diagnostics is forced on).

@@ -69,6 +69,8 @@ ElasticReplay replay_elastic(const std::vector<ElasticRequest>& requests,
     else ++out.rejected;
     if (tr.warm_seeded) ++out.warm_seeded;
     out.warm_hits += tr.warm_hits;
+    out.incremental_hits += tr.incremental_hits;
+    out.incremental_prefix += tr.incremental_prefix;
 
     // A transition is comparable when the analyzer actually ran: a
     // PROPOSE-stage reject (bogus evict, duplicate name, zero resize)

@@ -57,6 +57,8 @@ struct ElasticReplay {
   std::size_t rejected = 0;
   std::size_t warm_seeded = 0;   ///< Admissions that reused warm state.
   std::size_t warm_hits = 0;     ///< Total warm-started fixed-point iters.
+  std::size_t incremental_hits = 0;    ///< Per-task fixed points copied.
+  std::size_t incremental_prefix = 0;  ///< Sum of copyable prefix lengths.
   /// Warm == cold verdict agreement over every analyzed proposal (always
   /// true when verify_cold was off or nothing was comparable).
   bool verdicts_agree = true;

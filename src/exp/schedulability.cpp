@@ -53,16 +53,17 @@ SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts,
   return evaluate_task_set(analyzers_for(scheduler), ts, ctx);
 }
 
-ExperimentEngine::ExperimentEngine(int threads) {
-  if (threads <= 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads_ = hw == 0 ? 1 : static_cast<int>(hw);
-  } else {
-    threads_ = threads;
-  }
-  if (threads_ > 1) {
+ExperimentEngine::ExperimentEngine(int threads, bool clamp_to_hardware) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hw_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  threads_ = threads <= 0 ? hw_threads : threads;
+  // Clamp the effective worker count to the hardware: results are
+  // thread-count invariant, so extra workers beyond the cores could only
+  // add contention, never speed or numbers.
+  workers_ = clamp_to_hardware ? std::min(threads_, hw_threads) : threads_;
+  if (workers_ > 1) {
     pool_ = std::make_unique<exec::ThreadPool>(
-        static_cast<std::size_t>(threads_), exec::ThreadPool::QueueMode::kShared);
+        static_cast<std::size_t>(workers_), exec::ThreadPool::QueueMode::kShared);
   }
 }
 
@@ -139,12 +140,29 @@ PointResult ExperimentEngine::evaluate_point(const AnalyzerPair& pair,
         try {
           const model::TaskSet ts = gen::generate_task_set(config.gen, arng);
           outcome.generated = true;
-          // One context per trial: the four analyses of this attempt share
-          // caches; nothing is shared across attempts/threads, so the
-          // attempt-order determinism guarantee is untouched.
-          analysis::RtaContext ctx(ts);
-          outcome.verdict = evaluate_task_set(pair, ts, &ctx);
-          if (config.certify_sample > 0) {
+          // One context per trial, one *allocation* per thread: reset()
+          // rebinds the thread's context to this attempt's task set while
+          // keeping every internal buffer's capacity. Nothing is shared
+          // across attempts/threads, so the attempt-order determinism
+          // guarantee is untouched.
+          thread_local std::optional<analysis::RtaContext> tls_ctx;
+          if (!tls_ctx.has_value())
+            tls_ctx.emplace(ts);
+          else
+            tls_ctx->reset(ts);
+          analysis::RtaContext& ctx = *tls_ctx;
+          outcome.verdict.baseline = pair.baseline->analyze(ts, ctx).schedulable;
+          // With the baseline filter on, a failing attempt is discarded by
+          // the commit step without ever reading the proposed verdict (or
+          // the certification counters) — skip that work here. Lazily
+          // evaluated or not, every recorded value is identical, and the
+          // skip is a pure function of the attempt's own data, so the
+          // thread-count invariance is untouched.
+          const bool discarded =
+              config.filter_baseline && !outcome.verdict.baseline;
+          if (!discarded)
+            outcome.verdict.proposed = pair.proposed->analyze(ts, ctx).schedulable;
+          if (!discarded && config.certify_sample > 0) {
             // Sample decision from a salted fork of the attempt stream:
             // independent of the generator's draws, so the sampled subset is
             // a pure function of (root seed, attempt index) — identical for

@@ -24,13 +24,20 @@ class GraphBuilder {
     nodes_ = &out.nodes;
     spans_ = &out.fork_joins;
 
+    // Growth hint: typical expansions stay well under this; worst cases
+    // just fall back to vector growth.
+    out.dag.reserve(64);
+    out.nodes.reserve(64);
+
     const NodeId src = terminal(NodeType::NB);
     // Force the outermost expansion so tasks are actually parallel.
     const auto [entry, exit] = block(/*depth=*/1, /*inside_blocking=*/false,
                                      /*force_parallel=*/true);
     const NodeId snk = terminal(NodeType::NB);
-    out.dag.add_edge(src, entry);
-    out.dag.add_edge(exit, snk);
+    // Every edge the builder adds has a freshly created endpoint, so the
+    // checked insert's duplicate scan can never fire — skip it.
+    out.dag.add_edge_unchecked(src, entry);
+    out.dag.add_edge_unchecked(exit, snk);
     return out;
   }
 
@@ -84,7 +91,7 @@ class GraphBuilder {
       Span chain = block(depth + 1, inner_blocking, false);
       for (int s = 1; s < series; ++s) {
         const Span next = block(depth + 1, inner_blocking, false);
-        dag_->add_edge(chain.exit, next.entry);
+        dag_->add_edge_unchecked(chain.exit, next.entry);
         chain.exit = next.exit;
       }
       spans.push_back(chain);
@@ -92,8 +99,8 @@ class GraphBuilder {
 
     const NodeId join = terminal(delim_join);
     for (const Span& s : spans) {
-      dag_->add_edge(fork, s.entry);
-      dag_->add_edge(s.exit, join);
+      dag_->add_edge_unchecked(fork, s.entry);
+      dag_->add_edge_unchecked(s.exit, join);
     }
     spans_->push_back(ForkJoinSpan{fork, join, depth});
     return {fork, join};
@@ -136,10 +143,19 @@ GeneratedGraph generate_nfj_graph(const NfjParams& params, util::Rng& rng) {
 
 void apply_blocking_selection(GeneratedGraph& g,
                               const std::vector<std::size_t>& selection) {
+  const graph::Reachability reach(g.dag);
+  apply_blocking_selection(g, selection, reach);
+}
+
+void apply_blocking_selection(GeneratedGraph& g,
+                              const std::vector<std::size_t>& selection,
+                              const graph::Reachability& reach) {
+  if (reach.size() != g.dag.size())
+    throw std::invalid_argument(
+        "apply_blocking_selection: reachability size mismatch");
   // Reset all types, then mark each selected span and its interior.
   for (model::Node& n : g.nodes) n.type = NodeType::NB;
 
-  const graph::Reachability reach(g.dag);
   for (std::size_t idx : selection) {
     if (idx >= g.fork_joins.size())
       throw std::invalid_argument("apply_blocking_selection: span out of range");
@@ -156,10 +172,19 @@ void apply_blocking_selection(GeneratedGraph& g,
 
 std::optional<std::vector<std::size_t>> pick_concurrent_fork_joins(
     const GeneratedGraph& g, std::size_t k, util::Rng& rng) {
+  const graph::Reachability reach(g.dag);
+  return pick_concurrent_fork_joins(g, k, rng, reach);
+}
+
+std::optional<std::vector<std::size_t>> pick_concurrent_fork_joins(
+    const GeneratedGraph& g, std::size_t k, util::Rng& rng,
+    const graph::Reachability& reach) {
   if (k == 0) return std::vector<std::size_t>{};
   if (g.fork_joins.size() < k) return std::nullopt;
+  if (reach.size() != g.dag.size())
+    throw std::invalid_argument(
+        "pick_concurrent_fork_joins: reachability size mismatch");
 
-  const graph::Reachability reach(g.dag);
   // Two fork-join sub-graphs are concurrent iff their forks are mutually
   // unordered (containment and sequencing both order the forks).
   auto concurrent = [&](const ForkJoinSpan& a, const ForkJoinSpan& b) {

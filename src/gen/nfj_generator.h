@@ -76,9 +76,22 @@ GeneratedGraph generate_nfj_graph(const NfjParams& params, util::Rng& rng);
 void apply_blocking_selection(GeneratedGraph& graph,
                               const std::vector<std::size_t>& selection);
 
+/// Same, against a caller-provided closure of `graph.dag` — retyping never
+/// touches the dag, so one Reachability can be shared across the selection,
+/// the typing, and the eventual DagTask construction (the generator hot
+/// path builds it exactly once per task instead of three times).
+void apply_blocking_selection(GeneratedGraph& graph,
+                              const std::vector<std::size_t>& selection,
+                              const graph::Reachability& reach);
+
 /// Greedily pick `k` pairwise-concurrent fork-join spans of `graph`
 /// (shuffled order). Returns nullopt if the greedy pass cannot find k.
 std::optional<std::vector<std::size_t>> pick_concurrent_fork_joins(
     const GeneratedGraph& graph, std::size_t k, util::Rng& rng);
+
+/// Same, against a caller-provided closure of `graph.dag`.
+std::optional<std::vector<std::size_t>> pick_concurrent_fork_joins(
+    const GeneratedGraph& graph, std::size_t k, util::Rng& rng,
+    const graph::Reachability& reach);
 
 }  // namespace rtpool::gen

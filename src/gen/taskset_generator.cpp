@@ -1,6 +1,8 @@
 #include "gen/taskset_generator.h"
 
 #include "analysis/concurrency.h"
+#include "graph/algorithms.h"
+#include "graph/reachability.h"
 #include "util/uunifast.h"
 
 namespace rtpool::gen {
@@ -35,17 +37,24 @@ model::DagTask generate_task(const TaskSetParams& params, std::size_t index,
     }
 
     GeneratedGraph g = generate_nfj_graph(nfj, rng);
+    // One Kahn pass and one transitive closure per skeleton: span selection
+    // and blocking typing only retype nodes (the edge set never changes),
+    // so the same order/Reachability pair is threaded through both and then
+    // adopted by the task — previously each step rebuilt identical copies.
+    std::vector<graph::NodeId> topo = graph::topological_order(g.dag);
+    graph::Reachability reach(g.dag, topo);
     if (params.blocking_window.has_value() && target_bf > 0) {
-      const auto selection = pick_concurrent_fork_joins(g, target_bf, rng);
+      const auto selection = pick_concurrent_fork_joins(g, target_bf, rng, reach);
       if (!selection.has_value()) continue;  // skeleton too shallow; resample
-      apply_blocking_selection(g, *selection);
+      apply_blocking_selection(g, *selection, reach);
     }
 
     const util::Time volume = g.volume();
     const util::Time period = volume / utilization;
     model::DagTask task("tau" + std::to_string(index), std::move(g.dag),
                         std::move(g.nodes), period, period,
-                        static_cast<int>(index));
+                        static_cast<int>(index), std::move(reach),
+                        std::move(topo));
 
     if (params.blocking_window.has_value()) {
       const std::size_t b = analysis::max_affecting_forks(task);
@@ -70,7 +79,7 @@ model::TaskSet generate_task_set(const TaskSetParams& params, util::Rng& rng) {
   model::TaskSet ts(params.cores);
   for (std::size_t i = 0; i < params.task_count; ++i)
     ts.add(generate_task(params, i, utils[i], rng));
-  return model::assign_deadline_monotonic(ts);
+  return model::assign_deadline_monotonic(std::move(ts));
 }
 
 }  // namespace rtpool::gen

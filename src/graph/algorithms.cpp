@@ -29,12 +29,21 @@ std::vector<NodeId> topological_order(const Dag& dag) {
 }
 
 LongestPathResult longest_path(const Dag& dag, const std::vector<util::Time>& weights) {
-  if (weights.size() != dag.size())
+  if (dag.size() == 0) {
+    if (!weights.empty())
+      throw std::invalid_argument("longest_path: weight count mismatch");
+    return LongestPathResult{};
+  }
+  return longest_path(dag, topological_order(dag), weights);
+}
+
+LongestPathResult longest_path(const Dag& dag, const std::vector<NodeId>& order,
+                               const std::vector<util::Time>& weights) {
+  if (weights.size() != dag.size() || order.size() != dag.size())
     throw std::invalid_argument("longest_path: weight count mismatch");
   LongestPathResult result;
   if (dag.size() == 0) return result;
 
-  const auto order = topological_order(dag);
   std::vector<util::Time> best(dag.size(), 0.0);
   std::vector<NodeId> parent(dag.size(), dag.size());
   for (NodeId v : order) {

@@ -23,6 +23,13 @@ struct LongestPathResult {
 /// Throws std::invalid_argument if weights.size() != dag.size().
 LongestPathResult longest_path(const Dag& dag, const std::vector<util::Time>& weights);
 
+/// Same, over a caller-supplied topological order of `dag` — skips the Kahn
+/// pass. DagTask construction threads its one cached order through every
+/// derived computation (acyclicity, closure, critical path) instead of
+/// re-deriving it three times.
+LongestPathResult longest_path(const Dag& dag, const std::vector<NodeId>& order,
+                               const std::vector<util::Time>& weights);
+
 /// Length of the longest path only, over a caller-supplied topological
 /// order of `dag` and a reusable DP buffer (`scratch` is resized as
 /// needed). Bit-identical to `longest_path(dag, weights).length` but skips

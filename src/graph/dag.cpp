@@ -13,10 +13,6 @@ NodeId Dag::add_node() {
   return static_cast<NodeId>(succ_.size() - 1);
 }
 
-void Dag::check_node(NodeId v) const {
-  if (v >= succ_.size()) throw std::invalid_argument("Dag: node id out of range");
-}
-
 void Dag::add_edge(NodeId from, NodeId to) {
   check_node(from);
   check_node(to);
@@ -32,16 +28,6 @@ bool Dag::has_edge(NodeId from, NodeId to) const {
   check_node(to);
   const auto& s = succ_[from];
   return std::find(s.begin(), s.end(), to) != s.end();
-}
-
-const std::vector<NodeId>& Dag::successors(NodeId v) const {
-  check_node(v);
-  return succ_[v];
-}
-
-const std::vector<NodeId>& Dag::predecessors(NodeId v) const {
-  check_node(v);
-  return pred_[v];
 }
 
 std::vector<NodeId> Dag::sources() const {

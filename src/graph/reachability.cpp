@@ -4,44 +4,38 @@
 
 namespace rtpool::graph {
 
-Reachability::Reachability(const Dag& dag) {
-  const std::size_t n = dag.size();
-  const auto order = topological_order(dag);
+Reachability::Reachability(const Dag& dag)
+    : Reachability(dag, topological_order(dag)) {}
 
-  ancestors_.assign(n, util::DynamicBitset(n));
-  descendants_.assign(n, util::DynamicBitset(n));
+Reachability::Reachability(const Dag& dag, const std::vector<NodeId>& order)
+    : n_(dag.size()), wpr_((dag.size() + 63) / 64) {
+  words_.assign(2 * n_ * wpr_, 0);
 
   for (NodeId v : order) {
+    std::uint64_t* row = anc_row(v);
     for (NodeId u : dag.predecessors(v)) {
-      ancestors_[v].set(u);
-      ancestors_[v].or_assign(ancestors_[u]);
+      row[u / 64] |= std::uint64_t{1} << (u % 64);
+      const std::uint64_t* from = anc_row(u);
+      for (std::size_t w = 0; w < wpr_; ++w) row[w] |= from[w];
     }
   }
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId v = *it;
+    std::uint64_t* row = desc_row(v);
     for (NodeId w : dag.successors(v)) {
-      descendants_[v].set(w);
-      descendants_[v].or_assign(descendants_[w]);
+      row[w / 64] |= std::uint64_t{1} << (w % 64);
+      const std::uint64_t* from = desc_row(w);
+      for (std::size_t k = 0; k < wpr_; ++k) row[k] |= from[k];
     }
   }
-
 }
 
 void Reachability::unordered_mask(NodeId v, util::DynamicBitset& out) const {
   if (out.size() != size()) out = util::DynamicBitset(size());
   out.set_all();
-  out.and_not_assign(ancestors_.at(v));
-  out.and_not_assign(descendants_[v]);
+  out.and_not_assign(ancestors(v));
+  out.and_not_assign(descendants(v));
   out.reset(v);
-}
-
-bool Reachability::reaches(NodeId from, NodeId to) const {
-  return descendants_.at(from).test(to);
-}
-
-bool Reachability::concurrent(NodeId a, NodeId b) const {
-  if (a == b) return false;
-  return !reaches(a, b) && !reaches(b, a);
 }
 
 }  // namespace rtpool::graph

@@ -2,11 +2,15 @@
 //
 // The paper's sets pred(v)/succ(v) are *transitive* (Section 2): they include
 // nodes connected through intermediate vertices. This class materializes the
-// closure as one bitset per node, computed in O(|V|·|E|/64) by sweeping a
-// topological order, and answers "may v and w execute concurrently?"
-// (neither reaches the other) in O(|V|/64).
+// closure in one flat row-major word array (ancestor rows, then descendant
+// rows), computed in O(|V|·|E|/64) by sweeping a topological order, and
+// answers "may v and w execute concurrently?" (neither reaches the other) in
+// O(|V|/64). Flat storage means construction performs a single allocation
+// instead of 2·|V| per-row bitset allocations — most Reachability objects
+// are built and discarded by the task generator, where that count dominated.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/dag.h"
@@ -20,20 +24,37 @@ class Reachability {
   /// Builds the closure; throws CycleError if `dag` has a cycle.
   explicit Reachability(const Dag& dag);
 
-  std::size_t size() const { return ancestors_.size(); }
+  /// Same, sweeping a caller-supplied topological order of `dag` instead of
+  /// running Kahn again (the order's validity is the caller's contract).
+  Reachability(const Dag& dag, const std::vector<NodeId>& order);
+
+  std::size_t size() const { return n_; }
 
   /// True if there is a directed path from `from` to `to` (from != to).
-  bool reaches(NodeId from, NodeId to) const;
+  bool reaches(NodeId from, NodeId to) const {
+    check_node(from);
+    if (to >= n_) throw std::out_of_range("Reachability: node out of range");
+    return (desc_row(from)[to / 64] >> (to % 64)) & 1u;
+  }
 
   /// True if neither node reaches the other (and they differ): the two nodes
   /// are not ordered by precedence constraints and may run concurrently.
-  bool concurrent(NodeId a, NodeId b) const;
+  bool concurrent(NodeId a, NodeId b) const {
+    if (a == b) return false;
+    return !reaches(a, b) && !reaches(b, a);
+  }
 
   /// Transitive predecessors of v (the paper's pred(v)).
-  const util::DynamicBitset& ancestors(NodeId v) const { return ancestors_.at(v); }
+  util::BitsetView ancestors(NodeId v) const {
+    check_node(v);
+    return {anc_row(v), n_};
+  }
 
   /// Transitive successors of v (the paper's succ(v)).
-  const util::DynamicBitset& descendants(NodeId v) const { return descendants_.at(v); }
+  util::BitsetView descendants(NodeId v) const {
+    check_node(v);
+    return {desc_row(v), n_};
+  }
 
   /// Writes into `out` the mask of nodes precedence-unordered with v:
   /// ~(ancestors(v) | descendants(v) | {v}). Exactly the nodes that may
@@ -41,14 +62,29 @@ class Reachability {
   /// behind the partitioned analysis' FIFO blocking vector (B_v) and any
   /// other "who can race v" query. Computed on demand in O(|V|/64) from the
   /// stored closures into the caller's reusable scratch (resized if needed);
-  /// nothing extra is materialized at construction, which keeps task
-  /// generation — where most Reachability objects are built and discarded —
-  /// free of the table's cost.
+  /// nothing extra is materialized at construction.
   void unordered_mask(NodeId v, util::DynamicBitset& out) const;
 
  private:
-  std::vector<util::DynamicBitset> ancestors_;
-  std::vector<util::DynamicBitset> descendants_;
+  void check_node(NodeId v) const {
+    if (v >= n_) throw std::out_of_range("Reachability: node out of range");
+  }
+  const std::uint64_t* anc_row(NodeId v) const {
+    return words_.data() + static_cast<std::size_t>(v) * wpr_;
+  }
+  const std::uint64_t* desc_row(NodeId v) const {
+    return words_.data() + (n_ + static_cast<std::size_t>(v)) * wpr_;
+  }
+  std::uint64_t* anc_row(NodeId v) {
+    return words_.data() + static_cast<std::size_t>(v) * wpr_;
+  }
+  std::uint64_t* desc_row(NodeId v) {
+    return words_.data() + (n_ + static_cast<std::size_t>(v)) * wpr_;
+  }
+
+  std::size_t n_ = 0;    ///< Node count (rows per direction).
+  std::size_t wpr_ = 0;  ///< 64-bit words per row.
+  std::vector<std::uint64_t> words_;  ///< [anc rows | desc rows], row-major.
 };
 
 }  // namespace rtpool::graph

@@ -1,7 +1,6 @@
 #include "model/dag_task.h"
 
 #include <algorithm>
-#include <deque>
 #include <sstream>
 
 #include "graph/matching.h"
@@ -17,10 +16,60 @@ std::vector<util::Time> extract_wcets(const std::vector<Node>& nodes) {
   return w;
 }
 
+/// Adopt a caller-supplied closure (size-checked) or build one from `dag`,
+/// sweeping the already-computed topological order.
+graph::Reachability take_reach(std::optional<graph::Reachability> reach,
+                               const graph::Dag& dag,
+                               const std::vector<graph::NodeId>& order,
+                               const std::string& name) {
+  if (!reach.has_value()) return graph::Reachability(dag, order);
+  if (reach->size() != dag.size())
+    throw ModelError(name + ": precomputed reachability size mismatch");
+  return std::move(*reach);
+}
+
+/// One Kahn pass serving three masters: acyclicity proof, closure sweep
+/// order, critical-path DP order. A caller-supplied order is adopted after
+/// a size check (its existence already proves acyclicity).
+std::vector<graph::NodeId> take_topo(std::optional<std::vector<graph::NodeId>> topo,
+                                     const graph::Dag& dag,
+                                     const std::string& name) {
+  if (topo.has_value()) {
+    if (topo->size() != dag.size())
+      throw ModelError(name + ": precomputed topological order size mismatch");
+    return std::move(*topo);
+  }
+  try {
+    return graph::topological_order(dag);
+  } catch (const graph::CycleError&) {
+    throw ModelError(name + ": graph has a cycle");
+  }
+}
+
 }  // namespace
 
 DagTask::DagTask(std::string name, graph::Dag dag, std::vector<Node> nodes,
                  util::Time period, util::Time deadline, int priority)
+    : DagTask(AdoptReach{}, std::move(name), std::move(dag), std::move(nodes),
+              period, deadline, priority, std::nullopt, std::nullopt) {}
+
+DagTask::DagTask(std::string name, graph::Dag dag, std::vector<Node> nodes,
+                 util::Time period, util::Time deadline, int priority,
+                 graph::Reachability reach)
+    : DagTask(AdoptReach{}, std::move(name), std::move(dag), std::move(nodes),
+              period, deadline, priority, std::move(reach), std::nullopt) {}
+
+DagTask::DagTask(std::string name, graph::Dag dag, std::vector<Node> nodes,
+                 util::Time period, util::Time deadline, int priority,
+                 graph::Reachability reach, std::vector<NodeId> topo)
+    : DagTask(AdoptReach{}, std::move(name), std::move(dag), std::move(nodes),
+              period, deadline, priority, std::move(reach), std::move(topo)) {}
+
+DagTask::DagTask(AdoptReach, std::string name, graph::Dag dag,
+                 std::vector<Node> nodes, util::Time period,
+                 util::Time deadline, int priority,
+                 std::optional<graph::Reachability> reach,
+                 std::optional<std::vector<NodeId>> topo)
     : name_(std::move(name)),
       dag_(std::move(dag)),
       nodes_(std::move(nodes)),
@@ -28,29 +77,42 @@ DagTask::DagTask(std::string name, graph::Dag dag, std::vector<Node> nodes,
       deadline_(deadline),
       priority_(priority),
       wcets_(extract_wcets(nodes_)),
-      reach_((validate_basic(), dag_)),  // validate before building the closure
-      critical_path_(graph::longest_path(dag_, wcets_)),
+      // Shape first (empty / size mismatch / cycle), then the parameter
+      // checks, then the derived caches — error precedence matches the
+      // documented invariant order.
+      topo_((validate_shape(), take_topo(std::move(topo), dag_, name_))),
+      reach_((validate_params(), take_reach(std::move(reach), dag_, topo_, name_))),
+      critical_path_(graph::longest_path(dag_, topo_, wcets_)),
       volume_(graph::total_weight(wcets_)),
       region_index_(nodes_.size()) {
-  const auto sources = dag_.sources();
-  const auto sinks = dag_.sinks();
-  source_ = sources.front();
-  sink_ = sinks.front();
+  // validate_params() established uniqueness; find them without the
+  // temporary vectors dag_.sources()/sinks() would allocate.
+  for (NodeId v = 0; v < dag_.size(); ++v) {
+    if (dag_.in_degree(v) == 0) source_ = v;
+    if (dag_.out_degree(v) == 0) sink_ = v;
+  }
   build_regions();
   validate_regions();
   compute_concurrency_caches();
 }
 
-void DagTask::validate_basic() const {
+void DagTask::validate_shape() const {
   if (nodes_.empty()) throw ModelError(name_ + ": task has no nodes");
   if (nodes_.size() != dag_.size())
     throw ModelError(name_ + ": node attribute count does not match graph size");
-  if (!dag_.is_acyclic()) throw ModelError(name_ + ": graph has a cycle");
+}
+
+void DagTask::validate_params() const {
   if (!graph::is_weakly_connected(dag_))
     throw ModelError(name_ + ": graph is not weakly connected");
-  if (dag_.sources().size() != 1)
+  std::size_t sources = 0, sinks = 0;
+  for (graph::NodeId v = 0; v < dag_.size(); ++v) {
+    if (dag_.in_degree(v) == 0) ++sources;
+    if (dag_.out_degree(v) == 0) ++sinks;
+  }
+  if (sources != 1)
     throw ModelError(name_ + ": expected exactly one source node");
-  if (dag_.sinks().size() != 1)
+  if (sinks != 1)
     throw ModelError(name_ + ": expected exactly one sink node");
   if (!(period_ > 0.0)) throw ModelError(name_ + ": period must be > 0");
   if (!(deadline_ > 0.0)) throw ModelError(name_ + ": deadline must be > 0");
@@ -69,20 +131,24 @@ void DagTask::build_regions() {
   // For each BF node, flood forward through BC nodes; the unique non-BC node
   // reached must be the matching BJ. This reconstructs the paper's regions
   // from the typing and simultaneously checks their well-formedness.
+  // Traversal scratch is shared across regions (reset per BF).
+  std::vector<NodeId> frontier;
+  util::DynamicBitset visited;
   for (NodeId f = 0; f < nodes_.size(); ++f) {
     if (nodes_[f].type != NodeType::BF) continue;
 
     BlockingRegion region{f, 0, util::DynamicBitset(nodes_.size())};
     std::optional<NodeId> join;
-    std::deque<NodeId> frontier(dag_.successors(f).begin(), dag_.successors(f).end());
-    util::DynamicBitset visited(nodes_.size());
+    // FIFO queue as a vector with a moving head: same visit order as a
+    // deque, no per-region chunk allocations.
+    frontier.assign(dag_.successors(f).begin(), dag_.successors(f).end());
+    visited.resize_clear(nodes_.size());
 
     if (frontier.empty())
       throw ModelError(name_ + ": BF node " + std::to_string(f) + " spawns no children");
 
-    while (!frontier.empty()) {
-      const NodeId v = frontier.front();
-      frontier.pop_front();
+    for (std::size_t head = 0; head < frontier.size(); ++head) {
+      const NodeId v = frontier[head];
       if (visited.test(v)) continue;
       visited.set(v);
 
@@ -234,10 +300,16 @@ std::vector<NodeId> DagTask::nodes_of_type(NodeType t) const {
   return out;
 }
 
-DagTask DagTask::with_priority(int priority) const {
+DagTask DagTask::with_priority(int priority) const& {
   DagTask copy = *this;
   copy.priority_ = priority;
   return copy;
+}
+
+DagTask DagTask::with_priority(int priority) && {
+  DagTask moved = std::move(*this);
+  moved.priority_ = priority;
+  return moved;
 }
 
 }  // namespace rtpool::model

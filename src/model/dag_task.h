@@ -55,6 +55,23 @@ class DagTask {
   DagTask(std::string name, graph::Dag dag, std::vector<Node> nodes,
           util::Time period, util::Time deadline, int priority = 0);
 
+  /// Same, adopting a precomputed transitive closure of `dag` instead of
+  /// rebuilding it. The generator threads one Reachability through span
+  /// selection, blocking typing, and construction (the closure depends only
+  /// on the edge set, which none of those steps mutate). Throws ModelError
+  /// when `reach` was built for a graph of a different size.
+  DagTask(std::string name, graph::Dag dag, std::vector<Node> nodes,
+          util::Time period, util::Time deadline, int priority,
+          graph::Reachability reach);
+
+  /// Same, additionally adopting a precomputed topological order of `dag`
+  /// (its existence is the acyclicity proof; the generator's single Kahn
+  /// pass serves the closure, the validation, and the critical path).
+  /// Throws ModelError when `topo` was built for a different graph size.
+  DagTask(std::string name, graph::Dag dag, std::vector<Node> nodes,
+          util::Time period, util::Time deadline, int priority,
+          graph::Reachability reach, std::vector<NodeId> topo);
+
   const std::string& name() const { return name_; }
   const graph::Dag& dag() const { return dag_; }
   std::size_t node_count() const { return nodes_.size(); }
@@ -128,12 +145,28 @@ class DagTask {
   /// Per-node WCET vector (weights for graph algorithms).
   const std::vector<util::Time>& wcets() const { return wcets_; }
 
+  /// A topological order of the graph, computed once at construction (it
+  /// doubles as the acyclicity proof). Every downstream consumer — the
+  /// closure build, the critical path, the RTA fixed-point sweeps — reads
+  /// this instead of re-running Kahn.
+  const std::vector<NodeId>& topo_order() const { return topo_; }
+
   /// Replace the priority (used by priority-assignment policies); all other
-  /// state is immutable.
-  DagTask with_priority(int priority) const;
+  /// state is immutable. The rvalue overload moves instead of copying the
+  /// task's caches (closure bitsets, regions) — priority-assignment passes
+  /// over freshly generated tasks pay zero copies.
+  DagTask with_priority(int priority) const&;
+  DagTask with_priority(int priority) &&;
 
  private:
-  void validate_basic() const;
+  struct AdoptReach {};  ///< Delegation tag for the shared ctor body.
+  DagTask(AdoptReach, std::string name, graph::Dag dag, std::vector<Node> nodes,
+          util::Time period, util::Time deadline, int priority,
+          std::optional<graph::Reachability> reach,
+          std::optional<std::vector<NodeId>> topo);
+
+  void validate_shape() const;
+  void validate_params() const;
   void build_regions();
   void validate_regions() const;
   void compute_concurrency_caches();
@@ -147,6 +180,7 @@ class DagTask {
 
   // Derived caches.
   std::vector<util::Time> wcets_;
+  std::vector<NodeId> topo_;
   graph::Reachability reach_;
   graph::LongestPathResult critical_path_;
   util::Time volume_ = 0.0;

@@ -69,4 +69,21 @@ TaskSet assign_deadline_monotonic(const TaskSet& ts) {
   return out;
 }
 
+TaskSet assign_deadline_monotonic(TaskSet&& ts) {
+  std::vector<std::size_t> order(ts.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return ts.task(a).deadline() < ts.task(b).deadline();
+  });
+  std::vector<int> prio(ts.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank)
+    prio[order[rank]] = static_cast<int>(rank);
+
+  TaskSet out(ts.core_count());
+  std::vector<DagTask> tasks = std::move(ts).release_tasks();
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    out.add(std::move(tasks[i]).with_priority(prio[i]));
+  return out;
+}
+
 }  // namespace rtpool::model

@@ -43,13 +43,20 @@ class TaskSet {
   /// True if all task priorities are pairwise distinct.
   bool priorities_distinct() const;
 
+  /// Move out the task storage, leaving this set empty (rvalue-only; used
+  /// by the priority-assignment move path).
+  std::vector<DagTask> release_tasks() && { return std::move(tasks_); }
+
  private:
   std::size_t core_count_;
   std::vector<DagTask> tasks_;
 };
 
 /// Reassign priorities deadline-monotonically (shorter deadline = higher
-/// priority, ties broken by task order); returns a new task set.
+/// priority, ties broken by task order); returns a new task set. The rvalue
+/// overload moves every task (and its closure caches) instead of deep
+/// copying — the generator always passes a freshly built set.
 TaskSet assign_deadline_monotonic(const TaskSet& ts);
+TaskSet assign_deadline_monotonic(TaskSet&& ts);
 
 }  // namespace rtpool::model

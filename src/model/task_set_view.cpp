@@ -1,0 +1,57 @@
+#include "model/task_set_view.h"
+
+#include <algorithm>
+
+namespace rtpool::model {
+
+namespace {
+
+template <typename T>
+std::span<T> alloc_span(std::pmr::memory_resource& arena, std::size_t count) {
+  if (count == 0) return {};
+  void* p = arena.allocate(count * sizeof(T), alignof(T));
+  return {static_cast<T*>(p), count};
+}
+
+std::size_t total_node_count(const TaskSet& ts) {
+  std::size_t nodes = 0;
+  for (const DagTask& t : ts.tasks()) nodes += t.node_count();
+  return nodes;
+}
+
+}  // namespace
+
+std::size_t TaskSetView::bytes_required(const TaskSet& ts) {
+  const std::size_t n = ts.size();
+  return sizeof(util::Time) * (total_node_count(ts) + 3 * n) +
+         sizeof(std::size_t) * (n + 1) + sizeof(int) * n +
+         64;  // worst-case alignment padding across the six arrays
+}
+
+void TaskSetView::rebuild(const TaskSet& ts, std::pmr::memory_resource& arena) {
+  const std::size_t n = ts.size();
+  node_offset_ = alloc_span<std::size_t>(arena, n + 1);
+  wcets_ = alloc_span<util::Time>(arena, total_node_count(ts));
+  periods_ = alloc_span<util::Time>(arena, n);
+  deadlines_ = alloc_span<util::Time>(arena, n);
+  volumes_ = alloc_span<util::Time>(arena, n);
+  priorities_ = alloc_span<int>(arena, n);
+
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const DagTask& t = ts.task(i);
+    node_offset_[i] = off;
+    const std::vector<util::Time>& w = t.wcets();
+    std::copy(w.begin(), w.end(), wcets_.begin() + static_cast<std::ptrdiff_t>(off));
+    off += w.size();
+    periods_[i] = t.period();
+    deadlines_[i] = t.deadline();
+    volumes_[i] = t.volume();
+    priorities_[i] = t.priority();
+  }
+  node_offset_[n] = off;
+  task_count_ = n;
+  built_ = true;
+}
+
+}  // namespace rtpool::model

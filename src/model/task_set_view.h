@@ -1,0 +1,74 @@
+// Flat structure-of-arrays mirror of a TaskSet.
+//
+// The analysis hot paths (Algorithm 1's placement loop, the global and
+// partitioned RTA fixed points, the FIFO blocking kernel) repeatedly read
+// small per-task scalars — periods, volumes, deadlines — and per-node WCET
+// arrays. Reading them through DagTask/Node objects chases two pointers
+// and a bounds-checked vector per access; this view lays the same data out
+// as contiguous task-major arrays so the inner loops stream flat memory.
+//
+// Every array lives in a caller-owned std::pmr arena (RtaContext keeps a
+// monotonic buffer and resets it between trials), so a rebuild performs no
+// frees and a handful of bump-pointer allocations. All element types are
+// trivially destructible — releasing the arena IS the destructor. The view
+// borrows nothing from the TaskSet after rebuild() returns (all data is
+// copied into the arena), but it is only meaningful for the set it was
+// built from.
+#pragma once
+
+#include <cstddef>
+#include <memory_resource>
+#include <span>
+
+#include "model/task_set.h"
+#include "util/time.h"
+
+namespace rtpool::model {
+
+class TaskSetView {
+ public:
+  TaskSetView() = default;
+
+  /// Arena bytes rebuild() consumes for `ts`, including alignment slack —
+  /// size a fixed buffer with this to keep the arena from spilling to its
+  /// upstream resource.
+  static std::size_t bytes_required(const TaskSet& ts);
+
+  /// (Re)build from `ts`, placing every array in `arena`. Previous contents
+  /// are abandoned (the owner releases the arena between rebuilds).
+  void rebuild(const TaskSet& ts, std::pmr::memory_resource& arena);
+
+  bool valid() const { return built_; }
+  std::size_t task_count() const { return task_count_; }
+  std::size_t total_nodes() const {
+    return node_offset_.empty() ? 0 : node_offset_[task_count_];
+  }
+
+  /// Per-node WCETs of all tasks, task-major; task i owns
+  /// [node_offset(i), node_offset(i+1)).
+  std::span<const util::Time> wcets() const { return wcets_; }
+  std::span<const util::Time> task_wcets(std::size_t i) const {
+    return wcets_.subspan(node_offset_[i], node_offset_[i + 1] - node_offset_[i]);
+  }
+  std::size_t node_offset(std::size_t i) const { return node_offset_[i]; }
+  std::size_t node_count(std::size_t i) const {
+    return node_offset_[i + 1] - node_offset_[i];
+  }
+
+  std::span<const util::Time> periods() const { return periods_; }
+  std::span<const util::Time> deadlines() const { return deadlines_; }
+  std::span<const util::Time> volumes() const { return volumes_; }
+  std::span<const int> priorities() const { return priorities_; }
+
+ private:
+  bool built_ = false;
+  std::size_t task_count_ = 0;
+  std::span<util::Time> wcets_;
+  std::span<util::Time> periods_;
+  std::span<util::Time> deadlines_;
+  std::span<util::Time> volumes_;
+  std::span<std::size_t> node_offset_;  ///< task_count_ + 1 entries.
+  std::span<int> priorities_;
+};
+
+}  // namespace rtpool::model

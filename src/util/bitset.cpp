@@ -1,83 +1,6 @@
 #include "util/bitset.h"
 
-#include <bit>
-#include <stdexcept>
-
 namespace rtpool::util {
-
-DynamicBitset::DynamicBitset(std::size_t size)
-    : size_(size), words_((size + 63) / 64, 0) {}
-
-void DynamicBitset::check_compatible(const DynamicBitset& other) const {
-  if (size_ != other.size_)
-    throw std::invalid_argument("DynamicBitset: size mismatch");
-}
-
-bool DynamicBitset::test(std::size_t i) const {
-  if (i >= size_) throw std::out_of_range("DynamicBitset::test");
-  return (words_[i / 64] >> (i % 64)) & 1u;
-}
-
-void DynamicBitset::set(std::size_t i) {
-  if (i >= size_) throw std::out_of_range("DynamicBitset::set");
-  words_[i / 64] |= (std::uint64_t{1} << (i % 64));
-}
-
-void DynamicBitset::reset(std::size_t i) {
-  if (i >= size_) throw std::out_of_range("DynamicBitset::reset");
-  words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
-}
-
-void DynamicBitset::clear() {
-  for (auto& w : words_) w = 0;
-}
-
-void DynamicBitset::set_all() {
-  for (auto& w : words_) w = ~std::uint64_t{0};
-  const std::size_t tail = size_ % 64;
-  if (tail != 0 && !words_.empty())
-    words_.back() &= (std::uint64_t{1} << tail) - 1;
-}
-
-std::size_t DynamicBitset::count() const {
-  std::size_t c = 0;
-  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
-  return c;
-}
-
-bool DynamicBitset::none() const {
-  for (auto w : words_)
-    if (w != 0) return false;
-  return true;
-}
-
-bool DynamicBitset::intersects(const DynamicBitset& other) const {
-  check_compatible(other);
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  return false;
-}
-
-bool DynamicBitset::or_assign(const DynamicBitset& other) {
-  check_compatible(other);
-  bool changed = false;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    const std::uint64_t merged = words_[i] | other.words_[i];
-    changed = changed || (merged != words_[i]);
-    words_[i] = merged;
-  }
-  return changed;
-}
-
-void DynamicBitset::and_assign(const DynamicBitset& other) {
-  check_compatible(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
-}
-
-void DynamicBitset::and_not_assign(const DynamicBitset& other) {
-  check_compatible(other);
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
-}
 
 std::vector<std::size_t> DynamicBitset::to_indices() const {
   std::vector<std::size_t> out;

@@ -1,10 +1,11 @@
 // Unit tests for the experiment harness (src/exp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
-
 #include <sstream>
+#include <thread>
 
 #include "analysis/partition.h"
 #include "exp/necessity.h"
@@ -132,7 +133,7 @@ TEST(ExperimentEngineTest, ResultsAreThreadCountInvariant) {
     const util::Rng rng(7);
 
     ExperimentEngine sequential(1);
-    ExperimentEngine parallel4(4);
+    ExperimentEngine parallel4(4, /*clamp_to_hardware=*/false);
     const PointResult a = sequential.evaluate_point(Scheduler::kGlobal, config, rng);
     const PointResult b = parallel4.evaluate_point(Scheduler::kGlobal, config, rng);
     EXPECT_EQ(a.accepted, 30u);
@@ -156,7 +157,7 @@ TEST(ExperimentEngineTest, PartitionedArmIsThreadCountInvariant) {
   config.trials = 10;
   const util::Rng rng(11);
   ExperimentEngine sequential(1);
-  ExperimentEngine parallel3(3);
+  ExperimentEngine parallel3(3, /*clamp_to_hardware=*/false);
   const PointResult a =
       sequential.evaluate_point(Scheduler::kPartitioned, config, rng);
   const PointResult b =
@@ -172,7 +173,7 @@ TEST(ExperimentEngineTest, FreeFunctionMatchesEngine) {
   config.trials = 10;
   util::Rng rng(13);
   const PointResult a = evaluate_point(Scheduler::kGlobal, config, rng);
-  ExperimentEngine engine(2);
+  ExperimentEngine engine(2, /*clamp_to_hardware=*/false);
   const PointResult b = engine.evaluate_point(Scheduler::kGlobal, config, rng);
   EXPECT_TRUE(a == b);
 }
@@ -191,7 +192,7 @@ TEST(ExperimentEngineTest, ParallelAttemptAccountingMatchesSequential) {
   const util::Rng rng(3);
 
   ExperimentEngine sequential(1);
-  ExperimentEngine parallel4(4);
+  ExperimentEngine parallel4(4, /*clamp_to_hardware=*/false);
   const PointResult a = sequential.evaluate_point(Scheduler::kGlobal, config, rng);
   const PointResult b = parallel4.evaluate_point(Scheduler::kGlobal, config, rng);
   EXPECT_TRUE(a.attempts_exhausted);
@@ -215,7 +216,7 @@ TEST(ExperimentEngineTest, GenerationErrorsCountedUnderParallelPath) {
   const util::Rng rng(17);
 
   ExperimentEngine sequential(1);
-  ExperimentEngine parallel4(4);
+  ExperimentEngine parallel4(4, /*clamp_to_hardware=*/false);
   const PointResult a = sequential.evaluate_point(Scheduler::kGlobal, config, rng);
   const PointResult b = parallel4.evaluate_point(Scheduler::kGlobal, config, rng);
   EXPECT_TRUE(a == b);
@@ -223,7 +224,7 @@ TEST(ExperimentEngineTest, GenerationErrorsCountedUnderParallelPath) {
 }
 
 TEST(ExperimentEngineTest, MapTrialsFoldsInTrialOrder) {
-  ExperimentEngine engine(4);
+  ExperimentEngine engine(4, /*clamp_to_hardware=*/false);
   std::vector<std::size_t> order;
   std::vector<double> parallel_draws(20, 0.0);
   engine.map_trials(
@@ -250,7 +251,7 @@ TEST(ExperimentEngineTest, EvalExceptionRethrownAtItsAttemptIndex) {
   // commits of every earlier attempt and none of the later ones — the same
   // observable order as the sequential loop.
   for (const int threads : {1, 4}) {
-    ExperimentEngine engine(threads);
+    ExperimentEngine engine(threads, /*clamp_to_hardware=*/false);
     std::vector<std::size_t> folded;
     EXPECT_THROW(
         engine.map_trials(
@@ -268,7 +269,7 @@ TEST(ExperimentEngineTest, EvalExceptionRethrownAtItsAttemptIndex) {
 TEST(ExperimentEngineTest, RunAttemptsStopsAtNeededCommits) {
   // Commit every other attempt: 10 commits need exactly 19 attempts, and
   // the attempt-ordered stop discards any over-speculated evaluations.
-  ExperimentEngine engine(4);
+  ExperimentEngine engine(4, /*clamp_to_hardware=*/false);
   std::vector<std::size_t> committed;
   const AttemptLoopStats stats = engine.run_attempts(
       10, 1000, util::Rng(2),
@@ -283,6 +284,31 @@ TEST(ExperimentEngineTest, RunAttemptsStopsAtNeededCommits) {
   EXPECT_EQ(committed.size(), 10u);
   for (std::size_t i = 0; i < committed.size(); ++i)
     EXPECT_EQ(committed[i], 2 * i);
+}
+
+TEST(ExperimentEngineTest, WorkerCountClampsToHardware) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hw_threads = hw == 0 ? 1 : static_cast<int>(hw);
+
+  ExperimentEngine clamped(1000);
+  EXPECT_EQ(clamped.threads(), 1000);          // requested value is reported
+  EXPECT_EQ(clamped.workers(), std::min(1000, hw_threads));
+
+  ExperimentEngine unclamped(3, /*clamp_to_hardware=*/false);
+  EXPECT_EQ(unclamped.threads(), 3);
+  EXPECT_EQ(unclamped.workers(), 3);
+
+  // Clamped and unclamped engines agree bit-for-bit (thread-count
+  // invariance covers the effective worker count too).
+  PointConfig config;
+  config.gen.cores = 4;
+  config.gen.task_count = 2;
+  config.gen.total_utilization = 1.0;
+  config.trials = 10;
+  const util::Rng rng(23);
+  const PointResult a = clamped.evaluate_point(Scheduler::kGlobal, config, rng);
+  const PointResult b = unclamped.evaluate_point(Scheduler::kGlobal, config, rng);
+  EXPECT_TRUE(a == b);
 }
 
 TEST(NecessityTest, EasySetPasses) {

@@ -229,7 +229,10 @@ TEST(ModeChangeTest, WarmVerdictsBitIdenticalToColdOverSeededStreams) {
 }
 
 TEST(ModeChangeTest, WarmAdmissionsActuallyReuseWarmState) {
-  ModeChangeController controller(small_config());
+  // Incremental off: the warm-start tier alone must carry the shortcut.
+  ModeChangeConfig config = small_config();
+  config.incremental = false;
+  ModeChangeController controller(config);
   ASSERT_TRUE(controller.admit(light_task("tau0", 0)).committed);
   const ModeTransition second = controller.admit(light_task("tau1", 1));
   ASSERT_TRUE(second.committed);
@@ -237,10 +240,62 @@ TEST(ModeChangeTest, WarmAdmissionsActuallyReuseWarmState) {
   // first mode's converged response times.
   EXPECT_TRUE(second.warm_seeded);
   EXPECT_GT(second.warm_hits, 0u);
+  EXPECT_EQ(second.incremental_hits, 0u);
   // And it matches a cold run of the same proposal bit-for-bit.
   ASSERT_NE(second.proposed, nullptr);
   const analysis::Report cold = controller.cold_analyze(*second.proposed);
   EXPECT_TRUE(cold == second.report);
+}
+
+TEST(ModeChangeTest, IncrementalAdmissionsCopyPriorVerdicts) {
+  // Default config: incremental on. The second admission adds tau1 at a
+  // LOWER priority than surviving tau0, so tau0 sits in the copyable
+  // prefix — its fixed point is skipped outright, not just warm-started.
+  ModeChangeController controller(small_config());
+  const ModeTransition first = controller.admit(light_task("tau0", 0));
+  ASSERT_TRUE(first.committed);
+  EXPECT_TRUE(first.incremental_armed);
+  EXPECT_EQ(first.incremental_prefix, 0u);  // no prior incarnation yet
+  const ModeTransition second = controller.admit(light_task("tau1", 1));
+  ASSERT_TRUE(second.committed);
+  EXPECT_TRUE(second.incremental_armed);
+  EXPECT_EQ(second.incremental_prefix, 1u);
+  EXPECT_GT(second.incremental_hits, 0u);
+  // Bit-identical to a cold run of the same proposal.
+  ASSERT_NE(second.proposed, nullptr);
+  const analysis::Report cold = controller.cold_analyze(*second.proposed);
+  EXPECT_TRUE(cold == second.report);
+}
+
+TEST(ModeChangeTest, IncrementalEvictionsCopyHigherPriorityPrefix) {
+  ModeChangeController controller(small_config());
+  ASSERT_TRUE(controller.admit(light_task("tau0", 0)).committed);
+  ASSERT_TRUE(controller.admit(light_task("tau1", 1)).committed);
+  ASSERT_TRUE(controller.admit(light_task("tau2", 2)).committed);
+  // Evicting the LOWEST-priority task leaves every survivor's ordered
+  // interference inputs unchanged: the whole surviving set is copyable.
+  const ModeTransition evict = controller.evict("tau2");
+  ASSERT_TRUE(evict.committed);
+  EXPECT_TRUE(evict.incremental_armed);
+  EXPECT_EQ(evict.incremental_prefix, 2u);
+  EXPECT_GT(evict.incremental_hits, 0u);
+  ASSERT_NE(evict.proposed, nullptr);
+  const analysis::Report cold = controller.cold_analyze(*evict.proposed);
+  EXPECT_TRUE(cold == evict.report);
+}
+
+TEST(ModeChangeTest, ResizeCopiesNothingButStaysCorrect) {
+  // A resize changes m: the per-analyze core-count guard must reject every
+  // copy. The verdict still matches a cold run at the new m.
+  ModeChangeController controller(small_config());
+  ASSERT_TRUE(controller.admit(light_task("tau0", 0)).committed);
+  const ModeTransition resize = controller.resize(6);
+  ASSERT_TRUE(resize.committed);
+  EXPECT_TRUE(resize.incremental_armed);
+  EXPECT_EQ(resize.incremental_hits, 0u);
+  ASSERT_NE(resize.proposed, nullptr);
+  const analysis::Report cold = controller.cold_analyze(*resize.proposed);
+  EXPECT_TRUE(cold == resize.report);
 }
 
 // ---------------------------------------------------------------------------
