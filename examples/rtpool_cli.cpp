@@ -2,7 +2,12 @@
 //
 //   rtpool_cli --file data/fig1.taskset [--scheduler global|partitioned]
 //              [--analyzer NAME[,NAME...]|all] [--list-analyzers]
-//              [--certify] [--simulate] [--dot] [--generate N] [--seed S] ...
+//              [--format=text|json] [--certify] [--simulate] [--dot]
+//              [--generate N] [--seed S] ...
+//
+// --format=json prints each selected verdict as the lint JSON report and
+// nothing else — byte-identical to the "report" member the rtpool-serve
+// daemon returns for the same file/analyzer (CI diffs the two).
 //
 // --certify runs every selected analyzer with certificate emission on and
 // validates each verdict with the independent checker (analysis/cert_check.h);
@@ -17,6 +22,7 @@
 
 #include "analysis/analyzer.h"
 #include "analysis/antichain.h"
+#include "bench_common.h"
 #include "analysis/cert_check.h"
 #include "analysis/concurrency.h"
 #include "analysis/deadlock.h"
@@ -35,13 +41,6 @@
 namespace {
 
 using namespace rtpool;
-
-void list_analyzers_cli() {
-  std::printf("registered analyzers:\n");
-  for (const analysis::Analyzer* a : analysis::registered_analyzers())
-    std::printf("  %-34s %s\n", std::string(a->name()).c_str(),
-                std::string(a->description()).c_str());
-}
 
 /// Parse an analyzer selection: "name,name,..." or "all".
 std::vector<const analysis::Analyzer*> select_analyzers(const std::string& spec) {
@@ -69,6 +68,16 @@ void run_analyzers_cli(const model::TaskSet& ts, const std::string& spec) {
   std::printf("\nANALYZERS (registry pass, shared context)\n");
   for (const analysis::Analyzer* a : selected)
     std::printf("%s", lint::render_text(a->analyze(ts, ctx, opts), ts).c_str());
+}
+
+/// --format=json: render every selected verdict with the same options the
+/// admission service uses (default AnalyzerOptions, one shared RtaContext)
+/// so the output is byte-identical to a served "report" member.
+void run_analyzers_json(const model::TaskSet& ts, const std::string& spec) {
+  analysis::RtaContext ctx(ts);
+  const analysis::AnalyzerOptions opts;
+  for (const analysis::Analyzer* a : select_analyzers(spec))
+    std::printf("%s", lint::render_json(a->analyze(ts, ctx, opts), ts).c_str());
 }
 
 /// Certify every selected analyzer's verdict: run with diagnostics on (one
@@ -180,38 +189,47 @@ void simulate_cli(const model::TaskSet& ts) {
 
 int main(int argc, char** argv) {
   try {
-    const util::Args args(argc, argv,
-                          {"file", "save", "simulate", "dot", "generate", "seed",
-                           "m", "u", "scheduler", "json", "trace",
-                           "sensitivity", "analyzer", "list-analyzers",
-                           "certify"});
-    if (args.get_bool("list-analyzers", false)) {
-      list_analyzers_cli();
-      return 0;
-    }
+    // Shared bench flag plumbing: appends --seed/--threads/… and handles
+    // --list-analyzers (prints the registry, exits 0) like every driver.
+    const util::Args args = bench::parse_args(
+        argc, argv,
+        {"file", "save", "simulate", "dot", "generate", "m", "u", "scheduler",
+         "json", "trace", "sensitivity", "analyzer", "certify", "format"});
+    const bench::CommonFlags common = bench::common_flags(args);
+    const std::string format = args.get_string("format", "text");
+    if (format != "text" && format != "json")
+      throw std::invalid_argument("--format must be text or json, got '" +
+                                  format + "'");
+    // JSON mode emits ONLY the machine-readable report (no preamble), so the
+    // output can be diffed byte-for-byte against a served verdict.
+    const bool json_out = format == "json";
     model::TaskSet ts(1);
     const std::string file = args.get_string("file", "");
     if (!file.empty()) {
       ts = model::load_task_set(file);
-      std::printf("loaded %zu tasks (m=%zu) from %s\n", ts.size(),
-                  ts.core_count(), file.c_str());
+      if (!json_out)
+        std::printf("loaded %zu tasks (m=%zu) from %s\n", ts.size(),
+                    ts.core_count(), file.c_str());
     } else {
       gen::TaskSetParams params;
       params.cores = static_cast<std::size_t>(args.get_int("m", 8));
       params.task_count = static_cast<std::size_t>(args.get_int("generate", 4));
       params.total_utilization =
           args.get_double("u", 0.4 * static_cast<double>(params.cores));
-      util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+      util::Rng rng(common.seed);
       ts = gen::generate_task_set(params, rng);
-      std::printf("generated %zu tasks (m=%zu, U=%.2f)\n", ts.size(),
-                  ts.core_count(), ts.total_utilization());
+      if (!json_out)
+        std::printf("generated %zu tasks (m=%zu, U=%.2f)\n", ts.size(),
+                    ts.core_count(), ts.total_utilization());
     }
 
-    for (const auto& t : ts.tasks())
-      std::printf("  %-10s |V|=%3zu vol=%8.1f len=%8.1f T=%10.1f prio=%d BF=%zu\n",
-                  t.name().c_str(), t.node_count(), t.volume(),
-                  t.critical_path_length(), t.period(), t.priority(),
-                  t.blocking_fork_count());
+    if (!json_out)
+      for (const auto& t : ts.tasks())
+        std::printf(
+            "  %-10s |V|=%3zu vol=%8.1f len=%8.1f T=%10.1f prio=%d BF=%zu\n",
+            t.name().c_str(), t.node_count(), t.volume(),
+            t.critical_path_length(), t.period(), t.priority(),
+            t.blocking_fork_count());
 
     const std::string analyzer_spec = args.get_string("analyzer", "");
     if (args.get_bool("certify", false)) {
@@ -220,6 +238,8 @@ int main(int argc, char** argv) {
       // accepts; any rejection exits non-zero.
       if (certify_cli(ts, analyzer_spec.empty() ? "all" : analyzer_spec) > 0)
         return 2;
+    } else if (json_out) {
+      run_analyzers_json(ts, analyzer_spec.empty() ? "all" : analyzer_spec);
     } else if (!analyzer_spec.empty()) {
       run_analyzers_cli(ts, analyzer_spec);
     } else {

@@ -1,11 +1,19 @@
 #!/usr/bin/env python3
 """Merge perf results into one BENCH_analysis.json report.
 
-Inputs (both optional, at least one required):
+Inputs (all optional, at least one required):
   --sweep    JSON written by `bench/perf_sweep` (experiment-engine wall
              times, trials/sec, cross-thread determinism verdicts).
   --kernels  JSON written by `bench/perf_analysis
              --benchmark_format=json` (google-benchmark per-kernel timings).
+  --serve    JSON written by `bench/perf_serve` (admission-service load
+             bench: requests/s, p50/p99, path counters). Folded into the
+             report as the `serve` section. ALWAYS gated on correctness:
+             any dropped request, error response, verdict mismatch against
+             the rtpool_cli-identical reference, or failed mid-run hot
+             reload exits 1. The batched+sharded-vs-naive speedup is
+             report-only unless --enforce-serve-speedup is set (wall-clock
+             ratios are meaningless on shared CI boxes).
   --baseline Committed BENCH_analysis.json to diff against. REPORT-ONLY:
              per-point trials/s and per-kernel timing deltas are printed
              and recorded under `baseline_diff`, but never affect the exit
@@ -140,10 +148,46 @@ def check_thread_scaling(report):
     return regressions
 
 
+def check_serve(serve, enforce_speedup, min_speedup):
+    """Gate the perf_serve section; list of failure strings (correctness
+    failures always gate; the speedup ratio only with enforce_speedup)."""
+    failures = []
+    if serve.get("dropped_total", 0):
+        failures.append(f"{serve['dropped_total']} dropped request(s)")
+    if serve.get("errors_total", 0):
+        failures.append(f"{serve['errors_total']} error response(s)")
+    if serve.get("verdict_mismatches_total", 0):
+        failures.append(f"{serve['verdict_mismatches_total']} serve verdict(s) "
+                        "differ from the rtpool_cli-identical reference")
+    if not serve.get("reload_ok", True):
+        failures.append("mid-run hot reload dropped or misrouted requests")
+    speedup = serve.get("speedup_batched_sharded_vs_naive", 0.0)
+    for run in serve.get("runs", []):
+        print(f"bench_report: serve {run.get('name', '?'):<22} "
+              f"{run.get('requests_per_s', 0.0):8.1f} req/s  "
+              f"p50 {run.get('p50_ms', 0.0):.3f} ms  "
+              f"p99 {run.get('p99_ms', 0.0):.3f} ms")
+    print(f"bench_report: serve speedup (batched+sharded vs naive) "
+          f"{speedup:.2f}x")
+    if enforce_speedup and speedup < min_speedup:
+        failures.append(f"serve speedup {speedup:.2f}x below the "
+                        f"{min_speedup:.1f}x floor with "
+                        "--enforce-serve-speedup set")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sweep", help="perf_sweep JSON report")
     parser.add_argument("--kernels", help="perf_analysis google-benchmark JSON")
+    parser.add_argument("--serve", help="perf_serve JSON report")
+    parser.add_argument("--enforce-serve-speedup", action="store_true",
+                        help="exit 1 when the serve batched+sharded speedup "
+                             "over the naive baseline is below "
+                             "--min-serve-speedup (default: report-only)")
+    parser.add_argument("--min-serve-speedup", type=float, default=3.0,
+                        help="speedup floor for --enforce-serve-speedup "
+                             "(default 3.0)")
     parser.add_argument("--baseline",
                         help="committed BENCH_analysis.json to diff against "
                              "(report-only, never affects exit status)")
@@ -154,8 +198,8 @@ def main():
                              "report-only warning)")
     args = parser.parse_args()
 
-    if not args.sweep and not args.kernels:
-        parser.error("need --sweep and/or --kernels")
+    if not args.sweep and not args.kernels and not args.serve:
+        parser.error("need --sweep, --kernels, and/or --serve")
 
     report = {"schema": "rtpool-bench-analysis-v1"}
     if args.sweep:
@@ -170,6 +214,13 @@ def main():
             "mhz_per_cpu": context.get("mhz_per_cpu"),
             "library_build_type": context.get("library_build_type"),
         }
+
+    serve_failures = []
+    if args.serve:
+        serve = load_json(args.serve)
+        report["serve"] = serve
+        serve_failures = check_serve(serve, args.enforce_serve_speedup,
+                                     args.min_serve_speedup)
 
     if args.baseline:
         try:
@@ -202,6 +253,10 @@ def main():
               "regression(s) with --enforce-thread-scaling set",
               file=sys.stderr)
         return 1
+    if serve_failures:
+        for failure in serve_failures:
+            print(f"bench_report: serve gate: {failure}", file=sys.stderr)
+        return 1
     cert_failures = report.get("cert_failures_total", 0)
     if cert_failures:
         print(f"bench_report: {cert_failures} certificate(s) rejected by the "
@@ -210,9 +265,12 @@ def main():
     certify_note = ""
     if report.get("certified_total"):
         certify_note = f", {report['certified_total']} certificates checked"
+    serve_note = ""
+    if report.get("serve"):
+        serve_note = f", {len(report['serve'].get('runs', []))} serve runs"
     print(f"bench_report: wrote {args.out} "
           f"({len(points)} points, {len(report.get('kernels', []))} kernels"
-          f"{certify_note})")
+          f"{certify_note}{serve_note})")
     return 0
 
 

@@ -1,0 +1,90 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <mutex>
+
+#include "util/json.h"
+
+namespace rtpool::serve {
+
+TcpServer::TcpServer(AdmissionService& service, const std::string& host,
+                     std::uint16_t port)
+    : service_(service), listener_(host, port) {}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::start() {
+  if (acceptor_.joinable()) return;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  shutdown_watcher_ = std::thread([this] {
+    while (!service_.shutdown_requested() &&
+           !stopping_.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    listener_.shutdown();
+  });
+}
+
+void TcpServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  listener_.shutdown();
+  if (shutdown_watcher_.joinable()) shutdown_watcher_.join();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> connections;
+  {
+    util::MutexLock lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) t.join();
+}
+
+void TcpServer::wait() {
+  if (acceptor_.joinable()) acceptor_.join();
+}
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    util::Socket conn = listener_.accept();
+    if (!conn.valid()) break;  // listener shut down
+    util::MutexLock lock(connections_mutex_);
+    connections_.emplace_back(
+        [this, socket = std::move(conn)]() mutable {
+          serve_connection(service_, std::move(socket));
+        });
+  }
+}
+
+void TcpServer::serve_connection(AdmissionService& service,
+                                 util::Socket socket) {
+  auto conn = std::make_shared<util::Socket>(std::move(socket));
+  auto write_mutex = std::make_shared<std::mutex>();
+  try {
+    for (;;) {
+      const std::optional<std::string> frame = util::read_frame(*conn);
+      if (!frame.has_value()) break;  // clean EOF
+      std::string id;
+      try {
+        const util::JsonValue doc = util::parse_json(*frame);
+        if (doc.is_object() && doc.contains("id") && doc.at("id").is_string())
+          id = doc.at("id").as_string();
+        Request req = decode_request(doc);
+        service.submit(std::move(req),
+                       [conn, write_mutex](const std::string& response) {
+                         std::lock_guard<std::mutex> lock(*write_mutex);
+                         try {
+                           util::write_frame(*conn, response);
+                         } catch (const util::NetError&) {
+                           // Peer went away; the verdict is simply unread.
+                         }
+                       });
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(*write_mutex);
+        util::write_frame(*conn, encode_error(id, e.what()));
+      }
+      if (service.shutdown_requested()) break;
+    }
+  } catch (const util::NetError&) {
+    // Torn connection: drop it; queued submissions still complete.
+  }
+}
+
+}  // namespace rtpool::serve

@@ -1,0 +1,64 @@
+// TCP front end of the admission service: accept loop + per-connection
+// frame pumps, shared by the rtpool_serve daemon and the perf_serve load
+// bench (so the bench measures exactly the transport the daemon ships).
+//
+// Each connection gets one reader thread: it decodes framed request
+// documents and submits them to the AdmissionService; responses are framed
+// back from the pool workers' completion callbacks under a per-connection
+// write lock, so pipelined submissions complete OUT OF ORDER (clients match
+// by "id"). A torn connection drops only its unread responses — queued
+// submissions still run to completion.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/service.h"
+#include "util/net.h"
+#include "util/thread_annotations.h"
+
+namespace rtpool::serve {
+
+/// See file header. start() spawns the accept loop; stop() (or a service
+/// shutdown request) unblocks it, joins every connection and returns.
+class TcpServer {
+ public:
+  /// Binds immediately (port 0 picks an ephemeral port; read it back with
+  /// port()). Throws util::NetError on bind failure.
+  TcpServer(AdmissionService& service, const std::string& host,
+            std::uint16_t port);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Spawn the accept loop (idempotent). A watcher thread closes the
+  /// listener as soon as the service reports shutdown_requested(), so a
+  /// protocol-level {"cmd": "shutdown"} also stops the server.
+  void start();
+
+  /// Unblock the accept loop, join every connection thread, and return.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  /// Block until the accept loop exits (shutdown command or stop()).
+  void wait();
+
+ private:
+  void accept_loop();
+  static void serve_connection(AdmissionService& service, util::Socket socket);
+
+  AdmissionService& service_;
+  util::TcpListener listener_;
+  std::thread acceptor_;
+  std::thread shutdown_watcher_;
+  std::atomic<bool> stopping_{false};
+
+  util::Mutex connections_mutex_;
+  std::vector<std::thread> connections_ RTPOOL_GUARDED_BY(connections_mutex_);
+};
+
+}  // namespace rtpool::serve

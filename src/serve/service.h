@@ -1,0 +1,380 @@
+// The admission-service core behind rtpool-serve: sharded warm contexts,
+// batched dispatch, verdict memoization, incremental re-analysis, and hot
+// reconfiguration that never drops an in-flight request.
+//
+//                 submit() [connection threads: parse + fingerprint]
+//                      │
+//            shard = family(fp) % shards        ┌─ per-shard state ─┐
+//                      ▼                        │ scratch RtaContext │
+//   ┌ shard 0 queue ┐ ┌ shard 1 queue ┐  ...    │ verdict memo (LRU) │
+//   └───────┬───────┘ └───────┬───────┘         │ family donors (LRU)│
+//           ▼                 ▼                 └────────────────────┘
+//      worker s%W        worker s%W      (exec::ThreadPool, kPerWorker)
+//
+// PERFORMANCE MODEL. Each shard owns one arena-backed analysis::RtaContext
+// plus its caches, and AT MOST ONE dispatch closure per shard is in flight
+// at any time (the `dispatch_scheduled` flag hands off under the queue
+// mutex) — so shard state needs NO locking on the hot path: the pinned
+// dispatch closure is the only reader/writer, and the pool's queue mutex
+// provides the happens-before edge between consecutive dispatches. A
+// dispatch drains up to `batch` queued submissions in one closure, so the
+// per-request cost of waking a worker, rebinding the context and touching
+// the caches amortizes across the batch. Routing by the FAMILY fingerprint
+// (core count + task-name multiset, stable across WCET mutations) sends
+// repeat and mutated submissions of one system to the same shard, where:
+//
+//   * a byte-identical resubmission is answered ON THE CONNECTION THREAD
+//     from a text-keyed fast memo, before the .taskset is even parsed —
+//     profiling showed repeat verdicts were dominated by document parsing
+//     and DagTask cache construction, not analysis; hits byte-compare the
+//     stored text, so a hash collision costs a miss, never a wrong answer;
+//   * an exact content match after parsing ("memo", e.g. the same system
+//     re-serialized with different whitespace) reuses the rendered verdict
+//     without re-running any analysis — hits are re-verified against a
+//     structural signature, with the same collision guarantee;
+//   * a mutated resubmission ("incremental") arms
+//     RtaContext::begin_incremental against the family's cached donor
+//     context: the clean priority-order prefix of per-task fixed points is
+//     copied instead of re-run, bit-identical to cold by construction;
+//   * everything else ("cold") runs the full analysis, then becomes the
+//     family's new donor (contexts recycle via pointer swap, so arenas are
+//     reused, not reallocated).
+//
+// Every response's "report" member is rendered through the same
+// lint::render_json as rtpool_cli --format=json, so service verdicts are
+// byte-identical to the CLI on the same input (asserted by perf_serve and
+// the serve-smoke CI job).
+//
+// HOT RECONFIGURATION. reload() builds the next ServiceConfig, pauses
+// dispatch scheduling, waits for the in-flight dispatch closures to finish
+// their current batches (queued submissions stay queued — nothing is
+// dropped or answered under a half-installed config), swaps the epoch
+// (analyzer / shards / batch / cache), applies a worker delta through
+// exec::ModeChangeController::resize — the guarded DRAIN→COMMIT transition
+// of PR 7, which also logs the change — and resumes. Requests that were
+// dispatched before the reload complete under the old epoch (they hold a
+// shared_ptr to it); requests still queued run under the new one.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/rta_context.h"
+#include "exec/mode_change.h"
+#include "exec/thread_pool.h"
+#include "model/task_set.h"
+#include "serve/protocol.h"
+#include "util/thread_annotations.h"
+
+namespace rtpool::serve {
+
+struct ServiceConfig {
+  std::string analyzer = "global-limited";  ///< Default registry analyzer.
+  std::size_t workers = 4;  ///< Pool workers executing dispatch closures.
+  std::size_t shards = 4;   ///< Context shards (>= 1).
+  std::size_t batch = 8;    ///< Max submissions one dispatch closure drains.
+  /// Verdict-memo entries per shard; family donor contexts are capped at
+  /// min(cache, kMaxFamilies). 0 disables both caches (every request runs
+  /// cold — the naive baseline the bench compares against).
+  std::size_t cache = 256;
+};
+
+/// Monotonic service counters (stats snapshot; all totals since start).
+struct ServiceStats {
+  std::uint64_t received = 0;      ///< Submissions accepted into a queue.
+  std::uint64_t completed = 0;     ///< Verdict responses delivered.
+  std::uint64_t errors = 0;        ///< Error responses delivered.
+  std::uint64_t memo_hits = 0;     ///< Answered from either verdict memo.
+  std::uint64_t fast_hits = 0;     ///< … of which pre-parse text-memo hits.
+  std::uint64_t incremental = 0;   ///< Analyzed with an armed donor prefix.
+  std::uint64_t cold = 0;          ///< Full cold analyses.
+  std::uint64_t incremental_task_hits = 0;  ///< Per-task fixed points copied.
+  std::uint64_t batches = 0;       ///< Dispatch closures executed.
+  std::uint64_t max_batch = 0;     ///< Largest single-dispatch drain.
+  std::uint64_t reloads = 0;       ///< Committed reconfigurations.
+  std::uint64_t certified = 0;     ///< Certificates independently checked.
+  std::uint64_t cert_failures = 0; ///< Certificates the checker rejected.
+};
+
+/// See file header. Thread-safe: submit()/control() may be called from any
+/// number of connection threads; responses are delivered via the submit
+/// callback ON A POOL WORKER (or inline on the submitting thread for
+/// requests rejected before dispatch), so callbacks must be fast and
+/// self-synchronized.
+class AdmissionService {
+ public:
+  /// Rendered JSON response, exactly one per submitted request.
+  using Callback = std::function<void(const std::string&)>;
+
+  /// Donor contexts cached per shard (each owns an arena-backed context).
+  static constexpr std::size_t kMaxFamilies = 16;
+
+  /// Validates the config (>= 1 worker/shard/batch, known analyzer name;
+  /// std::invalid_argument otherwise) and spawns the worker pool.
+  explicit AdmissionService(ServiceConfig config);
+
+  /// Drains every queued request (nothing submitted is ever dropped), then
+  /// joins the pool.
+  ~AdmissionService();
+
+  AdmissionService(const AdmissionService&) = delete;
+  AdmissionService& operator=(const AdmissionService&) = delete;
+
+  /// Submit one decoded request. kSubmit requests are parsed, fingerprinted
+  /// and queued (the callback fires on a pool worker once the verdict is
+  /// rendered); kStats/kReload/kShutdown are handled synchronously and the
+  /// callback fires inline. Invalid submissions (bad .taskset, unknown
+  /// analyzer) get an inline error response. After request_shutdown() every
+  /// new submission is answered with an error.
+  void submit(Request request, Callback done);
+
+  /// Hot reconfiguration (see file header). Fields left empty keep their
+  /// current value. Blocks until the new config is committed; concurrent
+  /// reloads serialize. Returns the committed config. Throws
+  /// std::invalid_argument on an unknown analyzer (the old config stays).
+  ServiceConfig reload(const std::optional<std::string>& analyzer,
+                       std::optional<std::size_t> workers,
+                       std::optional<std::size_t> shards,
+                       std::optional<std::size_t> batch,
+                       std::optional<std::size_t> cache);
+
+  /// Stop accepting new submissions and drain everything already queued.
+  /// Idempotent; returns once the service is idle.
+  void request_shutdown();
+  bool shutdown_requested() const {
+    return !accepting_.load(std::memory_order_acquire);
+  }
+
+  /// Block until every queued/in-flight request has been answered.
+  void wait_idle();
+
+  ServiceStats stats() const;
+  ServiceConfig config() const;
+  std::uint64_t config_version() const {
+    return config_version_.load(std::memory_order_acquire);
+  }
+
+  /// The pool-resize transition log (exec::ModeChangeController's replay
+  /// artifact): one guarded DRAIN→COMMIT entry per worker-count change.
+  std::vector<exec::ModeTransition> transition_log() const {
+    return controller_.transition_log();
+  }
+
+ private:
+  /// One memoized verdict: everything needed to re-render a response minus
+  /// the per-request id. The structural signature re-verifies advisory
+  /// fingerprint hits (see protocol.h).
+  struct MemoEntry {
+    std::size_t task_count = 0;   // structural signature …
+    std::size_t core_count = 0;
+    std::size_t node_total = 0;   // … end
+    bool schedulable = false;
+    std::string report_json;      ///< lint::render_json(Report, ts).
+    std::string certificate_json; ///< "" when the request had certify off.
+    bool certificate_ok = false;
+    std::size_t claims_checked = 0;
+  };
+
+  /// One pre-parse fast-memo entry: the exact request identity (compared
+  /// byte-for-byte on every hit) plus the memoized verdict.
+  struct FastEntry {
+    std::string taskset_text;
+    std::string analyzer;  ///< Resolved registry name (never "").
+    double wcet_scale = 1.0;
+    bool certify = false;
+    MemoEntry verdict;
+  };
+
+  /// Cached incremental donor: the family's last analyzed incarnation.
+  struct FamilyEntry {
+    TaskSetFingerprint fp;
+    std::unique_ptr<model::TaskSet> ts;
+    std::unique_ptr<analysis::RtaContext> ctx;  ///< Snapshots recorded.
+    std::string analyzer;  ///< Registry name the donor ran under.
+    double wcet_scale = 1.0;
+  };
+
+  /// Key of the verdict memo: content + analysis identity.
+  struct MemoKey {
+    std::uint64_t set = 0;
+    std::uint64_t analyzer_and_scale = 0;  ///< fnv1a(name, scale, certify).
+    bool operator==(const MemoKey&) const = default;
+  };
+  struct MemoKeyHash {
+    std::size_t operator()(const MemoKey& k) const {
+      return static_cast<std::size_t>(k.set ^ (k.analyzer_and_scale * kFnvPrime));
+    }
+  };
+
+  template <typename Key, typename Value, typename Hash>
+  class LruCache {
+   public:
+    void set_capacity(std::size_t cap) { capacity_ = cap; trim(); }
+    Value* find(const Key& key) {
+      auto it = index_.find(key);
+      if (it == index_.end()) return nullptr;
+      order_.splice(order_.begin(), order_, it->second);
+      return &it->second->second;
+    }
+    Value& insert(const Key& key, Value value) {
+      if (Value* existing = find(key)) {
+        *existing = std::move(value);
+        return *existing;
+      }
+      order_.emplace_front(key, std::move(value));
+      index_[key] = order_.begin();
+      trim();
+      return order_.front().second;
+    }
+    void clear() { order_.clear(); index_.clear(); }
+    std::size_t size() const { return order_.size(); }
+
+   private:
+    void trim() {
+      while (order_.size() > capacity_) {
+        index_.erase(order_.back().first);
+        order_.pop_back();
+      }
+    }
+    std::size_t capacity_ = 0;
+    std::list<std::pair<Key, Value>> order_;
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash> index_;
+  };
+
+  /// One queued submission (parsed + fingerprinted on the submitting
+  /// thread, so dispatch never blocks on request decoding).
+  struct PendingRequest {
+    Request request;
+    const analysis::Analyzer* analyzer = nullptr;
+    std::unique_ptr<model::TaskSet> ts;
+    TaskSetFingerprint fp;
+    Callback done;
+  };
+
+  /// Hot-path state of one shard. Only the shard's single in-flight
+  /// dispatch closure touches the members below `queue` — see file header
+  /// for why that needs no mutex.
+  struct Shard {
+    util::Mutex queue_mutex;
+    std::deque<PendingRequest> queue RTPOOL_GUARDED_BY(queue_mutex);
+    bool dispatch_scheduled RTPOOL_GUARDED_BY(queue_mutex) = false;
+
+    // ---- dispatch-closure-only state (unsynchronized by design) ----
+    std::unique_ptr<analysis::RtaContext> scratch;
+    LruCache<MemoKey, MemoEntry, MemoKeyHash> memo;
+    struct FamilyKeyHash {
+      std::size_t operator()(const std::uint64_t& k) const {
+        return static_cast<std::size_t>(k);
+      }
+    };
+    LruCache<std::uint64_t, FamilyEntry, FamilyKeyHash> families;
+  };
+
+  /// The immutable per-reload configuration epoch. In-flight dispatches
+  /// and racing submits hold a shared_ptr, so a reload never invalidates
+  /// what they observe; shards are shared too, so a compatible reload can
+  /// hand the warm shard state to the next epoch while a racing submit
+  /// still pushes into the same (live) queue object.
+  struct Epoch {
+    ServiceConfig config;
+    const analysis::Analyzer* default_analyzer = nullptr;
+    std::uint64_t version = 1;
+    std::vector<std::shared_ptr<Shard>> shards;
+  };
+
+  static std::shared_ptr<Epoch> make_epoch(ServiceConfig config,
+                                           std::uint64_t version);
+
+  std::shared_ptr<Epoch> current_epoch() const;
+
+  /// Schedule a dispatch closure for `shard` unless one is already in
+  /// flight or dispatching is paused. Caller must NOT hold the shard's
+  /// queue mutex.
+  void schedule_dispatch(const std::shared_ptr<Epoch>& epoch,
+                         std::size_t shard_index);
+
+  /// The dispatch closure body: drain up to `batch` submissions.
+  void run_dispatch(std::shared_ptr<Epoch> epoch, std::size_t shard_index);
+
+  /// Analyze (or memo-serve) one submission and deliver its response.
+  void process_one(const Epoch& epoch, Shard& shard, PendingRequest& pending);
+
+  void deliver_error(const Callback& done, const std::string& id,
+                     const std::string& error);
+
+  /// Render the verdict response envelope around a memoized entry.
+  static std::string render_response(const std::string& id,
+                                     const std::string& analyzer,
+                                     const char* path, std::uint64_t version,
+                                     const MemoEntry& entry, bool certify);
+
+  /// Key of the pre-parse fast memo (advisory; entries byte-compare).
+  static std::uint64_t fast_key(const std::string& text,
+                                const std::string& analyzer, double scale,
+                                bool certify);
+
+  /// Try to answer `request` from the pre-parse fast memo. True if the
+  /// callback was invoked.
+  bool try_fast_path(const Request& request, const std::string& analyzer,
+                     std::uint64_t version, std::size_t capacity,
+                     const Callback& done);
+
+  /// Record a rendered verdict in the pre-parse fast memo.
+  void remember_fast(const Request& request, const std::string& analyzer,
+                     const MemoEntry& entry, std::size_t capacity);
+
+  ServiceConfig base_config_;  ///< Only for config(); epochs hold the truth.
+
+  exec::ThreadPool pool_;
+  exec::ModeChangeController controller_;
+
+  mutable util::Mutex epoch_mutex_;
+  std::shared_ptr<Epoch> epoch_ RTPOOL_GUARDED_BY(epoch_mutex_);
+
+  /// Pre-parse fast memo, shared across shards (connection threads probe it
+  /// before any routing). Verdicts are pure functions of the request
+  /// identity, so entries survive reloads; capacity follows config.cache.
+  struct FastKeyHash {
+    std::size_t operator()(const std::uint64_t& k) const {
+      return static_cast<std::size_t>(k);
+    }
+  };
+  mutable util::Mutex fast_mutex_;
+  LruCache<std::uint64_t, FastEntry, FastKeyHash> fast_memo_
+      RTPOOL_GUARDED_BY(fast_mutex_);
+
+  /// Serializes reload()/request_shutdown() end to end.
+  util::Mutex reload_mutex_;
+
+  mutable util::Mutex dispatch_mutex_;
+  util::CondVar dispatch_cv_;
+  std::size_t active_dispatches_ RTPOOL_GUARDED_BY(dispatch_mutex_) = 0;
+  bool paused_ RTPOOL_GUARDED_BY(dispatch_mutex_) = false;
+  std::uint64_t pending_total_ RTPOOL_GUARDED_BY(dispatch_mutex_) = 0;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<std::uint64_t> config_version_{1};
+
+  // Counters (relaxed: monotone telemetry, snapshot consistency not needed).
+  std::atomic<std::uint64_t> received_{0}, completed_{0}, errors_{0},
+      memo_hits_{0}, fast_hits_{0}, incremental_{0}, cold_{0},
+      incremental_task_hits_{0}, batches_{0}, max_batch_{0}, reloads_{0},
+      certified_{0}, cert_failures_{0};
+};
+
+/// Render a ServiceStats + config snapshot as the "stats" response document.
+std::string encode_stats(const std::string& id, const ServiceStats& stats,
+                         const ServiceConfig& config, std::uint64_t version,
+                         std::size_t pool_workers);
+
+}  // namespace rtpool::serve

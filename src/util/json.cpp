@@ -190,6 +190,13 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw_value(const std::string& json) {
+  before_value();
+  out_ << json;
+  wrote_root_ = true;
+  return *this;
+}
+
 bool JsonValue::as_bool() const {
   if (kind_ != Kind::kBool) throw std::logic_error("JsonValue: not a bool");
   return bool_;
@@ -443,6 +450,140 @@ class JsonParser {
 
 JsonValue parse_json(const std::string& text) {
   return JsonParser(text).parse_document();
+}
+
+namespace {
+
+bool is_json_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+/// Bytes a scalar token (number/true/false/null) may contain; anything else
+/// terminates it. Deliberately loose — the strict parser validates later.
+bool is_scalar_byte(char c) {
+  return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+         (c >= 'A' && c <= 'Z') || c == '+' || c == '-' || c == '.';
+}
+
+}  // namespace
+
+void JsonStreamParser::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+}
+
+bool JsonStreamParser::idle() const {
+  for (std::size_t i = started_ ? doc_start_ : consumed_; i < buffer_.size();
+       ++i)
+    if (!is_json_ws(buffer_[i])) return false;
+  return !started_;
+}
+
+std::optional<std::size_t> JsonStreamParser::find_boundary() {
+  const std::size_t n = buffer_.size();
+  // Locate the document's first byte (skipping inter-document whitespace).
+  while (!started_ && scan_ < n) {
+    const char c = buffer_[scan_];
+    if (is_json_ws(c)) {
+      ++scan_;
+      continue;
+    }
+    started_ = true;
+    doc_start_ = scan_;
+    if (c == '{' || c == '[') {
+      depth_ = 0;  // the container loop below counts the opener itself
+    } else if (c == '"') {
+      string_root_ = true;
+      in_string_ = true;
+      ++scan_;
+    } else if (c == '-' || (c >= '0' && c <= '9') || c == 't' || c == 'f' ||
+               c == 'n') {
+      scalar_root_ = true;
+    } else {
+      const std::size_t at = scan_;
+      consumed_ = scan_ + 1;  // discard the byte, keep the stream usable
+      compact();
+      throw JsonParseError("JSON stream error at offset " +
+                           std::to_string(at) + ": invalid document start '" +
+                           std::string(1, c) + "'");
+    }
+  }
+  if (!started_) return std::nullopt;
+
+  if (scalar_root_) {
+    while (scan_ < n && is_scalar_byte(buffer_[scan_])) ++scan_;
+    if (scan_ < n || finished_) return scan_ > doc_start_ ? std::optional(scan_)
+                                                          : std::nullopt;
+    return std::nullopt;  // a trailing "12" could continue as "123"
+  }
+
+  if (string_root_) {
+    while (scan_ < n) {
+      const char c = buffer_[scan_++];
+      if (escape_) escape_ = false;
+      else if (c == '\\') escape_ = true;
+      else if (c == '"') return scan_;
+    }
+    return std::nullopt;
+  }
+
+  // Container root: track nesting depth with full string/escape awareness.
+  while (scan_ < n) {
+    const char c = buffer_[scan_++];
+    if (in_string_) {
+      if (escape_) escape_ = false;
+      else if (c == '\\') escape_ = true;
+      else if (c == '"') in_string_ = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string_ = true; break;
+      case '{':
+      case '[': ++depth_; break;
+      case '}':
+      case ']':
+        if (--depth_ == 0) return scan_;
+        break;
+      default: break;
+    }
+  }
+  return std::nullopt;
+}
+
+void JsonStreamParser::compact() {
+  // Drop the consumed prefix once it dominates the buffer, so a long-lived
+  // connection does not grow its buffer with every submission.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    scan_ -= consumed_;
+    if (started_) doc_start_ -= consumed_;
+    consumed_ = 0;
+  }
+}
+
+std::optional<JsonValue> JsonStreamParser::next() {
+  const std::optional<std::size_t> end = find_boundary();
+  if (!end.has_value()) {
+    if (finished_ && started_) {
+      // End of input with a half-open container/string root: report it with
+      // the strict parser's diagnostics, then discard the fragment.
+      const std::string doc = buffer_.substr(doc_start_);
+      consumed_ = buffer_.size();
+      started_ = false;
+      scalar_root_ = string_root_ = in_string_ = escape_ = false;
+      depth_ = 0;
+      compact();
+      return parse_json(doc);  // throws JsonParseError (incomplete document)
+    }
+    return std::nullopt;
+  }
+  const std::string doc = buffer_.substr(doc_start_, *end - doc_start_);
+  consumed_ = *end;
+  scan_ = *end;
+  started_ = false;
+  scalar_root_ = string_root_ = in_string_ = escape_ = false;
+  depth_ = 0;
+  compact();
+  return parse_json(doc);  // strict validation; throws on malformed input
 }
 
 }  // namespace rtpool::util

@@ -16,11 +16,18 @@
 // it never produces (\uXXXX escapes incl. surrogate pairs, exponents,
 // whitespace). Unpaired surrogate escapes decode to U+FFFD; malformed
 // input throws JsonParseError with the offending byte offset.
+//
+// For network streams there is an incremental front end (`JsonStreamParser`):
+// feed() accepts arbitrary partial buffers and next() yields each complete
+// top-level document as soon as its final byte has arrived — a reader can
+// resume on more data instead of blocking on a half-received submission.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -49,6 +56,12 @@ class JsonWriter {
   JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
   JsonWriter& value(bool v);
   JsonWriter& null();
+
+  /// Splice a PRE-RENDERED JSON value verbatim (object/array/scalar). The
+  /// caller guarantees `json` is one complete, valid JSON value — e.g. the
+  /// output of another renderer. Commas/keys around it are still managed by
+  /// this writer, so envelopes can embed sub-documents without re-parsing.
+  JsonWriter& raw_value(const std::string& json);
 
   /// Shorthand: key(name).value(v).
   template <typename T>
@@ -132,5 +145,64 @@ class JsonValue {
 /// Parse a complete JSON document. Trailing non-whitespace input and any
 /// syntax error throw JsonParseError.
 JsonValue parse_json(const std::string& text);
+
+/// Incremental (streaming) front end over parse_json: feed partial buffers
+/// as they arrive, pop complete top-level documents as soon as their final
+/// byte is in. The boundary scanner tracks container nesting and string/
+/// escape state byte-by-byte, so a document split at ANY offset — mid-key,
+/// mid-escape, mid-number — reassembles to exactly what parse_json returns
+/// on the whole text (regression-tested at every split offset of a golden
+/// submission). Multiple documents per buffer and documents separated only
+/// by whitespace both work; each completed document is still validated by
+/// the strict recursive-descent parser.
+///
+/// Scalar roots (numbers, true/false/null) are unterminated by nature — a
+/// trailing "12" could continue as "123" — so they complete only when a
+/// delimiter byte follows or finish() declares end of input. Container and
+/// string roots (the only shapes the serve protocol uses) complete exactly
+/// at their final byte.
+///
+/// Errors: an invalid first byte or a malformed completed document throws
+/// JsonParseError. The offending bytes are discarded first, so a long-lived
+/// stream (one connection, many submissions) can keep feeding after
+/// catching the error.
+class JsonStreamParser {
+ public:
+  /// Append bytes to the stream (any split is fine, including empty).
+  void feed(const char* data, std::size_t size);
+  void feed(const std::string& bytes) { feed(bytes.data(), bytes.size()); }
+
+  /// Extract the next complete document; std::nullopt when more input is
+  /// needed. Call repeatedly to drain back-to-back documents.
+  std::optional<JsonValue> next();
+
+  /// Declare end of input: a pending scalar root completes, a half-open
+  /// container/string root becomes a JsonParseError on the next next().
+  void finish() { finished_ = true; }
+
+  /// Bytes buffered but not yet part of a completed document.
+  std::size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+  /// True when no partial document is buffered (between submissions).
+  bool idle() const;
+
+ private:
+  /// Scan for the end of the document starting at doc_start_; returns the
+  /// offset one past its final byte, or nullopt if incomplete.
+  std::optional<std::size_t> find_boundary();
+  void compact();
+
+  std::string buffer_;
+  std::size_t consumed_ = 0;   ///< Prefix of buffer_ already handed out.
+  std::size_t scan_ = 0;       ///< Resume point of the boundary scanner.
+  std::size_t doc_start_ = 0;  ///< First non-whitespace byte of the document.
+  bool started_ = false;       ///< A document's first byte has been seen.
+  int depth_ = 0;              ///< Open containers at scan_.
+  bool in_string_ = false;
+  bool escape_ = false;
+  bool scalar_root_ = false;   ///< Root is a number/true/false/null.
+  bool string_root_ = false;   ///< Root is a bare string.
+  bool finished_ = false;
+};
 
 }  // namespace rtpool::util

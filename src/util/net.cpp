@@ -1,0 +1,207 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace rtpool::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op) {
+  throw NetError(op + ": " + std::strerror(errno));
+}
+
+/// Resolve host into a sockaddr_in (IPv4 is all the service needs; the
+/// daemon binds loopback or a numeric address from the command line).
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "*") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    return addr;
+  }
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1) return addr;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr)
+    throw NetError("resolve '" + host + "': " + gai_strerror(rc));
+  addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  freeaddrinfo(res);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd_, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+std::size_t Socket::recv_some(void* data, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n >= 0) return static_cast<std::size_t>(n);
+    if (errno != EINTR) fail("recv");
+  }
+}
+
+TcpListener::TcpListener(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    fail("getsockname");
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Socket TcpListener::accept() {
+  for (;;) {
+    const int conn = ::accept(fd_, nullptr, nullptr);
+    if (conn >= 0) {
+      // Frames are request/response units: never let Nagle hold a response
+      // back waiting for the peer's delayed ACK (a 40ms stall per frame).
+      const int one = 1;
+      ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return Socket(conn);
+    }
+    if (errno == EINTR) continue;
+    // shutdown() surfaces as EINVAL (or ECONNABORTED/EBADF under races):
+    // the daemon's orderly stop, not an error.
+    if (errno == EINVAL || errno == ECONNABORTED || errno == EBADF)
+      return Socket();
+    fail("accept");
+  }
+}
+
+void TcpListener::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) fail("socket");
+  sockaddr_in addr = make_addr(host, port);
+  for (;;) {
+    if (::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+      break;
+    if (errno == EINTR) continue;
+    fail("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return s;
+}
+
+void write_frame(Socket& socket, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload)
+    throw NetError("write_frame: payload of " + std::to_string(payload.size()) +
+                   " bytes exceeds the frame limit");
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  // One send() per frame: a separate header write would let the kernel put
+  // the 4 header bytes on the wire alone and (without TCP_NODELAY) sit on
+  // the payload until the peer ACKs — the classic 40ms Nagle stall.
+  std::string frame;
+  frame.reserve(sizeof n + payload.size());
+  frame.push_back(static_cast<char>(n >> 24));
+  frame.push_back(static_cast<char>(n >> 16));
+  frame.push_back(static_cast<char>(n >> 8));
+  frame.push_back(static_cast<char>(n));
+  frame.append(payload);
+  socket.send_all(frame.data(), frame.size());
+}
+
+namespace {
+
+/// Read exactly `size` bytes. False on EOF before the first byte (when
+/// `eof_ok`); NetError on EOF mid-read.
+bool recv_exact(Socket& socket, void* data, std::size_t size, bool eof_ok) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const std::size_t n = socket.recv_some(p + got, size - got);
+    if (n == 0) {
+      if (got == 0 && eof_ok) return false;
+      throw NetError("read_frame: connection closed mid-frame (" +
+                     std::to_string(got) + "/" + std::to_string(size) +
+                     " bytes)");
+    }
+    got += n;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> read_frame(Socket& socket) {
+  unsigned char header[4];
+  if (!recv_exact(socket, header, sizeof header, /*eof_ok=*/true))
+    return std::nullopt;
+  const std::uint32_t n = (std::uint32_t{header[0]} << 24) |
+                          (std::uint32_t{header[1]} << 16) |
+                          (std::uint32_t{header[2]} << 8) |
+                          std::uint32_t{header[3]};
+  if (n > kMaxFramePayload)
+    throw NetError("read_frame: frame length " + std::to_string(n) +
+                   " exceeds the frame limit");
+  std::string payload(n, '\0');
+  if (n > 0) recv_exact(socket, payload.data(), n, /*eof_ok=*/false);
+  return payload;
+}
+
+}  // namespace rtpool::util

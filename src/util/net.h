@@ -1,0 +1,95 @@
+// Minimal TCP socket wrappers and frame codec for the admission service.
+//
+// rtpool-serve speaks two transports: newline/whitespace-delimited JSON on
+// stdin (framed by the JSON grammar itself, via util::JsonStreamParser) and
+// length-prefixed frames over TCP. This header owns the TCP half: RAII
+// sockets, a loopback listener whose accept() can be unblocked for a clean
+// daemon shutdown, and the frame codec — a 4-byte big-endian payload length
+// followed by the payload bytes. The explicit length lets a reader size its
+// buffer up front and reject oversized submissions before allocating.
+//
+// POSIX sockets only (the project's CI and container targets are Linux);
+// everything throws util::NetError with the errno message on failure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace rtpool::util {
+
+/// Thrown on any socket/framing failure; the message names the operation
+/// and the errno text.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// RAII file-descriptor wrapper for a connected TCP socket (move-only).
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void close();
+
+  /// Send every byte (loops over short writes). Throws NetError.
+  void send_all(const void* data, std::size_t size);
+
+  /// Receive up to `size` bytes; 0 means the peer closed the connection.
+  std::size_t recv_some(void* data, std::size_t size);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket. Binds immediately; port 0 picks an ephemeral port
+/// (read it back with port() — the bench and tests bind 127.0.0.1:0).
+class TcpListener {
+ public:
+  TcpListener(const std::string& host, std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// The actually bound port (resolves port 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Block for the next connection. Returns an invalid Socket after
+  /// shutdown() (the daemon's stop signal), throws NetError otherwise.
+  Socket accept();
+
+  /// Unblock any accept() in progress; subsequent accepts return invalid.
+  void shutdown();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking loopback/remote connect. Throws NetError.
+Socket tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Upper bound a frame reader accepts before declaring the stream corrupt.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{64} << 20;
+
+/// Write one length-prefixed frame (4-byte big-endian length + payload).
+void write_frame(Socket& socket, std::string_view payload);
+
+/// Read one frame. std::nullopt on a clean EOF at a frame boundary;
+/// NetError on a truncated frame or a length above kMaxFramePayload.
+std::optional<std::string> read_frame(Socket& socket);
+
+}  // namespace rtpool::util

@@ -230,5 +230,164 @@ TEST(JsonParserTest, LoneSurrogatesDecodeToReplacement) {
   EXPECT_EQ(parse_json(R"("\uD800z")").as_string(), fffd + "z");
 }
 
+namespace {
+
+/// A golden admission-service submission: a .taskset document (newlines,
+/// '=' signs, digits — everything the wire format embeds in the "taskset"
+/// string member) wrapped in the request envelope via JsonWriter, so the
+/// escaping is exactly what the daemon's clients produce.
+const char kGoldenTaskset[] =
+    "taskset cores=4\n"
+    "task name=tau0 period=100.5 deadline=100.5 priority=0 nodes=3\n"
+    "node 0 wcet=5 type=fork\n"
+    "node 1 wcet=2.25 type=normal\n"
+    "node 2 wcet=1 type=join\n"
+    "edge 0 1\n"
+    "edge 1 2\n"
+    "endtask\n";
+
+std::string golden_submission() {
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.begin_object()
+      .kv("id", "req-7")
+      .kv("taskset", std::string(kGoldenTaskset))
+      .kv("analyzer", "global-limited")
+      .kv("wcet_scale", 1.5)
+      .end_object();
+  return os.str();
+}
+
+}  // namespace
+
+TEST(JsonStreamParserTest, WholeDocumentInOneFeed) {
+  JsonStreamParser parser;
+  EXPECT_TRUE(parser.idle());
+  parser.feed(golden_submission());
+  const std::optional<JsonValue> doc = parser.next();
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at("id").as_string(), "req-7");
+  EXPECT_EQ(doc->at("taskset").as_string(), kGoldenTaskset);
+  EXPECT_TRUE(parser.idle());
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+  EXPECT_FALSE(parser.next().has_value());
+}
+
+TEST(JsonStreamParserTest, SplitAtEveryByteOffset) {
+  // The regression this guards: a TCP read can cut the submission at ANY
+  // byte — mid-escape, mid-number, mid-key — and the parser must neither
+  // yield a document early nor corrupt the one it finally yields.
+  const std::string doc = golden_submission();
+  for (std::size_t split = 0; split <= doc.size(); ++split) {
+    JsonStreamParser parser;
+    parser.feed(doc.data(), split);
+    if (split < doc.size()) {
+      EXPECT_FALSE(parser.next().has_value()) << "early doc at split " << split;
+      EXPECT_EQ(parser.pending_bytes(), split) << "at split " << split;
+      EXPECT_EQ(parser.idle(), split == 0) << "at split " << split;
+    }
+    parser.feed(doc.data() + split, doc.size() - split);
+    const std::optional<JsonValue> got = parser.next();
+    ASSERT_TRUE(got.has_value()) << "no doc after completing split " << split;
+    EXPECT_EQ(got->at("taskset").as_string(), kGoldenTaskset)
+        << "corrupt payload at split " << split;
+    EXPECT_DOUBLE_EQ(got->at("wcet_scale").as_number(), 1.5);
+    EXPECT_TRUE(parser.idle());
+  }
+}
+
+TEST(JsonStreamParserTest, OneByteAtATime) {
+  const std::string doc = golden_submission();
+  JsonStreamParser parser;
+  for (std::size_t i = 0; i + 1 < doc.size(); ++i) {
+    parser.feed(doc.data() + i, 1);
+    EXPECT_FALSE(parser.next().has_value()) << "early doc after byte " << i;
+  }
+  parser.feed(doc.data() + doc.size() - 1, 1);
+  const std::optional<JsonValue> got = parser.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("id").as_string(), "req-7");
+}
+
+TEST(JsonStreamParserTest, BackToBackDocumentsInOneBuffer) {
+  JsonStreamParser parser;
+  parser.feed(golden_submission() + " \n" + R"({"cmd":"stats"})" + "\t" +
+              golden_submission());
+  const std::optional<JsonValue> first = parser.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->at("id").as_string(), "req-7");
+  const std::optional<JsonValue> second = parser.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->at("cmd").as_string(), "stats");
+  const std::optional<JsonValue> third = parser.next();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->at("taskset").as_string(), kGoldenTaskset);
+  EXPECT_FALSE(parser.next().has_value());
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(JsonStreamParserTest, RecoversAfterMalformedDocument) {
+  JsonStreamParser parser;
+  // Structurally complete (braces balance) but invalid: trailing comma.
+  parser.feed(R"({"a":1,})");
+  EXPECT_THROW(parser.next(), JsonParseError);
+  // The bad document is consumed; the connection keeps working.
+  parser.feed(golden_submission());
+  const std::optional<JsonValue> got = parser.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("id").as_string(), "req-7");
+}
+
+TEST(JsonStreamParserTest, RejectsInvalidDocumentStart) {
+  JsonStreamParser parser;
+  parser.feed("@garbage");
+  EXPECT_THROW(parser.next(), JsonParseError);
+}
+
+TEST(JsonStreamParserTest, ScalarRootNeedsDelimiterOrFinish) {
+  {
+    // "42" could be the prefix of "421": no document until a delimiter.
+    JsonStreamParser parser;
+    parser.feed("42");
+    EXPECT_FALSE(parser.next().has_value());
+    parser.feed(" ");
+    const std::optional<JsonValue> got = parser.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_DOUBLE_EQ(got->as_number(), 42.0);
+  }
+  {
+    // finish() declares EOF, which completes the pending scalar.
+    JsonStreamParser parser;
+    parser.feed("42");
+    parser.finish();
+    const std::optional<JsonValue> got = parser.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_DOUBLE_EQ(got->as_number(), 42.0);
+  }
+}
+
+TEST(JsonStreamParserTest, FinishOnHalfOpenRootThrows) {
+  JsonStreamParser parser;
+  parser.feed(R"({"taskset":"trunc)");
+  EXPECT_FALSE(parser.next().has_value());
+  parser.finish();
+  EXPECT_THROW(parser.next(), JsonParseError);
+}
+
+TEST(JsonStreamParserTest, PendingBytesAndIdleTrackPartialInput) {
+  JsonStreamParser parser;
+  EXPECT_TRUE(parser.idle());
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+  parser.feed("  \n");  // inter-document whitespace keeps the parser idle
+  EXPECT_TRUE(parser.idle());
+  parser.feed("{\"a\":");
+  EXPECT_FALSE(parser.idle());
+  EXPECT_GT(parser.pending_bytes(), 0u);
+  parser.feed("1}");
+  ASSERT_TRUE(parser.next().has_value());
+  EXPECT_TRUE(parser.idle());
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace rtpool::util
