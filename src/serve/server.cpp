@@ -16,10 +16,15 @@ TcpServer::~TcpServer() { stop(); }
 void TcpServer::start() {
   if (acceptor_.joinable()) return;
   acceptor_ = std::thread([this] { accept_loop(); });
-  shutdown_watcher_ = std::thread([this] {
+  // Housekeeping: close the listener once the service reports shutdown, and
+  // reap finished connection threads as they exit so a long-lived daemon
+  // does not accumulate one joinable handle per connection ever served.
+  housekeeper_ = std::thread([this] {
     while (!service_.shutdown_requested() &&
-           !stopping_.load(std::memory_order_acquire))
+           !stopping_.load(std::memory_order_acquire)) {
+      reap_finished();
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
     listener_.shutdown();
   });
 }
@@ -27,29 +32,57 @@ void TcpServer::start() {
 void TcpServer::stop() {
   stopping_.store(true, std::memory_order_release);
   listener_.shutdown();
-  if (shutdown_watcher_.joinable()) shutdown_watcher_.join();
+  if (housekeeper_.joinable()) housekeeper_.join();
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> connections;
+  std::unordered_map<std::uint64_t, std::thread> connections;
   {
     util::MutexLock lock(connections_mutex_);
     connections.swap(connections_);
+    finished_.clear();
   }
-  for (std::thread& t : connections) t.join();
+  for (auto& [id, t] : connections) t.join();
 }
 
 void TcpServer::wait() {
   if (acceptor_.joinable()) acceptor_.join();
 }
 
+std::size_t TcpServer::tracked_connections() const {
+  util::MutexLock lock(connections_mutex_);
+  return connections_.size();
+}
+
+void TcpServer::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    util::MutexLock lock(connections_mutex_);
+    for (const std::uint64_t id : finished_) {
+      auto it = connections_.find(id);
+      if (it == connections_.end()) continue;  // stop() already took it
+      done.push_back(std::move(it->second));
+      connections_.erase(it);
+    }
+    finished_.clear();
+  }
+  // Join outside the lock: the thread has already pushed its id, so it is
+  // at most a few instructions from returning.
+  for (std::thread& t : done) t.join();
+}
+
 void TcpServer::accept_loop() {
   for (;;) {
     util::Socket conn = listener_.accept();
     if (!conn.valid()) break;  // listener shut down
+    reap_finished();
     util::MutexLock lock(connections_mutex_);
-    connections_.emplace_back(
-        [this, socket = std::move(conn)]() mutable {
+    const std::uint64_t id = next_connection_++;
+    connections_.emplace(
+        id, std::thread([this, id, socket = std::move(conn)]() mutable {
           serve_connection(service_, std::move(socket));
-        });
+          // Announce completion; stop() joins us if the reapers are gone.
+          util::MutexLock done_lock(connections_mutex_);
+          finished_.push_back(id);
+        }));
   }
 }
 

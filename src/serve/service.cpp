@@ -31,6 +31,15 @@ std::uint64_t memo_identity(const analysis::Analyzer& analyzer, double scale,
   return h;
 }
 
+// The memo's equality witness: write_task_set emits every field the
+// analyses read at round-trip precision (setprecision(17)), so two task
+// sets serialize identically iff they are content-equal.
+std::string canonical_text(const model::TaskSet& ts) {
+  std::ostringstream os;
+  model::write_task_set(os, ts);
+  return os.str();
+}
+
 }  // namespace
 
 std::string encode_stats(const std::string& id, const ServiceStats& stats,
@@ -285,19 +294,66 @@ void AdmissionService::submit(Request request, Callback done) {
   pending.fp = fingerprint(*pending.ts);
   pending.request = std::move(request);
 
-  const std::size_t shard_index =
-      static_cast<std::size_t>(pending.fp.family % epoch->config.shards);
   {
     util::MutexLock lock(dispatch_mutex_);
     ++pending_total_;
   }
   received_.fetch_add(1, std::memory_order_relaxed);
-  {
-    Shard& shard = *epoch->shards[shard_index];
-    util::MutexLock lock(shard.queue_mutex);
-    shard.queue.push_back(std::move(pending));
+  enqueue(std::move(pending));
+}
+
+void AdmissionService::enqueue(PendingRequest pending) {
+  // Push, then re-check the epoch. reload() installs the new epoch BEFORE
+  // re-routing the old queues, so exactly one of two things is true of a
+  // push that races a shard-replacing reload: (a) the re-check still sees
+  // the old epoch — then the push is ordered before the swap and the
+  // reload's re-route pass is guaranteed to drain it into the new shards;
+  // or (b) the re-check sees the new epoch — then the re-route pass may
+  // already have run, so this thread drains the shard it pushed into and
+  // retries against the new epoch. Without the re-check, a late push could
+  // land in a retired shard's queue that nothing ever drains again
+  // (schedule_dispatch returns early while dispatching is paused, and the
+  // reload epilogue only schedules the new epoch's shards), stranding the
+  // request and hanging wait_idle()/shutdown.
+  std::shared_ptr<Epoch> epoch = current_epoch();
+  std::vector<PendingRequest> batch;
+  batch.push_back(std::move(pending));
+  for (;;) {
+    std::vector<std::size_t> touched;
+    touched.reserve(batch.size());
+    for (PendingRequest& p : batch) {
+      const std::size_t index =
+          static_cast<std::size_t>(p.fp.family % epoch->config.shards);
+      Shard& shard = *epoch->shards[index];
+      util::MutexLock lock(shard.queue_mutex);
+      shard.queue.push_back(std::move(p));
+      touched.push_back(index);
+    }
+    batch.clear();
+    const std::shared_ptr<Epoch> current = current_epoch();
+    if (current == epoch || current->shards == epoch->shards) {
+      // Same epoch, or a compatible reload that shares the shard objects:
+      // the queues we pushed into are live (a mid-flight reload's epilogue
+      // schedules these same shards, covering the paused early-return).
+      for (std::size_t index : touched) schedule_dispatch(epoch, index);
+      return;
+    }
+    // The shards we pushed into were retired. Drain them ourselves and
+    // retry: every entry is popped exactly once (by the reload's re-route
+    // pass, an old-epoch dispatch, or here), so nothing is lost or run
+    // twice; entries pushed by other racing submitters are safe to carry
+    // along — their own re-check covers at most the same work.
+    for (std::size_t index : touched) {
+      Shard& shard = *epoch->shards[index];
+      util::MutexLock lock(shard.queue_mutex);
+      while (!shard.queue.empty()) {
+        batch.push_back(std::move(shard.queue.front()));
+        shard.queue.pop_front();
+      }
+    }
+    epoch = current;
+    if (batch.empty()) return;  // the re-route pass beat us to every entry
   }
-  schedule_dispatch(epoch, shard_index);
 }
 
 void AdmissionService::schedule_dispatch(const std::shared_ptr<Epoch>& epoch,
@@ -335,7 +391,34 @@ void AdmissionService::run_dispatch(std::shared_ptr<Epoch> epoch,
     }
   }
 
-  for (PendingRequest& pending : taken) process_one(*epoch, shard, pending);
+  // Per-request exception guard: a throwing analyzer, renderer or delivery
+  // callback must cost one error response, not the worker — an escaping
+  // exception would leave dispatch_scheduled set and the active/pending
+  // counters undrained, wedging the shard and hanging wait_idle()/reload()/
+  // shutdown. process_one clears pending.done once delivery succeeded, so
+  // the error path never double-invokes a callback.
+  for (PendingRequest& pending : taken) {
+    try {
+      process_one(*epoch, shard, pending);
+    } catch (const std::exception& e) {
+      if (pending.done) {
+        try {
+          deliver_error(pending.done, pending.request.id,
+                        std::string("analysis failed: ") + e.what());
+        } catch (...) {
+          // The delivery callback itself failed; the transport owns the
+          // peer — nothing further to do.
+        }
+      }
+    } catch (...) {
+      if (pending.done) {
+        try {
+          deliver_error(pending.done, pending.request.id, "analysis failed");
+        } catch (...) {
+        }
+      }
+    }
+  }
 
   batches_.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t prev = max_batch_.load(std::memory_order_relaxed);
@@ -380,12 +463,16 @@ void AdmissionService::process_one(const Epoch& epoch, Shard& shard,
 
   if (caches_on) {
     if (const MemoEntry* hit = shard.memo.find(key)) {
-      // Advisory fingerprints: re-verify the structural signature so a
-      // 64-bit collision degrades to a miss, never to a wrong verdict.
-      std::size_t node_total = 0;
-      for (const model::DagTask& t : ts.tasks()) node_total += t.node_count();
-      if (hit->task_count == ts.size() && hit->core_count == ts.core_count() &&
-          hit->node_total == node_total) {
+      // Advisory fingerprints: FNV-1a 64 is not collision-resistant, so a
+      // hit is re-verified against the donor's FULL identity — the
+      // analyzer/options triple plus a byte-compare of both systems'
+      // canonical re-serializations (cheap counts prefilter first) — so a
+      // collision, even a crafted one, degrades to a miss, never to a
+      // wrong verdict.
+      if (hit->analyzer == analyzer.name() &&
+          hit->wcet_scale == req.wcet_scale && hit->certify == req.certify &&
+          hit->task_count == ts.size() && hit->core_count == ts.core_count() &&
+          hit->canonical == canonical_text(ts)) {
         entry = hit;
         path = "memo";
         memo_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -438,7 +525,10 @@ void AdmissionService::process_one(const Epoch& epoch, Shard& shard,
 
     fresh.task_count = ts.size();
     fresh.core_count = ts.core_count();
-    for (const model::DagTask& t : ts.tasks()) fresh.node_total += t.node_count();
+    fresh.canonical = canonical_text(ts);
+    fresh.analyzer = std::string(analyzer.name());
+    fresh.wcet_scale = req.wcet_scale;
+    fresh.certify = req.certify;
     fresh.schedulable = report.schedulable;
     fresh.report_json = lint::render_json(report, ts);
     if (req.certify) {
@@ -485,7 +575,11 @@ void AdmissionService::process_one(const Epoch& epoch, Shard& shard,
       render_response(req.id, std::string(analyzer.name()), path,
                       epoch.version, *entry, req.certify);
   completed_.fetch_add(1, std::memory_order_relaxed);
-  pending.done(response);
+  // Move the callback out before invoking it: if it throws, run_dispatch's
+  // guard sees pending.done empty and does not invoke it a second time.
+  Callback done = std::move(pending.done);
+  pending.done = nullptr;
+  done(response);
 }
 
 ServiceConfig AdmissionService::reload(
@@ -521,11 +615,25 @@ ServiceConfig AdmissionService::reload(
       next.shards == old_epoch->config.shards &&
       next.analyzer == old_epoch->config.analyzer &&
       next.cache == old_epoch->config.cache;
-  if (keep_shards) {
+  if (keep_shards)
     fresh->shards = old_epoch->shards;  // shared: warm caches survive
-  } else {
+
+  // Install the new epoch BEFORE re-routing the old queues. enqueue()
+  // re-checks the epoch after every push, so this order makes the race
+  // with concurrent submissions safe: a push whose re-check still saw the
+  // old epoch is ordered before this swap and therefore before the
+  // re-route pass below (which then drains it); a push whose re-check sees
+  // the new epoch migrates its shard's entries itself.
+  {
+    util::MutexLock lock(epoch_mutex_);
+    epoch_ = fresh;
+  }
+  config_version_.store(version, std::memory_order_release);
+
+  if (!keep_shards) {
     // Re-route every queued submission into the new epoch's shards (no
-    // dispatches are running, so old queues are stable).
+    // dispatches are running — paused with active_dispatches_ == 0 — so
+    // only racing submits touch the old queues, and those re-check).
     for (auto& old_shard : old_epoch->shards) {
       util::MutexLock qlock(old_shard->queue_mutex);
       old_shard->dispatch_scheduled = false;
@@ -540,12 +648,6 @@ ServiceConfig AdmissionService::reload(
       }
     }
   }
-
-  {
-    util::MutexLock lock(epoch_mutex_);
-    epoch_ = fresh;
-  }
-  config_version_.store(version, std::memory_order_release);
 
   // Worker delta through the guarded mode-change path: analyze, drain,
   // commit (add_workers / retire_workers), log the transition.

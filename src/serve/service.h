@@ -30,8 +30,9 @@
 //     stored text, so a hash collision costs a miss, never a wrong answer;
 //   * an exact content match after parsing ("memo", e.g. the same system
 //     re-serialized with different whitespace) reuses the rendered verdict
-//     without re-running any analysis — hits are re-verified against a
-//     structural signature, with the same collision guarantee;
+//     without re-running any analysis — hits byte-compare the canonical
+//     re-serialization of both systems plus the analyzer/options identity,
+//     so the same collision guarantee holds;
 //   * a mutated resubmission ("incremental") arms
 //     RtaContext::begin_incremental against the family's cached donor
 //     context: the clean priority-order prefix of per-task fixed points is
@@ -49,11 +50,17 @@
 // dispatch scheduling, waits for the in-flight dispatch closures to finish
 // their current batches (queued submissions stay queued — nothing is
 // dropped or answered under a half-installed config), swaps the epoch
-// (analyzer / shards / batch / cache), applies a worker delta through
+// (analyzer / shards / batch / cache) and only THEN re-routes the old
+// epoch's queues into the new shards, applies a worker delta through
 // exec::ModeChangeController::resize — the guarded DRAIN→COMMIT transition
 // of PR 7, which also logs the change — and resumes. Requests that were
 // dispatched before the reload complete under the old epoch (they hold a
-// shared_ptr to it); requests still queued run under the new one.
+// shared_ptr to it); requests still queued run under the new one. The
+// swap-before-re-route order pairs with a re-check in enqueue(): a racing
+// submission that still observed the old epoch pushed before the swap, so
+// the re-route pass is guaranteed to pick its entry up; one that observes
+// the new epoch migrates its shard's entries itself. Either way no
+// submission can be stranded in a retired shard's queue.
 #pragma once
 
 #include <atomic>
@@ -171,12 +178,18 @@ class AdmissionService {
 
  private:
   /// One memoized verdict: everything needed to re-render a response minus
-  /// the per-request id. The structural signature re-verifies advisory
-  /// fingerprint hits (see protocol.h).
+  /// the per-request id, plus the donor's full identity — the canonical
+  /// re-serialization (model::write_task_set at round-trip precision) and
+  /// the analyzer/options triple — byte-compared on every hit so an FNV
+  /// collision degrades to a miss, never to a wrong verdict (see
+  /// protocol.h).
   struct MemoEntry {
-    std::size_t task_count = 0;   // structural signature …
+    std::size_t task_count = 0;   ///< Cheap prefilter before `canonical`.
     std::size_t core_count = 0;
-    std::size_t node_total = 0;   // … end
+    std::string canonical;        ///< write_task_set(donor) — equality witness.
+    std::string analyzer;         ///< Resolved registry name of the donor run.
+    double wcet_scale = 1.0;
+    bool certify = false;
     bool schedulable = false;
     std::string report_json;      ///< lint::render_json(Report, ts).
     std::string certificate_json; ///< "" when the request had certify off.
@@ -296,6 +309,13 @@ class AdmissionService {
                                            std::uint64_t version);
 
   std::shared_ptr<Epoch> current_epoch() const;
+
+  /// Queue one parsed submission on its family's shard and schedule a
+  /// dispatch. Re-checks the epoch after the push and migrates entries out
+  /// of shards a concurrent reload retired, so a submission racing a
+  /// shard-replacing reload can never be stranded in a queue nothing will
+  /// ever drain (see reload()).
+  void enqueue(PendingRequest pending);
 
   /// Schedule a dispatch closure for `shard` unless one is already in
   /// flight or dispatching is paused. Caller must NOT hold the shard's

@@ -500,7 +500,14 @@ std::optional<std::size_t> JsonStreamParser::find_boundary() {
       scalar_root_ = true;
     } else {
       const std::size_t at = scan_;
-      consumed_ = scan_ + 1;  // discard the byte, keep the stream usable
+      // Discard the byte and fully reset so the next call scans fresh from
+      // the byte after it: started_ must come back down (it was set above)
+      // and scan_ must advance past the consumed prefix, or compact() would
+      // rebase scan_ below zero and the scanner would never find another
+      // boundary.
+      started_ = false;
+      consumed_ = scan_ + 1;
+      scan_ = consumed_;
       compact();
       throw JsonParseError("JSON stream error at offset " +
                            std::to_string(at) + ": invalid document start '" +
@@ -554,8 +561,11 @@ void JsonStreamParser::compact() {
   // connection does not grow its buffer with every submission.
   if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
     buffer_.erase(0, consumed_);
-    scan_ -= consumed_;
-    if (started_) doc_start_ -= consumed_;
+    // scan_/doc_start_ always sit at or past the consumed prefix; clamp
+    // anyway so a bookkeeping slip degrades to a rescan, not to a SIZE_MAX
+    // wraparound that silently kills the stream.
+    scan_ = scan_ > consumed_ ? scan_ - consumed_ : 0;
+    if (started_) doc_start_ = doc_start_ > consumed_ ? doc_start_ - consumed_ : 0;
     consumed_ = 0;
   }
 }

@@ -374,6 +374,37 @@ TEST(JsonStreamParserTest, FinishOnHalfOpenRootThrows) {
   EXPECT_THROW(parser.next(), JsonParseError);
 }
 
+TEST(JsonStreamParserTest, RecoversAfterInvalidDocumentStart) {
+  JsonStreamParser parser;
+  parser.feed("% {\"a\":1}");
+  // The bad byte is reported once, then the stream resumes at the byte
+  // after it — the following document must come out intact.
+  EXPECT_THROW(parser.next(), JsonParseError);
+  const std::optional<JsonValue> got = parser.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->at("a").as_number(), 1.0);
+  EXPECT_TRUE(parser.idle());
+}
+
+TEST(JsonStreamParserTest, InvalidStartAfterLongWhitespaceKeepsStreamAlive) {
+  // Regression: the invalid-document-start error path set consumed_ past
+  // scan_ and compacted, so once the consumed prefix was large enough to
+  // trigger compaction (> 4096 bytes), scan_ wrapped to SIZE_MAX and every
+  // later document on the stream was silently discarded.
+  JsonStreamParser parser;
+  parser.feed(std::string(5000, ' ') + "%");
+  EXPECT_THROW(parser.next(), JsonParseError);
+  parser.feed(R"({"alive":true})");
+  const std::optional<JsonValue> got = parser.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->at("alive").as_bool());
+  // And the stream keeps working beyond the first post-error document.
+  parser.feed(R"( {"second":2})");
+  const std::optional<JsonValue> second = parser.next();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(second->at("second").as_number(), 2.0);
+}
+
 TEST(JsonStreamParserTest, PendingBytesAndIdleTrackPartialInput) {
   JsonStreamParser parser;
   EXPECT_TRUE(parser.idle());

@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <future>
 #include <mutex>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -371,6 +373,76 @@ TEST(AdmissionServiceTest, ReloadUnderLoadDropsNothing) {
   EXPECT_FALSE(service.transition_log().empty());
 }
 
+TEST(AdmissionServiceTest, ThrowingDeliveryCallbackDoesNotWedgeDispatch) {
+  // Regression: an exception escaping per-request processing on a pool
+  // worker used to leave dispatch_scheduled set and the active/pending
+  // counters undrained, permanently wedging the shard — wait_idle() and
+  // the destructor would hang.
+  AdmissionService service(ServiceConfig{});
+  std::promise<void> first_called;
+  service.submit(submit_request(generate_taskset_text(26), "boom"),
+                 [&](const std::string&) {
+                   first_called.set_value();
+                   throw std::runtime_error("client callback exploded");
+                 });
+  first_called.get_future().wait();
+  service.wait_idle();  // hangs without the run_dispatch exception guard
+
+  // The shard still dispatches subsequent work.
+  const std::string response =
+      submit_sync(service, submit_request(generate_taskset_text(27), "after"));
+  EXPECT_TRUE(util::parse_json(response).at("ok").as_bool());
+  EXPECT_EQ(service.stats().completed, 2u);
+}
+
+TEST(AdmissionServiceTest, ShardReplacingReloadStormDropsNothing) {
+  // Hammers the submit/reload race: every reload here changes the shard
+  // count, so queued submissions are re-routed into brand-new shard
+  // objects — the exact path where a racing push used to land in a retired
+  // shard's queue after its re-route pass and sit there forever.
+  ServiceConfig config;
+  config.workers = 2;
+  config.shards = 2;
+  config.batch = 2;
+  AdmissionService service(config);
+
+  std::vector<std::string> texts;
+  for (std::uint64_t seed = 50; seed < 54; ++seed)
+    texts.push_back(generate_taskset_text(seed));
+
+  constexpr int kRequests = 160;
+  std::atomic<int> answered{0};
+  std::atomic<int> failed{0};
+  const auto on_response = [&](const std::string& response) {
+    if (!util::parse_json(response).at("ok").as_bool())
+      failed.fetch_add(1, std::memory_order_relaxed);
+    answered.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = t; i < kRequests; i += 4)
+        service.submit(
+            submit_request(texts[static_cast<std::size_t>(i) % texts.size()],
+                           "s" + std::to_string(i)),
+            on_response);
+    });
+  }
+  for (int r = 0; r < 6; ++r)
+    service.reload(std::nullopt, std::nullopt, r % 2 == 0 ? 3 : 2,
+                   std::nullopt, std::nullopt);
+  for (std::thread& t : submitters) t.join();
+  service.wait_idle();  // hangs if any submission was stranded
+
+  EXPECT_EQ(answered.load(), kRequests);
+  EXPECT_EQ(failed.load(), 0);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.received, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_GE(stats.reloads, 6u);
+}
+
 // ---------------------------------------------------------------------------
 // Frame transport + TCP server end to end.
 
@@ -430,6 +502,28 @@ TEST(ServeNetTest, TcpServerAnswersAndShutsDown) {
   server.wait();
   server.stop();
   EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(ServeNetTest, ReapsFinishedConnectionThreads) {
+  // A long-lived daemon must not hold one joinable thread handle per
+  // connection it has ever served: housekeeping reaps finished connection
+  // threads, so after every client disconnects the tracked count drains
+  // back to zero without stop().
+  AdmissionService service(ServiceConfig{});
+  TcpServer server(service, "127.0.0.1", 0);
+  server.start();
+  for (int i = 0; i < 5; ++i) {
+    util::Socket client = util::tcp_connect("127.0.0.1", server.port());
+    util::write_frame(client, R"({"cmd":"stats"})");
+    ASSERT_TRUE(util::read_frame(client).has_value());
+  }  // client closes at scope exit
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.tracked_connections() > 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(server.tracked_connections(), 0u);
+  server.stop();
 }
 
 }  // namespace
