@@ -8,43 +8,30 @@
 // not), sizes the thread pool, and answers the questions a deployment
 // engineer would ask: how many threads keep the model deadlock-free, what
 // response-time bound holds, and how does it compare to simulation.
+//
+// The graph itself comes from the importer library (gen/importers.h) —
+// the same constructor the corpus runner uses for its "import-dnn"
+// scenario, so this example and the million-set sweep exercise one code
+// path.
 #include <cstdio>
 
 #include "analysis/concurrency.h"
 #include "analysis/deadlock.h"
 #include "analysis/global_rta.h"
-#include "gen/topologies.h"
+#include "gen/importers.h"
 #include "sim/engine.h"
 #include "util/rng.h"
 
-namespace {
-
-using namespace rtpool;
-
-/// Builds the synthetic InceptionV3-style task via the topology library
-/// (gen/topologies.h): layered graph, blocking Eigen-style parallel-for
-/// per operator, many small tile kernels.
-model::DagTask build_dnn(int layers, int ops_per_layer, int tiles,
-                         double period, util::Rng& rng) {
-  gen::TopologyOptions options;
-  options.blocking = true;
-  options.period = period;
-  options.wcet_min = 0.3;
-  options.wcet_max = 2.0;
-  return gen::make_dnn_task("inception_like", layers, ops_per_layer, tiles,
-                            options, rng);
-}
-
-}  // namespace
-
 int main() {
-  util::Rng rng(2019);
-  const int layers = 6;
-  const int ops_per_layer = 3;
-  const int tiles = 8;
-  const double period = 400.0;  // inference deadline (time units)
+  using namespace rtpool;
 
-  const model::DagTask dnn = build_dnn(layers, ops_per_layer, tiles, period, rng);
+  util::Rng rng(2019);
+  // Spec defaults ARE this example: 6 layers x 3 blocking operators over
+  // 8 tiles, period 400 (see gen/importers.h).
+  const gen::importers::DnnInferenceSpec spec;
+  const double period = spec.period;  // inference deadline (time units)
+
+  const model::DagTask dnn = gen::importers::import_dnn_inference(spec, rng);
   std::printf("DNN task: %zu nodes, %zu blocking regions, vol=%.1f, "
               "len=%.1f, U=%.3f\n",
               dnn.node_count(), dnn.blocking_fork_count(), dnn.volume(),

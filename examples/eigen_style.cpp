@@ -13,8 +13,11 @@
 #include <chrono>
 #include <cstdio>
 
+#include "analysis/analyzer.h"
 #include "exec/parallel_for.h"
 #include "exec/thread_pool.h"
+#include "gen/importers.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -80,5 +83,29 @@ int main() {
   std::printf("\nRule of thumb from the paper: with b̄ concurrent blocking\n"
               "forks, keep m >= b̄ + 1 (Lemma 1); the analysis in Section 4\n"
               "then bounds the response time with l̄ = m − b̄ servers.\n");
+
+  // The same contraction as a DAG task (gen/importers.h — the constructor
+  // the corpus "import-eigen" scenario draws from): the analysis predicts
+  // the l̄ = m − b̄ cliff the live pool just demonstrated. 8 concurrent
+  // blocking rows need m >= 9 before the limited-concurrency test accepts.
+  std::printf("\nANALYSIS of the same structure (import_eigen_contraction,\n"
+              "8 rows => b̄ = 8):\n");
+  util::Rng rng(2019);
+  gen::importers::EigenContractionSpec spec;
+  spec.rows = 8;
+  spec.tiles = inner;
+  const model::DagTask contraction =
+      gen::importers::import_eigen_contraction(spec, rng);
+  const analysis::Analyzer& limited =
+      analysis::get_analyzer("global-limited");
+  for (std::size_t m = 4; m <= 10; m += 2) {
+    model::TaskSet ts(m);
+    ts.add(contraction);
+    const analysis::Report report = limited.analyze(ts);
+    std::printf("  m=%-3zu l̄=%-3ld R=%-8.1f %s\n", m,
+                report.per_task[0].concurrency_bound,
+                report.per_task[0].response_time,
+                report.schedulable ? "schedulable" : "rejected");
+  }
   return 0;
 }

@@ -28,6 +28,8 @@
 #include "analysis/deadlock.h"
 #include "analysis/rta_context.h"
 #include "analysis/sensitivity.h"
+#include "corpus/corpus.h"
+#include "corpus/witness.h"
 #include "gen/taskset_generator.h"
 #include "graph/dot.h"
 #include "exp/report_json.h"
@@ -168,21 +170,109 @@ void analyze_partitioned_cli(const model::TaskSet& ts) {
   }
 }
 
-void simulate_cli(const model::TaskSet& ts) {
-  sim::SimConfig cfg;
-  cfg.policy = sim::SchedulingPolicy::kGlobal;
-  double max_period = 0.0;
-  for (const auto& t : ts.tasks()) max_period = std::max(max_period, t.period());
-  cfg.horizon = 10.0 * max_period;
-  const auto r = sim::simulate(ts, cfg);
-  std::printf("\nSIMULATION (global, horizon=%.0f)\n", cfg.horizon);
-  if (r.deadlock.has_value())
-    std::printf("DEADLOCK: %s\n", r.deadlock->description.c_str());
+/// --simulate: run the sim oracle and print its verdict next to every
+/// simulatable analyzer's verdict (the corpus soundness table decides which
+/// verdicts carry a safety claim). Returns the number of safety-direction
+/// disagreements: a kAssertSafety analyzer accepting a set the simulator
+/// drives into a miss/deadlock.
+int simulate_cli(const model::TaskSet& ts) {
+  sim::OracleOptions oracle;
+  oracle.policy = sim::SchedulingPolicy::kGlobal;
+  oracle.windows = 10.0;
+  const sim::SimVerdict global = sim::oracle_verdict(ts, oracle);
+  std::printf("\nSIMULATION ORACLE (global, horizon=%.0f)\n", global.horizon);
+  if (!global.safe())
+    std::printf("violation: %s — %s\n", sim::to_string(global.outcome),
+                global.description.c_str());
+  const sim::SimResult& r = *global.result;
   for (std::size_t i = 0; i < ts.size(); ++i)
     std::printf("%-10s jobs=%zu misses=%zu maxR=%.1f min_l=%ld\n",
                 ts.task(i).name().c_str(), r.per_task[i].jobs_completed,
                 r.per_task[i].deadline_misses, r.per_task[i].max_response,
                 r.per_task[i].min_available_concurrency);
+
+  std::printf("\nORACLE vs ANALYZERS (safety direction: accept => no violation)\n");
+  int disagreements = 0;
+  analysis::RtaContext ctx(ts);
+  for (const analysis::Analyzer* a : analysis::registered_analyzers()) {
+    const std::string name(a->name());
+    const corpus::AnalyzerSpec spec = corpus::spec_for(name);
+    if (spec.mode == corpus::OracleMode::kNoSim) continue;
+
+    analysis::AnalyzerOptions opts;
+    analysis::PartitionResult part;
+    if (a->capabilities().uses_partition) {
+      part = a->make_partition(ts);
+      if (!part.success()) {
+        std::printf("  %-34s reject   (%s)\n", name.c_str(),
+                    part.failure.c_str());
+        continue;
+      }
+      opts.partition = &*part.partition;
+    }
+    const bool accepts = a->analyze(ts, ctx, opts).schedulable;
+
+    // Partitioned analyzers are judged under their own placement; global
+    // ones share the one global oracle run.
+    const sim::SimVerdict* verdict = &global;
+    sim::SimVerdict own;
+    if (spec.policy == sim::SchedulingPolicy::kPartitioned) {
+      sim::OracleOptions po;
+      po.policy = sim::SchedulingPolicy::kPartitioned;
+      po.partition = part.partition;
+      po.windows = 10.0;
+      own = sim::oracle_verdict(ts, po);
+      verdict = &own;
+    }
+    const bool violated = accepts && !verdict->safe();
+    const bool asserts = spec.mode == corpus::OracleMode::kAssertSafety;
+    if (violated && asserts) ++disagreements;
+    std::printf("  %-34s %-8s sim=%-13s%s\n", name.c_str(),
+                accepts ? "accept" : "reject",
+                sim::to_string(verdict->outcome),
+                !violated          ? ""
+                : asserts          ? "  SAFETY VIOLATION"
+                                   : "  optimistic (report-only baseline)");
+  }
+  if (disagreements > 0)
+    std::printf("safety direction violated by %d analyzer%s\n", disagreements,
+                disagreements == 1 ? "" : "s");
+  return disagreements;
+}
+
+/// --replay-witness=FILE: re-run a corpus witness bundle. Exit 0 when the
+/// recorded disagreement reproduces, 4 when it does not.
+int replay_witness_cli(const std::string& path) {
+  const corpus::WitnessBundle bundle = corpus::load_witness(path);
+  // CI bundles produced by `rtpool_corpus --inject-optimistic` reference
+  // the test-only analyzer, which is not registered by default.
+  if (bundle.analyzer == "test-forced-optimistic")
+    corpus::register_forced_optimistic_analyzer();
+  std::printf("witness %s\n", path.c_str());
+  std::printf("  seed=%llu root=%llu scenario=%s analyzer=%s policy=%s\n",
+              static_cast<unsigned long long>(bundle.seed),
+              static_cast<unsigned long long>(bundle.root_seed),
+              bundle.scenario.c_str(), bundle.analyzer.c_str(),
+              bundle.policy == sim::SchedulingPolicy::kGlobal ? "global"
+                                                              : "partitioned");
+  std::printf("  recorded: %s — %s\n", sim::to_string(bundle.outcome),
+              bundle.description.c_str());
+  const corpus::ReplayResult replay = corpus::replay_witness(bundle);
+  std::printf("  replayed: analysis=%s sim=%s%s%s\n",
+              replay.analysis_schedulable ? "accept" : "reject",
+              sim::to_string(replay.verdict.outcome),
+              replay.verdict.safe() ? "" : " — ",
+              replay.verdict.safe() ? "" : replay.verdict.description.c_str());
+  if (replay.reproduced) {
+    std::printf("REPRODUCED: analyzer accepts, simulator observes %s\n",
+                sim::to_string(replay.verdict.outcome));
+    return 0;
+  }
+  std::printf("NOT REPRODUCED (analysis=%s, outcome %s recorded %s)\n",
+              replay.analysis_schedulable ? "accept" : "reject",
+              sim::to_string(replay.verdict.outcome),
+              replay.outcome_matches ? "matches" : "differs from");
+  return 4;
 }
 
 }  // namespace
@@ -194,7 +284,8 @@ int main(int argc, char** argv) {
     const util::Args args = bench::parse_args(
         argc, argv,
         {"file", "save", "simulate", "dot", "generate", "m", "u", "scheduler",
-         "json", "trace", "sensitivity", "analyzer", "certify", "format"});
+         "json", "trace", "sensitivity", "analyzer", "certify", "format",
+         "replay-witness"});
     const bench::CommonFlags common = bench::common_flags(args);
     const std::string format = args.get_string("format", "text");
     if (format != "text" && format != "json")
@@ -203,6 +294,10 @@ int main(int argc, char** argv) {
     // JSON mode emits ONLY the machine-readable report (no preamble), so the
     // output can be diffed byte-for-byte against a served verdict.
     const bool json_out = format == "json";
+
+    const std::string witness_path = args.get_string("replay-witness", "");
+    if (!witness_path.empty()) return replay_witness_cli(witness_path);
+
     model::TaskSet ts(1);
     const std::string file = args.get_string("file", "");
     if (!file.empty()) {
@@ -254,7 +349,8 @@ int main(int argc, char** argv) {
         analyze_partitioned_cli(ts);
     }
 
-    if (args.get_bool("simulate", false)) simulate_cli(ts);
+    int safety_disagreements = 0;
+    if (args.get_bool("simulate", false)) safety_disagreements = simulate_cli(ts);
 
     if (args.get_bool("sensitivity", false)) {
       // Critical WCET scaling per analysis: how much execution-time margin
@@ -313,6 +409,7 @@ int main(int argc, char** argv) {
       model::save_task_set(save, ts);
       std::printf("saved to %s\n", save.c_str());
     }
+    if (safety_disagreements > 0) return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rtpool_cli: %s\n", e.what());
     return 1;

@@ -14,6 +14,13 @@ Inputs (all optional, at least one required):
              reload exits 1. The batched+sharded-vs-naive speedup is
              report-only unless --enforce-serve-speedup is set (wall-clock
              ratios are meaningless on shared CI boxes).
+  --corpus   Summary JSON written by `rtpool_corpus --summary` (schema
+             rtpool-corpus-summary-v1). Folded into the report as the
+             `corpus` section. HARD GATE: any safety violation (a sound
+             analyzer accepting a set the simulator drives into a miss or
+             deadlock) or an incomplete range exits 1 — unlike wall-clock
+             numbers, the safety direction is load-independent and must
+             hold on any machine.
   --baseline Committed BENCH_analysis.json to diff against. REPORT-ONLY:
              per-point trials/s and per-kernel timing deltas are printed
              and recorded under `baseline_diff`, but never affect the exit
@@ -176,6 +183,39 @@ def check_serve(serve, enforce_speedup, min_speedup):
     return failures
 
 
+def check_corpus(corpus):
+    """Gate the corpus summary; list of failure strings. The safety gate is
+    unconditional: violations mean a sound analyzer is optimistic."""
+    failures = []
+    schema = corpus.get("schema")
+    if schema != "rtpool-corpus-summary-v1":
+        failures.append(f"unexpected corpus summary schema '{schema}'")
+        return failures
+    sets = corpus.get("sets", 0)
+    violations = corpus.get("safety_violations", 0)
+    print(f"bench_report: corpus {sets} sets over seeds "
+          f"[{corpus.get('seed_begin', '?')}, {corpus.get('seed_end', '?')}), "
+          f"{violations} safety violation(s), "
+          f"{corpus.get('generation_errors', 0)} generation error(s)")
+    for analyzer in corpus.get("analyzers", []):
+        gap = analyzer.get("gap", {})
+        print(f"bench_report: corpus {analyzer.get('name', '?'):<34} "
+              f"[{analyzer.get('mode', '?'):<6}] "
+              f"accept {analyzer.get('analysis_schedulable', 0)} "
+              f"optimistic {analyzer.get('optimistic', 0)} "
+              f"violations {analyzer.get('safety_violations', 0)} "
+              f"gap p50 {gap.get('p50', 0.0):.3f} p99 {gap.get('p99', 0.0):.3f}")
+    if violations:
+        failures.append(f"{violations} safety violation(s): a sound analyzer "
+                        "accepted a set the simulator drove into a miss or "
+                        "deadlock")
+    if not corpus.get("complete", False):
+        failures.append("corpus range incomplete (budget pause or early stop)")
+    if sets <= 0:
+        failures.append("corpus evaluated zero sets")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sweep", help="perf_sweep JSON report")
@@ -191,6 +231,10 @@ def main():
     parser.add_argument("--baseline",
                         help="committed BENCH_analysis.json to diff against "
                              "(report-only, never affects exit status)")
+    parser.add_argument("--corpus",
+                        help="rtpool_corpus summary JSON "
+                             "(rtpool-corpus-summary-v1); hard-gates "
+                             "safety_violations == 0 and complete == true")
     parser.add_argument("--out", default="BENCH_analysis.json")
     parser.add_argument("--enforce-thread-scaling", action="store_true",
                         help="exit 1 when a multi-thread run is slower than "
@@ -198,8 +242,9 @@ def main():
                              "report-only warning)")
     args = parser.parse_args()
 
-    if not args.sweep and not args.kernels and not args.serve:
-        parser.error("need --sweep, --kernels, and/or --serve")
+    if not args.sweep and not args.kernels and not args.serve \
+            and not args.corpus:
+        parser.error("need --sweep, --kernels, --serve, and/or --corpus")
 
     report = {"schema": "rtpool-bench-analysis-v1"}
     if args.sweep:
@@ -221,6 +266,12 @@ def main():
         report["serve"] = serve
         serve_failures = check_serve(serve, args.enforce_serve_speedup,
                                      args.min_serve_speedup)
+
+    corpus_failures = []
+    if args.corpus:
+        corpus = load_json(args.corpus)
+        report["corpus"] = corpus
+        corpus_failures = check_corpus(corpus)
 
     if args.baseline:
         try:
@@ -257,6 +308,10 @@ def main():
         for failure in serve_failures:
             print(f"bench_report: serve gate: {failure}", file=sys.stderr)
         return 1
+    if corpus_failures:
+        for failure in corpus_failures:
+            print(f"bench_report: corpus gate: {failure}", file=sys.stderr)
+        return 1
     cert_failures = report.get("cert_failures_total", 0)
     if cert_failures:
         print(f"bench_report: {cert_failures} certificate(s) rejected by the "
@@ -268,9 +323,14 @@ def main():
     serve_note = ""
     if report.get("serve"):
         serve_note = f", {len(report['serve'].get('runs', []))} serve runs"
+    corpus_note = ""
+    if report.get("corpus"):
+        corpus_note = (f", corpus {report['corpus'].get('sets', 0)} sets / "
+                       f"{report['corpus'].get('safety_violations', 0)} "
+                       "violations")
     print(f"bench_report: wrote {args.out} "
           f"({len(points)} points, {len(report.get('kernels', []))} kernels"
-          f"{certify_note}{serve_note})")
+          f"{certify_note}{serve_note}{corpus_note})")
     return 0
 
 

@@ -1,0 +1,627 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/analyzer.h"
+#include "analysis/rta_context.h"
+#include "corpus/witness.h"
+#include "gen/taskset_generator.h"
+#include "model/io.h"
+#include "util/csv.h"
+
+namespace rtpool::corpus {
+
+// ---------------------------------------------------------------------------
+// GapHistogram
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// log2-space bin grid: [2^-4, 2^12) at 12 bins per octave.
+constexpr double kLog2Lo = -4.0;
+constexpr double kLog2Hi = 12.0;
+
+}  // namespace
+
+void GapHistogram::add(double ratio) {
+  if (!(ratio > 0.0) || !std::isfinite(ratio)) return;
+  const double pos =
+      (std::log2(ratio) - kLog2Lo) / (kLog2Hi - kLog2Lo) * kBins;
+  int bin = static_cast<int>(std::floor(pos));
+  bin = std::clamp(bin, 0, kBins - 1);
+  ++bins_[static_cast<std::size_t>(bin)];
+  if (count_ == 0) {
+    min_ = max_ = ratio;
+  } else {
+    min_ = std::min(min_, ratio);
+    max_ = std::max(max_, ratio);
+  }
+  sum_ += ratio;
+  ++count_;
+}
+
+double GapHistogram::min() const { return count_ == 0 ? 0.0 : min_; }
+double GapHistogram::max() const { return count_ == 0 ? 0.0 : max_; }
+double GapHistogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double GapHistogram::bin_edge(int bin) {
+  return std::exp2(kLog2Lo + (kLog2Hi - kLog2Lo) *
+                                 static_cast<double>(bin) / kBins);
+}
+
+double GapHistogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank in [1, count]; walk the cumulative counts to the holding bin and
+  // report its lower edge, clamped to the exact observed extremes.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count_))));
+  if (rank <= 1) return min_;
+  if (rank >= count_) return max_;
+  std::uint64_t seen = 0;
+  for (int bin = 0; bin < kBins; ++bin) {
+    seen += bins_[static_cast<std::size_t>(bin)];
+    if (seen >= rank) return std::clamp(bin_edge(bin), min_, max_);
+  }
+  return max_;
+}
+
+void GapHistogram::to_json(util::JsonWriter& w) const {
+  w.begin_object();
+  w.kv("count", count_);
+  w.kv("min", min_).kv("max", max_).kv("sum", sum_);
+  w.key("bins").begin_array();
+  // Sparse encoding: [bin, count] pairs (most of the 192 bins are empty).
+  for (int bin = 0; bin < kBins; ++bin) {
+    if (bins_[static_cast<std::size_t>(bin)] == 0) continue;
+    w.begin_array()
+        .value(static_cast<std::int64_t>(bin))
+        .value(bins_[static_cast<std::size_t>(bin)])
+        .end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void GapHistogram::from_json(const util::JsonValue& v) {
+  *this = GapHistogram();
+  count_ = static_cast<std::uint64_t>(v.at("count").as_number());
+  min_ = v.at("min").as_number();
+  max_ = v.at("max").as_number();
+  sum_ = v.at("sum").as_number();
+  for (const util::JsonValue& pair : v.at("bins").as_array()) {
+    const auto& cells = pair.as_array();
+    const int bin = static_cast<int>(cells.at(0).as_number());
+    if (bin < 0 || bin >= kBins)
+      throw std::runtime_error("GapHistogram: bin index out of range");
+    bins_[static_cast<std::size_t>(bin)] =
+        static_cast<std::uint64_t>(cells.at(1).as_number());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer soundness classification
+// ---------------------------------------------------------------------------
+
+const char* to_string(OracleMode mode) {
+  switch (mode) {
+    case OracleMode::kAssertSafety: return "assert";
+    case OracleMode::kReportOnly: return "report";
+    case OracleMode::kNoSim: return "no-sim";
+  }
+  return "report";
+}
+
+AnalyzerSpec spec_for(const std::string& name) {
+  const auto starts_with = [&](const char* prefix) {
+    return name.rfind(prefix, 0) == 0;
+  };
+  AnalyzerSpec spec;
+  spec.name = name;
+  if (name == "test-forced-optimistic") {
+    spec.mode = OracleMode::kAssertSafety;
+    spec.policy = sim::SchedulingPolicy::kGlobal;
+  } else if (starts_with("global-limited")) {
+    // The paper's proposed global family: accounts for the concurrency
+    // blocking forks remove, so its accepts carry a safety claim.
+    spec.mode = OracleMode::kAssertSafety;
+    spec.policy = sim::SchedulingPolicy::kGlobal;
+  } else if (starts_with("partitioned-proposed")) {
+    // Algorithm-1 partitions + Lemma-3 deadlock freedom: sound accepts.
+    spec.mode = OracleMode::kAssertSafety;
+    spec.policy = sim::SchedulingPolicy::kPartitioned;
+  } else if (starts_with("global-")) {
+    spec.mode = OracleMode::kReportOnly;
+    spec.policy = sim::SchedulingPolicy::kGlobal;
+  } else if (starts_with("partitioned-")) {
+    spec.mode = OracleMode::kReportOnly;
+    spec.policy = sim::SchedulingPolicy::kPartitioned;
+  } else {
+    // Federated (dedicated cores the simulator does not model) and unknown
+    // custom analyzers: never simulated, never asserted.
+    spec.mode = OracleMode::kNoSim;
+  }
+  return spec;
+}
+
+std::vector<AnalyzerSpec> default_analyzer_specs() {
+  return {
+      spec_for("global-limited"),
+      spec_for("global-limited-antichain"),
+      spec_for("partitioned-proposed"),
+      spec_for("global-baseline"),
+      spec_for("partitioned-baseline"),
+  };
+}
+
+// ---------------------------------------------------------------------------
+// CorpusRunner
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Worker-side outcome of one analyzer on one set.
+struct PerAnalyzerOutcome {
+  bool partition_failure = false;
+  bool analysis_schedulable = false;
+  bool sim_checked = false;
+  sim::SimOutcome sim_outcome = sim::SimOutcome::kOk;
+  double gap = 0.0;  ///< 0 = no sample.
+};
+
+/// Worker-side outcome of one seed.
+struct SetOutcome {
+  bool generated = false;
+  std::size_t scenario_index = 0;
+  std::vector<PerAnalyzerOutcome> per_analyzer;
+  /// One bundle per assert-mode violation (written by the fold, capped).
+  std::vector<WitnessBundle> witnesses;
+};
+
+std::string serialize_state(const CorpusResult& result) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("sets", result.sets);
+  w.kv("generation_errors", result.generation_errors);
+  w.kv("safety_violations", result.safety_violations);
+  w.kv("witnesses_written", result.witnesses_written);
+  w.key("per_scenario").begin_array();
+  for (const std::uint64_t count : result.per_scenario_sets) w.value(count);
+  w.end_array();
+  w.key("analyzers").begin_array();
+  for (const AnalyzerStats& st : result.per_analyzer) {
+    w.begin_object();
+    w.kv("name", st.analyzer);
+    w.kv("sets", st.sets);
+    w.kv("analysis_schedulable", st.analysis_schedulable);
+    w.kv("partition_failures", st.partition_failures);
+    w.kv("sim_checked", st.sim_checked);
+    w.kv("sim_safe", st.sim_safe);
+    w.kv("sim_deadline_miss", st.sim_deadline_miss);
+    w.kv("sim_deadlock", st.sim_deadlock);
+    w.kv("optimistic", st.optimistic);
+    w.kv("safety_violations", st.safety_violations);
+    w.kv("pessimistic", st.pessimistic);
+    w.key("gap");
+    st.gap.to_json(w);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+void restore_state(CorpusResult& result, const std::string& blob) {
+  const util::JsonValue doc = util::parse_json(blob);
+  const auto u64 = [&](const char* key) {
+    return static_cast<std::uint64_t>(doc.at(key).as_number());
+  };
+  result.sets = u64("sets");
+  result.generation_errors = u64("generation_errors");
+  result.safety_violations = u64("safety_violations");
+  result.witnesses_written = u64("witnesses_written");
+  const auto& scenarios = doc.at("per_scenario").as_array();
+  if (scenarios.size() != result.per_scenario_sets.size())
+    throw std::runtime_error("corpus checkpoint: scenario count differs");
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    result.per_scenario_sets[i] =
+        static_cast<std::uint64_t>(scenarios[i].as_number());
+  const auto& analyzers = doc.at("analyzers").as_array();
+  if (analyzers.size() != result.per_analyzer.size())
+    throw std::runtime_error("corpus checkpoint: analyzer count differs");
+  for (std::size_t i = 0; i < analyzers.size(); ++i) {
+    const util::JsonValue& a = analyzers[i];
+    AnalyzerStats& st = result.per_analyzer[i];
+    if (a.at("name").as_string() != st.analyzer)
+      throw std::runtime_error("corpus checkpoint: analyzer order differs");
+    const auto field = [&](const char* key) {
+      return static_cast<std::uint64_t>(a.at(key).as_number());
+    };
+    st.sets = field("sets");
+    st.analysis_schedulable = field("analysis_schedulable");
+    st.partition_failures = field("partition_failures");
+    st.sim_checked = field("sim_checked");
+    st.sim_safe = field("sim_safe");
+    st.sim_deadline_miss = field("sim_deadline_miss");
+    st.sim_deadlock = field("sim_deadlock");
+    st.optimistic = field("optimistic");
+    st.safety_violations = field("safety_violations");
+    st.pessimistic = field("pessimistic");
+    st.gap.from_json(a.at("gap"));
+  }
+}
+
+}  // namespace
+
+CorpusRunner::CorpusRunner(CorpusConfig config, int threads)
+    : config_(std::move(config)), runner_(threads) {
+  if (config_.cores == 0)
+    throw std::invalid_argument("corpus: cores must be > 0");
+  if (!(config_.windows > 0.0))
+    throw std::invalid_argument("corpus: windows must be > 0");
+  if (config_.seed_end < config_.seed_begin)
+    throw std::invalid_argument("corpus: seed_end < seed_begin");
+  if (config_.analyzers.empty()) config_.analyzers = default_analyzer_specs();
+  if (config_.space.empty()) config_.space = gen::ScenarioSpace::corpus_default();
+}
+
+std::string CorpusRunner::fingerprint() const {
+  std::ostringstream os;
+  os << "rtpool-corpus-v1|root=" << config_.root_seed
+     << "|m=" << config_.cores;
+  char windows[40];
+  std::snprintf(windows, sizeof windows, "%.17g", config_.windows);
+  os << "|w=" << windows << "|analyzers=";
+  bool first = true;
+  for (const AnalyzerSpec& spec : config_.analyzers) {
+    if (!first) os << ',';
+    first = false;
+    os << spec.name << ':' << to_string(spec.mode) << ':'
+       << (spec.policy == sim::SchedulingPolicy::kGlobal ? 'g' : 'p');
+  }
+  os << "|space=" << config_.space.fingerprint();
+  return os.str();
+}
+
+CorpusResult CorpusRunner::run() {
+  const gen::ScenarioSpace& space = config_.space;
+  const std::vector<AnalyzerSpec>& specs = config_.analyzers;
+
+  std::vector<const analysis::Analyzer*> analyzers;
+  analyzers.reserve(specs.size());
+  for (const AnalyzerSpec& spec : specs)
+    analyzers.push_back(&analysis::get_analyzer(spec.name));
+
+  CorpusResult result;
+  for (std::size_t i = 0; i < space.size(); ++i)
+    result.scenario_names.push_back(space.scenario(i).name);
+  result.per_scenario_sets.assign(space.size(), 0);
+  for (const AnalyzerSpec& spec : specs) {
+    AnalyzerStats st;
+    st.analyzer = spec.name;
+    st.mode = spec.mode;
+    result.per_analyzer.push_back(std::move(st));
+  }
+
+  const util::Rng root(config_.root_seed);
+
+  const auto eval = [&](std::uint64_t seed, util::Rng& srng) {
+    SetOutcome out;
+    out.scenario_index = space.pick_index(seed);
+    std::optional<model::TaskSet> ts;
+    try {
+      ts.emplace(space.scenario(out.scenario_index).make(config_.cores, srng));
+    } catch (const gen::GenerationError&) {
+      return out;
+    }
+    out.generated = true;
+
+    // One context allocation per worker thread, rebound per set.
+    thread_local std::optional<analysis::RtaContext> tls_ctx;
+    if (!tls_ctx.has_value())
+      tls_ctx.emplace(*ts);
+    else
+      tls_ctx->reset(*ts);
+    analysis::RtaContext& ctx = *tls_ctx;
+
+    // The global oracle run is shared by every global-policy spec of this
+    // set; partitioned specs simulate under their own partition.
+    std::optional<sim::SimVerdict> global_verdict;
+    const auto global_oracle = [&]() -> const sim::SimVerdict& {
+      if (!global_verdict.has_value()) {
+        sim::OracleOptions oracle;
+        oracle.policy = sim::SchedulingPolicy::kGlobal;
+        oracle.windows = config_.windows;
+        global_verdict = sim::oracle_verdict(*ts, oracle);
+      }
+      return *global_verdict;
+    };
+
+    std::string taskset_text;  // Canonical text, rendered once if needed.
+    out.per_analyzer.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const AnalyzerSpec& spec = specs[i];
+      const analysis::Analyzer& analyzer = *analyzers[i];
+      PerAnalyzerOutcome pa;
+
+      analysis::PartitionResult partition;
+      analysis::AnalyzerOptions options;
+      if (analyzer.capabilities().uses_partition) {
+        partition = analyzer.make_partition(*ts);
+        if (!partition.success()) {
+          // Partitioner declined: the analyzer rejects the set, and there
+          // is no placement to simulate under.
+          pa.partition_failure = true;
+          out.per_analyzer.push_back(pa);
+          continue;
+        }
+        options.partition = &*partition.partition;
+      }
+      const analysis::Report report = analyzer.analyze(*ts, ctx, options);
+      pa.analysis_schedulable = report.schedulable;
+
+      if (spec.mode != OracleMode::kNoSim) {
+        const sim::SimVerdict* verdict = nullptr;
+        sim::SimVerdict partitioned_verdict;
+        if (spec.policy == sim::SchedulingPolicy::kGlobal) {
+          verdict = &global_oracle();
+        } else if (partition.success()) {
+          sim::OracleOptions oracle;
+          oracle.policy = sim::SchedulingPolicy::kPartitioned;
+          oracle.partition = partition.partition;
+          oracle.windows = config_.windows;
+          partitioned_verdict = sim::oracle_verdict(*ts, oracle);
+          verdict = &partitioned_verdict;
+        }
+        if (verdict != nullptr) {
+          pa.sim_checked = true;
+          pa.sim_outcome = verdict->outcome;
+          if (pa.analysis_schedulable && !verdict->safe() &&
+              spec.mode == OracleMode::kAssertSafety) {
+            if (taskset_text.empty()) {
+              std::ostringstream os;
+              model::write_task_set(os, *ts);
+              taskset_text = os.str();
+            }
+            WitnessBundle bundle;
+            bundle.seed = seed;
+            bundle.root_seed = config_.root_seed;
+            bundle.scenario = space.scenario(out.scenario_index).name;
+            bundle.analyzer = spec.name;
+            bundle.policy = spec.policy;
+            if (partition.success()) bundle.partition = partition.partition;
+            bundle.windows = config_.windows;
+            bundle.taskset_text = taskset_text;
+            bundle.outcome = verdict->outcome;
+            bundle.violation_task = verdict->first_violation_task;
+            bundle.violation_time = verdict->first_violation_time;
+            bundle.description = verdict->description;
+            out.witnesses.push_back(std::move(bundle));
+          }
+          if (pa.analysis_schedulable && verdict->safe() &&
+              report.limiting_task.has_value()) {
+            // Optimism/pessimism gap sample: bound over observed response
+            // of the analyzer's own limiting task, in a clean horizon.
+            const std::size_t limiting = *report.limiting_task;
+            const double bound = report.per_task[limiting].response_time;
+            const double observed =
+                verdict->result->per_task[limiting].max_response;
+            if (std::isfinite(bound) && observed > 0.0)
+              pa.gap = bound / observed;
+          }
+        }
+      }
+      out.per_analyzer.push_back(pa);
+    }
+    return out;
+  };
+
+  const auto fold = [&](std::uint64_t seed, SetOutcome& out) {
+    if (!out.generated) {
+      ++result.generation_errors;
+      return;
+    }
+    ++result.sets;
+    ++result.per_scenario_sets.at(out.scenario_index);
+    for (std::size_t i = 0; i < out.per_analyzer.size(); ++i) {
+      const PerAnalyzerOutcome& pa = out.per_analyzer[i];
+      AnalyzerStats& st = result.per_analyzer.at(i);
+      ++st.sets;
+      if (pa.partition_failure) {
+        ++st.partition_failures;
+        continue;
+      }
+      if (pa.analysis_schedulable) ++st.analysis_schedulable;
+      if (!pa.sim_checked) continue;
+      ++st.sim_checked;
+      switch (pa.sim_outcome) {
+        case sim::SimOutcome::kOk: ++st.sim_safe; break;
+        case sim::SimOutcome::kDeadlineMiss: ++st.sim_deadline_miss; break;
+        case sim::SimOutcome::kDeadlock: ++st.sim_deadlock; break;
+      }
+      if (pa.analysis_schedulable && pa.sim_outcome != sim::SimOutcome::kOk) {
+        ++st.optimistic;
+        if (st.mode == OracleMode::kAssertSafety) {
+          ++st.safety_violations;
+          ++result.safety_violations;
+        }
+      }
+      if (!pa.analysis_schedulable && pa.sim_outcome == sim::SimOutcome::kOk)
+        ++st.pessimistic;
+      if (pa.gap > 0.0) st.gap.add(pa.gap);
+    }
+    for (const WitnessBundle& bundle : out.witnesses) {
+      if (config_.witness_dir.empty()) continue;
+      if (result.witnesses_written >= config_.max_witnesses) break;
+      save_witness(config_.witness_dir + "/witness-s" +
+                       std::to_string(seed) + "-" + bundle.analyzer + ".json",
+                   bundle);
+      ++result.witnesses_written;
+    }
+  };
+
+  exp::RangeOptions options;
+  options.range = {config_.seed_begin, config_.seed_end};
+  options.shards = config_.shards;
+  options.checkpoint_path = config_.checkpoint_path;
+  options.resume = config_.resume;
+  options.fingerprint = fingerprint();
+  options.budget_seeds = config_.budget_sets;
+
+  result.range = runner_.run_range(
+      options, root, eval, fold, [&] { return serialize_state(result); },
+      [&](const std::string& blob) { restore_state(result, blob); });
+  result.complete = result.range.complete;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+void write_gap_csv(const std::string& path, const CorpusResult& result) {
+  util::CsvWriter csv(
+      path, {"analyzer", "mode", "sets", "analysis_schedulable",
+             "partition_failures", "sim_checked", "sim_safe",
+             "sim_deadline_miss", "sim_deadlock", "optimistic",
+             "safety_violations", "pessimistic", "gap_count", "gap_mean",
+             "gap_p50", "gap_p90", "gap_p99", "gap_min", "gap_max"});
+  for (const AnalyzerStats& st : result.per_analyzer) {
+    csv.row_values(st.analyzer, to_string(st.mode), st.sets,
+                   st.analysis_schedulable, st.partition_failures,
+                   st.sim_checked, st.sim_safe, st.sim_deadline_miss,
+                   st.sim_deadlock, st.optimistic, st.safety_violations,
+                   st.pessimistic, st.gap.count(), st.gap.mean(),
+                   st.gap.percentile(50), st.gap.percentile(90),
+                   st.gap.percentile(99), st.gap.min(), st.gap.max());
+  }
+}
+
+std::string render_summary_json(const CorpusConfig& config,
+                                const CorpusResult& result,
+                                double wall_seconds) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "rtpool-corpus-summary-v1");
+  w.kv("seed_begin", config.seed_begin);
+  w.kv("seed_end", config.seed_end);
+  w.kv("shards", static_cast<std::uint64_t>(config.shards));
+  w.kv("cores", static_cast<std::uint64_t>(config.cores));
+  w.kv("root_seed", config.root_seed);
+  w.kv("windows", config.windows);
+  w.kv("sets", result.sets);
+  w.kv("generation_errors", result.generation_errors);
+  w.kv("safety_violations", result.safety_violations);
+  w.kv("witnesses_written", result.witnesses_written);
+  w.kv("complete", result.complete);
+  w.kv("seeds_evaluated", result.range.seeds_evaluated);
+  w.kv("shards_total", static_cast<std::uint64_t>(result.range.shards_total));
+  w.kv("shards_run", static_cast<std::uint64_t>(result.range.shards_run));
+  w.kv("shards_restored",
+       static_cast<std::uint64_t>(result.range.shards_restored));
+  if (wall_seconds > 0.0) {
+    w.kv("wall_s", wall_seconds);
+    w.kv("sets_per_s",
+         static_cast<double>(result.range.seeds_evaluated) / wall_seconds);
+  }
+  w.key("scenarios").begin_array();
+  for (std::size_t i = 0; i < result.scenario_names.size(); ++i) {
+    w.begin_object()
+        .kv("name", result.scenario_names[i])
+        .kv("sets", result.per_scenario_sets[i])
+        .end_object();
+  }
+  w.end_array();
+  w.key("analyzers").begin_array();
+  for (const AnalyzerStats& st : result.per_analyzer) {
+    w.begin_object();
+    w.kv("name", st.analyzer);
+    w.kv("mode", to_string(st.mode));
+    w.kv("sets", st.sets);
+    w.kv("analysis_schedulable", st.analysis_schedulable);
+    w.kv("partition_failures", st.partition_failures);
+    w.kv("sim_checked", st.sim_checked);
+    w.kv("sim_safe", st.sim_safe);
+    w.kv("sim_deadline_miss", st.sim_deadline_miss);
+    w.kv("sim_deadlock", st.sim_deadlock);
+    w.kv("optimistic", st.optimistic);
+    w.kv("safety_violations", st.safety_violations);
+    w.kv("pessimistic", st.pessimistic);
+    w.key("gap")
+        .begin_object()
+        .kv("count", st.gap.count())
+        .kv("mean", st.gap.mean())
+        .kv("p50", st.gap.percentile(50))
+        .kv("p90", st.gap.percentile(90))
+        .kv("p99", st.gap.percentile(99))
+        .kv("min", st.gap.min())
+        .kv("max", st.gap.max())
+        .end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << '\n';
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Test-only forced-optimistic analyzer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Deliberately unsound: accepts everything with R = D. Exists to prove,
+/// in CI, that a genuinely optimistic analyzer produces witness bundles
+/// the replay pipeline reproduces.
+class ForcedOptimisticAnalyzer final : public analysis::Analyzer {
+ public:
+  std::string_view name() const override { return "test-forced-optimistic"; }
+  std::string_view description() const override {
+    return "TEST ONLY: claims every task set schedulable (R = D)";
+  }
+  analysis::AnalyzerCapabilities capabilities() const override {
+    analysis::AnalyzerCapabilities caps;
+    caps.reports_response_times = true;
+    return caps;
+  }
+  analysis::Report analyze(const model::TaskSet& ts, analysis::RtaContext&,
+                           const analysis::AnalyzerOptions&) const override {
+    analysis::Report report;
+    report.analyzer = std::string(name());
+    report.schedulable = true;
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      analysis::TaskVerdict verdict;
+      verdict.schedulable = true;
+      verdict.response_time = ts.task(i).deadline();
+      report.per_task.push_back(verdict);
+    }
+    // R/D == 1 for every task; the first stands in as the limiting one.
+    if (!report.per_task.empty()) {
+      report.limiting_task = 0;
+      report.limiting_ratio = 1.0;
+    }
+    return report;
+  }
+};
+
+}  // namespace
+
+AnalyzerSpec register_forced_optimistic_analyzer() {
+  if (analysis::find_analyzer("test-forced-optimistic") == nullptr)
+    analysis::register_analyzer(std::make_unique<ForcedOptimisticAnalyzer>());
+  return spec_for("test-forced-optimistic");
+}
+
+}  // namespace rtpool::corpus

@@ -1,0 +1,143 @@
+#include "corpus/witness.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analysis/analyzer.h"
+#include "analysis/rta_context.h"
+#include "model/io.h"
+#include "util/json.h"
+
+namespace rtpool::corpus {
+
+namespace {
+
+constexpr const char* kSchema = "rtpool-witness-v1";
+
+const char* policy_name(sim::SchedulingPolicy policy) {
+  return policy == sim::SchedulingPolicy::kGlobal ? "global" : "partitioned";
+}
+
+sim::SchedulingPolicy parse_policy(const std::string& name) {
+  if (name == "global") return sim::SchedulingPolicy::kGlobal;
+  if (name == "partitioned") return sim::SchedulingPolicy::kPartitioned;
+  throw std::runtime_error("witness: unknown policy '" + name + "'");
+}
+
+}  // namespace
+
+std::string render_witness_json(const WitnessBundle& bundle) {
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  w.begin_object()
+      .kv("schema", kSchema)
+      .kv("seed", bundle.seed)
+      .kv("root_seed", bundle.root_seed)
+      .kv("scenario", bundle.scenario)
+      .kv("analyzer", bundle.analyzer)
+      .kv("policy", policy_name(bundle.policy))
+      .kv("windows", bundle.windows)
+      .kv("work_stealing", bundle.work_stealing);
+  w.key("partition");
+  if (bundle.partition.has_value()) {
+    w.begin_array();
+    for (const analysis::NodeAssignment& assignment : bundle.partition->per_task) {
+      w.begin_array();
+      for (const analysis::ThreadId thread : assignment.thread_of)
+        w.value(static_cast<std::uint64_t>(thread));
+      w.end_array();
+    }
+    w.end_array();
+  } else {
+    w.null();
+  }
+  w.kv("outcome", sim::to_string(bundle.outcome))
+      .kv("violation_task", static_cast<std::uint64_t>(bundle.violation_task))
+      .kv("violation_time", bundle.violation_time)
+      .kv("description", bundle.description)
+      .kv("taskset", bundle.taskset_text)
+      .end_object();
+  os << '\n';
+  return os.str();
+}
+
+WitnessBundle parse_witness_json(const std::string& text) {
+  const util::JsonValue doc = util::parse_json(text);
+  if (!doc.is_object() || !doc.contains("schema") ||
+      doc.at("schema").as_string() != kSchema)
+    throw std::runtime_error("witness: not a " + std::string(kSchema) +
+                             " document");
+  WitnessBundle bundle;
+  bundle.seed = static_cast<std::uint64_t>(doc.at("seed").as_number());
+  bundle.root_seed = static_cast<std::uint64_t>(doc.at("root_seed").as_number());
+  bundle.scenario = doc.at("scenario").as_string();
+  bundle.analyzer = doc.at("analyzer").as_string();
+  bundle.policy = parse_policy(doc.at("policy").as_string());
+  bundle.windows = doc.at("windows").as_number();
+  bundle.work_stealing = doc.at("work_stealing").as_bool();
+  const util::JsonValue& partition = doc.at("partition");
+  if (!partition.is_null()) {
+    analysis::TaskSetPartition parsed;
+    for (const util::JsonValue& per_task : partition.as_array()) {
+      analysis::NodeAssignment assignment;
+      for (const util::JsonValue& thread : per_task.as_array())
+        assignment.thread_of.push_back(
+            static_cast<analysis::ThreadId>(thread.as_number()));
+      parsed.per_task.push_back(std::move(assignment));
+    }
+    bundle.partition = std::move(parsed);
+  }
+  bundle.outcome = sim::parse_sim_outcome(doc.at("outcome").as_string());
+  bundle.violation_task =
+      static_cast<std::size_t>(doc.at("violation_task").as_number());
+  bundle.violation_time = doc.at("violation_time").as_number();
+  bundle.description = doc.at("description").as_string();
+  bundle.taskset_text = doc.at("taskset").as_string();
+  return bundle;
+}
+
+void save_witness(const std::string& path, const WitnessBundle& bundle) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("witness: cannot write '" + path + "'");
+  out << render_witness_json(bundle);
+  if (!out.good())
+    throw std::runtime_error("witness: short write to '" + path + "'");
+}
+
+WitnessBundle load_witness(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("witness: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_witness_json(buf.str());
+}
+
+ReplayResult replay_witness(const WitnessBundle& bundle) {
+  std::istringstream is(bundle.taskset_text);
+  const model::TaskSet ts = model::read_task_set(is);
+  const analysis::Analyzer& analyzer = analysis::get_analyzer(bundle.analyzer);
+
+  ReplayResult result;
+  analysis::RtaContext ctx(ts);
+  analysis::AnalyzerOptions options;
+  if (bundle.partition.has_value()) options.partition = &*bundle.partition;
+  result.analysis_schedulable = analyzer.analyze(ts, ctx, options).schedulable;
+
+  sim::OracleOptions oracle;
+  oracle.policy = bundle.policy;
+  oracle.partition = bundle.partition;
+  oracle.windows = bundle.windows;
+  oracle.work_stealing = bundle.work_stealing;
+  oracle.collect_trace = true;
+  result.verdict = sim::oracle_verdict(ts, oracle);
+
+  result.outcome_matches = result.verdict.outcome == bundle.outcome;
+  result.reproduced = result.analysis_schedulable && !result.verdict.safe() &&
+                      result.outcome_matches;
+  return result;
+}
+
+}  // namespace rtpool::corpus

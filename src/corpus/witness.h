@@ -1,0 +1,69 @@
+// Self-contained counterexample bundles for the corpus safety oracle.
+//
+// When an oracle-checked analyzer accepts a task set that the simulator
+// then drives into a deadline miss or a deadlock, the corpus writes ONE
+// file holding everything needed to reproduce the disagreement: the
+// canonical .taskset text, the generating seeds, the analyzer name, the
+// simulated policy + partition, and the recorded first violation.
+// `rtpool_cli --replay-witness=FILE` re-runs analysis + oracle from the
+// bundle and reports whether the disagreement reproduces — the same
+// witness discipline the lint/guard subsystems use, at corpus scale.
+//
+// Schema "rtpool-witness-v1" (JSON, one object):
+//   schema, seed, root_seed, scenario, analyzer, policy ("global" |
+//   "partitioned"), windows, work_stealing, partition (array of per-task
+//   arrays of thread ids, or null), outcome ("deadline-miss" |
+//   "deadlock"), violation_task, violation_time, description, taskset
+//   (embedded .taskset text).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "analysis/partition.h"
+#include "sim/engine.h"
+
+namespace rtpool::corpus {
+
+struct WitnessBundle {
+  std::uint64_t seed = 0;       ///< Absolute corpus seed of the set.
+  std::uint64_t root_seed = 0;  ///< Corpus root seed (stream key).
+  std::string scenario;         ///< ScenarioSpace entry that generated it.
+  std::string analyzer;         ///< Registry name of the accepting analyzer.
+  sim::SchedulingPolicy policy = sim::SchedulingPolicy::kGlobal;
+  std::optional<analysis::TaskSetPartition> partition;
+  double windows = 4.0;
+  bool work_stealing = false;
+  std::string taskset_text;     ///< Canonical write_task_set output.
+  /// Recorded violation (outcome is never "ok" in a written bundle).
+  sim::SimOutcome outcome = sim::SimOutcome::kDeadlineMiss;
+  std::size_t violation_task = 0;
+  double violation_time = 0.0;
+  std::string description;
+};
+
+/// JSON (de)serialization; parse throws std::runtime_error /
+/// util::JsonParseError on malformed input.
+std::string render_witness_json(const WitnessBundle& bundle);
+WitnessBundle parse_witness_json(const std::string& text);
+
+void save_witness(const std::string& path, const WitnessBundle& bundle);
+WitnessBundle load_witness(const std::string& path);
+
+/// Outcome of re-running a bundle.
+struct ReplayResult {
+  bool analysis_schedulable = false;  ///< The analyzer still accepts.
+  sim::SimVerdict verdict;            ///< The fresh oracle verdict.
+  /// Fresh outcome kind equals the recorded one.
+  bool outcome_matches = false;
+  /// The full disagreement reproduced: analyzer accepts AND the simulator
+  /// observes the recorded kind of violation.
+  bool reproduced = false;
+};
+
+/// Re-run analyzer + sim oracle exactly as recorded. Throws on unknown
+/// analyzer names or unparsable embedded task sets.
+ReplayResult replay_witness(const WitnessBundle& bundle);
+
+}  // namespace rtpool::corpus

@@ -1,14 +1,13 @@
 #include "exp/schedulability.h"
 
+#include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
-#include <thread>
 
 #include "analysis/analyzer.h"
 #include "analysis/cert_check.h"
 #include "analysis/rta_context.h"
-#include "exec/thread_pool.h"
-#include "util/thread_annotations.h"
 
 namespace rtpool::exp {
 
@@ -51,52 +50,6 @@ SetVerdict evaluate_task_set(const AnalyzerPair& pair, const model::TaskSet& ts,
 SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts,
                              analysis::RtaContext* ctx) {
   return evaluate_task_set(analyzers_for(scheduler), ts, ctx);
-}
-
-ExperimentEngine::ExperimentEngine(int threads, bool clamp_to_hardware) {
-  const unsigned hw = std::thread::hardware_concurrency();
-  const int hw_threads = hw == 0 ? 1 : static_cast<int>(hw);
-  threads_ = threads <= 0 ? hw_threads : threads;
-  // Clamp the effective worker count to the hardware: results are
-  // thread-count invariant, so extra workers beyond the cores could only
-  // add contention, never speed or numbers.
-  workers_ = clamp_to_hardware ? std::min(threads_, hw_threads) : threads_;
-  if (workers_ > 1) {
-    pool_ = std::make_unique<exec::ThreadPool>(
-        static_cast<std::size_t>(workers_), exec::ThreadPool::QueueMode::kShared);
-  }
-}
-
-ExperimentEngine::~ExperimentEngine() = default;
-
-void ExperimentEngine::dispatch(std::vector<std::function<void()>>& jobs) {
-  if (pool_ == nullptr || jobs.size() <= 1) {
-    for (auto& job : jobs) job();
-    return;
-  }
-  // Counter-latch over the library's own primitives: the calling thread
-  // sleeps until every job of the batch has run. Jobs never throw (the
-  // run_attempts wrappers capture exceptions into per-slot slots).
-  struct Latch {
-    util::Mutex mutex;
-    util::CondVar cv;
-    std::size_t remaining = 0;
-  } latch;
-  latch.remaining = jobs.size();
-
-  std::vector<std::function<void()>> wrapped;
-  wrapped.reserve(jobs.size());
-  for (auto& job : jobs) {
-    wrapped.push_back([&latch, job = std::move(job)] {
-      job();
-      util::MutexLock lock(latch.mutex);
-      if (--latch.remaining == 0) latch.cv.notify_one();
-    });
-  }
-  pool_->submit_batch(std::move(wrapped));
-
-  util::MutexLock lock(latch.mutex);
-  while (latch.remaining != 0) latch.cv.wait(latch.mutex);
 }
 
 namespace {

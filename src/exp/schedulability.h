@@ -23,23 +23,13 @@
 // library's own exec::ThreadPool only changes wall time, never numbers.
 #pragma once
 
-#include <algorithm>
-#include <atomic>
 #include <cstdint>
-#include <exception>
-#include <functional>
-#include <memory>
-#include <optional>
 #include <string_view>
-#include <type_traits>
 #include <vector>
 
+#include "exp/sharded_runner.h"
 #include "gen/taskset_generator.h"
 #include "util/rng.h"
-
-namespace rtpool::exec {
-class ThreadPool;
-}
 
 namespace rtpool::analysis {
 class Analyzer;
@@ -142,19 +132,16 @@ SetVerdict evaluate_task_set(const AnalyzerPair& pair, const model::TaskSet& ts,
 SetVerdict evaluate_task_set(Scheduler scheduler, const model::TaskSet& ts,
                              analysis::RtaContext* ctx = nullptr);
 
-/// Bookkeeping of one deterministic attempt loop.
-struct AttemptLoopStats {
-  std::size_t attempts = 0;  ///< Attempts consumed (committed, in order).
-  bool exhausted = false;    ///< Budget ran out before `needed` commits.
-};
-
 /// Deterministic parallel experiment engine.
 ///
-/// Owns a worker pool (the library's own exec::ThreadPool — the experiment
-/// harness dogfoods the runtime it analyzes) reused across evaluation
-/// points. All entry points guarantee thread-count-invariant results: work
-/// units are seeded per attempt index via Rng::fork_with and folded in
-/// attempt order on the calling thread.
+/// A thin experiment-flavored facade over exp::ShardedRunner (which owns
+/// the worker pool — the library's own exec::ThreadPool; the experiment
+/// harness dogfoods the runtime it analyzes). All entry points guarantee
+/// thread-count-invariant results: work units are seeded per attempt index
+/// via Rng::fork_with and folded in attempt order on the calling thread.
+/// The attempt loop, the parallel map, and the checkpointable seed-range
+/// sweep live in sharded_runner.h; this class keeps the historical API
+/// plus the point-evaluation logic of the Figure-2 experiments.
 class ExperimentEngine {
  public:
   /// `threads` <= 0 selects std::thread::hardware_concurrency(); 1 runs
@@ -167,16 +154,21 @@ class ExperimentEngine {
   /// number. `threads()` still reports the requested value; `workers()` the
   /// effective one. The opt-out exists for tests that must drive the pool
   /// path regardless of the host's core count.
-  explicit ExperimentEngine(int threads = 1, bool clamp_to_hardware = true);
-  ~ExperimentEngine();
+  explicit ExperimentEngine(int threads = 1, bool clamp_to_hardware = true)
+      : runner_(threads, clamp_to_hardware) {}
 
   ExperimentEngine(const ExperimentEngine&) = delete;
   ExperimentEngine& operator=(const ExperimentEngine&) = delete;
 
-  int threads() const { return threads_; }
+  int threads() const { return runner_.threads(); }
 
   /// Effective parallelism: min(threads(), hardware_concurrency), >= 1.
-  int workers() const { return workers_; }
+  int workers() const { return runner_.workers(); }
+
+  /// The underlying runner (pool + attempt loop + run_range); exposed so
+  /// heavier harnesses (the corpus) can share one pool with the
+  /// experiment entry points.
+  ShardedRunner& runner() { return runner_; }
 
   /// Evaluate one point: generate task sets and apply the pair's two
   /// analyzers. `rng` is only read as a seed root (fork_with per attempt),
@@ -207,89 +199,9 @@ class ExperimentEngine {
   AttemptLoopStats run_attempts(std::size_t needed, std::size_t max_attempts,
                                 const util::Rng& rng, Eval&& eval,
                                 Commit&& commit) {
-    using Result = std::decay_t<std::invoke_result_t<Eval&, std::size_t, util::Rng&>>;
-    AttemptLoopStats stats;
-    if (needed == 0 || max_attempts == 0) {
-      stats.exhausted = needed > 0;
-      return stats;
-    }
-
-    std::size_t committed = 0;
-    if (pool_ == nullptr) {
-      // Inline path: one attempt at a time, no speculation.
-      while (committed < needed) {
-        if (stats.attempts == max_attempts) {
-          stats.exhausted = true;
-          return stats;
-        }
-        const std::size_t k = stats.attempts++;
-        util::Rng arng = rng.fork_with(k);
-        Result r = eval(k, arng);
-        if (commit(k, r)) ++committed;
-      }
-      return stats;
-    }
-
-    std::vector<std::optional<Result>> slots;
-    std::vector<std::exception_ptr> errors;
-    std::vector<std::function<void()>> jobs;
-    std::size_t next_attempt = 0;
-    while (committed < needed && next_attempt < max_attempts) {
-      // Speculative batch: sized from the acceptance rate observed so far
-      // so each round roughly finishes the point. Any size produces
-      // bit-identical results — commits are strictly attempt-ordered;
-      // oversized batches only waste eval work past the final commit.
-      const double rate =
-          stats.attempts == 0
-              ? 1.0
-              : std::max(static_cast<double>(committed) /
-                             static_cast<double>(stats.attempts),
-                         0.02);
-      std::size_t batch = static_cast<std::size_t>(
-          static_cast<double>(needed - committed) / rate) + 1;
-      batch = std::clamp<std::size_t>(batch, static_cast<std::size_t>(workers_),
-                                      4096);
-      batch = std::min(batch, max_attempts - next_attempt);
-
-      const std::size_t base = next_attempt;
-      next_attempt += batch;
-      slots.assign(batch, std::nullopt);
-      errors.assign(batch, nullptr);
-      // One job per worker, pulling attempt indices from a shared cursor:
-      // the per-attempt std::function + queue round-trip of the old
-      // one-job-per-attempt dispatch dominated small evals, and a shared
-      // cursor load-balances long-tailed attempts for free. Slot writes are
-      // published to the caller by dispatch()'s completion latch.
-      const std::size_t njobs =
-          std::min<std::size_t>(static_cast<std::size_t>(workers_), batch);
-      std::atomic<std::size_t> cursor{0};
-      jobs.clear();
-      jobs.reserve(njobs);
-      for (std::size_t j = 0; j < njobs; ++j) {
-        jobs.push_back([this_eval = &eval, &rng, &slots, &errors, &cursor,
-                        base, batch] {
-          for (;;) {
-            const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= batch) return;
-            util::Rng arng = rng.fork_with(base + i);
-            try {
-              slots[i].emplace((*this_eval)(base + i, arng));
-            } catch (...) {
-              errors[i] = std::current_exception();
-            }
-          }
-        });
-      }
-      dispatch(jobs);
-
-      for (std::size_t i = 0; i < batch && committed < needed; ++i) {
-        if (errors[i]) std::rethrow_exception(errors[i]);
-        ++stats.attempts;
-        if (commit(base + i, *slots[i])) ++committed;
-      }
-    }
-    stats.exhausted = committed < needed;
-    return stats;
+    return runner_.run_attempts(needed, max_attempts, rng,
+                                std::forward<Eval>(eval),
+                                std::forward<Commit>(commit));
   }
 
   /// Deterministic parallel map over `count` independent trials: trial i is
@@ -299,21 +211,12 @@ class ExperimentEngine {
   template <typename Eval, typename Fold>
   void map_trials(std::size_t count, const util::Rng& rng, Eval&& eval,
                   Fold&& fold) {
-    run_attempts(count, count, rng, eval,
-                 [&fold](std::size_t i, auto& r) {
-                   fold(i, r);
-                   return true;
-                 });
+    runner_.map_trials(count, rng, std::forward<Eval>(eval),
+                       std::forward<Fold>(fold));
   }
 
  private:
-  /// Run all jobs (on the pool when present, inline otherwise) and wait for
-  /// completion. Jobs must not throw (callers capture exceptions).
-  void dispatch(std::vector<std::function<void()>>& jobs);
-
-  int threads_ = 1;  ///< Requested parallelism (reporting only).
-  int workers_ = 1;  ///< Effective parallelism (clamped to the hardware).
-  std::unique_ptr<exec::ThreadPool> pool_;
+  ShardedRunner runner_;
 };
 
 /// Sequential convenience wrapper (an inline ExperimentEngine(1) point).

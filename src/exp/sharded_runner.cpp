@@ -1,0 +1,155 @@
+#include "exp/sharded_runner.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/thread_pool.h"
+#include "util/json.h"
+#include "util/thread_annotations.h"
+
+namespace rtpool::exp {
+
+namespace {
+
+constexpr const char* kCheckpointSchema = "rtpool-shard-checkpoint-v1";
+
+std::uint64_t as_u64(const util::JsonValue& v) {
+  return static_cast<std::uint64_t>(v.as_number());
+}
+
+}  // namespace
+
+ShardedRunner::ShardedRunner(int threads, bool clamp_to_hardware) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int hw_threads = hw == 0 ? 1 : static_cast<int>(hw);
+  threads_ = threads <= 0 ? hw_threads : threads;
+  // Clamp the effective worker count to the hardware: results are
+  // thread-count invariant, so extra workers beyond the cores could only
+  // add contention, never speed or numbers.
+  workers_ = clamp_to_hardware ? std::min(threads_, hw_threads) : threads_;
+  if (workers_ > 1) {
+    pool_ = std::make_unique<exec::ThreadPool>(
+        static_cast<std::size_t>(workers_), exec::ThreadPool::QueueMode::kShared);
+  }
+}
+
+ShardedRunner::~ShardedRunner() = default;
+
+void ShardedRunner::dispatch(std::vector<std::function<void()>>& jobs) {
+  if (pool_ == nullptr || jobs.size() <= 1) {
+    for (auto& job : jobs) job();
+    return;
+  }
+  // Counter-latch over the library's own primitives: the calling thread
+  // sleeps until every job of the batch has run. Jobs never throw (the
+  // run_attempts wrappers capture exceptions into per-slot slots).
+  struct Latch {
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::size_t remaining = 0;
+  } latch;
+  latch.remaining = jobs.size();
+
+  std::vector<std::function<void()>> wrapped;
+  wrapped.reserve(jobs.size());
+  for (auto& job : jobs) {
+    wrapped.push_back([&latch, job = std::move(job)] {
+      job();
+      util::MutexLock lock(latch.mutex);
+      if (--latch.remaining == 0) latch.cv.notify_one();
+    });
+  }
+  pool_->submit_batch(std::move(wrapped));
+
+  util::MutexLock lock(latch.mutex);
+  while (latch.remaining != 0) latch.cv.wait(latch.mutex);
+}
+
+SeedRange ShardedRunner::shard_range(const SeedRange& range, std::size_t shards,
+                                     std::size_t index) {
+  const std::uint64_t total = range.size();
+  if (shards == 0 || index >= shards) return {range.begin, range.begin};
+  const std::uint64_t n = static_cast<std::uint64_t>(shards);
+  const std::uint64_t base = total / n;
+  const std::uint64_t extra = total % n;  // First `extra` shards get +1.
+  const std::uint64_t i = static_cast<std::uint64_t>(index);
+  const std::uint64_t begin =
+      range.begin + base * i + std::min<std::uint64_t>(i, extra);
+  const std::uint64_t len = base + (i < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+std::size_t ShardedRunner::plan_shards(const RangeOptions& opt) {
+  const std::uint64_t total = opt.range.size();
+  if (total == 0) return 0;
+  std::size_t shards = std::max<std::size_t>(opt.shards, 1);
+  if (static_cast<std::uint64_t>(shards) > total)
+    shards = static_cast<std::size_t>(total);
+  return shards;
+}
+
+std::size_t ShardedRunner::restore(
+    const RangeOptions& opt, std::size_t shards_total,
+    const std::function<void(const std::string&)>& load_state) {
+  if (opt.checkpoint_path.empty())
+    throw std::runtime_error("run_range: resume requested without a checkpoint path");
+  std::ifstream in(opt.checkpoint_path);
+  if (!in)
+    throw std::runtime_error("run_range: cannot open checkpoint '" +
+                             opt.checkpoint_path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  util::JsonValue doc = util::parse_json(buf.str());
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error("run_range: checkpoint '" + opt.checkpoint_path +
+                             "' mismatch: " + what);
+  };
+  if (!doc.is_object() || !doc.contains("schema") ||
+      doc.at("schema").as_string() != kCheckpointSchema)
+    fail("unknown schema");
+  if (doc.at("fingerprint").as_string() != opt.fingerprint)
+    fail("fingerprint differs (checkpoint is from another job configuration)");
+  if (as_u64(doc.at("seed_begin")) != opt.range.begin ||
+      as_u64(doc.at("seed_end")) != opt.range.end)
+    fail("seed range differs");
+  if (as_u64(doc.at("shards")) != static_cast<std::uint64_t>(shards_total))
+    fail("shard count differs");
+  const std::uint64_t completed = as_u64(doc.at("completed_shards"));
+  if (completed > shards_total) fail("completed_shards out of range");
+  load_state(doc.at("state").as_string());
+  return static_cast<std::size_t>(completed);
+}
+
+void ShardedRunner::write_checkpoint(const RangeOptions& opt,
+                                     std::size_t shards_total,
+                                     std::size_t completed_shards,
+                                     const std::string& state) {
+  const std::string tmp = opt.checkpoint_path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out)
+      throw std::runtime_error("run_range: cannot write checkpoint '" + tmp + "'");
+    util::JsonWriter w(out);
+    w.begin_object()
+        .kv("schema", kCheckpointSchema)
+        .kv("fingerprint", opt.fingerprint)
+        .kv("seed_begin", opt.range.begin)
+        .kv("seed_end", opt.range.end)
+        .kv("shards", static_cast<std::uint64_t>(shards_total))
+        .kv("completed_shards", static_cast<std::uint64_t>(completed_shards))
+        .kv("state", state)
+        .end_object();
+    out << '\n';
+    if (!out.good())
+      throw std::runtime_error("run_range: short write to checkpoint '" + tmp + "'");
+  }
+  // Atomic publish: a kill mid-write leaves the previous checkpoint intact.
+  if (std::rename(tmp.c_str(), opt.checkpoint_path.c_str()) != 0)
+    throw std::runtime_error("run_range: cannot rename checkpoint '" + tmp +
+                             "' to '" + opt.checkpoint_path + "'");
+}
+
+}  // namespace rtpool::exp

@@ -1,0 +1,97 @@
+#include "gen/importers.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "gen/topologies.h"
+#include "model/builder.h"
+
+namespace rtpool::gen::importers {
+
+namespace {
+
+void check_common(const char* who, double period, double utilization,
+                  double wcet_min, double wcet_max) {
+  if (!(period > 0.0) && !(utilization > 0.0))
+    throw std::invalid_argument(std::string(who) +
+                                ": need period > 0 or utilization > 0");
+  if (!(wcet_min > 0.0) || wcet_max < wcet_min)
+    throw std::invalid_argument(std::string(who) +
+                                ": need 0 < wcet_min <= wcet_max");
+}
+
+}  // namespace
+
+model::DagTask import_dnn_inference(const DnnInferenceSpec& spec,
+                                    util::Rng& rng) {
+  if (spec.layers < 1 || spec.ops_per_layer < 1 || spec.tiles < 1)
+    throw std::invalid_argument(
+        "import_dnn_inference: layers/ops_per_layer/tiles must be >= 1");
+  check_common("import_dnn_inference", spec.period, spec.utilization,
+               spec.wcet_min, spec.wcet_max);
+
+  TopologyOptions options;
+  options.blocking = spec.blocking;
+  options.period = spec.period > 0.0 ? spec.period : 1.0;
+  options.wcet_min = spec.wcet_min;
+  options.wcet_max = spec.wcet_max;
+
+  // Utilization targeting needs the volume before the period is known:
+  // build once to learn the volume, then replay the identical draws from a
+  // saved copy of the stream. The caller's rng advances exactly once.
+  util::Rng saved = rng;
+  model::DagTask task = make_dnn_task(spec.name, spec.layers,
+                                      spec.ops_per_layer, spec.tiles, options,
+                                      rng);
+  if (spec.utilization > 0.0) {
+    options.period = task.volume() / spec.utilization;
+    util::Rng replay = saved;
+    task = make_dnn_task(spec.name, spec.layers, spec.ops_per_layer,
+                         spec.tiles, options, replay);
+  }
+  return task;
+}
+
+model::DagTask import_eigen_contraction(const EigenContractionSpec& spec,
+                                        util::Rng& rng) {
+  if (spec.rows < 1 || spec.tiles < 1)
+    throw std::invalid_argument(
+        "import_eigen_contraction: rows/tiles must be >= 1");
+  check_common("import_eigen_contraction", spec.period, spec.utilization,
+               spec.wcet_min, spec.wcet_max);
+
+  model::DagTaskBuilder builder(spec.name);
+  double volume = 0.0;
+  const auto draw = [&] {
+    const double w = rng.uniform(spec.wcet_min, spec.wcet_max);
+    volume += w;
+    return w;
+  };
+
+  // Outer loop setup (block partitioning) and final combine.
+  const model::NodeId source = builder.add_node(draw(), model::NodeType::NB);
+  const model::NodeId sink = builder.add_node(draw(), model::NodeType::NB);
+
+  // One fork-join per outer row block: the row's inner parallel-for. All
+  // rows hang off the same source, so the regions are mutually concurrent
+  // and b̄ = rows when blocking (each inner loop suspends its caller).
+  for (int row = 0; row < spec.rows; ++row) {
+    const double fork_wcet = draw();
+    const double join_wcet = draw();
+    std::vector<util::Time> tiles;
+    tiles.reserve(static_cast<std::size_t>(spec.tiles));
+    for (int tile = 0; tile < spec.tiles; ++tile) tiles.push_back(draw());
+    const model::DagTaskBuilder::ForkJoin fj =
+        spec.blocking ? builder.add_blocking_fork_join(fork_wcet, join_wcet, tiles)
+                      : builder.add_fork_join(fork_wcet, join_wcet, tiles);
+    builder.add_edge(source, fj.fork);
+    builder.add_edge(fj.join, sink);
+  }
+
+  const double period =
+      spec.utilization > 0.0 ? volume / spec.utilization : spec.period;
+  builder.period(period);
+  return builder.build();
+}
+
+}  // namespace rtpool::gen::importers

@@ -1,0 +1,64 @@
+// Importer-backed task construction: the example workloads as library
+// citizens.
+//
+// The dnn_inference and eigen_style examples used to build their graphs
+// inline; the corpus needs to draw the same structures programmatically
+// (ROADMAP item 5 calls them "seed importers"), so the constructors live
+// here and the examples are rebased on them. Each importer takes a spec
+// struct whose defaults reproduce the respective example exactly and
+// returns a model-valid DagTask.
+//
+// Utilization targeting: a spec with `utilization > 0` overrides `period`
+// so that volume / period == utilization — the corpus sweeps utilization,
+// not absolute periods. The graph (structure and WCETs) is identical
+// either way for the same Rng state.
+#pragma once
+
+#include <string>
+
+#include "model/dag_task.h"
+#include "util/rng.h"
+
+namespace rtpool::gen::importers {
+
+/// Layered DNN inference graph (the paper's motivating TensorFlow case):
+/// `layers` layers of `ops_per_layer` operators between layer barriers,
+/// every operator an Eigen-style blocking parallel-for over `tiles` tiles.
+/// b̄ = ops_per_layer when blocking. Defaults reproduce the
+/// examples/dnn_inference.cpp "inception_like" task.
+struct DnnInferenceSpec {
+  std::string name = "inception_like";
+  int layers = 6;
+  int ops_per_layer = 3;
+  int tiles = 8;
+  double period = 400.0;
+  double utilization = 0.0;  ///< > 0: derive period from volume instead.
+  double wcet_min = 0.3;
+  double wcet_max = 2.0;
+  bool blocking = true;
+};
+
+model::DagTask import_dnn_inference(const DnnInferenceSpec& spec,
+                                    util::Rng& rng);
+
+/// Nested Eigen-style tensor contraction (examples/eigen_style.cpp as a
+/// DAG): an outer parallel loop over `rows` row blocks, each iteration an
+/// inner blocking parallel-for over `tiles` column tiles. All outer
+/// iterations are mutually concurrent, so each of the `rows` inner loops
+/// can block a worker at once: b̄ = rows when blocking — exactly the
+/// l̄ = m − b̄ cliff the live-threads demo measures.
+struct EigenContractionSpec {
+  std::string name = "tensor_contraction";
+  int rows = 3;   ///< Outer row blocks (= b̄ when blocking).
+  int tiles = 8;  ///< Inner column tiles per row block.
+  double period = 300.0;
+  double utilization = 0.0;  ///< > 0: derive period from volume instead.
+  double wcet_min = 0.3;
+  double wcet_max = 2.0;
+  bool blocking = true;
+};
+
+model::DagTask import_eigen_contraction(const EigenContractionSpec& spec,
+                                        util::Rng& rng);
+
+}  // namespace rtpool::gen::importers

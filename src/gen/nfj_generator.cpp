@@ -1,11 +1,70 @@
 #include "gen/nfj_generator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "graph/reachability.h"
 
 namespace rtpool::gen {
+
+const char* to_string(WcetDist dist) {
+  switch (dist) {
+    case WcetDist::kUniform: return "uniform";
+    case WcetDist::kBimodal: return "bimodal";
+    case WcetDist::kExponential: return "exponential";
+    case WcetDist::kHeavyTail: return "heavy-tail";
+  }
+  return "uniform";
+}
+
+WcetDist parse_wcet_dist(const std::string& name) {
+  if (name == "uniform") return WcetDist::kUniform;
+  if (name == "bimodal") return WcetDist::kBimodal;
+  if (name == "exponential") return WcetDist::kExponential;
+  if (name == "heavy-tail") return WcetDist::kHeavyTail;
+  throw std::invalid_argument(
+      "unknown WCET distribution '" + name +
+      "' (valid: uniform, bimodal, exponential, heavy-tail)");
+}
+
+double draw_wcet(WcetDist dist, double wcet_min, double wcet_max,
+                 util::Rng& rng) {
+  const double span = wcet_max - wcet_min;
+  switch (dist) {
+    case WcetDist::kUniform:
+      // One draw, identical to the historical generator: every pre-existing
+      // seed reproduces the same task set bit for bit.
+      return rng.uniform(wcet_min, wcet_max);
+    case WcetDist::kBimodal: {
+      // Many light nodes, a few heavy ones: 80% in the bottom fifth of the
+      // range, 20% in the top fifth. Always two draws so the stream layout
+      // does not depend on which mode fires.
+      const bool heavy = rng.bernoulli(0.2);
+      const double u = rng.uniform(0.0, 1.0);
+      return heavy ? wcet_max - 0.2 * span * u : wcet_min + 0.2 * span * u;
+    }
+    case WcetDist::kExponential: {
+      // min + Exp(mean = span/4), truncated at wcet_max. uniform() is
+      // [0, 1), so log(1 - u) is finite.
+      const double u = rng.uniform(0.0, 1.0);
+      const double x = -(span / 4.0) * std::log1p(-u);
+      return wcet_min + std::min(x, span);
+    }
+    case WcetDist::kHeavyTail: {
+      // Bounded Pareto with alpha = 1.1 over [1, H], mapped onto the WCET
+      // range: mass concentrates near wcet_min with a genuine polynomial
+      // tail toward wcet_max.
+      constexpr double kAlpha = 1.1;
+      constexpr double kH = 64.0;
+      const double u = rng.uniform(0.0, 1.0);
+      const double x =
+          std::pow(1.0 - u * (1.0 - std::pow(kH, -kAlpha)), -1.0 / kAlpha);
+      return wcet_min + span * (x - 1.0) / (kH - 1.0);
+    }
+  }
+  return rng.uniform(wcet_min, wcet_max);
+}
 
 namespace {
 
@@ -50,7 +109,9 @@ class GraphBuilder {
 
   NodeId terminal(NodeType type) {
     const NodeId id = dag_->add_node();
-    nodes_->push_back(Node{rng_.uniform(params_.wcet_min, params_.wcet_max), type});
+    nodes_->push_back(Node{draw_wcet(params_.wcet_dist, params_.wcet_min,
+                                     params_.wcet_max, rng_),
+                           type});
     return id;
   }
 

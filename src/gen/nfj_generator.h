@@ -18,6 +18,29 @@
 
 namespace rtpool::gen {
 
+/// Shape of the per-node WCET draw. kUniform is the paper's setup and keeps
+/// the exact historical draw sequence (one uniform per node); the others
+/// exist for the corpus's heterogeneous scenario space — workloads whose
+/// critical paths are dominated by a few heavy nodes stress the analyses
+/// very differently from flat uniform ones.
+enum class WcetDist : unsigned char {
+  kUniform,      ///< U[wcet_min, wcet_max] (paper; default).
+  kBimodal,      ///< 80% light (bottom fifth), 20% heavy (top fifth).
+  kExponential,  ///< min + Exp(mean = span/4), truncated at wcet_max.
+  kHeavyTail,    ///< Bounded Pareto (alpha = 1.1, 64x dynamic range).
+};
+
+/// Canonical names ("uniform", "bimodal", "exponential", "heavy-tail");
+/// parse throws std::invalid_argument on unknown names.
+const char* to_string(WcetDist dist);
+WcetDist parse_wcet_dist(const std::string& name);
+
+/// One WCET draw from [wcet_min, wcet_max] under `dist` (exposed for tests
+/// and custom generators; consumes 1 draw for kUniform/kExponential/
+/// kHeavyTail and 2 for kBimodal).
+double draw_wcet(WcetDist dist, double wcet_min, double wcet_max,
+                 util::Rng& rng);
+
 struct NfjParams {
   /// Probability that a block expands into a parallel sub-graph instead of
   /// a terminal node (before the depth limit applies).
@@ -29,10 +52,13 @@ struct NfjParams {
   int max_branches = 4;
   /// Blocks composed in series within one branch, uniform in [1, max_series].
   int max_series = 2;
-  /// Node WCETs, uniform in [wcet_min, wcet_max] (paper: [0, 100]; the lower
+  /// Node WCETs, drawn from [wcet_min, wcet_max] (paper: [0, 100]; the lower
   /// end is kept strictly positive so every node carries real work).
   double wcet_min = 1.0;
   double wcet_max = 100.0;
+  /// Distribution of the WCET draw over [wcet_min, wcet_max]. kUniform is
+  /// bit-compatible with the historical generator (same stream, same sets).
+  WcetDist wcet_dist = WcetDist::kUniform;
   /// When false, no sub-graph is typed blocking (plain DAG tasks — used for
   /// baselines, for ablations, and as the skeleton of targeted typing).
   bool allow_blocking = true;

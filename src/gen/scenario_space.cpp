@@ -1,0 +1,162 @@
+#include "gen/scenario_space.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gen/importers.h"
+#include "gen/taskset_generator.h"
+
+namespace rtpool::gen {
+
+void ScenarioSpace::add(Scenario scenario) {
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario& ScenarioSpace::pick(std::uint64_t seed) const {
+  return scenarios_.at(pick_index(seed));
+}
+
+std::size_t ScenarioSpace::pick_index(std::uint64_t seed) const {
+  if (scenarios_.empty())
+    throw std::logic_error("ScenarioSpace::pick: empty space");
+  return static_cast<std::size_t>(seed %
+                                  static_cast<std::uint64_t>(scenarios_.size()));
+}
+
+std::size_t ScenarioSpace::filter(const std::string& substring) {
+  std::erase_if(scenarios_, [&](const Scenario& s) {
+    return s.name.find(substring) == std::string::npos;
+  });
+  return scenarios_.size();
+}
+
+std::string ScenarioSpace::fingerprint() const {
+  std::string out;
+  for (const Scenario& s : scenarios_) {
+    if (!out.empty()) out += ',';
+    out += s.name;
+  }
+  return out;
+}
+
+namespace {
+
+/// Common frame of the NFJ scenarios: n in [3, 6], total utilization in
+/// [0.2, 0.8]·m — wide enough to produce accepts AND rejects for every
+/// analyzer, which is what the optimism/pessimism gap statistics need.
+TaskSetParams base_params(std::size_t cores, util::Rng& rng) {
+  TaskSetParams params;
+  params.cores = cores;
+  params.task_count =
+      static_cast<std::size_t>(rng.uniform_int(3, 6));
+  params.total_utilization =
+      rng.uniform(0.2, 0.8) * static_cast<double>(cores);
+  return params;
+}
+
+/// Background traffic for the importer scenarios: small plain NFJ tasks
+/// sharing the platform with the imported workload.
+void add_background(model::TaskSet& ts, const TaskSetParams& params,
+                    std::size_t count, double each_utilization,
+                    util::Rng& rng) {
+  for (std::size_t i = 0; i < count; ++i)
+    ts.add(generate_task(params, i, each_utilization, rng));
+}
+
+}  // namespace
+
+ScenarioSpace ScenarioSpace::corpus_default() {
+  ScenarioSpace space;
+
+  // The paper's setup (Section 5): depth-2 NFJ, uniform WCETs.
+  space.add({"nfj-baseline", [](std::size_t cores, util::Rng& rng) {
+               return generate_task_set(base_params(cores, rng), rng);
+             }});
+
+  // Deep, narrow nesting: long chains of small regions.
+  space.add({"nfj-deep", [](std::size_t cores, util::Rng& rng) {
+               TaskSetParams params = base_params(cores, rng);
+               params.nfj.max_depth = 4;
+               params.nfj.min_branches = 2;
+               params.nfj.max_branches = 2;
+               params.nfj.max_series = 3;
+               return generate_task_set(params, rng);
+             }});
+
+  // Flat, wide fork-joins: one level, many branches.
+  space.add({"nfj-wide", [](std::size_t cores, util::Rng& rng) {
+               TaskSetParams params = base_params(cores, rng);
+               params.nfj.max_depth = 1;
+               params.nfj.min_branches = 4;
+               params.nfj.max_branches = 8;
+               return generate_task_set(params, rng);
+             }});
+
+  // Non-uniform WCET mass (see WcetDist): a few heavy nodes dominate.
+  space.add({"nfj-bimodal", [](std::size_t cores, util::Rng& rng) {
+               TaskSetParams params = base_params(cores, rng);
+               params.nfj.wcet_dist = WcetDist::kBimodal;
+               return generate_task_set(params, rng);
+             }});
+  space.add({"nfj-heavy-tail", [](std::size_t cores, util::Rng& rng) {
+               TaskSetParams params = base_params(cores, rng);
+               params.nfj.wcet_dist = WcetDist::kHeavyTail;
+               return generate_task_set(params, rng);
+             }});
+  space.add({"nfj-exponential", [](std::size_t cores, util::Rng& rng) {
+               TaskSetParams params = base_params(cores, rng);
+               params.nfj.wcet_dist = WcetDist::kExponential;
+               return generate_task_set(params, rng);
+             }});
+
+  // Targeted blocking pressure: b̄ pinned into [1, min(4, m-2)] per task,
+  // so the limited-concurrency terms really bind (l̄ down to m-4).
+  space.add({"nfj-blocking-window", [](std::size_t cores, util::Rng& rng) {
+               TaskSetParams params = base_params(cores, rng);
+               BlockingWindow window;
+               window.bf_min = 1;
+               window.bf_max = std::max<std::size_t>(
+                   1, std::min<std::size_t>(4, cores >= 3 ? cores - 2 : 1));
+               params.blocking_window = window;
+               return generate_task_set(params, rng);
+             }});
+
+  // Importer-backed: a DNN inference task plus NFJ background traffic.
+  space.add({"import-dnn", [](std::size_t cores, util::Rng& rng) {
+               importers::DnnInferenceSpec spec;
+               spec.layers = static_cast<int>(rng.uniform_int(3, 6));
+               spec.ops_per_layer = static_cast<int>(rng.uniform_int(2, 4));
+               spec.tiles = static_cast<int>(rng.uniform_int(4, 8));
+               spec.utilization =
+                   rng.uniform(0.15, 0.45) * static_cast<double>(cores);
+               model::TaskSet ts(cores);
+               ts.add(importers::import_dnn_inference(spec, rng));
+               TaskSetParams bg;
+               bg.cores = cores;
+               add_background(ts, bg, 2, rng.uniform(0.05, 0.25), rng);
+               return model::assign_deadline_monotonic(std::move(ts));
+             }});
+
+  // Importer-backed: a nested Eigen-style contraction (b̄ = rows) plus
+  // background traffic. rows stays below m so the set is not trivially
+  // deadlock-doomed — the interesting region of Lemma 1.
+  space.add({"import-eigen", [](std::size_t cores, util::Rng& rng) {
+               importers::EigenContractionSpec spec;
+               const std::int64_t max_rows = std::max<std::int64_t>(
+                   2, std::min<std::int64_t>(6, static_cast<std::int64_t>(cores) - 1));
+               spec.rows = static_cast<int>(rng.uniform_int(2, max_rows));
+               spec.tiles = static_cast<int>(rng.uniform_int(4, 12));
+               spec.utilization =
+                   rng.uniform(0.15, 0.45) * static_cast<double>(cores);
+               model::TaskSet ts(cores);
+               ts.add(importers::import_eigen_contraction(spec, rng));
+               TaskSetParams bg;
+               bg.cores = cores;
+               add_background(ts, bg, 2, rng.uniform(0.05, 0.25), rng);
+               return model::assign_deadline_monotonic(std::move(ts));
+             }});
+
+  return space;
+}
+
+}  // namespace rtpool::gen

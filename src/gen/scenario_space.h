@@ -1,0 +1,66 @@
+// Named generation scenarios for the corpus runner.
+//
+// A Scenario is a seeded recipe for one whole task set; a ScenarioSpace is
+// an ordered collection of them. The corpus assigns scenarios round-robin
+// by absolute seed (`pick(seed)`), so a seed range covers every scenario
+// uniformly and each (space, seed) pair maps to exactly one reproducible
+// set — the witness-bundle replay contract.
+//
+// corpus_default() is the heterogeneous mix ROADMAP item 5 asks for:
+// the paper's baseline NFJ shape, deep/wide structural variants, the
+// non-uniform WCET distributions of nfj_generator.h, a targeted-b̄ window,
+// and importer-backed sets seeded from the dnn_inference / eigen_style
+// workloads (gen/importers.h) with random NFJ background traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/task_set.h"
+#include "util/rng.h"
+
+namespace rtpool::gen {
+
+/// One named point of the corpus scenario space. `make` may throw
+/// GenerationError (resampling budget); callers count and skip.
+struct Scenario {
+  std::string name;
+  std::function<model::TaskSet(std::size_t cores, util::Rng& rng)> make;
+};
+
+class ScenarioSpace {
+ public:
+  ScenarioSpace() = default;
+
+  void add(Scenario scenario);
+
+  std::size_t size() const { return scenarios_.size(); }
+  bool empty() const { return scenarios_.empty(); }
+  const Scenario& scenario(std::size_t index) const {
+    return scenarios_.at(index);
+  }
+
+  /// Deterministic round-robin assignment of corpus seeds to scenarios.
+  /// Throws std::logic_error on an empty space.
+  const Scenario& pick(std::uint64_t seed) const;
+  std::size_t pick_index(std::uint64_t seed) const;
+
+  /// Keep only the scenarios whose name contains `substring` (corpus CLI
+  /// `--scenarios` filter). Returns the number kept.
+  std::size_t filter(const std::string& substring);
+
+  /// Identity string for checkpoint fingerprints: the ordered scenario
+  /// names, comma-joined.
+  std::string fingerprint() const;
+
+  /// The default corpus mix (see file comment). Scenario recipes adapt to
+  /// `cores` (e.g. b̄ windows stay below m).
+  static ScenarioSpace corpus_default();
+
+ private:
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace rtpool::gen

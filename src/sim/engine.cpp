@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 
 namespace rtpool::sim {
@@ -593,6 +594,75 @@ class Engine {
 
 SimResult simulate(const model::TaskSet& ts, const SimConfig& config) {
   return Engine(ts, config).run();
+}
+
+const char* to_string(SimOutcome outcome) {
+  switch (outcome) {
+    case SimOutcome::kOk: return "ok";
+    case SimOutcome::kDeadlineMiss: return "deadline-miss";
+    case SimOutcome::kDeadlock: return "deadlock";
+  }
+  return "ok";
+}
+
+SimOutcome parse_sim_outcome(const std::string& name) {
+  if (name == "ok") return SimOutcome::kOk;
+  if (name == "deadline-miss") return SimOutcome::kDeadlineMiss;
+  if (name == "deadlock") return SimOutcome::kDeadlock;
+  throw std::invalid_argument("unknown sim outcome '" + name +
+                              "' (valid: ok, deadline-miss, deadlock)");
+}
+
+SimVerdict oracle_verdict(const model::TaskSet& ts,
+                          const OracleOptions& options) {
+  if (!(options.windows > 0.0))
+    throw std::invalid_argument("oracle_verdict: windows must be positive");
+  util::Time max_period = 0.0;
+  for (const model::DagTask& task : ts.tasks())
+    max_period = std::max(max_period, task.period());
+
+  SimConfig config;
+  config.policy = options.policy;
+  config.horizon = options.windows * max_period;
+  config.partition = options.partition;
+  config.work_stealing = options.work_stealing;
+  config.collect_trace = options.collect_trace;
+  config.stop_on_miss = true;
+  config.release_jitter_frac = options.release_jitter_frac;
+  config.seed = options.seed;
+
+  SimVerdict verdict;
+  verdict.horizon = config.horizon;
+  auto result = std::make_shared<SimResult>(simulate(ts, config));
+
+  // A deadlock outranks the misses it causes: finalize marks every job cut
+  // off by the stall as missed, but the stall itself is the event.
+  if (result->deadlock.has_value()) {
+    verdict.outcome = SimOutcome::kDeadlock;
+    verdict.first_violation_task = result->deadlock->task_index;
+    verdict.first_violation_time = result->deadlock->time;
+    verdict.description = result->deadlock->description;
+  } else if (result->any_deadline_miss) {
+    verdict.outcome = SimOutcome::kDeadlineMiss;
+    // Jobs are recorded in completion order; the first missing record is
+    // the first violation the run observed.
+    for (const JobRecord& rec : result->jobs) {
+      if (!rec.deadline_miss) continue;
+      verdict.first_violation_task = rec.task_index;
+      verdict.first_violation_time = rec.completion;
+      {
+        std::ostringstream os;
+        os << "task " << rec.task_index << " ('"
+           << ts.task(rec.task_index).name() << "') job " << rec.job_number
+           << (rec.completed ? " missed: R=" : " cut off: R>=") << rec.response
+           << " > D=" << ts.task(rec.task_index).deadline();
+        verdict.description = os.str();
+      }
+      break;
+    }
+  }
+  verdict.result = std::move(result);
+  return verdict;
 }
 
 }  // namespace rtpool::sim

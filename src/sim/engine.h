@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -72,6 +73,8 @@ struct JobRecord {
   util::Time response = 0.0;
   bool completed = false;
   bool deadline_miss = false;
+
+  friend bool operator==(const JobRecord&, const JobRecord&) = default;
 };
 
 /// Aggregates per task.
@@ -83,6 +86,8 @@ struct TaskStats {
   /// Minimum observed available concurrency l(t, τ) while a job was in
   /// progress (= pool size if the task never blocks).
   long min_available_concurrency = 0;
+
+  friend bool operator==(const TaskStats&, const TaskStats&) = default;
 };
 
 /// A node execution interval on a core (trace entry).
@@ -92,6 +97,9 @@ struct ExecutionInterval {
   model::NodeId node = 0;
   util::Time start = 0.0;
   util::Time end = 0.0;
+
+  friend bool operator==(const ExecutionInterval&, const ExecutionInterval&) =
+      default;
 };
 
 /// Permanent stall report.
@@ -99,6 +107,8 @@ struct DeadlockInfo {
   std::size_t task_index = 0;
   util::Time time = 0.0;
   std::string description;
+
+  friend bool operator==(const DeadlockInfo&, const DeadlockInfo&) = default;
 };
 
 struct SimResult {
@@ -112,10 +122,70 @@ struct SimResult {
   util::Time max_response(std::size_t task_index) const {
     return per_task.at(task_index).max_response;
   }
+
+  friend bool operator==(const SimResult&, const SimResult&) = default;
 };
 
 /// Run the simulation. Throws std::invalid_argument on inconsistent
 /// configuration (missing partition, non-positive horizon, ...).
 SimResult simulate(const model::TaskSet& ts, const SimConfig& config);
+
+// ---------------------------------------------------------------------------
+// Oracle mode: the simulator as a necessary-condition check.
+//
+// Analysis is sufficient, simulation is necessary: an analysis that accepts
+// a set which the simulator then runs into a deadline miss or a deadlock is
+// UNSOUND (the safety direction). oracle_verdict condenses a run into the
+// structured verdict the corpus runner, the CLI `--simulate` view, and
+// witness replay all consume, with a handle on the full result (trace
+// included when requested) for the first violation.
+// ---------------------------------------------------------------------------
+
+enum class SimOutcome : unsigned char {
+  kOk,            ///< Every job in the horizon met its deadline.
+  kDeadlineMiss,  ///< At least one job missed (first one reported).
+  kDeadlock,      ///< A permanent stall (Lemma 1/2 territory) was detected.
+};
+
+/// Canonical names: "ok" / "deadline-miss" / "deadlock" (witness schema).
+const char* to_string(SimOutcome outcome);
+
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+SimOutcome parse_sim_outcome(const std::string& name);
+
+struct OracleOptions {
+  SchedulingPolicy policy = SchedulingPolicy::kGlobal;
+  /// Required when policy == kPartitioned.
+  std::optional<analysis::TaskSetPartition> partition;
+  /// Horizon = windows * max period (>= 1 job of every task; 4 windows
+  /// catches backlog-induced misses, matching exp::NecessityOptions).
+  double windows = 4.0;
+  bool work_stealing = false;
+  /// Record the full execution trace in the attached result (memory!).
+  bool collect_trace = false;
+  double release_jitter_frac = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Structured oracle verdict: outcome + first-violation coordinates + a
+/// shared handle on the full simulation result.
+struct SimVerdict {
+  SimOutcome outcome = SimOutcome::kOk;
+  /// Valid when outcome != kOk: the violating task / detection time.
+  std::size_t first_violation_task = 0;
+  util::Time first_violation_time = 0.0;
+  /// Human-readable one-liner ("task 2 job 3 missed: R=41.5 > D=30", or the
+  /// deadlock witness description).
+  std::string description;
+  util::Time horizon = 0.0;
+  /// The full run (per-task stats, job records, trace when requested).
+  std::shared_ptr<const SimResult> result;
+
+  bool safe() const { return outcome == SimOutcome::kOk; }
+};
+
+/// Simulate `ts` with stop-on-first-miss semantics and condense the run into
+/// a SimVerdict. Throws like simulate() on inconsistent configuration.
+SimVerdict oracle_verdict(const model::TaskSet& ts, const OracleOptions& options);
 
 }  // namespace rtpool::sim

@@ -1,0 +1,530 @@
+// Unit and property tests for the corpus engine (src/corpus) and the
+// sharded checkpoint/resume machinery it rides (exp/sharded_runner.h).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "corpus/corpus.h"
+#include "corpus/witness.h"
+#include "exp/sharded_runner.h"
+#include "model/builder.h"
+#include "model/io.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace rtpool::corpus {
+namespace {
+
+using model::DagTaskBuilder;
+using model::TaskSet;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// ---------------------------------------------------------------------------
+// GapHistogram
+// ---------------------------------------------------------------------------
+
+TEST(GapHistogramTest, EmptyIsZero) {
+  GapHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0.0);
+}
+
+TEST(GapHistogramTest, ExactMinMaxMeanApproxPercentiles) {
+  GapHistogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i) / 10.0);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.1);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_NEAR(h.mean(), 5.05, 1e-12);
+  // Bins are 2^(1/12) wide (~6%): percentiles land within one bin of the
+  // exact sample quantile.
+  EXPECT_NEAR(h.percentile(50), 5.0, 5.0 * 0.07);
+  EXPECT_NEAR(h.percentile(99), 9.9, 9.9 * 0.07);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 0.1);    // clamped to observed min
+  EXPECT_DOUBLE_EQ(h.percentile(100), 10.0);  // clamped to observed max
+}
+
+TEST(GapHistogramTest, IgnoresNonPositiveAndNonFinite) {
+  GapHistogram h;
+  h.add(0.0);
+  h.add(-1.0);
+  h.add(std::nan(""));
+  h.add(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(GapHistogramTest, OutliersClampToEdgeBinsButStatsStayExact) {
+  GapHistogram h;
+  h.add(1e-9);  // far below 2^-4
+  h.add(1e9);   // far above 2^12
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1e-9);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1e9);
+}
+
+TEST(GapHistogramTest, JsonRoundTripIsExact) {
+  GapHistogram h;
+  util::Rng rng(7);
+  for (int i = 0; i < 500; ++i) h.add(rng.uniform(0.01, 300.0));
+
+  std::ostringstream os;
+  util::JsonWriter w(os);
+  h.to_json(w);
+
+  GapHistogram restored;
+  restored.from_json(util::parse_json(os.str()));
+  EXPECT_EQ(h, restored);
+  EXPECT_DOUBLE_EQ(h.percentile(90), restored.percentile(90));
+}
+
+// ---------------------------------------------------------------------------
+// Soundness classification
+// ---------------------------------------------------------------------------
+
+TEST(SpecForTest, SoundnessTable) {
+  EXPECT_EQ(spec_for("global-limited").mode, OracleMode::kAssertSafety);
+  EXPECT_EQ(spec_for("global-limited").policy, sim::SchedulingPolicy::kGlobal);
+  EXPECT_EQ(spec_for("global-limited-antichain-carryin").mode,
+            OracleMode::kAssertSafety);
+  EXPECT_EQ(spec_for("partitioned-proposed").mode, OracleMode::kAssertSafety);
+  EXPECT_EQ(spec_for("partitioned-proposed").policy,
+            sim::SchedulingPolicy::kPartitioned);
+  // The paper's baselines are optimistic under pool semantics by design.
+  EXPECT_EQ(spec_for("global-baseline").mode, OracleMode::kReportOnly);
+  EXPECT_EQ(spec_for("partitioned-baseline").mode, OracleMode::kReportOnly);
+  // Federated assumes dedicated cores the simulator does not model.
+  EXPECT_EQ(spec_for("federated").mode, OracleMode::kNoSim);
+  // No safety claim is assumed for unknown custom analyzers.
+  EXPECT_EQ(spec_for("my-custom-analysis").mode, OracleMode::kNoSim);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedRunner::run_range
+// ---------------------------------------------------------------------------
+
+TEST(ShardRangeTest, ContiguousCoverageSizesDifferByAtMostOne) {
+  const exp::SeedRange range{100, 175};  // 75 seeds
+  const std::size_t shards = 8;
+  std::uint64_t expect_begin = range.begin;
+  std::uint64_t min_size = range.size(), max_size = 0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    const exp::SeedRange sub = exp::ShardedRunner::shard_range(range, shards, i);
+    EXPECT_EQ(sub.begin, expect_begin);
+    expect_begin = sub.end;
+    min_size = std::min(min_size, sub.size());
+    max_size = std::max(max_size, sub.size());
+  }
+  EXPECT_EQ(expect_begin, range.end);
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+/// Sum of a seed-keyed pseudo-random value over the range: any change in
+/// how streams are derived or folded changes the sum.
+double range_checksum(int threads, bool clamp, std::size_t shards,
+                      const exp::RangeOptions& base) {
+  exp::ShardedRunner runner(threads, clamp);
+  exp::RangeOptions opt = base;
+  opt.shards = shards;
+  double sum = 0.0;
+  std::uint64_t order_check = base.range.begin;
+  const exp::RangeStats stats = runner.run_range(
+      opt, util::Rng(42),
+      [](std::uint64_t seed, util::Rng& rng) {
+        return rng.uniform(0.0, 1.0) + static_cast<double>(seed) * 1e-6;
+      },
+      [&](std::uint64_t seed, double r) {
+        EXPECT_EQ(seed, order_check++);  // folds strictly in seed order
+        sum += r;
+      },
+      [] { return std::string(); }, [](const std::string&) {});
+  EXPECT_TRUE(stats.complete);
+  return sum;
+}
+
+TEST(RunRangeTest, ShardAndThreadInvariant) {
+  exp::RangeOptions base;
+  base.range = {1000, 1200};
+  const double reference = range_checksum(1, true, 1, base);
+  // Shard boundaries must not reach the stream derivation.
+  EXPECT_EQ(reference, range_checksum(1, true, 7, base));
+  // clamp_to_hardware=false forces the pool path even on a 1-core host.
+  EXPECT_EQ(reference, range_checksum(2, false, 1, base));
+  EXPECT_EQ(reference, range_checksum(4, false, 13, base));
+}
+
+TEST(RunRangeTest, BudgetPausesAndResumeMatchesStraightRun) {
+  const std::string ck = temp_path("rtpool_test_runrange_ck.json");
+  std::filesystem::remove(ck);
+
+  exp::RangeOptions opt;
+  opt.range = {0, 100};
+  opt.shards = 10;
+  opt.checkpoint_path = ck;
+  opt.fingerprint = "runrange-test-v1";
+  opt.budget_seeds = 35;
+
+  const auto eval = [](std::uint64_t, util::Rng& rng) {
+    return rng.uniform(0.0, 1.0);
+  };
+
+  double sum = 0.0;
+  std::uint64_t folded = 0;
+  const auto fold = [&](std::uint64_t, double r) {
+    sum += r;
+    ++folded;
+  };
+  const auto save = [&] {
+    std::ostringstream os;
+    util::JsonWriter w(os);
+    w.begin_object().kv("sum", sum).kv("folded", folded).end_object();
+    return os.str();
+  };
+  const auto load = [&](const std::string& blob) {
+    const util::JsonValue doc = util::parse_json(blob);
+    sum = doc.at("sum").as_number();
+    folded = static_cast<std::uint64_t>(doc.at("folded").as_number());
+  };
+
+  exp::ShardedRunner runner(1);
+  const exp::RangeStats first = runner.run_range(opt, util::Rng(9), eval, fold,
+                                                 save, load);
+  EXPECT_FALSE(first.complete);
+  EXPECT_EQ(first.seeds_evaluated, 40u);  // 35 rounded up to a shard boundary
+  EXPECT_TRUE(std::filesystem::exists(ck));
+
+  opt.budget_seeds = 0;
+  opt.resume = true;
+  const exp::RangeStats second = runner.run_range(opt, util::Rng(9), eval, fold,
+                                                  save, load);
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(second.shards_restored, 4u);
+  EXPECT_EQ(folded, 100u);
+
+  // Straight-through reference: bit-identical accumulator.
+  double ref_sum = 0.0;
+  exp::RangeOptions straight;
+  straight.range = opt.range;
+  straight.shards = opt.shards;
+  runner.run_range(straight, util::Rng(9), eval,
+                   [&](std::uint64_t, double r) { ref_sum += r; },
+                   [] { return std::string(); }, [](const std::string&) {});
+  EXPECT_EQ(sum, ref_sum);
+  std::filesystem::remove(ck);
+}
+
+TEST(RunRangeTest, ResumeValidatesFingerprintRangeAndShards) {
+  const std::string ck = temp_path("rtpool_test_runrange_bad_ck.json");
+  std::filesystem::remove(ck);
+
+  exp::RangeOptions opt;
+  opt.range = {0, 20};
+  opt.shards = 4;
+  opt.checkpoint_path = ck;
+  opt.fingerprint = "config-A";
+  opt.budget_seeds = 5;
+
+  exp::ShardedRunner runner(1);
+  const auto eval = [](std::uint64_t s, util::Rng&) { return s; };
+  const auto fold = [](std::uint64_t, std::uint64_t) {};
+  const auto save = [] { return std::string("{}"); };
+  const auto load = [](const std::string&) {};
+  runner.run_range(opt, util::Rng(1), eval, fold, save, load);
+
+  opt.budget_seeds = 0;
+  opt.resume = true;
+  opt.fingerprint = "config-B";  // different job identity
+  EXPECT_THROW(runner.run_range(opt, util::Rng(1), eval, fold, save, load),
+               std::runtime_error);
+
+  opt.fingerprint = "config-A";
+  opt.shards = 5;  // different shard plan
+  EXPECT_THROW(runner.run_range(opt, util::Rng(1), eval, fold, save, load),
+               std::runtime_error);
+
+  opt.shards = 4;
+  opt.resume = false;
+  std::filesystem::remove(ck);
+  opt.resume = true;  // missing file
+  EXPECT_THROW(runner.run_range(opt, util::Rng(1), eval, fold, save, load),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// CorpusRunner
+// ---------------------------------------------------------------------------
+
+/// A cheap scenario mix for fast corpus tests: tiny single-task sets whose
+/// WCET draw straddles the deadline, so some seeds produce sim misses.
+gen::ScenarioSpace tiny_space() {
+  gen::ScenarioSpace space;
+  space.add({"tiny-seq", [](std::size_t cores, util::Rng& rng) {
+               TaskSet ts(cores);
+               DagTaskBuilder b("t0");
+               b.add_node(rng.uniform(1.0, 15.0));
+               b.period(10.0);
+               ts.add(b.build());
+               return ts;
+             }});
+  space.add({"tiny-blocking", [](std::size_t cores, util::Rng& rng) {
+               TaskSet ts(cores);
+               DagTaskBuilder b("t0");
+               const auto fj = b.add_blocking_fork_join(
+                   1.0, 1.0, {rng.uniform(1.0, 6.0), rng.uniform(1.0, 6.0)});
+               (void)fj;
+               b.period(rng.uniform(8.0, 30.0));
+               ts.add(b.build());
+               return ts;
+             }});
+  return space;
+}
+
+CorpusConfig tiny_config(std::uint64_t begin, std::uint64_t end) {
+  CorpusConfig config;
+  config.seed_begin = begin;
+  config.seed_end = end;
+  config.shards = 6;
+  config.cores = 3;
+  config.windows = 2.0;
+  config.space = tiny_space();
+  config.analyzers = {spec_for("global-limited"), spec_for("global-baseline")};
+  return config;
+}
+
+/// The statistics of a result, ignoring the per-invocation range
+/// bookkeeping (shards run/restored legitimately differ under resume).
+bool same_statistics(const CorpusResult& a, const CorpusResult& b) {
+  return a.per_analyzer == b.per_analyzer && a.sets == b.sets &&
+         a.per_scenario_sets == b.per_scenario_sets &&
+         a.generation_errors == b.generation_errors &&
+         a.safety_violations == b.safety_violations &&
+         a.scenario_names == b.scenario_names;
+}
+
+TEST(CorpusRunnerTest, CountsAreConsistent) {
+  const CorpusResult r = CorpusRunner(tiny_config(0, 60)).run();
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.sets + r.generation_errors, 60u);
+  std::uint64_t per_scenario = 0;
+  for (const std::uint64_t n : r.per_scenario_sets) per_scenario += n;
+  EXPECT_EQ(per_scenario, r.sets);
+  ASSERT_EQ(r.per_analyzer.size(), 2u);
+  for (const AnalyzerStats& st : r.per_analyzer) {
+    EXPECT_EQ(st.sets, r.sets);
+    EXPECT_EQ(st.sim_checked,
+              st.sim_safe + st.sim_deadline_miss + st.sim_deadlock);
+    EXPECT_LE(st.gap.count(), st.analysis_schedulable);
+  }
+  // The sound analyzer must hold the safety direction on this easy mix.
+  EXPECT_EQ(r.per_analyzer[0].safety_violations, 0u);
+  EXPECT_EQ(r.safety_violations, 0u);
+  // The mix straddles the deadline, so both verdicts must occur.
+  EXPECT_GT(r.per_analyzer[0].analysis_schedulable, 0u);
+  EXPECT_LT(r.per_analyzer[0].analysis_schedulable, r.sets);
+}
+
+TEST(CorpusRunnerTest, ShardCountInvariant) {
+  CorpusConfig a = tiny_config(0, 40);
+  a.shards = 1;
+  CorpusConfig b = tiny_config(0, 40);
+  b.shards = 11;
+  EXPECT_TRUE(same_statistics(CorpusRunner(a).run(), CorpusRunner(b).run()));
+}
+
+TEST(CorpusRunnerTest, KillResumeBitIdentical) {
+  const std::string ck = temp_path("rtpool_test_corpus_ck.json");
+  std::filesystem::remove(ck);
+
+  CorpusConfig straight_cfg = tiny_config(0, 48);
+  const CorpusResult straight = CorpusRunner(straight_cfg).run();
+
+  CorpusConfig paused_cfg = tiny_config(0, 48);
+  paused_cfg.checkpoint_path = ck;
+  paused_cfg.budget_sets = 20;  // "kill" after ~3 of 6 shards
+  const CorpusResult paused = CorpusRunner(paused_cfg).run();
+  EXPECT_FALSE(paused.complete);
+
+  CorpusConfig resume_cfg = tiny_config(0, 48);
+  resume_cfg.checkpoint_path = ck;
+  resume_cfg.resume = true;
+  const CorpusResult resumed = CorpusRunner(resume_cfg).run();
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_GT(resumed.range.shards_restored, 0u);
+  EXPECT_TRUE(same_statistics(straight, resumed));
+  std::filesystem::remove(ck);
+}
+
+TEST(CorpusRunnerTest, ResumeRejectsDifferentConfig) {
+  const std::string ck = temp_path("rtpool_test_corpus_bad_ck.json");
+  std::filesystem::remove(ck);
+
+  CorpusConfig cfg = tiny_config(0, 24);
+  cfg.checkpoint_path = ck;
+  cfg.budget_sets = 8;
+  CorpusRunner(cfg).run();
+
+  CorpusConfig other = tiny_config(0, 24);
+  other.checkpoint_path = ck;
+  other.resume = true;
+  other.cores = 4;  // different fingerprint
+  other.budget_sets = 0;
+  EXPECT_THROW(CorpusRunner(other).run(), std::runtime_error);
+  std::filesystem::remove(ck);
+}
+
+TEST(CorpusRunnerTest, FingerprintCoversConfigIdentity) {
+  const std::string base = CorpusRunner(tiny_config(0, 10)).fingerprint();
+  CorpusConfig cores = tiny_config(0, 10);
+  cores.cores = 7;
+  EXPECT_NE(base, CorpusRunner(cores).fingerprint());
+  CorpusConfig analyzers = tiny_config(0, 10);
+  analyzers.analyzers = {spec_for("global-limited")};
+  EXPECT_NE(base, CorpusRunner(analyzers).fingerprint());
+  // The seed range is validated separately by the checkpoint itself.
+  EXPECT_EQ(base, CorpusRunner(tiny_config(0, 99)).fingerprint());
+}
+
+TEST(CorpusRunnerTest, GapCsvAndSummaryRender) {
+  const CorpusConfig cfg = tiny_config(0, 30);
+  const CorpusResult r = CorpusRunner(cfg).run();
+
+  const std::string csv_path = temp_path("rtpool_test_corpus_gap.csv");
+  write_gap_csv(csv_path, r);
+  std::ifstream csv(csv_path);
+  std::string header;
+  ASSERT_TRUE(std::getline(csv, header));
+  EXPECT_NE(header.find("analyzer"), std::string::npos);
+  EXPECT_NE(header.find("gap_p99"), std::string::npos);
+  std::size_t rows = 0;
+  for (std::string line; std::getline(csv, line);) ++rows;
+  EXPECT_EQ(rows, r.per_analyzer.size());
+  std::filesystem::remove(csv_path);
+
+  const util::JsonValue doc =
+      util::parse_json(render_summary_json(cfg, r, 0.0));
+  EXPECT_EQ(doc.at("schema").as_string(), "rtpool-corpus-summary-v1");
+  EXPECT_EQ(static_cast<std::uint64_t>(doc.at("sets").as_number()), r.sets);
+  EXPECT_FALSE(doc.contains("wall_s"));  // deterministic mode
+  EXPECT_EQ(doc.at("analyzers").as_array().size(), r.per_analyzer.size());
+}
+
+// ---------------------------------------------------------------------------
+// Witness bundles + fault injection
+// ---------------------------------------------------------------------------
+
+TEST(WitnessTest, JsonRoundTrip) {
+  WitnessBundle bundle;
+  bundle.seed = 123;
+  bundle.root_seed = 1;
+  bundle.scenario = "tiny-seq";
+  bundle.analyzer = "global-limited";
+  bundle.policy = sim::SchedulingPolicy::kPartitioned;
+  analysis::TaskSetPartition partition;
+  partition.per_task.push_back({{0, 1, 0}});
+  partition.per_task.push_back({{2}});
+  bundle.partition = partition;
+  bundle.windows = 3.0;
+  bundle.taskset_text = "cores 2\n";
+  bundle.outcome = sim::SimOutcome::kDeadlock;
+  bundle.violation_task = 1;
+  bundle.violation_time = 17.5;
+  bundle.description = "stalled";
+
+  const WitnessBundle back = parse_witness_json(render_witness_json(bundle));
+  EXPECT_EQ(back.seed, bundle.seed);
+  EXPECT_EQ(back.scenario, bundle.scenario);
+  EXPECT_EQ(back.analyzer, bundle.analyzer);
+  EXPECT_EQ(back.policy, bundle.policy);
+  ASSERT_TRUE(back.partition.has_value());
+  EXPECT_EQ(back.partition->per_task.size(), 2u);
+  EXPECT_EQ(back.partition->per_task[0].thread_of,
+            (std::vector<analysis::ThreadId>{0, 1, 0}));
+  EXPECT_EQ(back.outcome, bundle.outcome);
+  EXPECT_EQ(back.violation_time, bundle.violation_time);
+  EXPECT_EQ(back.taskset_text, bundle.taskset_text);
+
+  // No partition: the member round-trips as JSON null.
+  bundle.partition.reset();
+  EXPECT_FALSE(
+      parse_witness_json(render_witness_json(bundle)).partition.has_value());
+
+  EXPECT_THROW(parse_witness_json("{\"schema\":\"other\"}"),
+               std::runtime_error);
+}
+
+TEST(WitnessTest, InjectedOptimisticAnalyzerYieldsReproducibleWitness) {
+  const std::string dir = temp_path("rtpool_test_witness_dir");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  CorpusConfig cfg = tiny_config(0, 30);
+  cfg.analyzers = {register_forced_optimistic_analyzer()};
+  cfg.witness_dir = dir;
+  const CorpusResult r = CorpusRunner(cfg).run();
+
+  // The forced-optimistic analyzer accepts everything; the mix contains
+  // guaranteed sim misses, so violations and witness files must appear.
+  ASSERT_EQ(r.per_analyzer.size(), 1u);
+  EXPECT_GT(r.safety_violations, 0u);
+  EXPECT_EQ(r.per_analyzer[0].safety_violations, r.safety_violations);
+  EXPECT_GT(r.witnesses_written, 0u);
+
+  std::size_t files = 0;
+  std::string one;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++files;
+    one = entry.path().string();
+  }
+  EXPECT_EQ(files, r.witnesses_written);
+
+  const WitnessBundle bundle = load_witness(one);
+  EXPECT_EQ(bundle.analyzer, "test-forced-optimistic");
+  EXPECT_NE(bundle.outcome, sim::SimOutcome::kOk);
+  const ReplayResult replay = replay_witness(bundle);
+  EXPECT_TRUE(replay.analysis_schedulable);
+  EXPECT_TRUE(replay.outcome_matches);
+  EXPECT_TRUE(replay.reproduced);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WitnessTest, WitnessCapLimitsFilesNotCounts) {
+  const std::string dir = temp_path("rtpool_test_witness_cap_dir");
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  CorpusConfig cfg = tiny_config(0, 30);
+  cfg.analyzers = {register_forced_optimistic_analyzer()};
+  cfg.witness_dir = dir;
+  cfg.max_witnesses = 2;
+  const CorpusResult r = CorpusRunner(cfg).run();
+  EXPECT_GT(r.safety_violations, 2u);
+  EXPECT_EQ(r.witnesses_written, 2u);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ForcedOptimisticTest, RegistrationIsIdempotent) {
+  const AnalyzerSpec a = register_forced_optimistic_analyzer();
+  const AnalyzerSpec b = register_forced_optimistic_analyzer();
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.mode, OracleMode::kAssertSafety);
+  ASSERT_NE(analysis::find_analyzer("test-forced-optimistic"), nullptr);
+}
+
+}  // namespace
+}  // namespace rtpool::corpus

@@ -1,0 +1,70 @@
+// Slow (ctest -L slow) corpus soak: a real sweep over the full default
+// scenario mix with the default analyzer set, asserting the safety
+// direction holds and the kill/resume property at production scale
+// parameters. The fast unit variants in test_corpus.cpp use a tiny
+// synthetic mix; this one exercises every scenario and every default
+// analyzer exactly as the CI corpus-smoke job does.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "corpus/corpus.h"
+
+namespace rtpool::corpus {
+namespace {
+
+CorpusConfig soak_config(std::uint64_t begin, std::uint64_t end) {
+  CorpusConfig config;
+  config.seed_begin = begin;
+  config.seed_end = end;
+  config.shards = 12;
+  config.cores = 4;
+  config.windows = 3.0;
+  return config;  // default analyzers, default scenario space
+}
+
+TEST(CorpusSoakTest, DefaultMixHoldsSafetyDirection) {
+  const CorpusResult r = CorpusRunner(soak_config(0, 600)).run();
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_EQ(r.sets + r.generation_errors, 600u);
+  // Every scenario of the default mix contributed sets.
+  for (std::size_t i = 0; i < r.per_scenario_sets.size(); ++i)
+    EXPECT_GT(r.per_scenario_sets[i], 0u) << r.scenario_names[i];
+  // Sound analyzers assert; at least one accepted set exists per family.
+  for (const AnalyzerStats& st : r.per_analyzer) {
+    if (st.mode == OracleMode::kAssertSafety) {
+      EXPECT_EQ(st.safety_violations, 0u) << st.analyzer;
+      EXPECT_GT(st.gap.count(), 0u) << st.analyzer;
+      // The analysis is sufficient: a clean bound is never below what the
+      // simulator observed (gap >= 1 up to fp rounding).
+      EXPECT_GE(st.gap.min(), 1.0 - 1e-9) << st.analyzer;
+    }
+  }
+}
+
+TEST(CorpusSoakTest, KillResumeAtScale) {
+  const std::string ck =
+      (std::filesystem::temp_directory_path() / "rtpool_soak_ck.json").string();
+  std::filesystem::remove(ck);
+
+  const CorpusResult straight = CorpusRunner(soak_config(600, 900)).run();
+
+  CorpusConfig paused = soak_config(600, 900);
+  paused.checkpoint_path = ck;
+  paused.budget_sets = 120;
+  EXPECT_FALSE(CorpusRunner(paused).run().complete);
+
+  CorpusConfig resume = soak_config(600, 900);
+  resume.checkpoint_path = ck;
+  resume.resume = true;
+  const CorpusResult resumed = CorpusRunner(resume).run();
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(straight.per_analyzer, resumed.per_analyzer);
+  EXPECT_EQ(straight.sets, resumed.sets);
+  EXPECT_EQ(straight.per_scenario_sets, resumed.per_scenario_sets);
+  std::filesystem::remove(ck);
+}
+
+}  // namespace
+}  // namespace rtpool::corpus

@@ -386,6 +386,117 @@ TEST(SimTest, ConfigValidation) {
   EXPECT_THROW(simulate(ts, cfg), std::invalid_argument);
 }
 
+TEST(SimTest, RepeatedRunsAreBitIdentical) {
+  // The simulator is a pure function of (task set, config): every field of
+  // SimResult — job records, per-task stats, the full trace — must be
+  // bit-identical across repeated runs, under both policies and across
+  // pool sizes.
+  for (const std::size_t m : {2u, 3u, 5u}) {
+    TaskSet ts(m);
+    ts.add(fig1_task("a", 40.0));
+    ts.add(fig1_nonblocking("b", 60.0));
+    SimConfig cfg = global_config(120.0);
+    cfg.collect_trace = true;
+    EXPECT_EQ(simulate(ts, cfg), simulate(ts, cfg)) << "global m=" << m;
+
+    TaskSetPartition partition;
+    for (std::size_t t = 0; t < ts.size(); ++t)
+      partition.per_task.push_back(NodeAssignment{std::vector<ThreadId>(
+          ts.task(t).node_count(), static_cast<ThreadId>(t % m))});
+    cfg.policy = SchedulingPolicy::kPartitioned;
+    cfg.partition = partition;
+    EXPECT_EQ(simulate(ts, cfg), simulate(ts, cfg)) << "partitioned m=" << m;
+  }
+}
+
+TEST(SimTest, JitterIsDeterministicPerSeed) {
+  TaskSet ts(2);
+  ts.add(fig1_task("a", 25.0));
+  SimConfig cfg = global_config(200.0);
+  cfg.release_jitter_frac = 0.2;
+  cfg.seed = 7;
+  EXPECT_EQ(simulate(ts, cfg), simulate(ts, cfg));
+  SimConfig other = cfg;
+  other.seed = 8;
+  EXPECT_NE(simulate(ts, cfg), simulate(ts, other));
+}
+
+TEST(OracleVerdictTest, ClassifiesOutcomes) {
+  // Clean horizon.
+  TaskSet easy(2);
+  easy.add(fig1_task("easy", 100.0));
+  OracleOptions options;
+  const SimVerdict ok = oracle_verdict(easy, options);
+  EXPECT_TRUE(ok.safe());
+  EXPECT_EQ(ok.outcome, SimOutcome::kOk);
+  EXPECT_DOUBLE_EQ(ok.horizon, 400.0);  // 4 windows x max period
+  ASSERT_NE(ok.result, nullptr);
+  EXPECT_GT(ok.result->per_task[0].jobs_completed, 0u);
+
+  // Deadline miss: fig1 needs 22 time units sequentialized on m=2.
+  TaskSet miss(2);
+  miss.add(fig1_task("tight", 20.0));
+  const SimVerdict missed = oracle_verdict(miss, options);
+  EXPECT_EQ(missed.outcome, SimOutcome::kDeadlineMiss);
+  EXPECT_EQ(missed.first_violation_task, 0u);
+  EXPECT_NE(missed.description.find("tight"), std::string::npos);
+
+  // Deadlock outranks the misses it causes.
+  TaskSet dead(2);
+  dead.add(two_region_task(100.0));
+  const SimVerdict stalled = oracle_verdict(dead, options);
+  EXPECT_EQ(stalled.outcome, SimOutcome::kDeadlock);
+  EXPECT_FALSE(stalled.safe());
+}
+
+TEST(OracleVerdictTest, OutcomeNamesRoundTrip) {
+  for (const SimOutcome outcome :
+       {SimOutcome::kOk, SimOutcome::kDeadlineMiss, SimOutcome::kDeadlock})
+    EXPECT_EQ(parse_sim_outcome(to_string(outcome)), outcome);
+  EXPECT_THROW(parse_sim_outcome("livelock"), std::invalid_argument);
+}
+
+/// The fixed fig1-on-two-cores trace both golden renders below lock in.
+SimResult golden_result(TaskSet& ts) {
+  ts.add(fig1_task("fig1", 100.0));
+  SimConfig cfg = global_config(30.0);
+  cfg.collect_trace = true;
+  return simulate(ts, cfg);
+}
+
+TEST(GanttTest, GoldenRender) {
+  TaskSet ts(2);
+  const SimResult r = golden_result(ts);
+  GanttOptions options;
+  options.width = 40;
+  // The blocking fork suspends one worker, so the whole 22-unit job runs
+  // on core 0 while core 1 idles — the render is locked byte-for-byte.
+  EXPECT_EQ(render_ascii_gantt(ts, r.trace, options),
+            "        t=0                                   22\n"
+            "core  0 |AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA|\n"
+            "core  1 |........................................|\n"
+            "legend: A=fig1\n");
+}
+
+TEST(TraceJsonTest, GoldenRender) {
+  TaskSet ts(2);
+  const SimResult r = golden_result(ts);
+  std::ostringstream os;
+  write_chrome_trace(os, ts, r);
+  EXPECT_EQ(
+      os.str(),
+      R"({"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"core 0"}},)"
+      R"({"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"core 1"}},)"
+      R"({"name":"fig1/v0","cat":"NB","ph":"X","pid":1,"tid":0,"ts":0,"dur":1,"args":{"task":"fig1","node":0,"type":"NB"}},)"
+      R"({"name":"fig1/v1","cat":"BF","ph":"X","pid":1,"tid":0,"ts":1,"dur":2,"args":{"task":"fig1","node":1,"type":"BF"}},)"
+      R"({"name":"fig1/v3","cat":"BC","ph":"X","pid":1,"tid":0,"ts":3,"dur":4,"args":{"task":"fig1","node":3,"type":"BC"}},)"
+      R"({"name":"fig1/v4","cat":"BC","ph":"X","pid":1,"tid":0,"ts":7,"dur":5,"args":{"task":"fig1","node":4,"type":"BC"}},)"
+      R"({"name":"fig1/v5","cat":"BC","ph":"X","pid":1,"tid":0,"ts":12,"dur":6,"args":{"task":"fig1","node":5,"type":"BC"}},)"
+      R"({"name":"fig1/v2","cat":"BJ","ph":"X","pid":1,"tid":0,"ts":18,"dur":3,"args":{"task":"fig1","node":2,"type":"BJ"}},)"
+      R"({"name":"fig1/v6","cat":"NB","ph":"X","pid":1,"tid":0,"ts":21,"dur":1,"args":{"task":"fig1","node":6,"type":"NB"}}],)"
+      R"("displayTimeUnit":"ms"})");
+}
+
 TEST(SimTest, BacklogPreservesReleaseTimes) {
   // One task, C=7, T=5: every job overruns; the backlog grows and response
   // times accumulate: job k completes at 7(k+1), released at 5k.
